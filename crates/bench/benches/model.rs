@@ -1,0 +1,75 @@
+//! Criterion benchmarks for the experiment pipeline itself: the
+//! microbenchmark sweep, the model fit, prediction, and the autotuner —
+//! one bench per reproduced artifact's dominant cost, so `cargo bench`
+//! exercises the full Table I / Table II / Figure 5 machinery.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dvfs_bench::pipeline::{fig5_validation, fitted_model, fmm_profiles};
+use dvfs_energy_model::fit_model;
+use dvfs_microbench::{run_sweep, MicrobenchKind, SweepConfig};
+use std::hint::black_box;
+use tk1_sim::{OpClass, OpVector, Setting};
+
+fn bench_sweep(c: &mut Criterion) {
+    // Table I's data collection: 16 settings x 103 intensity points.
+    let config = SweepConfig::default();
+    let mut group = c.benchmark_group("sweep");
+    group.sample_size(10);
+    group.bench_function("table1-dataset", |b| b.iter(|| run_sweep(black_box(&config))));
+    group.finish();
+}
+
+fn bench_fit_and_predict(c: &mut Criterion) {
+    let dataset = run_sweep(&SweepConfig::default());
+    c.bench_function("fit/nnls-824x9", |b| {
+        b.iter(|| fit_model(black_box(dataset.training())))
+    });
+    let model = fit_model(dataset.training()).model;
+    let ops = OpVector::from_pairs(&[
+        (OpClass::FlopDp, 1e10),
+        (OpClass::Int, 1.2e10),
+        (OpClass::L2, 1e8),
+        (OpClass::Dram, 5e7),
+    ]);
+    c.bench_function("predict/single-kernel", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for setting in Setting::all() {
+                acc += model.predict_energy_j(black_box(&ops), setting, 0.01);
+            }
+            acc
+        })
+    });
+}
+
+fn bench_autotune_family(c: &mut Criterion) {
+    let (model, _) = fitted_model(42);
+    let mut group = c.benchmark_group("autotune");
+    group.sample_size(10);
+    group.bench_function("l2-family-105-settings", |b| {
+        b.iter(|| {
+            dvfs_energy_model::autotune_microbenchmarks(
+                black_box(&model),
+                &[MicrobenchKind::L2],
+                7,
+            )
+        })
+    });
+    group.finish();
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    // The 64-case FMM validation matrix at 1/16 scale (the profiles are
+    // built once; the bench measures the measure-and-predict loop).
+    let (model, _) = fitted_model(42);
+    let profiles = fmm_profiles(4, 42);
+    let mut group = c.benchmark_group("fig5");
+    group.sample_size(10);
+    group.bench_function("validation-64-cases", |b| {
+        b.iter(|| fig5_validation(black_box(&model), black_box(&profiles), 11))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sweep, bench_fit_and_predict, bench_autotune_family, bench_fig5);
+criterion_main!(benches);

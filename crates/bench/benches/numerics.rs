@@ -1,0 +1,99 @@
+//! Criterion benchmarks for the numeric substrates: NNLS and the FFT —
+//! the two solvers the fitting pipeline and the V-list phase live on.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dvfs_fft::{fft3_inplace, Complex, FftPlan};
+use dvfs_linalg::{nnls, pseudo_inverse, Matrix, NnlsOptions, QrFactorization, Svd};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn random_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Matrix::from_fn(rows, cols, |_, _| rng.random::<f64>() - 0.3)
+}
+
+fn bench_nnls(c: &mut Criterion) {
+    // The model fit is an 824 x 9 NNLS solve; bench that exact shape plus
+    // a larger one.
+    let mut group = c.benchmark_group("nnls");
+    for &(rows, cols) in &[(824usize, 9usize), (4096, 16)] {
+        let a = random_matrix(rows, cols, 7);
+        let x_true: Vec<f64> = (0..cols).map(|j| (j % 3) as f64).collect();
+        let b = a.matvec(&x_true);
+        group.bench_with_input(
+            BenchmarkId::new("solve", format!("{rows}x{cols}")),
+            &rows,
+            |bench, _| {
+                bench.iter(|| {
+                    nnls(black_box(&a), black_box(&b), &NnlsOptions::default()).unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_qr_and_svd(c: &mut Criterion) {
+    let a = random_matrix(152, 152, 8);
+    c.bench_function("qr/152x152", |b| {
+        b.iter(|| QrFactorization::new(black_box(&a)).unwrap())
+    });
+    let small = random_matrix(56, 56, 9);
+    c.bench_function("svd/56x56", |b| b.iter(|| Svd::new(black_box(&small)).unwrap()));
+    c.bench_function("pinv/56x56", |b| {
+        b.iter(|| pseudo_inverse(black_box(&small), 1e-12).unwrap())
+    });
+}
+
+fn bench_p2p_layouts(c: &mut Criterion) {
+    // The U-phase inner kernel: naive AoS vs the tuned SoA layout.
+    use kifmm::kernel::{Kernel, LaplaceKernel};
+    use kifmm::{p2p_soa, SoaSources};
+    let mut rng = StdRng::seed_from_u64(12);
+    let n = 256;
+    let targets: Vec<[f64; 3]> =
+        (0..n).map(|_| [rng.random(), rng.random(), rng.random()]).collect();
+    let sources: Vec<[f64; 3]> =
+        (0..n).map(|_| [rng.random(), rng.random(), rng.random()]).collect();
+    let densities: Vec<f64> = (0..n).map(|_| rng.random::<f64>() - 0.5).collect();
+    let soa = SoaSources::from_points(&sources, &densities);
+    let mut group = c.benchmark_group("p2p-256x256");
+    group.bench_function("aos-naive", |b| {
+        b.iter(|| {
+            let mut out = vec![0.0; n];
+            LaplaceKernel.p2p(
+                black_box(&targets),
+                black_box(&sources),
+                black_box(&densities),
+                &mut out,
+            );
+            out
+        })
+    });
+    group.bench_function("soa-unrolled", |b| {
+        b.iter(|| {
+            let mut out = vec![0.0; n];
+            p2p_soa(black_box(&targets), black_box(&soa), &mut out);
+            out
+        })
+    });
+    group.finish();
+}
+
+fn bench_fft(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fft3");
+    for &m in &[8usize, 16, 32] {
+        let plan = FftPlan::new(m).unwrap();
+        let mut data: Vec<Complex> = (0..m * m * m)
+            .map(|i| Complex::new((i as f64 * 0.01).sin(), 0.0))
+            .collect();
+        group.bench_with_input(BenchmarkId::new("forward", m), &m, |b, _| {
+            b.iter(|| fft3_inplace(black_box(&mut data), m, &plan).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_nnls, bench_qr_and_svd, bench_p2p_layouts, bench_fft);
+criterion_main!(benches);

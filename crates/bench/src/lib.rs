@@ -1,0 +1,17 @@
+//! Experiment reproduction library.
+//!
+//! One function per paper artifact (Tables I–IV, Figures 4–7, the
+//! Section II-D cross-validations and the Section IV-C observations),
+//! each returning a structured result that the `repro` binary prints and
+//! the integration tests assert on.  Paper reference values live in
+//! [`paper`] so every report can show *paper vs. measured* side by side.
+
+pub mod paper;
+pub mod pipeline;
+pub mod report;
+
+pub use pipeline::{
+    fig4_breakdown, fig5_validation, fig6_energy_breakdown, fig7_buckets, fitted_model,
+    fmm_profiles, observations, prefetch_scan, table1_rows, table2_outcomes, utilization_ablation,
+    CaseResult, Fig7Row, MicrobenchAblationPoint, ObservationSummary, Table1Row,
+};

@@ -1,0 +1,97 @@
+//! Reference values transcribed from the paper, used for side-by-side
+//! "paper vs. measured" reporting.  (Shapes, not absolute joules, are the
+//! reproduction target — the substrate here is a simulator, not the
+//! authors' instrumented Jetson TK1.)
+
+/// One row of the paper's Table I: `(type, core MHz, core mV, mem MHz,
+/// mem mV, ε_SP, ε_DP, ε_Int, ε_SM, ε_L2, ε_Mem [pJ], π0 [W])`.
+pub type Table1Row = (&'static str, f64, f64, f64, f64, f64, f64, f64, f64, f64, f64, f64);
+
+/// The paper's Table I, transcribed.
+pub const TABLE1: [Table1Row; 16] = [
+    ("T", 852.0, 1030.0, 924.0, 1010.0, 29.0, 139.1, 60.0, 35.4, 90.2, 377.0, 6.8),
+    ("T", 396.0, 770.0, 924.0, 1010.0, 16.2, 77.7, 33.5, 19.8, 50.4, 377.0, 6.1),
+    ("T", 852.0, 1030.0, 528.0, 880.0, 29.0, 139.1, 60.0, 35.4, 90.2, 286.2, 6.3),
+    ("T", 648.0, 890.0, 528.0, 880.0, 21.7, 103.8, 44.8, 26.4, 67.3, 286.2, 5.9),
+    ("T", 396.0, 770.0, 528.0, 880.0, 16.2, 77.7, 33.5, 19.8, 50.4, 286.2, 5.6),
+    ("T", 852.0, 1030.0, 204.0, 800.0, 29.0, 139.1, 60.0, 35.4, 90.2, 236.5, 6.0),
+    ("T", 648.0, 890.0, 204.0, 800.0, 21.7, 103.8, 44.8, 26.4, 67.3, 236.5, 5.6),
+    ("T", 396.0, 770.0, 204.0, 800.0, 16.2, 77.7, 33.5, 19.8, 50.4, 236.5, 5.2),
+    ("V", 756.0, 950.0, 924.0, 1010.0, 24.7, 118.3, 51.0, 30.1, 76.7, 377.0, 6.6),
+    ("V", 180.0, 760.0, 528.0, 880.0, 15.8, 75.7, 32.7, 19.3, 49.1, 286.2, 5.5),
+    ("V", 540.0, 840.0, 528.0, 880.0, 19.3, 92.5, 39.9, 23.5, 59.9, 286.2, 5.8),
+    ("V", 540.0, 840.0, 204.0, 800.0, 19.3, 92.5, 39.9, 23.5, 59.9, 236.5, 5.4),
+    ("V", 756.0, 950.0, 204.0, 800.0, 24.7, 118.3, 51.0, 30.1, 76.7, 236.5, 5.8),
+    ("V", 72.0, 760.0, 68.0, 800.0, 15.8, 75.7, 32.7, 19.3, 49.1, 236.5, 5.2),
+    ("V", 756.0, 950.0, 68.0, 800.0, 24.7, 118.3, 51.0, 30.1, 76.7, 236.5, 5.8),
+    ("V", 180.0, 760.0, 924.0, 1010.0, 15.8, 75.7, 32.7, 19.3, 49.1, 377.0, 6.0),
+];
+
+/// Section II-D: 2-fold holdout CV error (mean %, σ, min %, max %).
+pub const CV_HOLDOUT: (f64, f64, f64, f64) = (2.87, 2.47, 0.00, 11.94);
+/// Section II-D: 16-fold CV error (mean %, σ, min %, max %).
+pub const CV_16FOLD: (f64, f64, f64, f64) = (6.56, 3.80, 1.60, 15.22);
+
+/// Table II rows: `(benchmark, strategy, mispredictions, cases, mean %,
+/// min %, max %)`.
+pub const TABLE2: [(&str, &str, usize, usize, f64, f64, f64); 10] = [
+    ("Single", "Our model", 0, 25, 0.0, 0.0, 0.0),
+    ("Single", "Time Oracle", 20, 25, 18.52, 7.21, 26.52),
+    ("Double", "Our model", 10, 36, 3.11, 0.34, 7.30),
+    ("Double", "Time Oracle", 23, 36, 3.95, 0.23, 13.90),
+    ("Integer", "Our model", 6, 23, 2.37, 0.32, 5.12),
+    ("Integer", "Time Oracle", 23, 23, 3.56, 0.44, 9.72),
+    ("Shared memory", "Our model", 7, 10, 3.31, 2.92, 3.99),
+    ("Shared memory", "Time Oracle", 10, 10, 10.64, 7.07, 12.75),
+    ("L2", "Our model", 0, 9, 0.0, 0.0, 0.0),
+    ("L2", "Time Oracle", 0, 9, 10.71, 10.49, 11.28),
+];
+
+/// Figure 5 / Section IV-B: FMM validation error (mean %, σ, min %, max %).
+pub const FMM_VALIDATION: (f64, f64, f64, f64) = (6.17, 4.65, 0.09, 14.89);
+
+/// Section IV-C(a): integer instructions ≈ 60% of compute instructions
+/// but ≈ 23% of compute energy.
+pub const INTEGER_INSTRUCTION_SHARE: f64 = 0.60;
+/// Integer share of compute energy.
+pub const INTEGER_ENERGY_SHARE: f64 = 0.23;
+
+/// Section IV-C(b): DRAM ≈ 13% of accesses, up to ≈ 50% of data energy.
+pub const DRAM_ACCESS_SHARE: f64 = 0.13;
+/// DRAM share of data-access energy.
+pub const DRAM_ENERGY_SHARE: f64 = 0.50;
+
+/// Section IV-C(c): constant power is 75–95% of FMM total energy.
+pub const FMM_CONSTANT_SHARE_RANGE: (f64, f64) = (0.75, 0.95);
+/// ... versus only ~30% for the saturating microbenchmarks.
+pub const MICROBENCH_CONSTANT_SHARE: f64 = 0.30;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_has_8_training_and_8_validation_rows() {
+        assert_eq!(TABLE1.iter().filter(|r| r.0 == "T").count(), 8);
+        assert_eq!(TABLE1.iter().filter(|r| r.0 == "V").count(), 8);
+    }
+
+    #[test]
+    fn table1_energies_scale_as_v_squared() {
+        // Internal consistency of the transcription: ε_SP/V² constant.
+        for r in &TABLE1 {
+            let v = r.2 / 1000.0;
+            let c0 = r.5 / (v * v);
+            assert!((c0 - 27.33).abs() < 0.15, "ε_SP/V² = {c0} at {} mV", r.2);
+        }
+    }
+
+    #[test]
+    fn table2_oracle_never_beats_model_on_mispredictions() {
+        for pair in TABLE2.chunks(2) {
+            let (model, oracle) = (&pair[0], &pair[1]);
+            assert_eq!(model.0, oracle.0);
+            assert!(model.2 <= oracle.2, "{}: model {} vs oracle {}", model.0, model.2, oracle.2);
+        }
+    }
+}

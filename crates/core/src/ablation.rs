@@ -1,0 +1,233 @@
+//! Model-structure ablation: what does DVFS-awareness buy?
+//!
+//! The paper's contribution over the original energy roofline
+//! (IPDPS'13) is letting the per-op energies and constant power vary
+//! with voltage and frequency.  This module quantifies that delta by
+//! fitting three nested predictors on the same training data and
+//! cross-validating them across DVFS settings:
+//!
+//! * **DvfsAware** — the paper's model (equation 9): `ε = ĉ0·V²`,
+//!   `π0 = c1p·Vp + c1m·Vm + P_misc`.
+//! * **Static** — the prior model: one fixed `ε` per op class and one
+//!   fixed `π0`, independent of the setting.  Fits the training settings
+//!   in aggregate, mispredicts any setting far from their "average".
+//! * **MeanPower** — the degenerate baseline: `E = P̄·T` with a single
+//!   fitted average power.  Knows nothing about operations at all.
+//!
+//! On a *single* setting the three are nearly indistinguishable; swept
+//! across the DVFS range, the static model's error grows with the
+//! voltage span and the mean-power baseline fails on any workload whose
+//! mix differs from the training average — which is exactly the case
+//! the paper's autotuner needs the model for.
+
+use crate::fit::{design_row, fit_model};
+use crate::stats::{relative_error, ErrorStats};
+use dvfs_linalg::{nnls, Matrix, NnlsOptions};
+use dvfs_microbench::{Dataset, Sample};
+
+/// Which predictor structure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModelStructure {
+    /// The paper's DVFS-aware model (equation 9).
+    DvfsAware,
+    /// Fixed per-op energies and constant power (IPDPS'13 roofline).
+    Static,
+    /// A single fitted average power: `E = P̄ · T`.
+    MeanPower,
+}
+
+impl ModelStructure {
+    /// All structures, strongest first.
+    pub const ALL: [ModelStructure; 3] =
+        [ModelStructure::DvfsAware, ModelStructure::Static, ModelStructure::MeanPower];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ModelStructure::DvfsAware => "DVFS-aware (eq. 9)",
+            ModelStructure::Static => "static roofline",
+            ModelStructure::MeanPower => "mean power x time",
+        }
+    }
+}
+
+/// A fitted predictor of any of the three structures.
+#[derive(Debug, Clone)]
+pub enum FittedPredictor {
+    /// The full model.
+    DvfsAware(crate::model::EnergyModel),
+    /// Fixed coefficients: 7 per-op energies (J) + constant power (W).
+    Static { epsilon_j: [f64; tk1_sim::NUM_OP_CLASSES], pi0_w: f64 },
+    /// One average power (W).
+    MeanPower { p_bar_w: f64 },
+}
+
+impl FittedPredictor {
+    /// Fits the given structure on training samples.
+    pub fn fit<'a>(
+        structure: ModelStructure,
+        samples: impl IntoIterator<Item = &'a Sample>,
+    ) -> FittedPredictor {
+        let samples: Vec<&Sample> = samples.into_iter().collect();
+        match structure {
+            ModelStructure::DvfsAware => {
+                FittedPredictor::DvfsAware(fit_model(samples.iter().copied()).model)
+            }
+            ModelStructure::Static => {
+                // Columns: 7 op counts + time.  No voltage scaling.
+                let cols = tk1_sim::NUM_OP_CLASSES + 1;
+                let mut data = Vec::with_capacity(samples.len() * cols);
+                let mut b = Vec::with_capacity(samples.len());
+                for s in &samples {
+                    for (_, count) in s.ops.iter() {
+                        data.push(count);
+                    }
+                    data.push(s.time_s);
+                    b.push(s.energy_j);
+                }
+                let a = Matrix::from_vec(samples.len(), cols, data);
+                // Column scaling as in the main fit.
+                let mut scales = vec![1.0f64; cols];
+                for (j, scale) in scales.iter_mut().enumerate() {
+                    let mx = (0..a.rows()).map(|i| a[(i, j)].abs()).fold(0.0f64, f64::max);
+                    *scale = if mx > 0.0 { mx } else { 1.0 };
+                }
+                let scaled = Matrix::from_fn(a.rows(), cols, |i, j| a[(i, j)] / scales[j]);
+                let sol = nnls(&scaled, &b, &NnlsOptions::default()).expect("static NNLS");
+                let mut epsilon_j = [0.0; tk1_sim::NUM_OP_CLASSES];
+                for (k, e) in epsilon_j.iter_mut().enumerate() {
+                    *e = sol.x[k] / scales[k];
+                }
+                FittedPredictor::Static { epsilon_j, pi0_w: sol.x[cols - 1] / scales[cols - 1] }
+            }
+            ModelStructure::MeanPower => {
+                // Least-squares through the origin: P̄ = Σ E·T / Σ T².
+                let num: f64 = samples.iter().map(|s| s.energy_j * s.time_s).sum();
+                let den: f64 = samples.iter().map(|s| s.time_s * s.time_s).sum();
+                FittedPredictor::MeanPower { p_bar_w: if den > 0.0 { num / den } else { 0.0 } }
+            }
+        }
+    }
+
+    /// Predicted energy of a sample.
+    pub fn predict_j(&self, sample: &Sample) -> f64 {
+        match self {
+            FittedPredictor::DvfsAware(m) => {
+                m.predict_energy_j(&sample.ops, sample.setting, sample.time_s)
+            }
+            FittedPredictor::Static { epsilon_j, pi0_w } => {
+                let mut e = pi0_w * sample.time_s;
+                for (class, count) in sample.ops.iter() {
+                    e += count * epsilon_j[class.index()];
+                }
+                e
+            }
+            FittedPredictor::MeanPower { p_bar_w } => p_bar_w * sample.time_s,
+        }
+    }
+}
+
+/// One row of the ablation result.
+#[derive(Debug, Clone)]
+pub struct AblationRow {
+    /// The structure evaluated.
+    pub structure: ModelStructure,
+    /// Held-out (validation-split) error statistics.
+    pub holdout: ErrorStats,
+}
+
+/// Fits all three structures on the training split and validates each on
+/// the held-out settings — the design-choice ablation of DESIGN.md's A-series.
+pub fn model_structure_ablation(dataset: &Dataset) -> Vec<AblationRow> {
+    ModelStructure::ALL
+        .iter()
+        .map(|&structure| {
+            let predictor = FittedPredictor::fit(structure, dataset.training());
+            let errors: Vec<f64> = dataset
+                .validation()
+                .map(|s| relative_error(predictor.predict_j(s), s.energy_j))
+                .collect();
+            AblationRow { structure, holdout: ErrorStats::from_relative_errors(&errors) }
+        })
+        .collect()
+}
+
+// Re-exported for the Static fit's symmetry with the main design matrix.
+#[allow(dead_code)]
+fn _design_row_is_public(sample: &Sample) -> [f64; crate::fit::NUM_COLUMNS] {
+    design_row(sample)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dvfs_microbench::{run_sweep, SweepConfig};
+
+    fn dataset() -> Dataset {
+        run_sweep(&SweepConfig { seed: 0xAB1A, ..SweepConfig::default() })
+    }
+
+    #[test]
+    fn dvfs_aware_beats_static_beats_mean_power() {
+        // The paper's raison d'être, measured: across DVFS settings the
+        // nested structures order strictly by expressiveness.
+        let ds = dataset();
+        let rows = model_structure_ablation(&ds);
+        assert_eq!(rows.len(), 3);
+        let dvfs = rows[0].holdout.mean_pct;
+        let stat = rows[1].holdout.mean_pct;
+        let mean = rows[2].holdout.mean_pct;
+        assert!(
+            dvfs < stat,
+            "DVFS-aware {dvfs:.2}% must beat static {stat:.2}% across settings"
+        );
+        assert!(
+            stat < mean,
+            "op-aware static {stat:.2}% must beat mean-power {mean:.2}%"
+        );
+        // And the gaps are material, not noise.
+        assert!(stat > dvfs * 1.5, "static at least 1.5x worse: {stat:.2} vs {dvfs:.2}");
+    }
+
+    #[test]
+    fn static_model_is_fine_at_a_single_setting() {
+        // Restricted to one setting, the static model predicts well —
+        // DVFS-awareness only matters across settings.
+        let ds = dataset();
+        let one_setting = ds.samples[0].setting;
+        let at_setting: Vec<&Sample> =
+            ds.samples.iter().filter(|s| s.setting == one_setting).collect();
+        assert!(at_setting.len() > 50);
+        // Interleave so every benchmark family appears in both halves
+        // (a family absent from training leaves its ε unconstrained).
+        let train: Vec<&Sample> =
+            at_setting.iter().step_by(2).copied().collect();
+        let test: Vec<&Sample> =
+            at_setting.iter().skip(1).step_by(2).copied().collect();
+        let predictor = FittedPredictor::fit(ModelStructure::Static, train);
+        let errors: Vec<f64> = test
+            .iter()
+            .map(|s| relative_error(predictor.predict_j(s), s.energy_j))
+            .collect();
+        let stats = ErrorStats::from_relative_errors(&errors);
+        assert!(stats.mean_pct < 8.0, "single-setting static error {:.2}%", stats.mean_pct);
+    }
+
+    #[test]
+    fn mean_power_predictor_is_a_single_number() {
+        let ds = dataset();
+        let p = FittedPredictor::fit(ModelStructure::MeanPower, ds.training());
+        if let FittedPredictor::MeanPower { p_bar_w } = p {
+            assert!(p_bar_w > 4.0 && p_bar_w < 14.0, "plausible board power: {p_bar_w}");
+        } else {
+            panic!("wrong variant");
+        }
+    }
+
+    #[test]
+    fn structure_names_are_distinct() {
+        let names: std::collections::HashSet<&str> =
+            ModelStructure::ALL.iter().map(|s| s.name()).collect();
+        assert_eq!(names.len(), 3);
+    }
+}

@@ -1,0 +1,240 @@
+//! Bootstrap uncertainty quantification for the fitted constants.
+//!
+//! The NNLS point estimates of Table I say nothing about how well each
+//! coefficient is pinned down by the data — and as DESIGN.md §6 notes,
+//! coefficients of constant-power-dominated benchmark families (ε_DP
+//! foremost) carry an error amplification of roughly `E_total/E_dyn`.
+//! Case-resampling bootstrap makes that conditioning visible: refit on
+//! resampled datasets and report per-coefficient percentile intervals.
+//! An analyst replicating the paper should publish these alongside
+//! Table I.
+
+use crate::fit::fit_model;
+use dvfs_microbench::Sample;
+use tk1_sim::rng::Noise;
+use tk1_sim::{OpClass, Setting, NUM_OP_CLASSES};
+
+/// A percentile confidence interval for one coefficient.
+#[derive(Debug, Clone, Copy)]
+pub struct Interval {
+    /// Point estimate (fit on the full dataset).
+    pub estimate: f64,
+    /// Lower percentile bound.
+    pub lo: f64,
+    /// Upper percentile bound.
+    pub hi: f64,
+}
+
+impl Interval {
+    /// Relative half-width `(hi − lo) / (2·estimate)` — the conditioning
+    /// figure of merit (0 = perfectly identified).
+    pub fn relative_half_width(&self) -> f64 {
+        if self.estimate.abs() < f64::MIN_POSITIVE {
+            f64::INFINITY
+        } else {
+            (self.hi - self.lo) / (2.0 * self.estimate.abs())
+        }
+    }
+}
+
+/// Bootstrap intervals for every model constant.
+#[derive(Debug, Clone)]
+pub struct BootstrapReport {
+    /// Per-op-class `ĉ0` intervals (pJ/V²).
+    pub c0: [Interval; NUM_OP_CLASSES],
+    /// Processor leakage interval (W/V).
+    pub c1_proc: Interval,
+    /// Memory leakage interval (W/V).
+    pub c1_mem: Interval,
+    /// Constant misc power interval (W).
+    pub p_misc: Interval,
+    /// Number of bootstrap replicates.
+    pub replicates: usize,
+    /// Confidence level (e.g. 0.90).
+    pub confidence: f64,
+}
+
+impl BootstrapReport {
+    /// Runs a case-resampling bootstrap: `replicates` refits on datasets
+    /// drawn with replacement from `samples`, with `confidence`-level
+    /// percentile intervals.
+    pub fn run(
+        samples: &[&Sample],
+        replicates: usize,
+        confidence: f64,
+        seed: u64,
+    ) -> BootstrapReport {
+        assert!(replicates >= 8, "too few replicates for percentiles");
+        assert!((0.5..1.0).contains(&confidence), "confidence in [0.5, 1)");
+        let point = fit_model(samples.iter().copied());
+        let mut noise = Noise::new(seed ^ 0xB007);
+
+        // Collect replicate coefficient vectors (10 coefficients each).
+        let mut replicate_values: Vec<[f64; NUM_OP_CLASSES + 3]> =
+            Vec::with_capacity(replicates);
+        for _ in 0..replicates {
+            let resampled: Vec<&Sample> = (0..samples.len())
+                .map(|_| samples[(noise.uniform() * samples.len() as f64) as usize % samples.len()])
+                .collect();
+            let fit = fit_model(resampled);
+            let m = &fit.model;
+            let mut row = [0.0; NUM_OP_CLASSES + 3];
+            row[..NUM_OP_CLASSES].copy_from_slice(&m.c0_pj_per_v2);
+            row[NUM_OP_CLASSES] = m.c1_proc_w_per_v;
+            row[NUM_OP_CLASSES + 1] = m.c1_mem_w_per_v;
+            row[NUM_OP_CLASSES + 2] = m.p_misc_w;
+            replicate_values.push(row);
+        }
+
+        let interval = |idx: usize, estimate: f64| -> Interval {
+            let mut values: Vec<f64> = replicate_values.iter().map(|r| r[idx]).collect();
+            values.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            let alpha = (1.0 - confidence) / 2.0;
+            let pick = |q: f64| -> f64 {
+                let pos = q * (values.len() - 1) as f64;
+                values[pos.round() as usize]
+            };
+            Interval { estimate, lo: pick(alpha), hi: pick(1.0 - alpha) }
+        };
+
+        let c0 = std::array::from_fn(|k| interval(k, point.model.c0_pj_per_v2[k]));
+        BootstrapReport {
+            c0,
+            c1_proc: interval(NUM_OP_CLASSES, point.model.c1_proc_w_per_v),
+            c1_mem: interval(NUM_OP_CLASSES + 1, point.model.c1_mem_w_per_v),
+            p_misc: interval(NUM_OP_CLASSES + 2, point.model.p_misc_w),
+            replicates,
+            confidence,
+        }
+    }
+
+    /// Interval of one op class's `ĉ0`.
+    pub fn c0_of(&self, class: OpClass) -> Interval {
+        self.c0[class.index()]
+    }
+
+    /// Interval of the derived constant power `π0` at a setting (sum of
+    /// the three constant terms; interval endpoints are combined
+    /// conservatively).
+    pub fn constant_power_at(&self, setting: Setting) -> Interval {
+        let op = setting.operating_point();
+        let combine = |f: fn(&Interval) -> f64| {
+            f(&self.c1_proc) * op.core.voltage_v
+                + f(&self.c1_mem) * op.mem.voltage_v
+                + f(&self.p_misc)
+        };
+        Interval {
+            estimate: combine(|i| i.estimate),
+            lo: combine(|i| i.lo),
+            hi: combine(|i| i.hi),
+        }
+    }
+
+    /// The model constants formatted with their intervals.
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        for class in tk1_sim::ops::ALL_CLASSES {
+            let i = self.c0_of(class);
+            out.push_str(&format!(
+                "ĉ0[{:>7}] = {:8.2} pJ/V²  [{:8.2}, {:8.2}]  (±{:.0}%)\n",
+                class.name(),
+                i.estimate,
+                i.lo,
+                i.hi,
+                i.relative_half_width() * 100.0
+            ));
+        }
+        out.push_str(&format!(
+            "c1,proc    = {:8.3} W/V    [{:8.3}, {:8.3}]\n",
+            self.c1_proc.estimate, self.c1_proc.lo, self.c1_proc.hi
+        ));
+        out.push_str(&format!(
+            "c1,mem     = {:8.3} W/V    [{:8.3}, {:8.3}]\n",
+            self.c1_mem.estimate, self.c1_mem.lo, self.c1_mem.hi
+        ));
+        out.push_str(&format!(
+            "P_misc     = {:8.3} W      [{:8.3}, {:8.3}]\n",
+            self.p_misc.estimate, self.p_misc.lo, self.p_misc.hi
+        ));
+        out
+    }
+}
+
+/// Convenience alias used by the harness.
+pub fn bootstrap_fit(
+    dataset: &dvfs_microbench::Dataset,
+    replicates: usize,
+    seed: u64,
+) -> BootstrapReport {
+    let training: Vec<&Sample> = dataset.training().collect();
+    BootstrapReport::run(&training, replicates, 0.90, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::EnergyModel;
+    use dvfs_microbench::{run_sweep, SweepConfig};
+
+    fn report(replicates: usize) -> (BootstrapReport, EnergyModel) {
+        let ds = run_sweep(&SweepConfig { seed: 404, ..SweepConfig::default() });
+        let model = fit_model(ds.training()).model;
+        (bootstrap_fit(&ds, replicates, 99), model)
+    }
+
+    #[test]
+    fn intervals_bracket_the_point_estimate() {
+        let (r, model) = report(24);
+        for class in tk1_sim::ops::ALL_CLASSES {
+            let i = r.c0_of(class);
+            assert_eq!(i.estimate, model.c0_pj_per_v2[class.index()]);
+            assert!(i.lo <= i.hi);
+            // The point estimate usually sits inside the interval; allow
+            // the small percentile slack of finite replicates.
+            assert!(i.estimate >= i.lo * 0.9 && i.estimate <= i.hi * 1.1);
+        }
+    }
+
+    #[test]
+    fn dp_is_the_worst_conditioned_flop_coefficient() {
+        // The DESIGN.md §6 finding, measured: ε_DP's interval is wider
+        // (relatively) than ε_SP's, because DP benchmark energy is
+        // constant-power-dominated on the TK1.
+        let (r, _) = report(32);
+        let sp = r.c0_of(OpClass::FlopSp).relative_half_width();
+        let dp = r.c0_of(OpClass::FlopDp).relative_half_width();
+        assert!(dp > sp, "DP ±{:.1}% vs SP ±{:.1}%", dp * 100.0, sp * 100.0);
+    }
+
+    #[test]
+    fn constant_power_interval_is_tight() {
+        // π0 is the best-identified quantity (every sample constrains it).
+        let (r, _) = report(24);
+        let pi0 = r.constant_power_at(Setting::max_performance());
+        assert!(pi0.lo <= pi0.estimate && pi0.estimate <= pi0.hi);
+        assert!(
+            (pi0.hi - pi0.lo) / pi0.estimate < 0.15,
+            "π0 interval width {:.3}",
+            (pi0.hi - pi0.lo) / pi0.estimate
+        );
+    }
+
+    #[test]
+    fn summary_lists_all_constants() {
+        let (r, _) = report(12);
+        let s = r.summary();
+        assert_eq!(s.lines().count(), 10);
+        assert!(s.contains("ĉ0[     SP]"));
+        assert!(s.contains("P_misc"));
+    }
+
+    #[test]
+    #[should_panic(expected = "replicates")]
+    fn too_few_replicates_rejected() {
+        let ds = run_sweep(&SweepConfig {
+            kinds: vec![dvfs_microbench::MicrobenchKind::L2],
+            ..SweepConfig::default()
+        });
+        let _ = bootstrap_fit(&ds, 2, 1);
+    }
+}

@@ -1,0 +1,180 @@
+//! Energy-breakdown reports (the paper's Figures 6 and 7).
+//!
+//! Figure 6 splits an application's energy across instruction types and
+//! memory levels; Figure 7 coarsens that into three buckets —
+//! computation, data movement, and constant power — and reports shares of
+//! the total.  For the FMM, constant power dominates at 75–95%; for the
+//! saturating microbenchmarks it is only ~30%, which is the paper's
+//! explanation for why race-to-halt happens to be optimal for the FMM.
+
+use crate::model::{EnergyModel, ModelBreakdown};
+use tk1_sim::{OpClass, OpVector, Setting, ALL_CLASSES};
+
+/// One labelled share of a breakdown.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnergyShare {
+    /// Component label.
+    pub label: String,
+    /// Energy, J.
+    pub energy_j: f64,
+    /// Share of the total, in `[0, 1]`.
+    pub share: f64,
+}
+
+/// A full per-class + per-bucket energy report for one execution.
+#[derive(Debug, Clone)]
+pub struct BreakdownReport {
+    /// The underlying model breakdown.
+    pub breakdown: ModelBreakdown,
+    /// Per-op-class shares (7 entries, classes in canonical order).
+    pub per_class: Vec<EnergyShare>,
+    /// Figure 7's three buckets: computation, data, constant power.
+    pub buckets: [EnergyShare; 3],
+}
+
+impl BreakdownReport {
+    /// Builds the report for `(ops, setting, time)` under `model`.
+    pub fn new(model: &EnergyModel, ops: &OpVector, setting: Setting, time_s: f64) -> Self {
+        let breakdown = model.predict_breakdown(ops, setting, time_s);
+        let total = breakdown.total_j().max(f64::MIN_POSITIVE);
+        let per_class = ALL_CLASSES
+            .iter()
+            .map(|&c| EnergyShare {
+                label: c.name().to_string(),
+                energy_j: breakdown.class_j(c),
+                share: breakdown.class_j(c) / total,
+            })
+            .collect();
+        let buckets = [
+            EnergyShare {
+                label: "Computation".into(),
+                energy_j: breakdown.computation_j(),
+                share: breakdown.computation_j() / total,
+            },
+            EnergyShare {
+                label: "Data".into(),
+                energy_j: breakdown.data_j(),
+                share: breakdown.data_j() / total,
+            },
+            EnergyShare {
+                label: "Constant power".into(),
+                energy_j: breakdown.constant_j,
+                share: breakdown.constant_j / total,
+            },
+        ];
+        BreakdownReport { breakdown, per_class, buckets }
+    }
+
+    /// Share of *compute* energy attributable to integer instructions
+    /// (the paper observes ~23% for the FMM, versus ~60% of instruction
+    /// count).
+    pub fn integer_share_of_compute(&self) -> f64 {
+        let compute = self.breakdown.computation_j();
+        if compute > 0.0 {
+            self.breakdown.class_j(OpClass::Int) / compute
+        } else {
+            0.0
+        }
+    }
+
+    /// Share of *data* energy attributable to DRAM (the paper observes up
+    /// to ~50% despite DRAM being ~13% of accesses).
+    pub fn dram_share_of_data(&self) -> f64 {
+        let data = self.breakdown.data_j();
+        if data > 0.0 {
+            self.breakdown.class_j(OpClass::Dram) / data
+        } else {
+            0.0
+        }
+    }
+
+    /// Constant-power share of the total (Figure 7's headline number).
+    pub fn constant_share(&self) -> f64 {
+        self.breakdown.constant_share()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> EnergyModel {
+        let t = tk1_sim::TruthConstants::ideal();
+        EnergyModel {
+            c0_pj_per_v2: t.c0_pj_per_v2,
+            c1_proc_w_per_v: t.c1_proc_w_per_v,
+            c1_mem_w_per_v: t.c1_mem_w_per_v,
+            p_misc_w: t.p_misc_w,
+        }
+    }
+
+    fn ops() -> OpVector {
+        // Shaped like the FMM: double-precision flops (Table III counts
+        // flops_dp_*), an integer-heavy instruction mix, mostly on-chip
+        // data with a small DRAM tail.
+        OpVector::from_pairs(&[
+            (OpClass::FlopDp, 1e9),
+            (OpClass::Int, 2e9),
+            (OpClass::L1, 1e8),
+            (OpClass::L2, 5e7),
+            (OpClass::Dram, 2e7),
+        ])
+    }
+
+    #[test]
+    fn shares_sum_to_one() {
+        let r = BreakdownReport::new(&model(), &ops(), Setting::max_performance(), 0.5);
+        let class_sum: f64 = r.per_class.iter().map(|s| s.share).sum();
+        let bucket_sum: f64 = r.buckets.iter().map(|s| s.share).sum();
+        // Per-class shares exclude constant power.
+        assert!((class_sum + r.constant_share() - 1.0).abs() < 1e-12);
+        assert!((bucket_sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bucket_labels_match_figure7() {
+        let r = BreakdownReport::new(&model(), &ops(), Setting::max_performance(), 0.5);
+        assert_eq!(r.buckets[0].label, "Computation");
+        assert_eq!(r.buckets[1].label, "Data");
+        assert_eq!(r.buckets[2].label, "Constant power");
+    }
+
+    #[test]
+    fn longer_time_raises_constant_share() {
+        let m = model();
+        let short = BreakdownReport::new(&m, &ops(), Setting::max_performance(), 0.1);
+        let long = BreakdownReport::new(&m, &ops(), Setting::max_performance(), 10.0);
+        assert!(long.constant_share() > short.constant_share());
+        assert!(long.constant_share() > 0.9);
+    }
+
+    #[test]
+    fn integer_energy_share_below_instruction_share() {
+        // 2e9 of 3e9 instructions are integer (67%), but integer ops are
+        // cheap, so their energy share of compute must be far lower —
+        // the paper's Section IV-C(a) observation.
+        let r = BreakdownReport::new(&model(), &ops(), Setting::max_performance(), 0.5);
+        let inst_share = 2e9 / 3e9;
+        assert!(r.integer_share_of_compute() < inst_share);
+        assert!(r.integer_share_of_compute() > 0.2);
+    }
+
+    #[test]
+    fn dram_energy_share_exceeds_access_share() {
+        // DRAM is 2e7 of 1.7e8 accesses (~12%) but costs 377 pJ/word vs
+        // ~35–90 pJ for on-chip levels: its energy share must be several
+        // times its access share — Section IV-C(b).
+        let r = BreakdownReport::new(&model(), &ops(), Setting::max_performance(), 0.5);
+        let access_share = 2e7 / 1.7e8;
+        assert!(r.dram_share_of_data() > 2.0 * access_share);
+    }
+
+    #[test]
+    fn zero_ops_is_all_constant() {
+        let r =
+            BreakdownReport::new(&model(), &OpVector::zero(), Setting::max_performance(), 1.0);
+        assert!((r.constant_share() - 1.0).abs() < 1e-12);
+        assert_eq!(r.integer_share_of_compute(), 0.0);
+        assert_eq!(r.dram_share_of_data(), 0.0);
+    }
+}

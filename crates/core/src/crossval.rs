@@ -1,0 +1,152 @@
+//! Cross-validation of the fitted model (the paper's Section II-D).
+//!
+//! Two protocols are reproduced:
+//!
+//! * **2-fold holdout**: fit on the Table I "T" settings, predict every
+//!   sample at the held-out "V" settings.  The paper reports a mean error
+//!   of 2.87% (σ 2.47, max 11.94%).
+//! * **Leave-one-setting-out** (the paper's "16-fold cross validation"):
+//!   for each of the 16 settings, fit on the other 15 and predict the
+//!   held-out setting's samples.  The paper reports mean 6.56%
+//!   (σ 3.80, range 1.60–15.22%).
+
+use crate::fit::{fit_model, predict};
+use crate::model::EnergyModel;
+use crate::stats::{relative_error, ErrorStats};
+use dvfs_microbench::Dataset;
+
+/// Result of a validation protocol.
+#[derive(Debug, Clone)]
+pub struct ValidationReport {
+    /// Error summary across all held-out predictions.
+    pub stats: ErrorStats,
+    /// Per-sample relative errors (fractions), in dataset order of the
+    /// held-out samples.
+    pub errors: Vec<f64>,
+    /// The model fitted on the full training split (holdout) or on the
+    /// full dataset (k-fold; refit per fold internally).
+    pub model: EnergyModel,
+}
+
+/// 2-fold holdout validation: train on the "T" split, validate on "V".
+pub fn holdout_validation(dataset: &Dataset) -> ValidationReport {
+    let report = fit_model(dataset.training());
+    let errors: Vec<f64> = dataset
+        .validation()
+        .map(|s| relative_error(predict(&report.model, s), s.energy_j))
+        .collect();
+    ValidationReport {
+        stats: ErrorStats::from_relative_errors(&errors),
+        errors,
+        model: report.model,
+    }
+}
+
+/// Leave-one-setting-out cross-validation over every distinct setting in
+/// the dataset (16 folds for the Table I dataset).
+pub fn leave_one_setting_out(dataset: &Dataset) -> ValidationReport {
+    let folds = dataset.folds_by_setting();
+    assert!(folds.len() >= 2, "need at least two settings to cross-validate");
+    let mut errors = Vec::new();
+    for fold in &folds {
+        let held: std::collections::HashSet<usize> = fold.iter().copied().collect();
+        let train: Vec<&dvfs_microbench::Sample> = dataset
+            .samples
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !held.contains(i))
+            .map(|(_, s)| s)
+            .collect();
+        let report = fit_model(train);
+        for &i in fold {
+            let s = &dataset.samples[i];
+            errors.push(relative_error(predict(&report.model, s), s.energy_j));
+        }
+    }
+    // Also fit on everything for the returned reference model.
+    let full = fit_model(dataset.samples.iter());
+    ValidationReport {
+        stats: ErrorStats::from_relative_errors(&errors),
+        errors,
+        model: full.model,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dvfs_microbench::{run_sweep, SweepConfig};
+
+    fn dataset() -> Dataset {
+        run_sweep(&SweepConfig { seed: 99, ..SweepConfig::default() })
+    }
+
+    #[test]
+    fn holdout_errors_in_paper_band() {
+        let ds = dataset();
+        let v = holdout_validation(&ds);
+        // Paper: mean 2.87% (σ 2.47), max 11.94%.  The simulator's noise
+        // processes were chosen to land in the same band; accept a
+        // generous envelope around it.
+        assert!(v.stats.count == ds.validation().count());
+        assert!(v.stats.mean_pct < 8.0, "holdout mean {:.2}%", v.stats.mean_pct);
+        assert!(v.stats.max_pct < 25.0, "holdout max {:.2}%", v.stats.max_pct);
+    }
+
+    #[test]
+    fn kfold_errors_exceed_holdout_but_stay_bounded() {
+        let ds = dataset();
+        let hold = holdout_validation(&ds);
+        let kfold = leave_one_setting_out(&ds);
+        assert_eq!(kfold.errors.len(), ds.len());
+        assert!(kfold.stats.mean_pct < 12.0, "k-fold mean {:.2}%", kfold.stats.mean_pct);
+        // k-fold includes extreme settings (72/68 MHz) in its held-out
+        // folds, so it is typically the harder protocol — as in the paper
+        // (6.56% vs 2.87%).  Allow equality-ish outcomes but not absurd
+        // inversions.
+        assert!(
+            kfold.stats.mean_pct > hold.stats.mean_pct * 0.3,
+            "k-fold {:.2}% vs holdout {:.2}%",
+            kfold.stats.mean_pct,
+            hold.stats.mean_pct
+        );
+    }
+
+    #[test]
+    fn validation_on_ideal_pipeline_is_nearly_exact() {
+        use dvfs_microbench::{dataset::table1_settings, MicrobenchKind, Sample};
+        use powermon_sim::PowerMon;
+        use tk1_sim::Device;
+        let mut ds = Dataset::new();
+        let mut dev = Device::ideal(5);
+        let mut pm = PowerMon::ideal(6);
+        for (setting, ty) in table1_settings() {
+            dev.set_operating_point(setting);
+            for kind in [MicrobenchKind::SinglePrecision, MicrobenchKind::Integer] {
+                for mb in kind.instances() {
+                    let m = pm.measure(&mut dev, mb.kernel());
+                    ds.push(Sample {
+                        kind: Some(kind.name().into()),
+                        intensity: Some(mb.intensity),
+                        ops: mb.kernel().ops,
+                        setting,
+                        setting_type: ty,
+                        time_s: m.execution.duration_s,
+                        energy_j: m.measured_energy_j,
+                    });
+                }
+            }
+        }
+        let v = holdout_validation(&ds);
+        assert!(v.stats.mean_pct < 1.0, "ideal pipeline mean {:.3}%", v.stats.mean_pct);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two settings")]
+    fn kfold_requires_multiple_settings() {
+        let mut cfg = SweepConfig::default();
+        cfg.settings.truncate(1);
+        let ds = run_sweep(&cfg);
+        let _ = leave_one_setting_out(&ds);
+    }
+}

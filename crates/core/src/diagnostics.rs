@@ -1,0 +1,260 @@
+//! Regression diagnostics for the fitted model — the Rust counterpart of
+//! the paper's published R analysis scripts.
+//!
+//! After fitting, an analyst wants to know more than the coefficient
+//! values: how much variance the model explains (R²), whether residuals
+//! are structured (per-family and per-setting breakdowns expose exactly
+//! the misspecifications DESIGN.md injects), and which samples are
+//! outliers worth re-measuring.
+
+use crate::fit::predict;
+use crate::model::EnergyModel;
+use crate::stats::relative_error;
+use dvfs_microbench::{Dataset, Sample};
+use tk1_sim::Setting;
+
+/// One residual record.
+#[derive(Debug, Clone)]
+pub struct Residual {
+    /// Index into the dataset.
+    pub index: usize,
+    /// Benchmark family, if any.
+    pub family: Option<String>,
+    /// The setting.
+    pub setting: Setting,
+    /// Predicted energy, J.
+    pub predicted_j: f64,
+    /// Measured energy, J.
+    pub measured_j: f64,
+}
+
+impl Residual {
+    /// Signed relative residual (prediction minus measurement over
+    /// measurement).
+    pub fn relative(&self) -> f64 {
+        (self.predicted_j - self.measured_j) / self.measured_j
+    }
+}
+
+/// Grouped residual summary.
+#[derive(Debug, Clone)]
+pub struct GroupSummary {
+    /// Group label (family name or setting label).
+    pub label: String,
+    /// Number of samples in the group.
+    pub count: usize,
+    /// Mean signed relative residual (bias).
+    pub bias: f64,
+    /// Mean absolute relative residual.
+    pub mean_abs: f64,
+}
+
+/// Full diagnostic report of a model over a dataset.
+#[derive(Debug, Clone)]
+pub struct DiagnosticReport {
+    /// Per-sample residuals.
+    pub residuals: Vec<Residual>,
+    /// Coefficient of determination over energies.
+    pub r_squared: f64,
+    /// Residual summaries grouped by benchmark family.
+    pub by_family: Vec<GroupSummary>,
+    /// Residual summaries grouped by setting.
+    pub by_setting: Vec<GroupSummary>,
+}
+
+impl DiagnosticReport {
+    /// Evaluates `model` against every sample in `dataset`.
+    pub fn new(model: &EnergyModel, dataset: &Dataset) -> Self {
+        assert!(!dataset.is_empty(), "empty dataset");
+        let residuals: Vec<Residual> = dataset
+            .samples
+            .iter()
+            .enumerate()
+            .map(|(index, s)| Residual {
+                index,
+                family: s.kind.clone(),
+                setting: s.setting,
+                predicted_j: predict(model, s),
+                measured_j: s.energy_j,
+            })
+            .collect();
+
+        let mean_measured =
+            residuals.iter().map(|r| r.measured_j).sum::<f64>() / residuals.len() as f64;
+        let ss_res: f64 =
+            residuals.iter().map(|r| (r.measured_j - r.predicted_j).powi(2)).sum();
+        let ss_tot: f64 =
+            residuals.iter().map(|r| (r.measured_j - mean_measured).powi(2)).sum();
+        let r_squared = if ss_tot > 0.0 { 1.0 - ss_res / ss_tot } else { 1.0 };
+
+        let by_family = group_by(&residuals, |r| {
+            r.family.clone().unwrap_or_else(|| "application".into())
+        });
+        let by_setting = group_by(&residuals, |r| r.setting.label());
+
+        DiagnosticReport { residuals, r_squared, by_family, by_setting }
+    }
+
+    /// The `n` worst samples by absolute relative residual, worst first.
+    pub fn worst(&self, n: usize) -> Vec<&Residual> {
+        let mut refs: Vec<&Residual> = self.residuals.iter().collect();
+        refs.sort_by(|a, b| {
+            b.relative()
+                .abs()
+                .partial_cmp(&a.relative().abs())
+                .expect("finite")
+        });
+        refs.truncate(n);
+        refs
+    }
+
+    /// A text histogram of signed relative residuals.
+    pub fn residual_histogram(&self, bins: usize, width: usize) -> String {
+        assert!(bins >= 2);
+        let rels: Vec<f64> = self.residuals.iter().map(|r| r.relative()).collect();
+        let lo = rels.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = rels.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let span = (hi - lo).max(1e-12);
+        let mut counts = vec![0usize; bins];
+        for r in &rels {
+            let b = (((r - lo) / span) * bins as f64) as usize;
+            counts[b.min(bins - 1)] += 1;
+        }
+        let max = counts.iter().copied().max().unwrap_or(1).max(1);
+        let mut out = String::new();
+        for (i, &c) in counts.iter().enumerate() {
+            let left = lo + span * i as f64 / bins as f64;
+            let bar = (c * width).div_ceil(max);
+            out.push_str(&format!(
+                "{:>8.2}% |{}  {}\n",
+                left * 100.0,
+                "#".repeat(if c > 0 { bar } else { 0 }),
+                c
+            ));
+        }
+        out
+    }
+}
+
+fn group_by(residuals: &[Residual], key: impl Fn(&Residual) -> String) -> Vec<GroupSummary> {
+    let mut order: Vec<String> = Vec::new();
+    let mut groups: std::collections::HashMap<String, Vec<f64>> = std::collections::HashMap::new();
+    for r in residuals {
+        let k = key(r);
+        if !groups.contains_key(&k) {
+            order.push(k.clone());
+        }
+        groups.entry(k).or_default().push(r.relative());
+    }
+    order
+        .into_iter()
+        .map(|label| {
+            let rels = &groups[&label];
+            let n = rels.len() as f64;
+            GroupSummary {
+                count: rels.len(),
+                bias: rels.iter().sum::<f64>() / n,
+                mean_abs: rels.iter().map(|r| r.abs()).sum::<f64>() / n,
+                label,
+            }
+        })
+        .collect()
+}
+
+/// Convenience: the mean absolute relative error of a model over
+/// arbitrary samples.
+pub fn mean_abs_error<'a>(
+    model: &EnergyModel,
+    samples: impl IntoIterator<Item = &'a Sample>,
+) -> f64 {
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for s in samples {
+        sum += relative_error(predict(model, s), s.energy_j);
+        n += 1;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        sum / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fit::fit_model;
+    use dvfs_microbench::{run_sweep, SweepConfig};
+
+    fn fitted() -> (EnergyModel, Dataset) {
+        let ds = run_sweep(&SweepConfig { seed: 77, ..SweepConfig::default() });
+        (fit_model(ds.training()).model, ds)
+    }
+
+    #[test]
+    fn r_squared_is_high_for_a_good_fit() {
+        let (model, ds) = fitted();
+        let report = DiagnosticReport::new(&model, &ds);
+        assert!(report.r_squared > 0.99, "R² {:.4}", report.r_squared);
+        assert_eq!(report.residuals.len(), ds.len());
+    }
+
+    #[test]
+    fn family_groups_cover_all_families() {
+        let (model, ds) = fitted();
+        let report = DiagnosticReport::new(&model, &ds);
+        assert_eq!(report.by_family.len(), 5);
+        let total: usize = report.by_family.iter().map(|g| g.count).sum();
+        assert_eq!(total, ds.len());
+        for g in &report.by_family {
+            assert!(g.mean_abs >= g.bias.abs() - 1e-12);
+        }
+    }
+
+    #[test]
+    fn setting_groups_cover_all_settings() {
+        let (model, ds) = fitted();
+        let report = DiagnosticReport::new(&model, &ds);
+        assert_eq!(report.by_setting.len(), 16);
+    }
+
+    #[test]
+    fn worst_returns_sorted_outliers() {
+        let (model, ds) = fitted();
+        let report = DiagnosticReport::new(&model, &ds);
+        let worst = report.worst(10);
+        assert_eq!(worst.len(), 10);
+        for w in worst.windows(2) {
+            assert!(w[0].relative().abs() >= w[1].relative().abs());
+        }
+    }
+
+    #[test]
+    fn histogram_accounts_for_every_sample() {
+        let (model, ds) = fitted();
+        let report = DiagnosticReport::new(&model, &ds);
+        let hist = report.residual_histogram(10, 30);
+        let total: usize = hist
+            .lines()
+            .map(|l| l.rsplit_once(' ').unwrap().1.parse::<usize>().unwrap())
+            .sum();
+        assert_eq!(total, ds.len());
+    }
+
+    #[test]
+    fn mean_abs_error_matches_report() {
+        let (model, ds) = fitted();
+        let report = DiagnosticReport::new(&model, &ds);
+        let direct = mean_abs_error(&model, ds.samples.iter());
+        let from_report = report.residuals.iter().map(|r| r.relative().abs()).sum::<f64>()
+            / report.residuals.len() as f64;
+        assert!((direct - from_report).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty dataset")]
+    fn empty_dataset_rejected() {
+        let (model, _) = fitted();
+        let _ = DiagnosticReport::new(&model, &Dataset::new());
+    }
+}

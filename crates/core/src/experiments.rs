@@ -1,0 +1,96 @@
+//! The Table IV experiment matrix: DVFS settings S1–S8 and FMM inputs
+//! F1–F8 used for the 64-case FMM validation (Figure 5).
+
+use tk1_sim::Setting;
+
+/// One system setting row of Table IV.
+#[derive(Debug, Clone, Copy)]
+pub struct SystemSetting {
+    /// Identifier ("S1".."S8").
+    pub id: &'static str,
+    /// Core frequency, MHz.
+    pub core_mhz: f64,
+    /// Memory frequency, MHz.
+    pub mem_mhz: f64,
+}
+
+/// One FMM input row of Table IV.
+#[derive(Debug, Clone, Copy)]
+pub struct FmmInput {
+    /// Identifier ("F1".."F8").
+    pub id: &'static str,
+    /// Number of points `N`.
+    pub n: usize,
+    /// Maximum points per box `Q`.
+    pub q: usize,
+}
+
+/// Table IV's eight DVFS settings.
+pub const SYSTEM_SETTINGS: [SystemSetting; 8] = [
+    SystemSetting { id: "S1", core_mhz: 852.0, mem_mhz: 924.0 },
+    SystemSetting { id: "S2", core_mhz: 756.0, mem_mhz: 924.0 },
+    SystemSetting { id: "S3", core_mhz: 180.0, mem_mhz: 924.0 },
+    SystemSetting { id: "S4", core_mhz: 852.0, mem_mhz: 792.0 },
+    SystemSetting { id: "S5", core_mhz: 612.0, mem_mhz: 528.0 },
+    SystemSetting { id: "S6", core_mhz: 540.0, mem_mhz: 528.0 },
+    SystemSetting { id: "S7", core_mhz: 612.0, mem_mhz: 396.0 },
+    SystemSetting { id: "S8", core_mhz: 852.0, mem_mhz: 204.0 },
+];
+
+/// Table IV's eight FMM inputs.
+pub const FMM_INPUTS: [FmmInput; 8] = [
+    FmmInput { id: "F1", n: 262_144, q: 128 },
+    FmmInput { id: "F2", n: 131_072, q: 64 },
+    FmmInput { id: "F3", n: 131_072, q: 256 },
+    FmmInput { id: "F4", n: 131_072, q: 512 },
+    FmmInput { id: "F5", n: 65_536, q: 1024 },
+    FmmInput { id: "F6", n: 65_536, q: 512 },
+    FmmInput { id: "F7", n: 65_536, q: 128 },
+    FmmInput { id: "F8", n: 65_536, q: 64 },
+];
+
+impl SystemSetting {
+    /// Resolves to a simulator [`Setting`].
+    pub fn setting(&self) -> Setting {
+        Setting::from_frequencies(self.core_mhz, self.mem_mhz)
+            .unwrap_or_else(|| panic!("Table IV setting {} not in DVFS tables", self.id))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_system_settings_resolve() {
+        for s in SYSTEM_SETTINGS {
+            let setting = s.setting();
+            let op = setting.operating_point();
+            assert_eq!(op.core.freq_mhz, s.core_mhz);
+            assert_eq!(op.mem.freq_mhz, s.mem_mhz);
+        }
+    }
+
+    #[test]
+    fn s1_is_max_performance() {
+        assert_eq!(SYSTEM_SETTINGS[0].setting(), Setting::max_performance());
+    }
+
+    #[test]
+    fn fmm_inputs_match_table4() {
+        assert_eq!(FMM_INPUTS[0].n, 262_144);
+        assert_eq!(FMM_INPUTS[0].q, 128);
+        assert_eq!(FMM_INPUTS[4].q, 1024);
+        assert_eq!(FMM_INPUTS.len() * SYSTEM_SETTINGS.len(), 64, "64 validation cases");
+    }
+
+    #[test]
+    fn ids_are_sequential() {
+        for (i, s) in SYSTEM_SETTINGS.iter().enumerate() {
+            assert_eq!(s.id, format!("S{}", i + 1));
+        }
+        for (i, f) in FMM_INPUTS.iter().enumerate() {
+            assert_eq!(f.id, format!("F{}", i + 1));
+        }
+    }
+}

@@ -1,0 +1,249 @@
+//! Model instantiation: design-matrix construction and NNLS estimation
+//! (the paper's Section II-C).
+//!
+//! Every measurement contributes one row.  For a sample with op counts
+//! `n_k`, duration `T`, and setting voltages `(V_p, V_m)`, the row is
+//!
+//! ```text
+//! [ n_SP·V_p²  n_DP·V_p²  n_INT·V_p²  (n_SM+n_L1)·V_p²  n_L2·V_p²
+//!   n_DRAM·V_m²  V_p·T  V_m·T  T ]
+//! ```
+//!
+//! and the response is the measured energy in joules.  The shared-memory
+//! and L1 counts share one column because on the Kepler SMX they are the
+//! same physical SRAM array (the paper's Table I likewise carries a
+//! single "SM" column); the fitted coefficient is assigned to both
+//! classes.  Coefficients are constrained non-negative with Lawson–Hanson
+//! NNLS, exactly as in the paper — unconstrained least squares on noisy
+//! power data happily produces negative energies per op, which are
+//! physically meaningless.
+
+use crate::model::EnergyModel;
+use dvfs_linalg::{nnls, Matrix, NnlsOptions};
+use dvfs_microbench::Sample;
+use tk1_sim::{OpClass, Setting};
+
+/// Number of fitted coefficients: 6 op columns (SM+L1 merged), 2 leakage
+/// terms, and `P_misc`.
+pub const NUM_COLUMNS: usize = 9;
+
+/// Outcome of a model fit.
+#[derive(Debug, Clone)]
+pub struct FitReport {
+    /// The estimated model.
+    pub model: EnergyModel,
+    /// Residual 2-norm of the NNLS solve, J.
+    pub residual_norm_j: f64,
+    /// Number of samples used.
+    pub samples: usize,
+    /// Root-mean-square relative training error (fraction).
+    pub train_rms_rel: f64,
+}
+
+/// Builds the design row for one sample (exposed for tests and for the
+/// cross-validation driver).
+pub fn design_row(sample: &Sample) -> [f64; NUM_COLUMNS] {
+    let op = sample.setting.operating_point();
+    let vp2 = op.core.voltage_v * op.core.voltage_v;
+    let vm2 = op.mem.voltage_v * op.mem.voltage_v;
+    let ops = &sample.ops;
+    [
+        ops.get(OpClass::FlopSp) * vp2,
+        ops.get(OpClass::FlopDp) * vp2,
+        ops.get(OpClass::Int) * vp2,
+        (ops.get(OpClass::Shared) + ops.get(OpClass::L1)) * vp2,
+        ops.get(OpClass::L2) * vp2,
+        ops.get(OpClass::Dram) * vm2,
+        op.core.voltage_v * sample.time_s,
+        op.mem.voltage_v * sample.time_s,
+        sample.time_s,
+    ]
+}
+
+/// Fits the model to a set of samples by column-scaled NNLS.
+///
+/// ```
+/// use dvfs_energy_model::fit_model;
+/// use dvfs_microbench::{run_sweep, MicrobenchKind, SweepConfig};
+///
+/// let mut config = SweepConfig::default();
+/// config.kinds = vec![MicrobenchKind::L2];   // one family, for speed
+/// let dataset = run_sweep(&config);
+/// let report = fit_model(dataset.training());
+/// assert!(report.model.constant_power_w(tk1_sim::Setting::max_performance()) > 3.0);
+/// ```
+///
+/// # Panics
+/// Panics if fewer than [`NUM_COLUMNS`] samples are supplied.
+pub fn fit_model<'a>(samples: impl IntoIterator<Item = &'a Sample>) -> FitReport {
+    let samples: Vec<&Sample> = samples.into_iter().collect();
+    assert!(
+        samples.len() >= NUM_COLUMNS,
+        "need at least {NUM_COLUMNS} samples to identify the model, got {}",
+        samples.len()
+    );
+
+    let mut data = Vec::with_capacity(samples.len() * NUM_COLUMNS);
+    let mut b = Vec::with_capacity(samples.len());
+    for s in &samples {
+        data.extend_from_slice(&design_row(s));
+        b.push(s.energy_j);
+    }
+    let a = Matrix::from_vec(samples.len(), NUM_COLUMNS, data);
+
+    // Column scaling: op-count columns are ~1e9 while time columns are
+    // ~1e-1; normalizing each to unit max keeps the QR inside NNLS well
+    // conditioned.  Positive scaling preserves the non-negativity
+    // constraint and is undone on the way out.
+    let mut scales = [0.0f64; NUM_COLUMNS];
+    for j in 0..NUM_COLUMNS {
+        let mx = (0..a.rows()).map(|i| a[(i, j)].abs()).fold(0.0f64, f64::max);
+        scales[j] = if mx > 0.0 { mx } else { 1.0 };
+    }
+    let scaled = Matrix::from_fn(a.rows(), NUM_COLUMNS, |i, j| a[(i, j)] / scales[j]);
+    let sol = nnls(&scaled, &b, &NnlsOptions::default()).expect("NNLS on full-rank design");
+    let mut x = [0.0f64; NUM_COLUMNS];
+    for j in 0..NUM_COLUMNS {
+        x[j] = sol.x[j] / scales[j];
+    }
+
+    // Assemble the model; the merged SM/L1 coefficient feeds both classes.
+    let mut c0 = [0.0f64; tk1_sim::NUM_OP_CLASSES];
+    c0[OpClass::FlopSp.index()] = x[0] * 1e12;
+    c0[OpClass::FlopDp.index()] = x[1] * 1e12;
+    c0[OpClass::Int.index()] = x[2] * 1e12;
+    c0[OpClass::Shared.index()] = x[3] * 1e12;
+    c0[OpClass::L1.index()] = x[3] * 1e12;
+    c0[OpClass::L2.index()] = x[4] * 1e12;
+    c0[OpClass::Dram.index()] = x[5] * 1e12;
+    let model = EnergyModel {
+        c0_pj_per_v2: c0,
+        c1_proc_w_per_v: x[6],
+        c1_mem_w_per_v: x[7],
+        p_misc_w: x[8],
+    };
+
+    // Training-set relative error.
+    let mut sq = 0.0;
+    for s in &samples {
+        let pred = model.predict_energy_j(&s.ops, s.setting, s.time_s);
+        let rel = crate::stats::relative_error(pred, s.energy_j);
+        sq += rel * rel;
+    }
+    let train_rms_rel = (sq / samples.len() as f64).sqrt();
+
+    FitReport { model, residual_norm_j: sol.residual_norm, samples: samples.len(), train_rms_rel }
+}
+
+/// Convenience: predicted energy for an arbitrary (ops, setting, time)
+/// triple under a fitted model — the call sites of Figures 5–7 all look
+/// like this.
+pub fn predict(model: &EnergyModel, sample: &Sample) -> f64 {
+    model.predict_energy_j(&sample.ops, sample.setting, sample.time_s)
+}
+
+/// Builds a `Sample` for an application run (no microbenchmark family).
+pub fn application_sample(
+    ops: tk1_sim::OpVector,
+    setting: Setting,
+    setting_type: dvfs_microbench::SettingType,
+    time_s: f64,
+    energy_j: f64,
+) -> Sample {
+    Sample { kind: None, intensity: None, ops, setting, setting_type, time_s, energy_j }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dvfs_microbench::{run_sweep, MicrobenchKind, SweepConfig};
+
+    fn sweep(trials: usize) -> dvfs_microbench::Dataset {
+        run_sweep(&SweepConfig { trials, ..SweepConfig::default() })
+    }
+
+    #[test]
+    fn design_row_uses_domain_voltages() {
+        use dvfs_microbench::SettingType;
+        use tk1_sim::OpVector;
+        let s = application_sample(
+            OpVector::from_pairs(&[(OpClass::FlopSp, 10.0), (OpClass::Dram, 3.0)]),
+            Setting::from_frequencies(852.0, 528.0).unwrap(),
+            SettingType::Training,
+            2.0,
+            1.0,
+        );
+        let row = design_row(&s);
+        assert!((row[0] - 10.0 * 1.030 * 1.030).abs() < 1e-9);
+        assert!((row[5] - 3.0 * 0.880 * 0.880).abs() < 1e-9);
+        assert!((row[6] - 1.030 * 2.0).abs() < 1e-9);
+        assert!((row[7] - 0.880 * 2.0).abs() < 1e-9);
+        assert_eq!(row[8], 2.0);
+        assert_eq!(row[1], 0.0);
+    }
+
+    #[test]
+    fn recovers_truth_from_ideal_measurements() {
+        // Run the sweep on a noiseless device with an ideal meter: the
+        // fitted constants must match the simulator's hidden truth.
+        use dvfs_microbench::{dataset::table1_settings, Sample};
+        use powermon_sim::PowerMon;
+        use tk1_sim::Device;
+        let mut ds = dvfs_microbench::Dataset::new();
+        let mut dev = Device::ideal(1);
+        let mut pm = PowerMon::ideal(2);
+        for (setting, ty) in table1_settings() {
+            dev.set_operating_point(setting);
+            for kind in MicrobenchKind::ALL {
+                for mb in kind.instances() {
+                    let m = pm.measure(&mut dev, mb.kernel());
+                    ds.push(Sample {
+                        kind: Some(kind.name().into()),
+                        intensity: Some(mb.intensity),
+                        ops: mb.kernel().ops,
+                        setting,
+                        setting_type: ty,
+                        time_s: m.execution.duration_s,
+                        energy_j: m.measured_energy_j,
+                    });
+                }
+            }
+        }
+        let report = fit_model(ds.training());
+        let truth = tk1_sim::TruthConstants::ideal();
+        // Classes the suite exercises directly must be recovered tightly.
+        for class in [OpClass::FlopSp, OpClass::FlopDp, OpClass::Int, OpClass::Dram] {
+            let got = report.model.c0_pj_per_v2[class.index()];
+            let want = truth.c0_pj_per_v2[class.index()];
+            let rel = (got - want).abs() / want;
+            assert!(rel < 0.05, "{class:?}: {got:.2} vs {want:.2} ({rel:.3})");
+        }
+        assert!(report.train_rms_rel < 0.02, "rms {:.4}", report.train_rms_rel);
+    }
+
+    #[test]
+    fn noisy_fit_is_close_and_nonnegative() {
+        let ds = sweep(1);
+        let report = fit_model(ds.training());
+        for &c in &report.model.c0_pj_per_v2 {
+            assert!(c >= 0.0);
+        }
+        assert!(report.model.c1_proc_w_per_v >= 0.0);
+        assert!(report.model.c1_mem_w_per_v >= 0.0);
+        assert!(report.model.p_misc_w >= 0.0);
+        // Recovered SP cost within ~15% of truth despite noise and the
+        // activity nonlinearity.
+        let truth = tk1_sim::TruthConstants::default();
+        let rel = (report.model.c0_pj_per_v2[0] - truth.c0_pj_per_v2[0]).abs()
+            / truth.c0_pj_per_v2[0];
+        assert!(rel < 0.15, "SP ĉ0 off by {rel:.3}");
+        assert!(report.train_rms_rel < 0.08, "rms {:.4}", report.train_rms_rel);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least")]
+    fn too_few_samples_rejected() {
+        let ds = dvfs_microbench::Dataset::new();
+        let _ = fit_model(ds.training());
+    }
+}

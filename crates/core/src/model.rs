@@ -1,0 +1,217 @@
+//! The fitted DVFS-aware energy model and its predictions.
+
+use tk1_sim::{OpClass, OpVector, Setting, ALL_CLASSES, NUM_OP_CLASSES};
+
+pub use tk1_sim::ops::ALL_CLASSES as MODEL_CLASSES;
+
+/// A fitted instance of the paper's equation 9, extended to the full
+/// operation taxonomy (SP/DP/integer compute; SM/L1/L2/DRAM data).
+///
+/// All `ĉ0` coefficients are in pJ/V²; leakage coefficients in W/V;
+/// `P_misc` in W.  Per-op energies are recovered as `ε = ĉ0·V²`
+/// (equations 6–7) and constant power as
+/// `π0 = c1,proc·V_proc + c1,mem·V_mem + P_misc` (equation 8).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnergyModel {
+    /// `ĉ0` per op class, pJ/V², indexed by [`OpClass::index`].
+    pub c0_pj_per_v2: [f64; NUM_OP_CLASSES],
+    /// Processor leakage coefficient, W/V.
+    pub c1_proc_w_per_v: f64,
+    /// Memory leakage coefficient, W/V.
+    pub c1_mem_w_per_v: f64,
+    /// Operation-independent constant power, W.
+    pub p_misc_w: f64,
+}
+
+impl EnergyModel {
+    /// The model's estimate of the energy of one operation at `setting`,
+    /// in joules: `ĉ0·V²` with the domain voltage of the op class.
+    pub fn energy_per_op_j(&self, class: OpClass, setting: Setting) -> f64 {
+        let op = setting.operating_point();
+        let v = if class.is_mem_domain() { op.mem.voltage_v } else { op.core.voltage_v };
+        self.c0_pj_per_v2[class.index()] * 1e-12 * v * v
+    }
+
+    /// The model's constant power `π0` at `setting`, W (equation 8).
+    pub fn constant_power_w(&self, setting: Setting) -> f64 {
+        let op = setting.operating_point();
+        self.c1_proc_w_per_v * op.core.voltage_v
+            + self.c1_mem_w_per_v * op.mem.voltage_v
+            + self.p_misc_w
+    }
+
+    /// Predicted total energy for a program with counts `ops` that ran
+    /// for `time_s` seconds at `setting` (equation 9).
+    pub fn predict_energy_j(&self, ops: &OpVector, setting: Setting, time_s: f64) -> f64 {
+        self.predict_breakdown(ops, setting, time_s).total_j()
+    }
+
+    /// Predicted energy decomposed by source — the quantity behind the
+    /// paper's Figures 6 and 7.
+    pub fn predict_breakdown(
+        &self,
+        ops: &OpVector,
+        setting: Setting,
+        time_s: f64,
+    ) -> ModelBreakdown {
+        let mut dynamic_j = [0.0; NUM_OP_CLASSES];
+        for &class in &ALL_CLASSES {
+            dynamic_j[class.index()] = ops.get(class) * self.energy_per_op_j(class, setting);
+        }
+        ModelBreakdown { dynamic_j, constant_j: self.constant_power_w(setting) * time_s }
+    }
+
+    /// The derived per-op energy and constant-power columns of the
+    /// paper's Table I for one setting: `(ε_SP, ε_DP, ε_Int, ε_SM, ε_L2,
+    /// ε_Mem, π0)` in (pJ, ..., W).
+    pub fn table1_row(&self, setting: Setting) -> (f64, f64, f64, f64, f64, f64, f64) {
+        let pj = |c: OpClass| self.energy_per_op_j(c, setting) * 1e12;
+        (
+            pj(OpClass::FlopSp),
+            pj(OpClass::FlopDp),
+            pj(OpClass::Int),
+            pj(OpClass::Shared),
+            pj(OpClass::L2),
+            pj(OpClass::Dram),
+            self.constant_power_w(setting),
+        )
+    }
+}
+
+/// Model-predicted energy decomposition of one execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelBreakdown {
+    /// Dynamic energy per op class, J.
+    pub dynamic_j: [f64; NUM_OP_CLASSES],
+    /// Constant-power energy `π0·T`, J.
+    pub constant_j: f64,
+}
+
+impl ModelBreakdown {
+    /// Total predicted energy, J.
+    pub fn total_j(&self) -> f64 {
+        self.dynamic_j.iter().sum::<f64>() + self.constant_j
+    }
+
+    /// Dynamic energy of the compute classes (the paper's
+    /// "Computation"), J.
+    pub fn computation_j(&self) -> f64 {
+        tk1_sim::COMPUTE_CLASSES.iter().map(|&c| self.dynamic_j[c.index()]).sum()
+    }
+
+    /// Dynamic energy of the memory classes (the paper's "Data"), J.
+    pub fn data_j(&self) -> f64 {
+        tk1_sim::MEMORY_CLASSES.iter().map(|&c| self.dynamic_j[c.index()]).sum()
+    }
+
+    /// Energy of one class, J.
+    pub fn class_j(&self, class: OpClass) -> f64 {
+        self.dynamic_j[class.index()]
+    }
+
+    /// Share of total energy attributed to constant power, in `[0, 1]`.
+    pub fn constant_share(&self) -> f64 {
+        let total = self.total_j();
+        if total > 0.0 {
+            self.constant_j / total
+        } else {
+            0.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A model whose constants equal the simulator's ideal ground truth.
+    fn truth_model() -> EnergyModel {
+        let t = tk1_sim::TruthConstants::ideal();
+        EnergyModel {
+            c0_pj_per_v2: t.c0_pj_per_v2,
+            c1_proc_w_per_v: t.c1_proc_w_per_v,
+            c1_mem_w_per_v: t.c1_mem_w_per_v,
+            p_misc_w: t.p_misc_w,
+        }
+    }
+
+    #[test]
+    fn per_op_energy_matches_table1() {
+        let m = truth_model();
+        let s = Setting::max_performance();
+        let (sp, dp, int, sm, l2, mem, _pi0) = m.table1_row(s);
+        assert!((sp - 29.0).abs() < 0.1);
+        assert!((dp - 139.1).abs() < 0.2);
+        assert!((int - 60.0).abs() < 0.1);
+        assert!((sm - 35.4).abs() < 0.1);
+        assert!((l2 - 90.2).abs() < 0.2);
+        assert!((mem - 377.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn constant_power_follows_equation_8() {
+        let m = truth_model();
+        let s = Setting::from_frequencies(396.0, 204.0).unwrap();
+        let expected = m.c1_proc_w_per_v * 0.770 + m.c1_mem_w_per_v * 0.800 + m.p_misc_w;
+        assert!((m.constant_power_w(s) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prediction_matches_ideal_simulator() {
+        // The model with truth constants must predict the ideal device's
+        // energy to measurement precision — the defining consistency
+        // property of the whole pipeline.
+        use tk1_sim::{Device, KernelProfile};
+        let m = truth_model();
+        let mut dev = Device::ideal(1);
+        let k = KernelProfile::new(
+            "probe",
+            OpVector::from_pairs(&[
+                (OpClass::FlopSp, 3e9),
+                (OpClass::Int, 2e9),
+                (OpClass::L2, 1e8),
+                (OpClass::Dram, 2e8),
+            ]),
+        );
+        for s in [Setting::max_performance(), Setting::from_frequencies(396.0, 528.0).unwrap()] {
+            dev.set_operating_point(s);
+            let e = dev.execute(&k);
+            let predicted = m.predict_energy_j(&k.ops, s, e.duration_s);
+            let rel = (predicted - e.true_energy_j()).abs() / e.true_energy_j();
+            assert!(rel < 1e-9, "exact at {}: rel {rel}", s.label());
+        }
+    }
+
+    #[test]
+    fn breakdown_partitions_total() {
+        let m = truth_model();
+        let ops = OpVector::from_pairs(&[(OpClass::FlopSp, 1e9), (OpClass::Dram, 1e8)]);
+        let s = Setting::max_performance();
+        let b = m.predict_breakdown(&ops, s, 0.5);
+        let total = b.computation_j() + b.data_j() + b.constant_j;
+        assert!((total - b.total_j()).abs() < 1e-12);
+        assert!(b.constant_share() > 0.0 && b.constant_share() < 1.0);
+    }
+
+    #[test]
+    fn zero_time_zero_ops_is_zero_energy() {
+        let m = truth_model();
+        let b = m.predict_breakdown(&OpVector::zero(), Setting::max_performance(), 0.0);
+        assert_eq!(b.total_j(), 0.0);
+        assert_eq!(b.constant_share(), 0.0);
+    }
+
+    #[test]
+    fn dram_uses_memory_voltage() {
+        let m = truth_model();
+        // Same mem frequency, different core frequency: DRAM op energy
+        // must not change.
+        let a = m.energy_per_op_j(OpClass::Dram, Setting::from_frequencies(852.0, 528.0).unwrap());
+        let b = m.energy_per_op_j(OpClass::Dram, Setting::from_frequencies(396.0, 528.0).unwrap());
+        assert_eq!(a, b);
+        // And SP must not change with memory frequency.
+        let c = m.energy_per_op_j(OpClass::FlopSp, Setting::from_frequencies(852.0, 924.0).unwrap());
+        let d = m.energy_per_op_j(OpClass::FlopSp, Setting::from_frequencies(852.0, 68.0).unwrap());
+        assert_eq!(c, d);
+    }
+}

@@ -1,0 +1,240 @@
+//! Energy/time trade-off analysis: Pareto frontiers and the ED/ED²
+//! products.
+//!
+//! The paper optimizes pure energy; the surrounding HPC literature (its
+//! Related Work cites Ge & Cameron's power-aware speedup, iso-energy
+//! efficiency, etc.) usually navigates the energy-time *trade-off*
+//! instead, via the energy-delay product (EDP) and energy-delay-squared
+//! (ED²P).  This module adds those lenses over the same measurement
+//! matrix the autotuner already collects, as a natural extension
+//! experiment: where do the pure-energy, EDP, ED²P and pure-time optima
+//! sit relative to each other on the DVFS grid?
+
+use tk1_sim::Setting;
+
+/// One measured (setting, time, energy) operating point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OperatingPointMeasure {
+    /// The DVFS setting.
+    pub setting: Setting,
+    /// Measured execution time, s.
+    pub time_s: f64,
+    /// Measured (or predicted) energy, J.
+    pub energy_j: f64,
+}
+
+impl OperatingPointMeasure {
+    /// Energy-delay product, J·s.
+    pub fn edp(&self) -> f64 {
+        self.energy_j * self.time_s
+    }
+
+    /// Energy-delay-squared product, J·s².
+    pub fn ed2p(&self) -> f64 {
+        self.energy_j * self.time_s * self.time_s
+    }
+}
+
+/// The trade-off analysis over a set of measured operating points.
+#[derive(Debug, Clone)]
+pub struct TradeoffAnalysis {
+    points: Vec<OperatingPointMeasure>,
+}
+
+impl TradeoffAnalysis {
+    /// Wraps a measurement set (at least one point).
+    pub fn new(points: Vec<OperatingPointMeasure>) -> Self {
+        assert!(!points.is_empty(), "need at least one operating point");
+        assert!(
+            points.iter().all(|p| p.time_s > 0.0 && p.energy_j > 0.0),
+            "times and energies must be positive"
+        );
+        TradeoffAnalysis { points }
+    }
+
+    /// All points.
+    pub fn points(&self) -> &[OperatingPointMeasure] {
+        &self.points
+    }
+
+    fn argmin_by(&self, key: impl Fn(&OperatingPointMeasure) -> f64) -> OperatingPointMeasure {
+        *self
+            .points
+            .iter()
+            .min_by(|a, b| key(a).partial_cmp(&key(b)).expect("finite"))
+            .expect("non-empty")
+    }
+
+    /// The minimum-energy point.
+    pub fn min_energy(&self) -> OperatingPointMeasure {
+        self.argmin_by(|p| p.energy_j)
+    }
+
+    /// The minimum-time point.
+    pub fn min_time(&self) -> OperatingPointMeasure {
+        self.argmin_by(|p| p.time_s)
+    }
+
+    /// The minimum-EDP point.
+    pub fn min_edp(&self) -> OperatingPointMeasure {
+        self.argmin_by(|p| p.edp())
+    }
+
+    /// The minimum-ED²P point.
+    pub fn min_ed2p(&self) -> OperatingPointMeasure {
+        self.argmin_by(|p| p.ed2p())
+    }
+
+    /// The energy/time Pareto frontier, sorted by increasing time.
+    ///
+    /// A point is on the frontier iff no other point is at least as fast
+    /// *and* at least as efficient (with one strict).
+    pub fn pareto_frontier(&self) -> Vec<OperatingPointMeasure> {
+        let mut sorted = self.points.clone();
+        sorted.sort_by(|a, b| {
+            a.time_s
+                .partial_cmp(&b.time_s)
+                .expect("finite")
+                .then(a.energy_j.partial_cmp(&b.energy_j).expect("finite"))
+        });
+        let mut frontier: Vec<OperatingPointMeasure> = Vec::new();
+        let mut best_energy = f64::INFINITY;
+        for p in sorted {
+            if p.energy_j < best_energy {
+                best_energy = p.energy_j;
+                frontier.push(p);
+            }
+        }
+        frontier
+    }
+
+    /// How much energy the minimum-time point forfeits relative to the
+    /// minimum-energy point (fraction; the race-to-halt penalty).
+    pub fn race_to_halt_penalty(&self) -> f64 {
+        self.min_time().energy_j / self.min_energy().energy_j - 1.0
+    }
+
+    /// How much time the minimum-energy point forfeits relative to the
+    /// minimum-time point (fraction; the cost of frugality).
+    pub fn frugality_penalty(&self) -> f64 {
+        self.min_energy().time_s / self.min_time().time_s - 1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pt(core_idx: usize, time_s: f64, energy_j: f64) -> OperatingPointMeasure {
+        OperatingPointMeasure { setting: Setting::new(core_idx, 0), time_s, energy_j }
+    }
+
+    #[test]
+    fn products_compute() {
+        let p = pt(0, 2.0, 3.0);
+        assert_eq!(p.edp(), 6.0);
+        assert_eq!(p.ed2p(), 12.0);
+    }
+
+    #[test]
+    fn optima_are_found() {
+        let a = TradeoffAnalysis::new(vec![
+            pt(0, 1.0, 10.0), // fastest
+            pt(1, 2.0, 4.0),  // min EDP (8) and min energy... energy 4
+            pt(2, 4.0, 3.0),  // min energy
+        ]);
+        assert_eq!(a.min_time().setting, Setting::new(0, 0));
+        assert_eq!(a.min_energy().setting, Setting::new(2, 0));
+        assert_eq!(a.min_edp().setting, Setting::new(1, 0));
+        // ED²P favors speed more: 10, 16, 48 -> fastest wins.
+        assert_eq!(a.min_ed2p().setting, Setting::new(0, 0));
+    }
+
+    #[test]
+    fn edp_optimum_sits_between_time_and_energy_optima() {
+        // The canonical ordering: t(min time) <= t(min EDP) <= t(min E).
+        let a = TradeoffAnalysis::new(vec![
+            pt(0, 1.0, 12.0),
+            pt(1, 1.5, 7.0),
+            pt(2, 2.5, 5.0),
+            pt(3, 5.0, 4.5),
+        ]);
+        let t_fast = a.min_time().time_s;
+        let t_edp = a.min_edp().time_s;
+        let t_energy = a.min_energy().time_s;
+        assert!(t_fast <= t_edp && t_edp <= t_energy);
+    }
+
+    #[test]
+    fn pareto_frontier_is_monotone_and_complete() {
+        let a = TradeoffAnalysis::new(vec![
+            pt(0, 1.0, 10.0),
+            pt(1, 2.0, 6.0),
+            pt(2, 1.5, 12.0), // dominated by (1.0, 10.0)? no: slower AND more energy than pt0 -> dominated
+            pt(3, 3.0, 5.0),
+            pt(4, 4.0, 5.5), // dominated by (3.0, 5.0)
+        ]);
+        let f = a.pareto_frontier();
+        let settings: Vec<usize> = f.iter().map(|p| p.setting.core_idx).collect();
+        assert_eq!(settings, vec![0, 1, 3]);
+        // Monotone: time increases, energy decreases.
+        for w in f.windows(2) {
+            assert!(w[0].time_s < w[1].time_s);
+            assert!(w[0].energy_j > w[1].energy_j);
+        }
+        // Extremes are always on the frontier.
+        assert_eq!(f.first().unwrap().setting, a.min_time().setting);
+        assert_eq!(f.last().unwrap().setting, a.min_energy().setting);
+    }
+
+    #[test]
+    fn penalties_are_consistent() {
+        let a = TradeoffAnalysis::new(vec![pt(0, 1.0, 10.0), pt(1, 2.0, 8.0)]);
+        assert!((a.race_to_halt_penalty() - 0.25).abs() < 1e-12);
+        assert!((a.frugality_penalty() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_point_is_its_own_frontier() {
+        let a = TradeoffAnalysis::new(vec![pt(0, 1.0, 1.0)]);
+        assert_eq!(a.pareto_frontier().len(), 1);
+        assert_eq!(a.race_to_halt_penalty(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn empty_rejected() {
+        let _ = TradeoffAnalysis::new(vec![]);
+    }
+
+    #[test]
+    fn real_measurement_matrix_orders_sanely() {
+        // Measure a mid-intensity SP kernel across all settings and check
+        // the canonical optima ordering holds on real (simulated) data.
+        use dvfs_microbench::MicrobenchKind;
+        use powermon_sim::PowerMon;
+        use tk1_sim::Device;
+        let mb = MicrobenchKind::SinglePrecision.instance(32.0);
+        let mut dev = Device::new(5);
+        let mut meter = PowerMon::new(6);
+        let points: Vec<OperatingPointMeasure> = Setting::all()
+            .map(|s| {
+                dev.set_operating_point(s);
+                let m = meter.measure(&mut dev, mb.kernel());
+                OperatingPointMeasure {
+                    setting: s,
+                    time_s: m.execution.duration_s,
+                    energy_j: m.measured_energy_j,
+                }
+            })
+            .collect();
+        let a = TradeoffAnalysis::new(points);
+        let t_fast = a.min_time().time_s;
+        let t_edp = a.min_edp().time_s;
+        let t_energy = a.min_energy().time_s;
+        assert!(t_fast <= t_edp + 1e-12);
+        assert!(t_edp <= t_energy + 1e-12);
+        assert!(!a.pareto_frontier().is_empty());
+        assert!(a.race_to_halt_penalty() >= 0.0);
+    }
+}

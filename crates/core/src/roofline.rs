@@ -1,0 +1,276 @@
+//! The (energy) roofline — the model this paper's DVFS-aware extension
+//! builds on (Choi et al., IPDPS'13; Williams et al., CACM'09).
+//!
+//! For a given DVFS setting, the *time* roofline bounds attainable
+//! performance by `min(peak_flops, intensity × peak_bandwidth)`, with the
+//! knee at the machine balance `B_τ = peak_flops / peak_bandwidth`.  The
+//! *energy* roofline is the analogous bound on attainable flops per
+//! joule; its knee — the *energy balance* `B_ε` — sits where the energy
+//! of flops equals the energy of the memory traffic *plus* the
+//! constant-power-time product.  Comparing `B_τ` and `B_ε` per setting
+//! answers the paper's framing question: does racing through the
+//! computation or sipping it slowly cost less energy at a given
+//! intensity?
+
+use crate::model::EnergyModel;
+use tk1_sim::{MachineSpec, OpClass, Setting};
+
+/// Bytes per model word.
+const WORD_BYTES: f64 = 4.0;
+
+/// The time- and energy-roofline parameters of one DVFS setting.
+#[derive(Debug, Clone)]
+pub struct RooflinePoint {
+    /// The setting.
+    pub setting: Setting,
+    /// Peak SP throughput, flop/s.
+    pub peak_flops: f64,
+    /// Peak DRAM bandwidth, B/s.
+    pub peak_bandwidth: f64,
+    /// Time balance `B_τ` (flops per byte).
+    pub time_balance: f64,
+    /// Energy per flop, J.
+    pub flop_energy_j: f64,
+    /// Energy per DRAM byte, J.
+    pub byte_energy_j: f64,
+    /// Constant power, W.
+    pub constant_power_w: f64,
+    /// Energy balance `B_ε` (flops per byte), including constant energy.
+    pub energy_balance: f64,
+}
+
+/// The energy roofline of an [`EnergyModel`] over a machine.
+#[derive(Debug, Clone)]
+pub struct EnergyRoofline<'m> {
+    model: &'m EnergyModel,
+    spec: MachineSpec,
+}
+
+impl<'m> EnergyRoofline<'m> {
+    /// Builds the roofline view for `model` on the default machine.
+    pub fn new(model: &'m EnergyModel) -> Self {
+        EnergyRoofline { model, spec: MachineSpec::default() }
+    }
+
+    /// Roofline parameters at one setting (single precision).
+    pub fn at(&self, setting: Setting) -> RooflinePoint {
+        let peak_flops = self.spec.peak_sp_ops(setting);
+        let peak_bandwidth = self.spec.peak_dram_bandwidth(setting);
+        let flop_energy_j = self.model.energy_per_op_j(OpClass::FlopSp, setting);
+        let byte_energy_j = self.model.energy_per_op_j(OpClass::Dram, setting) / WORD_BYTES;
+        let constant_power_w = self.model.constant_power_w(setting);
+        let time_balance = peak_flops / peak_bandwidth;
+        RooflinePoint {
+            setting,
+            peak_flops,
+            peak_bandwidth,
+            time_balance,
+            flop_energy_j,
+            byte_energy_j,
+            constant_power_w,
+            energy_balance: Self::energy_balance(
+                flop_energy_j,
+                byte_energy_j,
+                constant_power_w,
+                peak_flops,
+                peak_bandwidth,
+            ),
+        }
+    }
+
+    /// The intensity at which flop energy equals byte energy when both
+    /// are charged their share of constant power under roofline-optimal
+    /// execution.
+    ///
+    /// At intensity `I` (flops/byte) with `W` flops, bytes `= W/I`; the
+    /// roofline-optimal time is `max(W/F, W/(I·Bw))`.  The *effective*
+    /// energy per flop is `ε_flop + π0/F` in the compute-bound regime and
+    /// the effective energy per byte `ε_byte + π0/Bw` in the memory-bound
+    /// one; `B_ε` is where total flop-side energy equals byte-side
+    /// energy:
+    ///
+    /// ```text
+    /// B_ε = (ε_byte + π0/Bw) / ε_flop        if B_ε >= B_τ (knee in the
+    ///                                         compute-bound region)
+    /// ```
+    fn energy_balance(
+        flop_j: f64,
+        byte_j: f64,
+        pi0: f64,
+        peak_flops: f64,
+        peak_bw: f64,
+    ) -> f64 {
+        // Memory-bound side carries the constant power (T = bytes/Bw).
+        let eff_byte = byte_j + pi0 / peak_bw;
+        let b_eps = eff_byte / flop_j;
+        let b_tau = peak_flops / peak_bw;
+        if b_eps >= b_tau {
+            b_eps
+        } else {
+            // Knee lands in the compute-bound region: constant power rides
+            // on the flop side instead.
+            byte_j / (flop_j + pi0 / peak_flops)
+        }
+    }
+
+    /// Attainable performance (flop/s) at `intensity` under the time
+    /// roofline.
+    pub fn attainable_flops(&self, setting: Setting, intensity: f64) -> f64 {
+        let p = self.at(setting);
+        p.peak_flops.min(intensity * p.peak_bandwidth)
+    }
+
+    /// Attainable energy efficiency (flop/J) at `intensity` under the
+    /// energy roofline, constant power included.
+    pub fn attainable_flops_per_joule(&self, setting: Setting, intensity: f64) -> f64 {
+        let p = self.at(setting);
+        // Per flop: its own energy, its share of byte energy, and the
+        // constant energy over the roofline-optimal time.
+        let bytes_per_flop = 1.0 / intensity;
+        let time_per_flop = (1.0 / p.peak_flops).max(bytes_per_flop / p.peak_bandwidth);
+        let joules_per_flop =
+            p.flop_energy_j + bytes_per_flop * p.byte_energy_j + p.constant_power_w * time_per_flop;
+        1.0 / joules_per_flop
+    }
+
+    /// The setting that maximizes energy efficiency at `intensity`.
+    pub fn most_efficient_setting(&self, intensity: f64) -> Setting {
+        Setting::all()
+            .max_by(|&a, &b| {
+                self.attainable_flops_per_joule(a, intensity)
+                    .partial_cmp(&self.attainable_flops_per_joule(b, intensity))
+                    .expect("finite")
+            })
+            .expect("non-empty settings")
+    }
+
+    /// Renders a text-mode roofline chart (log-log) for one setting —
+    /// the readable stand-in for the paper's figures.
+    pub fn render(&self, setting: Setting, width: usize) -> String {
+        let p = self.at(setting);
+        let mut out = String::new();
+        out.push_str(&format!(
+            "energy roofline at {} — peak {:.1} Gflop/s, {:.1} GB/s, π0 {:.2} W\n",
+            setting.label(),
+            p.peak_flops / 1e9,
+            p.peak_bandwidth / 1e9,
+            p.constant_power_w
+        ));
+        out.push_str(&format!(
+            "time balance {:.2} flop/B, energy balance {:.2} flop/B\n",
+            p.time_balance, p.energy_balance
+        ));
+        let max_eff = self.attainable_flops_per_joule(setting, 1024.0);
+        for k in 0..=10 {
+            let intensity = 0.25 * 2f64.powi(k);
+            let eff = self.attainable_flops_per_joule(setting, intensity);
+            let bar = ((eff / max_eff) * width as f64).round() as usize;
+            out.push_str(&format!(
+                "{:>8.2} flop/B |{}{} {:.2} Gflop/J\n",
+                intensity,
+                "#".repeat(bar.min(width)),
+                " ".repeat(width.saturating_sub(bar)),
+                eff / 1e9
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> EnergyModel {
+        let t = tk1_sim::TruthConstants::ideal();
+        EnergyModel {
+            c0_pj_per_v2: t.c0_pj_per_v2,
+            c1_proc_w_per_v: t.c1_proc_w_per_v,
+            c1_mem_w_per_v: t.c1_mem_w_per_v,
+            p_misc_w: t.p_misc_w,
+        }
+    }
+
+    #[test]
+    fn time_balance_matches_peak_ratio() {
+        let m = model();
+        let r = EnergyRoofline::new(&m);
+        let p = r.at(Setting::max_performance());
+        // 192 flop/cycle × 852 MHz over 16 B/cycle × 924 MHz ≈ 11.1.
+        assert!((p.time_balance - (192.0 * 852e6) / (16.0 * 924e6)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn attainable_flops_has_roofline_shape() {
+        let m = model();
+        let r = EnergyRoofline::new(&m);
+        let s = Setting::max_performance();
+        let low = r.attainable_flops(s, 0.5);
+        let knee = r.attainable_flops(s, r.at(s).time_balance);
+        let high = r.attainable_flops(s, 1000.0);
+        assert!(low < knee, "bandwidth-limited below the knee");
+        assert!((knee - high).abs() / high < 1e-9, "flat roof above the knee");
+        assert!((high - r.at(s).peak_flops).abs() < 1.0);
+    }
+
+    #[test]
+    fn efficiency_increases_with_intensity() {
+        let m = model();
+        let r = EnergyRoofline::new(&m);
+        let s = Setting::max_performance();
+        let mut prev = 0.0;
+        for k in 0..12 {
+            let eff = r.attainable_flops_per_joule(s, 0.25 * 2f64.powi(k));
+            assert!(eff > prev, "monotone in intensity");
+            prev = eff;
+        }
+        // Asymptote: 1/(ε_flop + π0/peak_flops).
+        let p = r.at(s);
+        let asymptote = 1.0 / (p.flop_energy_j + p.constant_power_w / p.peak_flops);
+        assert!(r.attainable_flops_per_joule(s, 1e6) < asymptote * 1.001);
+        assert!(r.attainable_flops_per_joule(s, 1e6) > asymptote * 0.99);
+    }
+
+    #[test]
+    fn energy_balance_exceeds_time_balance_on_this_platform() {
+        // Constant power is large relative to ε_flop on the TK1, so the
+        // energy knee sits to the right of the time knee: programs need
+        // *more* intensity to be energy-efficient than to be fast — the
+        // platform-level version of the paper's constant-power story.
+        let m = model();
+        let r = EnergyRoofline::new(&m);
+        let p = r.at(Setting::max_performance());
+        assert!(
+            p.energy_balance > p.time_balance,
+            "B_ε {:.2} vs B_τ {:.2}",
+            p.energy_balance,
+            p.time_balance
+        );
+    }
+
+    #[test]
+    fn most_efficient_setting_depends_on_intensity() {
+        let m = model();
+        let r = EnergyRoofline::new(&m);
+        let low = r.most_efficient_setting(0.25);
+        let high = r.most_efficient_setting(256.0);
+        // At the very least both are valid settings; at low intensity the
+        // best setting does not need a fast core.
+        let low_core = low.operating_point().core.freq_mhz;
+        let high_core = high.operating_point().core.freq_mhz;
+        assert!(
+            low_core <= high_core,
+            "low intensity prefers a slower core: {low_core} vs {high_core}"
+        );
+    }
+
+    #[test]
+    fn render_produces_a_chart() {
+        let m = model();
+        let r = EnergyRoofline::new(&m);
+        let chart = r.render(Setting::max_performance(), 40);
+        assert!(chart.contains("energy roofline at 852/924"));
+        assert_eq!(chart.lines().count(), 13);
+        assert!(chart.contains('#'));
+    }
+}

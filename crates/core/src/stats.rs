@@ -1,0 +1,112 @@
+//! Relative-error statistics, as the paper reports them (mean, standard
+//! deviation, minimum, maximum — all in percent).
+
+/// Summary statistics of a set of relative errors.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ErrorStats {
+    /// Number of errors summarized.
+    pub count: usize,
+    /// Mean relative error, percent.
+    pub mean_pct: f64,
+    /// Sample standard deviation, percent.
+    pub std_pct: f64,
+    /// Minimum, percent.
+    pub min_pct: f64,
+    /// Maximum, percent.
+    pub max_pct: f64,
+}
+
+impl ErrorStats {
+    /// Summarizes a slice of *relative* errors (fractions, not percent).
+    ///
+    /// Returns an all-zero summary for an empty slice.
+    pub fn from_relative_errors(errors: &[f64]) -> Self {
+        if errors.is_empty() {
+            return ErrorStats { count: 0, mean_pct: 0.0, std_pct: 0.0, min_pct: 0.0, max_pct: 0.0 };
+        }
+        let pct: Vec<f64> = errors.iter().map(|e| e.abs() * 100.0).collect();
+        let n = pct.len() as f64;
+        let mean = pct.iter().sum::<f64>() / n;
+        let std = if pct.len() > 1 {
+            (pct.iter().map(|p| (p - mean) * (p - mean)).sum::<f64>() / (n - 1.0)).sqrt()
+        } else {
+            0.0
+        };
+        let min = pct.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = pct.iter().copied().fold(0.0f64, f64::max);
+        ErrorStats { count: pct.len(), mean_pct: mean, std_pct: std, min_pct: min, max_pct: max }
+    }
+
+    /// Formats like the paper's prose: "mean 2.87% (σ 2.47), range
+    /// 0.00–11.94%".
+    pub fn summary(&self) -> String {
+        format!(
+            "mean {:.2}% (σ {:.2}), range {:.2}–{:.2}% over {} cases",
+            self.mean_pct, self.std_pct, self.min_pct, self.max_pct, self.count
+        )
+    }
+}
+
+/// Relative error of a prediction against a measurement (fraction).
+pub fn relative_error(predicted: f64, measured: f64) -> f64 {
+    if measured == 0.0 {
+        if predicted == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        (predicted - measured).abs() / measured.abs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_is_all_zero() {
+        let s = ErrorStats::from_relative_errors(&[]);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean_pct, 0.0);
+    }
+
+    #[test]
+    fn known_values() {
+        let s = ErrorStats::from_relative_errors(&[0.01, 0.03]);
+        assert_eq!(s.count, 2);
+        assert!((s.mean_pct - 2.0).abs() < 1e-12);
+        assert!((s.min_pct - 1.0).abs() < 1e-12);
+        assert!((s.max_pct - 3.0).abs() < 1e-12);
+        // Sample std of {1, 3} = sqrt(2).
+        assert!((s.std_pct - 2.0f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn negative_errors_take_absolute_value() {
+        let s = ErrorStats::from_relative_errors(&[-0.02, 0.02]);
+        assert!((s.mean_pct - 2.0).abs() < 1e-12);
+        assert_eq!(s.std_pct, 0.0);
+    }
+
+    #[test]
+    fn single_error_has_zero_std() {
+        let s = ErrorStats::from_relative_errors(&[0.05]);
+        assert_eq!(s.std_pct, 0.0);
+        assert_eq!(s.count, 1);
+    }
+
+    #[test]
+    fn relative_error_cases() {
+        assert_eq!(relative_error(11.0, 10.0), 0.1 - f64::EPSILON * 0.0);
+        assert_eq!(relative_error(0.0, 0.0), 0.0);
+        assert!(relative_error(1.0, 0.0).is_infinite());
+    }
+
+    #[test]
+    fn summary_mentions_all_fields() {
+        let s = ErrorStats::from_relative_errors(&[0.01, 0.02]);
+        let txt = s.summary();
+        assert!(txt.contains("mean") && txt.contains("range") && txt.contains("2 cases"));
+    }
+}

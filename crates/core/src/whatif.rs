@@ -1,0 +1,165 @@
+//! The prefetch what-if analysis sketched in the paper's conclusion.
+//!
+//! "If we could estimate the ratio between used and unused prefetched
+//! data, we could estimate how much energy could be saved by turning
+//! prefetching off (from not loading unused data) and how that might
+//! impact performance — a performance loss could increase total energy
+//! (from constant power)."
+//!
+//! This module turns that paragraph into a calculator: given a program's
+//! DRAM traffic, the fraction of prefetched words that go unused, and the
+//! slowdown disabling prefetch would cause, it compares the energy of the
+//! two configurations under the fitted model.
+
+use crate::model::EnergyModel;
+use tk1_sim::{OpClass, OpVector, Setting};
+
+/// Inputs to the prefetch trade-off.
+#[derive(Debug, Clone)]
+pub struct PrefetchScenario {
+    /// The program's op counts *with prefetching on*.
+    pub ops: OpVector,
+    /// Its execution time with prefetching on, s.
+    pub time_s: f64,
+    /// Fraction of DRAM words that were prefetched but never used,
+    /// in `[0, 1)`.
+    pub unused_fraction: f64,
+    /// Multiplicative slowdown from disabling prefetch (>= 1.0): exposed
+    /// latency makes the program take `slowdown × time_s`.
+    pub slowdown: f64,
+}
+
+/// The calculator's verdict.
+#[derive(Debug, Clone)]
+pub struct PrefetchVerdict {
+    /// Energy with prefetching on, J.
+    pub energy_on_j: f64,
+    /// Energy with prefetching off, J.
+    pub energy_off_j: f64,
+    /// `energy_on - energy_off` (positive = disabling saves energy), J.
+    pub savings_j: f64,
+    /// DRAM energy avoided by not loading unused words, J.
+    pub avoided_dram_j: f64,
+    /// Constant-power energy added by the slowdown, J.
+    pub added_constant_j: f64,
+    /// The break-even slowdown: disabling prefetch saves energy only if
+    /// the actual slowdown is below this.
+    pub breakeven_slowdown: f64,
+}
+
+impl PrefetchVerdict {
+    /// True when disabling prefetch is the energy-optimal choice.
+    pub fn should_disable(&self) -> bool {
+        self.savings_j > 0.0
+    }
+}
+
+/// Evaluates the trade-off at `setting` under `model`.
+pub fn prefetch_whatif(
+    model: &EnergyModel,
+    scenario: &PrefetchScenario,
+    setting: Setting,
+) -> PrefetchVerdict {
+    assert!(
+        (0.0..1.0).contains(&scenario.unused_fraction),
+        "unused fraction must be in [0, 1)"
+    );
+    assert!(scenario.slowdown >= 1.0, "disabling prefetch cannot speed the program up here");
+
+    let energy_on_j = model.predict_energy_j(&scenario.ops, setting, scenario.time_s);
+
+    // Off: the unused DRAM words are not loaded; time stretches.
+    let mut ops_off = scenario.ops;
+    let dram = ops_off.get(OpClass::Dram);
+    ops_off.set(OpClass::Dram, dram * (1.0 - scenario.unused_fraction));
+    let time_off = scenario.time_s * scenario.slowdown;
+    let energy_off_j = model.predict_energy_j(&ops_off, setting, time_off);
+
+    let avoided_dram_j =
+        dram * scenario.unused_fraction * model.energy_per_op_j(OpClass::Dram, setting);
+    let added_constant_j = model.constant_power_w(setting) * (time_off - scenario.time_s);
+
+    // Break-even: avoided = π0·(s-1)·T  =>  s = 1 + avoided/(π0·T).
+    let pi0t = model.constant_power_w(setting) * scenario.time_s;
+    let breakeven_slowdown = 1.0 + if pi0t > 0.0 { avoided_dram_j / pi0t } else { f64::INFINITY };
+
+    PrefetchVerdict {
+        energy_on_j,
+        energy_off_j,
+        savings_j: energy_on_j - energy_off_j,
+        avoided_dram_j,
+        added_constant_j,
+        breakeven_slowdown,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> EnergyModel {
+        let t = tk1_sim::TruthConstants::ideal();
+        EnergyModel {
+            c0_pj_per_v2: t.c0_pj_per_v2,
+            c1_proc_w_per_v: t.c1_proc_w_per_v,
+            c1_mem_w_per_v: t.c1_mem_w_per_v,
+            p_misc_w: t.p_misc_w,
+        }
+    }
+
+    fn scenario(unused: f64, slowdown: f64) -> PrefetchScenario {
+        PrefetchScenario {
+            ops: OpVector::from_pairs(&[(OpClass::FlopSp, 1e9), (OpClass::Dram, 5e8)]),
+            time_s: 0.2,
+            unused_fraction: unused,
+            slowdown,
+        }
+    }
+
+    #[test]
+    fn no_slowdown_and_waste_means_savings() {
+        let v = prefetch_whatif(&model(), &scenario(0.3, 1.0), Setting::max_performance());
+        assert!(v.should_disable());
+        assert!((v.savings_j - v.avoided_dram_j).abs() < 1e-12);
+        assert_eq!(v.added_constant_j, 0.0);
+    }
+
+    #[test]
+    fn large_slowdown_negates_savings() {
+        let v = prefetch_whatif(&model(), &scenario(0.1, 1.5), Setting::max_performance());
+        assert!(!v.should_disable(), "constant power of the 50% slowdown dwarfs DRAM savings");
+        assert!(v.added_constant_j > v.avoided_dram_j);
+    }
+
+    #[test]
+    fn breakeven_is_consistent() {
+        let m = model();
+        let s = Setting::max_performance();
+        let base = scenario(0.3, 1.0);
+        let v = prefetch_whatif(&m, &base, s);
+        // Slightly below break-even: still saves.  Slightly above: loses.
+        let below = PrefetchScenario { slowdown: v.breakeven_slowdown * 0.999, ..base.clone() };
+        let above = PrefetchScenario { slowdown: v.breakeven_slowdown * 1.001, ..base };
+        assert!(prefetch_whatif(&m, &below, s).should_disable());
+        assert!(!prefetch_whatif(&m, &above, s).should_disable());
+    }
+
+    #[test]
+    fn zero_unused_fraction_never_saves() {
+        let v = prefetch_whatif(&model(), &scenario(0.0, 1.01), Setting::max_performance());
+        assert!(!v.should_disable());
+        assert_eq!(v.avoided_dram_j, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unused fraction")]
+    fn invalid_fraction_rejected() {
+        let _ = prefetch_whatif(&model(), &scenario(1.0, 1.0), Setting::max_performance());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot speed")]
+    fn speedup_rejected() {
+        let _ = prefetch_whatif(&model(), &scenario(0.1, 0.9), Setting::max_performance());
+    }
+}

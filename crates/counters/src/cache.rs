@@ -1,0 +1,368 @@
+//! A two-level set-associative cache hierarchy simulator.
+//!
+//! Classifies memory accesses into L1 hits, L2 hits, and DRAM fetches at
+//! 128-byte-line / 32-byte-sector granularity, mirroring how the Kepler
+//! memory system counts the Table III events (`l1_global_load_hit` in
+//! lines, `l2_*_sectors` and `fb_*_sectors` in 32 B sectors, with DRAM
+//! traffic striped across two sub-partitions and L2 across four slices).
+//!
+//! The simulator is deliberately single-threaded: the FMM instrumentation
+//! feeds it per-phase access streams at tile granularity, then folds the
+//! outcome into the shared atomic [`crate::CounterSet`].
+
+use crate::events::CounterEvent;
+use crate::registry::CounterSet;
+
+/// Geometry of one cache level.
+#[derive(Debug, Clone, Copy)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub capacity_bytes: usize,
+    /// Line size in bytes.
+    pub line_bytes: usize,
+    /// Associativity (ways per set).
+    pub ways: usize,
+}
+
+impl CacheConfig {
+    /// Number of sets.
+    pub fn sets(&self) -> usize {
+        self.capacity_bytes / (self.line_bytes * self.ways)
+    }
+
+    /// Kepler SMX L1: 16 KB (the 48/16 split favouring shared memory, as
+    /// an FMM would configure it), 128 B lines, 4-way.
+    pub fn kepler_l1() -> Self {
+        CacheConfig { capacity_bytes: 16 * 1024, line_bytes: 128, ways: 4 }
+    }
+
+    /// Tegra K1 L2: 128 KB, 128 B lines, 8-way.
+    pub fn tegra_l2() -> Self {
+        CacheConfig { capacity_bytes: 128 * 1024, line_bytes: 128, ways: 8 }
+    }
+}
+
+/// Where an access was served from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessOutcome {
+    /// All sectors hit in L1.
+    L1Hit,
+    /// Missed L1, all missing sectors hit in L2.
+    L2Hit,
+    /// At least one sector came from DRAM.
+    Dram,
+}
+
+/// One set-associative LRU cache level.
+#[derive(Debug)]
+struct Level {
+    config: CacheConfig,
+    /// `tags[set * ways + way]`; `u64::MAX` = invalid.
+    tags: Vec<u64>,
+    /// LRU stamps parallel to `tags`.
+    stamps: Vec<u64>,
+    clock: u64,
+}
+
+impl Level {
+    fn new(config: CacheConfig) -> Self {
+        let slots = config.sets() * config.ways;
+        Level { config, tags: vec![u64::MAX; slots], stamps: vec![0; slots], clock: 0 }
+    }
+
+    /// Looks up the line containing `addr`; inserts on miss.  Returns hit.
+    fn access(&mut self, addr: u64) -> bool {
+        self.clock += 1;
+        let line = addr / self.config.line_bytes as u64;
+        let sets = self.config.sets() as u64;
+        let set = (line % sets) as usize;
+        let ways = self.config.ways;
+        let base = set * ways;
+        // Hit?
+        for w in 0..ways {
+            if self.tags[base + w] == line {
+                self.stamps[base + w] = self.clock;
+                return true;
+            }
+        }
+        // Miss: evict LRU.
+        let victim = (0..ways).min_by_key(|&w| self.stamps[base + w]).expect("ways > 0");
+        self.tags[base + victim] = line;
+        self.stamps[base + victim] = self.clock;
+        false
+    }
+}
+
+/// The L1 → L2 → DRAM hierarchy.
+#[derive(Debug)]
+pub struct CacheSim {
+    l1: Level,
+    l2: Level,
+    sector_bytes: usize,
+    /// Round-robin cursor for attributing sectors to L2 slices / DRAM
+    /// sub-partitions (addresses are interleaved on real hardware).
+    slice_cursor: usize,
+}
+
+impl CacheSim {
+    /// A hierarchy with Kepler/Tegra K1 geometry.
+    pub fn tegra_k1() -> Self {
+        CacheSim::new(CacheConfig::kepler_l1(), CacheConfig::tegra_l2())
+    }
+
+    /// A hierarchy with explicit geometry.
+    pub fn new(l1: CacheConfig, l2: CacheConfig) -> Self {
+        assert!(l1.line_bytes == l2.line_bytes, "uniform line size assumed");
+        CacheSim { l1: Level::new(l1), l2: Level::new(l2), sector_bytes: 32, slice_cursor: 0 }
+    }
+
+    /// Sector granularity (32 B on Kepler).
+    pub fn sector_bytes(&self) -> usize {
+        self.sector_bytes
+    }
+
+    /// Simulates a read of `bytes` bytes at `addr`, folding the hardware
+    /// events it would generate into `counters`.  Returns the overall
+    /// outcome (worst level touched).
+    pub fn read(&mut self, addr: u64, bytes: usize, counters: &CounterSet) -> AccessOutcome {
+        assert!(bytes > 0, "zero-length access");
+        let line_bytes = self.l1.config.line_bytes as u64;
+        let first_line = addr / line_bytes;
+        let last_line = (addr + bytes as u64 - 1) / line_bytes;
+        let sectors_per_line = (line_bytes as usize / self.sector_bytes) as u64;
+        let mut worst = AccessOutcome::L1Hit;
+        for line in first_line..=last_line {
+            let line_addr = line * line_bytes;
+            if self.l1.access(line_addr) {
+                counters.add(CounterEvent::l1_global_load_hit, 1);
+                continue;
+            }
+            // L1 miss: the line's sectors query L2.
+            for _ in 0..sectors_per_line {
+                counters.add(CounterEvent::l2_subp0_total_read_sector_queries, 1);
+            }
+            if self.l2.access(line_addr) {
+                // All sectors served by L2, attributed round-robin to the
+                // four slices.
+                for _ in 0..sectors_per_line {
+                    let ev = match self.slice_cursor % 4 {
+                        0 => CounterEvent::l2_subp0_read_l1_hit_sectors,
+                        1 => CounterEvent::l2_subp1_read_l1_hit_sectors,
+                        2 => CounterEvent::l2_subp2_read_l1_hit_sectors,
+                        _ => CounterEvent::l2_subp3_read_l1_hit_sectors,
+                    };
+                    counters.add(ev, 1);
+                    self.slice_cursor += 1;
+                }
+                if worst == AccessOutcome::L1Hit {
+                    worst = AccessOutcome::L2Hit;
+                }
+            } else {
+                // L2 miss: sectors fetched from DRAM sub-partitions.
+                for _ in 0..sectors_per_line {
+                    let ev = if self.slice_cursor.is_multiple_of(2) {
+                        CounterEvent::fb_subp0_read_sectors
+                    } else {
+                        CounterEvent::fb_subp1_read_sectors
+                    };
+                    counters.add(ev, 1);
+                    self.slice_cursor += 1;
+                }
+                worst = AccessOutcome::Dram;
+            }
+        }
+        counters.add(CounterEvent::gld_request, 1);
+        worst
+    }
+
+    /// Simulates a read that bypasses L1 (Kepler's *default* global-load
+    /// path: plain loads are cached in L2 only; L1 caching requires the
+    /// read-only `__ldg` path, which [`CacheSim::read`] models).
+    pub fn read_l2_only(&mut self, addr: u64, bytes: usize, counters: &CounterSet) -> AccessOutcome {
+        assert!(bytes > 0, "zero-length access");
+        let line_bytes = self.l1.config.line_bytes as u64;
+        let first_line = addr / line_bytes;
+        let last_line = (addr + bytes as u64 - 1) / line_bytes;
+        let sectors_per_line = (line_bytes as usize / self.sector_bytes) as u64;
+        let mut worst = AccessOutcome::L2Hit;
+        for line in first_line..=last_line {
+            let line_addr = line * line_bytes;
+            for _ in 0..sectors_per_line {
+                counters.add(CounterEvent::l2_subp0_total_read_sector_queries, 1);
+            }
+            if self.l2.access(line_addr) {
+                for _ in 0..sectors_per_line {
+                    let ev = match self.slice_cursor % 4 {
+                        0 => CounterEvent::l2_subp0_read_l1_hit_sectors,
+                        1 => CounterEvent::l2_subp1_read_l1_hit_sectors,
+                        2 => CounterEvent::l2_subp2_read_l1_hit_sectors,
+                        _ => CounterEvent::l2_subp3_read_l1_hit_sectors,
+                    };
+                    counters.add(ev, 1);
+                    self.slice_cursor += 1;
+                }
+            } else {
+                for _ in 0..sectors_per_line {
+                    let ev = if self.slice_cursor.is_multiple_of(2) {
+                        CounterEvent::fb_subp0_read_sectors
+                    } else {
+                        CounterEvent::fb_subp1_read_sectors
+                    };
+                    counters.add(ev, 1);
+                    self.slice_cursor += 1;
+                }
+                worst = AccessOutcome::Dram;
+            }
+        }
+        counters.add(CounterEvent::gld_request, 1);
+        worst
+    }
+
+    /// Simulates a write of `bytes` at `addr` (write-through to L2, as
+    /// Kepler L1 does not cache global stores).
+    pub fn write(&mut self, addr: u64, bytes: usize, counters: &CounterSet) {
+        assert!(bytes > 0, "zero-length access");
+        let sectors = bytes.div_ceil(self.sector_bytes) as u64;
+        counters.add(CounterEvent::l2_subp0_total_write_sector_queries, sectors);
+        counters.add(CounterEvent::gst_request, 1);
+        // Keep L2 warm with the written lines.
+        let line_bytes = self.l1.config.line_bytes as u64;
+        let first_line = addr / line_bytes;
+        let last_line = (addr + bytes as u64 - 1) / line_bytes;
+        for line in first_line..=last_line {
+            self.l2.access(line * line_bytes);
+        }
+    }
+
+    /// Flushes both levels (between FMM phases, which stream different
+    /// arrays).
+    pub fn flush(&mut self) {
+        self.l1 = Level::new(self.l1.config);
+        self.l2 = Level::new(self.l2.config);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> CacheSim {
+        // L1: 2 sets x 2 ways x 128 B = 512 B.  L2: 4 sets x 2 ways = 1 KB.
+        CacheSim::new(
+            CacheConfig { capacity_bytes: 512, line_bytes: 128, ways: 2 },
+            CacheConfig { capacity_bytes: 1024, line_bytes: 128, ways: 2 },
+        )
+    }
+
+    #[test]
+    fn first_touch_misses_to_dram_second_hits_l1() {
+        let mut sim = tiny();
+        let c = CounterSet::new();
+        assert_eq!(sim.read(0, 8, &c), AccessOutcome::Dram);
+        assert_eq!(sim.read(0, 8, &c), AccessOutcome::L1Hit);
+        assert_eq!(c.get(CounterEvent::l1_global_load_hit), 1);
+        assert_eq!(c.dram_read_sectors(), 4, "one 128 B line = 4 sectors");
+        assert_eq!(c.get(CounterEvent::gld_request), 2);
+    }
+
+    #[test]
+    fn l1_eviction_falls_back_to_l2() {
+        let mut sim = tiny();
+        let c = CounterSet::new();
+        // Fill set 0 of L1 beyond its 2 ways: lines 0, 2, 4 map to set 0
+        // (2 sets).  Line 0 gets evicted from L1 but stays in L2.
+        sim.read(0, 8, &c);
+        sim.read(2 * 128, 8, &c);
+        sim.read(4 * 128, 8, &c);
+        assert_eq!(sim.read(0, 8, &c), AccessOutcome::L2Hit, "L1 evicted, L2 retains");
+        assert!(c.l2_read_hit_sectors() >= 4);
+    }
+
+    #[test]
+    fn straddling_access_touches_two_lines() {
+        let mut sim = tiny();
+        let c = CounterSet::new();
+        sim.read(120, 16, &c); // bytes 120..136 cross the 128 B boundary
+        assert_eq!(c.dram_read_sectors(), 8, "two lines fetched");
+    }
+
+    #[test]
+    fn sector_queries_equal_hits_plus_dram() {
+        // The identity behind the paper's "L2 reads = total queries −
+        // DRAM reads" derivation.
+        let mut sim = tiny();
+        let c = CounterSet::new();
+        for i in 0..64 {
+            sim.read((i % 24) * 128, 8, &c);
+        }
+        let queries = c.get(CounterEvent::l2_subp0_total_read_sector_queries);
+        assert_eq!(queries, c.l2_read_hit_sectors() + c.dram_read_sectors());
+    }
+
+    #[test]
+    fn writes_count_store_sectors() {
+        let mut sim = tiny();
+        let c = CounterSet::new();
+        sim.write(0, 64, &c);
+        assert_eq!(c.get(CounterEvent::l2_subp0_total_write_sector_queries), 2);
+        assert_eq!(c.get(CounterEvent::gst_request), 1);
+    }
+
+    #[test]
+    fn flush_forgets_contents() {
+        let mut sim = tiny();
+        let c = CounterSet::new();
+        sim.read(0, 8, &c);
+        sim.flush();
+        assert_eq!(sim.read(0, 8, &c), AccessOutcome::Dram);
+    }
+
+    #[test]
+    fn dram_sectors_balance_across_subpartitions() {
+        let mut sim = CacheSim::tegra_k1();
+        let c = CounterSet::new();
+        for i in 0..1000u64 {
+            sim.read(i * 4096, 128, &c); // all misses, distinct lines
+        }
+        let a = c.get(CounterEvent::fb_subp0_read_sectors);
+        let b = c.get(CounterEvent::fb_subp1_read_sectors);
+        assert_eq!(a + b, 4000);
+        assert!((a as i64 - b as i64).abs() <= 4, "round-robin stripes evenly");
+    }
+
+    #[test]
+    fn working_set_inside_l1_stays_in_l1() {
+        let mut sim = CacheSim::tegra_k1();
+        let c = CounterSet::new();
+        // 8 KB working set fits the 16 KB L1.
+        for pass in 0..4 {
+            for line in 0..64u64 {
+                let outcome = sim.read(line * 128, 128, &c);
+                if pass > 0 {
+                    assert_eq!(outcome, AccessOutcome::L1Hit, "pass {pass} line {line}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn l2_only_reads_never_touch_l1() {
+        let mut sim = tiny();
+        let c = CounterSet::new();
+        assert_eq!(sim.read_l2_only(0, 8, &c), AccessOutcome::Dram);
+        assert_eq!(sim.read_l2_only(0, 8, &c), AccessOutcome::L2Hit);
+        assert_eq!(c.get(CounterEvent::l1_global_load_hit), 0);
+        assert_eq!(c.l2_read_hit_sectors(), 4);
+        // A later L1-path read still misses L1 (the line was never filled).
+        let outcome = sim.read(0, 8, &c);
+        assert_ne!(outcome, AccessOutcome::L1Hit);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-length")]
+    fn zero_length_read_rejected() {
+        let mut sim = tiny();
+        let c = CounterSet::new();
+        sim.read(0, 0, &c);
+    }
+}

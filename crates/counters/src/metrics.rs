@@ -1,0 +1,149 @@
+//! Derived counter metrics — the nvprof "metrics" layer on top of raw
+//! events (hit rates, intensities, traffic totals), used by analysts to
+//! sanity-check a profile before feeding it to the energy model.
+
+use crate::events::CounterEvent;
+use crate::registry::CounterSet;
+
+/// Bytes per 32-byte sector.
+const SECTOR_BYTES: u64 = 32;
+/// Bytes per 128-byte L1 line / shared transaction.
+const LINE_BYTES: u64 = 128;
+
+/// Derived metrics over one counter set.
+#[derive(Debug, Clone, Copy)]
+pub struct DerivedMetrics {
+    /// Total double-precision flops.
+    pub dp_flops: u64,
+    /// Total instructions (DP + integer).
+    pub instructions: u64,
+    /// L1 hit rate over load requests that could hit L1, in `[0, 1]`.
+    pub l1_hit_rate: f64,
+    /// L2 read hit rate (hit sectors over total read sector queries).
+    pub l2_read_hit_rate: f64,
+    /// Total off-chip (DRAM) read traffic, bytes.
+    pub dram_read_bytes: u64,
+    /// Total shared-memory traffic, bytes.
+    pub shared_bytes: u64,
+    /// Arithmetic intensity: DP flops per DRAM byte (∞ if no traffic).
+    pub flops_per_dram_byte: f64,
+}
+
+impl DerivedMetrics {
+    /// Computes the metrics from raw counters.
+    pub fn from_counters(c: &CounterSet) -> Self {
+        let dp_flops = c.get(CounterEvent::flops_dp_fma)
+            + c.get(CounterEvent::flops_dp_add)
+            + c.get(CounterEvent::flops_dp_mul);
+        let instructions = dp_flops + c.get(CounterEvent::inst_integer);
+
+        let l1_hits = c.get(CounterEvent::l1_global_load_hit);
+        // Each L1 miss produced sectors-per-line L2 queries; recover the
+        // miss count in lines.
+        let l2_queries = c.get(CounterEvent::l2_subp0_total_read_sector_queries);
+        let l1_misses_lines = l2_queries / (LINE_BYTES / SECTOR_BYTES);
+        let l1_lookups = l1_hits + l1_misses_lines;
+        let l1_hit_rate =
+            if l1_lookups > 0 { l1_hits as f64 / l1_lookups as f64 } else { 0.0 };
+
+        let l2_hits = c.l2_read_hit_sectors();
+        let l2_read_hit_rate =
+            if l2_queries > 0 { l2_hits as f64 / l2_queries as f64 } else { 0.0 };
+
+        let dram_read_bytes = c.dram_read_sectors() * SECTOR_BYTES;
+        let shared_tx = c.get(CounterEvent::l1_shared_load_transactions)
+            + c.get(CounterEvent::l1_shared_store_transactions);
+        let shared_bytes = shared_tx * LINE_BYTES;
+
+        let flops_per_dram_byte = if dram_read_bytes > 0 {
+            dp_flops as f64 / dram_read_bytes as f64
+        } else {
+            f64::INFINITY
+        };
+
+        DerivedMetrics {
+            dp_flops,
+            instructions,
+            l1_hit_rate,
+            l2_read_hit_rate,
+            dram_read_bytes,
+            shared_bytes,
+            flops_per_dram_byte,
+        }
+    }
+
+    /// Formats the metrics like an nvprof summary block.
+    pub fn summary(&self) -> String {
+        format!(
+            "dp_flops {}, insts {}, l1_hit {:.1}%, l2_hit {:.1}%, dram {} B, shared {} B, intensity {:.2} flop/B",
+            self.dp_flops,
+            self.instructions,
+            self.l1_hit_rate * 100.0,
+            self.l2_read_hit_rate * 100.0,
+            self.dram_read_bytes,
+            self.shared_bytes,
+            self.flops_per_dram_byte
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::CacheSim;
+
+    #[test]
+    fn flop_and_instruction_totals() {
+        let c = CounterSet::new();
+        c.add(CounterEvent::flops_dp_fma, 10);
+        c.add(CounterEvent::flops_dp_add, 5);
+        c.add(CounterEvent::flops_dp_mul, 5);
+        c.add(CounterEvent::inst_integer, 30);
+        let m = DerivedMetrics::from_counters(&c);
+        assert_eq!(m.dp_flops, 20);
+        assert_eq!(m.instructions, 50);
+    }
+
+    #[test]
+    fn hit_rates_from_cache_sim_are_consistent() {
+        let mut sim = CacheSim::tegra_k1();
+        let c = CounterSet::new();
+        // Two passes over a small working set: second pass hits L1.
+        for _ in 0..2 {
+            for line in 0..32u64 {
+                sim.read(line * 128, 128, &c);
+            }
+        }
+        let m = DerivedMetrics::from_counters(&c);
+        assert!((m.l1_hit_rate - 0.5).abs() < 1e-12, "half the lookups hit: {}", m.l1_hit_rate);
+        assert_eq!(m.dram_read_bytes, 32 * 128, "first pass is compulsory misses");
+        assert_eq!(m.l2_read_hit_rate, 0.0, "nothing was re-fetched from L2");
+    }
+
+    #[test]
+    fn intensity_is_infinite_without_dram_traffic() {
+        let c = CounterSet::new();
+        c.add(CounterEvent::flops_dp_fma, 100);
+        let m = DerivedMetrics::from_counters(&c);
+        assert!(m.flops_per_dram_byte.is_infinite());
+        assert_eq!(m.l1_hit_rate, 0.0);
+    }
+
+    #[test]
+    fn shared_traffic_counts_both_directions() {
+        let c = CounterSet::new();
+        c.add(CounterEvent::l1_shared_load_transactions, 3);
+        c.add(CounterEvent::l1_shared_store_transactions, 1);
+        let m = DerivedMetrics::from_counters(&c);
+        assert_eq!(m.shared_bytes, 4 * 128);
+    }
+
+    #[test]
+    fn summary_mentions_key_figures() {
+        let c = CounterSet::new();
+        c.add(CounterEvent::flops_dp_fma, 7);
+        let s = DerivedMetrics::from_counters(&c).summary();
+        assert!(s.contains("dp_flops 7"));
+        assert!(s.contains("intensity"));
+    }
+}

@@ -1,0 +1,181 @@
+//! Thread-safe counter storage.
+//!
+//! Instrumented code (the FMM's rayon-parallel phases) increments
+//! counters concurrently; reads (profile extraction) happen between
+//! phases.  Hot increments are relaxed atomics; the named-set registry
+//! uses a `parking_lot` lock since it is touched once per phase.
+
+use crate::events::{CounterEvent, TABLE3_EVENTS};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// One set of Table III counters.
+#[derive(Debug, Default)]
+pub struct CounterSet {
+    values: [AtomicU64; 17],
+}
+
+impl CounterSet {
+    /// A fresh all-zero counter set.
+    pub fn new() -> Self {
+        CounterSet::default()
+    }
+
+    /// Adds `n` to `event`.
+    #[inline]
+    pub fn add(&self, event: CounterEvent, n: u64) {
+        self.values[event.index()].fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value of `event`.
+    pub fn get(&self, event: CounterEvent) -> u64 {
+        self.values[event.index()].load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of all counters in Table III order.
+    pub fn snapshot(&self) -> [u64; 17] {
+        std::array::from_fn(|i| self.values[i].load(Ordering::Relaxed))
+    }
+
+    /// Resets every counter to zero.
+    pub fn reset(&self) {
+        for v in &self.values {
+            v.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// Accumulates another set into this one.
+    pub fn merge(&self, other: &CounterSet) {
+        for e in TABLE3_EVENTS {
+            self.add(e, other.get(e));
+        }
+    }
+
+    /// Sum of DRAM read sectors across both sub-partitions.
+    pub fn dram_read_sectors(&self) -> u64 {
+        self.get(CounterEvent::fb_subp0_read_sectors)
+            + self.get(CounterEvent::fb_subp1_read_sectors)
+    }
+
+    /// Sum of L1→L2 read hit sectors across the four slices.
+    pub fn l2_read_hit_sectors(&self) -> u64 {
+        self.get(CounterEvent::l2_subp0_read_l1_hit_sectors)
+            + self.get(CounterEvent::l2_subp1_read_l1_hit_sectors)
+            + self.get(CounterEvent::l2_subp2_read_l1_hit_sectors)
+            + self.get(CounterEvent::l2_subp3_read_l1_hit_sectors)
+    }
+}
+
+/// A registry of named counter sets — one per FMM phase, like profiling
+/// each kernel separately under nvprof.
+#[derive(Debug, Default)]
+pub struct PhaseRegistry {
+    sets: RwLock<HashMap<String, Arc<CounterSet>>>,
+}
+
+impl PhaseRegistry {
+    /// A fresh registry.
+    pub fn new() -> Self {
+        PhaseRegistry::default()
+    }
+
+    /// The counter set for `phase`, created on first use.
+    pub fn phase(&self, phase: &str) -> Arc<CounterSet> {
+        if let Some(set) = self.sets.read().get(phase) {
+            return Arc::clone(set);
+        }
+        let mut w = self.sets.write();
+        Arc::clone(w.entry(phase.to_string()).or_default())
+    }
+
+    /// Phase names registered so far, sorted.
+    pub fn phases(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.sets.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// A counter set holding the sum over all phases.
+    pub fn total(&self) -> CounterSet {
+        let total = CounterSet::new();
+        for set in self.sets.read().values() {
+            total.merge(set);
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_get() {
+        let c = CounterSet::new();
+        c.add(CounterEvent::flops_dp_fma, 10);
+        c.add(CounterEvent::flops_dp_fma, 5);
+        assert_eq!(c.get(CounterEvent::flops_dp_fma), 15);
+        assert_eq!(c.get(CounterEvent::inst_integer), 0);
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let c = CounterSet::new();
+        c.add(CounterEvent::gld_request, 3);
+        c.reset();
+        assert_eq!(c.snapshot(), [0; 17]);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let a = CounterSet::new();
+        let b = CounterSet::new();
+        a.add(CounterEvent::gst_request, 1);
+        b.add(CounterEvent::gst_request, 2);
+        a.merge(&b);
+        assert_eq!(a.get(CounterEvent::gst_request), 3);
+    }
+
+    #[test]
+    fn dram_and_l2_aggregates() {
+        let c = CounterSet::new();
+        c.add(CounterEvent::fb_subp0_read_sectors, 4);
+        c.add(CounterEvent::fb_subp1_read_sectors, 6);
+        c.add(CounterEvent::l2_subp0_read_l1_hit_sectors, 1);
+        c.add(CounterEvent::l2_subp3_read_l1_hit_sectors, 2);
+        assert_eq!(c.dram_read_sectors(), 10);
+        assert_eq!(c.l2_read_hit_sectors(), 3);
+    }
+
+    #[test]
+    fn concurrent_increments_do_not_lose_updates() {
+        let c = Arc::new(CounterSet::new());
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || {
+                    for _ in 0..10_000 {
+                        c.add(CounterEvent::inst_integer, 1);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(c.get(CounterEvent::inst_integer), 80_000);
+    }
+
+    #[test]
+    fn registry_reuses_sets_and_totals() {
+        let r = PhaseRegistry::new();
+        r.phase("ulist").add(CounterEvent::flops_dp_fma, 7);
+        r.phase("vlist").add(CounterEvent::flops_dp_fma, 3);
+        r.phase("ulist").add(CounterEvent::flops_dp_fma, 1);
+        assert_eq!(r.phase("ulist").get(CounterEvent::flops_dp_fma), 8);
+        assert_eq!(r.phases(), vec!["ulist".to_string(), "vlist".to_string()]);
+        assert_eq!(r.total().get(CounterEvent::flops_dp_fma), 11);
+    }
+}

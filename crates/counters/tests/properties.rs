@@ -1,0 +1,142 @@
+//! Property-based tests for the counter registry and cache simulator.
+
+use gpu_counters::{derive_op_vector, AccessOutcome, CacheConfig, CacheSim, CounterSet};
+use proptest::prelude::*;
+use tk1_sim::OpClass;
+
+fn access_stream() -> impl Strategy<Value = Vec<(u64, usize, bool)>> {
+    proptest::collection::vec(
+        (0u64..(1 << 20), 1usize..256, proptest::bool::ANY),
+        1..200,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn every_read_is_served_by_exactly_one_level(stream in access_stream()) {
+        // The conservation law behind the paper's counter arithmetic:
+        // L1-hit lines + L2-hit sectors + DRAM sectors account for every
+        // line of every read, with no double counting.
+        let mut sim = CacheSim::tegra_k1();
+        let c = CounterSet::new();
+        let mut expected_lines = 0u64;
+        for &(addr, bytes, _write) in &stream {
+            let first = addr / 128;
+            let last = (addr + bytes as u64 - 1) / 128;
+            expected_lines += last - first + 1;
+            sim.read(addr, bytes, &c);
+        }
+        let l1_lines = c.get(gpu_counters::CounterEvent::l1_global_load_hit);
+        let l2_lines = c.l2_read_hit_sectors() / 4;
+        let dram_lines = c.dram_read_sectors() / 4;
+        prop_assert_eq!(l1_lines + l2_lines + dram_lines, expected_lines);
+    }
+
+    #[test]
+    fn l2_queries_equal_hits_plus_dram(stream in access_stream()) {
+        let mut sim = CacheSim::tegra_k1();
+        let c = CounterSet::new();
+        for &(addr, bytes, write) in &stream {
+            if write {
+                sim.write(addr, bytes, &c);
+            } else {
+                sim.read(addr, bytes, &c);
+            }
+        }
+        let queries = c.get(gpu_counters::CounterEvent::l2_subp0_total_read_sector_queries);
+        prop_assert_eq!(queries, c.l2_read_hit_sectors() + c.dram_read_sectors());
+    }
+
+    #[test]
+    fn repeating_a_read_immediately_hits_l1(addr in 0u64..(1 << 18), bytes in 1usize..128) {
+        let mut sim = CacheSim::tegra_k1();
+        let c = CounterSet::new();
+        sim.read(addr, bytes, &c);
+        let outcome = sim.read(addr, bytes, &c);
+        prop_assert_eq!(outcome, AccessOutcome::L1Hit);
+    }
+
+    #[test]
+    fn derived_words_are_nonnegative_and_additive(stream in access_stream()) {
+        let mut sim = CacheSim::tegra_k1();
+        let c = CounterSet::new();
+        for &(addr, bytes, write) in &stream {
+            if write {
+                sim.write(addr, bytes, &c);
+            } else {
+                sim.read(addr, bytes, &c);
+            }
+        }
+        let v = derive_op_vector(&c);
+        for (_, count) in v.iter() {
+            prop_assert!(count >= 0.0);
+        }
+        // Memory words decompose over the levels.
+        let mem_total = v.total_memory_ops();
+        let sum = v.get(OpClass::Shared)
+            + v.get(OpClass::L1)
+            + v.get(OpClass::L2)
+            + v.get(OpClass::Dram);
+        prop_assert!((mem_total - sum).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_equals_running_both_streams(
+        a in access_stream(),
+        b in access_stream(),
+    ) {
+        // Counters are additive: merging per-stream sets equals counting
+        // both streams into one set with the same cache state sequence.
+        let mut sim1 = CacheSim::tegra_k1();
+        let ca = CounterSet::new();
+        for &(addr, bytes, _) in &a {
+            sim1.read(addr, bytes, &ca);
+        }
+        sim1.flush();
+        let cb = CounterSet::new();
+        for &(addr, bytes, _) in &b {
+            sim1.read(addr, bytes, &cb);
+        }
+        let merged = CounterSet::new();
+        merged.merge(&ca);
+        merged.merge(&cb);
+        // Replay on a fresh sim with a flush between streams.
+        let mut sim2 = CacheSim::tegra_k1();
+        let combined = CounterSet::new();
+        for &(addr, bytes, _) in &a {
+            sim2.read(addr, bytes, &combined);
+        }
+        sim2.flush();
+        for &(addr, bytes, _) in &b {
+            sim2.read(addr, bytes, &combined);
+        }
+        prop_assert_eq!(merged.snapshot(), combined.snapshot());
+    }
+
+    #[test]
+    fn higher_associativity_never_hits_less(stream in access_stream()) {
+        // The LRU inclusion property: with the set count fixed, a
+        // higher-associativity cache's contents are a superset of a
+        // lower-associativity one's, so its hit count can only be >=.
+        // (Note this holds for fixed sets + varying ways; varying the set
+        // count does NOT preserve inclusion.)
+        let sets = 16;
+        let big = CacheConfig { capacity_bytes: sets * 8 * 128, line_bytes: 128, ways: 8 };
+        let small = CacheConfig { capacity_bytes: sets * 2 * 128, line_bytes: 128, ways: 2 };
+        let l2 = CacheConfig::tegra_l2();
+        let mut sim_big = CacheSim::new(big, l2);
+        let mut sim_small = CacheSim::new(small, l2);
+        let cb = CounterSet::new();
+        let cs = CounterSet::new();
+        for &(addr, bytes, _) in &stream {
+            sim_big.read(addr, bytes, &cb);
+            sim_small.read(addr, bytes, &cs);
+        }
+        let hits_big = cb.get(gpu_counters::CounterEvent::l1_global_load_hit);
+        let hits_small = cs.get(gpu_counters::CounterEvent::l1_global_load_hit);
+        prop_assert!(hits_big >= hits_small,
+            "more ways hit at least as often: {hits_big} vs {hits_small}");
+    }
+}

@@ -1,0 +1,221 @@
+//! Circular convolution via the convolution theorem.
+//!
+//! The KIFMM M2L operator is, for equivalent densities laid out on a
+//! regular grid, a discrete convolution between the source density grid
+//! and a translation-invariant kernel tableau.  Evaluating it as
+//! `IFFT(FFT(source) ⊙ K̂)` is what gives the V-list phase its
+//! low-arithmetic-intensity, bandwidth-bound character that the paper's
+//! energy analysis highlights.
+
+use crate::{fft3_inplace, ifft3_inplace, Complex, FftPlan, Result};
+
+/// 1-D circular convolution `(a ⊛ b)[k] = Σ_j a[j] b[(k - j) mod n]`.
+pub fn circular_convolve(a: &[Complex], b: &[Complex]) -> Result<Vec<Complex>> {
+    if a.len() != b.len() {
+        return Err(crate::FftError::LengthMismatch { expected: a.len(), found: b.len() });
+    }
+    let n = a.len();
+    let plan = FftPlan::new(n)?;
+    let mut fa = a.to_vec();
+    let mut fb = b.to_vec();
+    plan.forward(&mut fa)?;
+    plan.forward(&mut fb)?;
+    for (x, y) in fa.iter_mut().zip(&fb) {
+        *x *= *y;
+    }
+    plan.inverse(&mut fa)?;
+    Ok(fa)
+}
+
+/// Precomputed 3-D spectrum of a convolution kernel on an `n³` cube.
+///
+/// The KIFMM precomputes one of these per unique V-list translation vector;
+/// applying it to a density grid then costs one forward FFT, `n³` complex
+/// multiplies, and one inverse FFT.
+#[derive(Debug, Clone)]
+pub struct Spectrum3 {
+    n: usize,
+    freq: Vec<Complex>,
+}
+
+impl Spectrum3 {
+    /// Transforms `kernel` (an `n³` cube) into its spectrum.
+    pub fn new(kernel: &[Complex], n: usize, plan: &FftPlan) -> Result<Self> {
+        let mut freq = kernel.to_vec();
+        fft3_inplace(&mut freq, n, plan)?;
+        Ok(Spectrum3 { n, freq })
+    }
+
+    /// Grid edge length `n`.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Raw spectrum values.
+    pub fn as_slice(&self) -> &[Complex] {
+        &self.freq
+    }
+
+    /// Pointwise-multiplies `freq_data` (already in the frequency domain)
+    /// by this spectrum, in place.
+    pub fn apply_to_spectrum(&self, freq_data: &mut [Complex]) -> Result<()> {
+        if freq_data.len() != self.freq.len() {
+            return Err(crate::FftError::LengthMismatch {
+                expected: self.freq.len(),
+                found: freq_data.len(),
+            });
+        }
+        for (x, k) in freq_data.iter_mut().zip(&self.freq) {
+            *x *= *k;
+        }
+        Ok(())
+    }
+
+    /// Accumulate `spectrum ⊙ freq_src` into `freq_acc` (all frequency
+    /// domain).  Used when a target box gathers from many source boxes
+    /// before a single inverse transform.
+    pub fn accumulate(&self, freq_src: &[Complex], freq_acc: &mut [Complex]) -> Result<()> {
+        if freq_src.len() != self.freq.len() || freq_acc.len() != self.freq.len() {
+            return Err(crate::FftError::LengthMismatch {
+                expected: self.freq.len(),
+                found: freq_src.len().min(freq_acc.len()),
+            });
+        }
+        for i in 0..self.freq.len() {
+            freq_acc[i] += freq_src[i] * self.freq[i];
+        }
+        Ok(())
+    }
+}
+
+/// Full 3-D circular convolution of two `n³` cubes (one-shot convenience;
+/// the evaluator uses [`Spectrum3`] to amortize kernel transforms).
+pub fn circular_convolve_3d(a: &[Complex], b: &[Complex], n: usize) -> Result<Vec<Complex>> {
+    let plan = FftPlan::new(n)?;
+    let mut fa = a.to_vec();
+    fft3_inplace(&mut fa, n, &plan)?;
+    let spec = Spectrum3::new(b, n, &plan)?;
+    spec.apply_to_spectrum(&mut fa)?;
+    ifft3_inplace(&mut fa, n, &plan)?;
+    Ok(fa)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_circular(a: &[Complex], b: &[Complex]) -> Vec<Complex> {
+        let n = a.len();
+        (0..n)
+            .map(|k| {
+                let mut acc = Complex::ZERO;
+                for j in 0..n {
+                    acc += a[j] * b[(n + k - j) % n];
+                }
+                acc
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_naive_1d() {
+        let a: Vec<Complex> = (0..8).map(|i| Complex::new(i as f64, -(i as f64) * 0.5)).collect();
+        let b: Vec<Complex> = (0..8).map(|i| Complex::real(((i * 3) % 5) as f64)).collect();
+        let fast = circular_convolve(&a, &b).unwrap();
+        let slow = naive_circular(&a, &b);
+        for (f, s) in fast.iter().zip(&slow) {
+            assert!((f.re - s.re).abs() < 1e-10 && (f.im - s.im).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn delta_kernel_is_identity() {
+        let a: Vec<Complex> = (0..16).map(|i| Complex::real((i as f64).sin())).collect();
+        let mut delta = vec![Complex::ZERO; 16];
+        delta[0] = Complex::ONE;
+        let out = circular_convolve(&a, &delta).unwrap();
+        for (o, x) in out.iter().zip(&a) {
+            assert!((o.re - x.re).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn shifted_delta_rotates() {
+        let a: Vec<Complex> = (0..8).map(|i| Complex::real(i as f64)).collect();
+        let mut delta = vec![Complex::ZERO; 8];
+        delta[3] = Complex::ONE;
+        let out = circular_convolve(&a, &delta).unwrap();
+        for k in 0..8 {
+            assert!((out[k].re - a[(8 + k - 3) % 8].re).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn length_mismatch_rejected() {
+        let a = vec![Complex::ZERO; 8];
+        let b = vec![Complex::ZERO; 4];
+        assert!(circular_convolve(&a, &b).is_err());
+    }
+
+    #[test]
+    fn convolve_3d_delta_identity() {
+        let n = 4;
+        let a: Vec<Complex> = (0..n * n * n).map(|i| Complex::real(i as f64)).collect();
+        let mut delta = vec![Complex::ZERO; n * n * n];
+        delta[0] = Complex::ONE;
+        let out = circular_convolve_3d(&a, &delta, n).unwrap();
+        for (o, x) in out.iter().zip(&a) {
+            assert!((o.re - x.re).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn convolve_3d_matches_naive_on_small_cube() {
+        let n = 4;
+        let len = n * n * n;
+        let a: Vec<Complex> = (0..len).map(|i| Complex::real(((i * 7) % 11) as f64)).collect();
+        let b: Vec<Complex> = (0..len).map(|i| Complex::real(((i * 3) % 5) as f64)).collect();
+        let fast = circular_convolve_3d(&a, &b, n).unwrap();
+        // Naive triple circular convolution.
+        let idx = |x: usize, y: usize, z: usize| x * n * n + y * n + z;
+        for kx in 0..n {
+            for ky in 0..n {
+                for kz in 0..n {
+                    let mut acc = Complex::ZERO;
+                    for jx in 0..n {
+                        for jy in 0..n {
+                            for jz in 0..n {
+                                let bx = (n + kx - jx) % n;
+                                let by = (n + ky - jy) % n;
+                                let bz = (n + kz - jz) % n;
+                                acc += a[idx(jx, jy, jz)] * b[idx(bx, by, bz)];
+                            }
+                        }
+                    }
+                    let f = fast[idx(kx, ky, kz)];
+                    assert!((f.re - acc.re).abs() < 1e-8, "mismatch at {kx},{ky},{kz}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn spectrum_accumulate_sums_contributions() {
+        let n = 4;
+        let len = n * n * n;
+        let plan = FftPlan::new(n).unwrap();
+        let kernel: Vec<Complex> = (0..len).map(|i| Complex::real((i % 3) as f64)).collect();
+        let spec = Spectrum3::new(&kernel, n, &plan).unwrap();
+        let src: Vec<Complex> = (0..len).map(|i| Complex::real(i as f64)).collect();
+        let mut freq_src = src.clone();
+        fft3_inplace(&mut freq_src, n, &plan).unwrap();
+        let mut acc = vec![Complex::ZERO; len];
+        spec.accumulate(&freq_src, &mut acc).unwrap();
+        spec.accumulate(&freq_src, &mut acc).unwrap();
+        ifft3_inplace(&mut acc, n, &plan).unwrap();
+        let direct = circular_convolve_3d(&src, &kernel, n).unwrap();
+        for (a, d) in acc.iter().zip(&direct) {
+            assert!((a.re - 2.0 * d.re).abs() < 1e-8);
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! Fast Fourier transforms for the KIFMM's V-list translations.
+//!
+//! The paper's FMM accelerates far-field (V-list) interactions with FFTs;
+//! its V-list phase is memory-bandwidth-bound precisely because FFT-based
+//! convolution trades arithmetic for data movement.  This crate supplies
+//! the FFT machinery from scratch:
+//!
+//! * [`Complex`] — a minimal `f64` complex number.
+//! * [`fft`] / [`ifft`] — iterative radix-2 decimation-in-time transforms
+//!   with precomputable twiddle plans ([`FftPlan`]).
+//! * [`fft3`] — 3-D transforms by applying the 1-D transform along each
+//!   axis of a packed cube.
+//! * [`convolution`] — circular convolution via the convolution theorem,
+//!   the exact primitive the FFT M2L operator needs.
+//!
+//! All sizes are powers of two, which is all the KIFMM grid (2n per axis,
+//! n a power of two) requires.
+
+pub mod complex;
+pub mod convolution;
+pub mod plan;
+pub mod transform;
+
+pub use complex::Complex;
+pub use convolution::{circular_convolve, circular_convolve_3d, Spectrum3};
+pub use plan::FftPlan;
+pub use transform::{fft, fft3, fft3_inplace, ifft, ifft3_inplace};
+
+/// Errors from the FFT routines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FftError {
+    /// The length is not a power of two.
+    NotPowerOfTwo(usize),
+    /// Operand lengths differ.
+    LengthMismatch { expected: usize, found: usize },
+}
+
+impl std::fmt::Display for FftError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FftError::NotPowerOfTwo(n) => write!(f, "length {n} is not a power of two"),
+            FftError::LengthMismatch { expected, found } => {
+                write!(f, "length mismatch: expected {expected}, found {found}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FftError {}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, FftError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_messages() {
+        assert!(FftError::NotPowerOfTwo(12).to_string().contains("12"));
+        assert!(FftError::LengthMismatch { expected: 8, found: 4 }.to_string().contains("8"));
+    }
+}

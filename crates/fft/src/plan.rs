@@ -1,0 +1,179 @@
+//! Precomputed FFT plans (bit-reversal permutation + twiddle factors).
+//!
+//! The KIFMM evaluator performs thousands of same-size transforms (one per
+//! box per direction), so the index permutation and the twiddle table are
+//! computed once per size and shared.
+
+use crate::{Complex, FftError, Result};
+
+/// A reusable plan for radix-2 transforms of a fixed power-of-two size.
+///
+/// ```
+/// use dvfs_fft::{Complex, FftPlan};
+///
+/// let plan = FftPlan::new(8).unwrap();
+/// let mut data = vec![Complex::ZERO; 8];
+/// data[0] = Complex::ONE;                  // unit impulse ...
+/// plan.forward(&mut data).unwrap();
+/// assert!((data[5].re - 1.0).abs() < 1e-12); // ... transforms flat
+/// plan.inverse(&mut data).unwrap();
+/// assert!((data[0].re - 1.0).abs() < 1e-12); // round trip
+/// ```
+#[derive(Debug, Clone)]
+pub struct FftPlan {
+    n: usize,
+    /// Bit-reversal permutation of `0..n`.
+    rev: Vec<u32>,
+    /// Twiddles for the forward transform, grouped per stage: for stage
+    /// with half-block size `len/2`, entries `w^j = e^{-2πi j/len}`.
+    twiddles: Vec<Complex>,
+    /// Start offset of each stage's twiddle group in `twiddles`.
+    stage_offsets: Vec<usize>,
+}
+
+impl FftPlan {
+    /// Builds a plan for length `n` (must be a power of two; `n >= 1`).
+    pub fn new(n: usize) -> Result<Self> {
+        if n == 0 || !n.is_power_of_two() {
+            return Err(FftError::NotPowerOfTwo(n));
+        }
+        let log2n = n.trailing_zeros();
+        let mut rev = vec![0u32; n];
+        for i in 0..n {
+            rev[i] = (rev[i >> 1] >> 1) | (((i & 1) as u32) << (log2n.saturating_sub(1)));
+        }
+        let mut twiddles = Vec::new();
+        let mut stage_offsets = Vec::new();
+        let mut len = 2;
+        while len <= n {
+            stage_offsets.push(twiddles.len());
+            let half = len / 2;
+            let step = -2.0 * std::f64::consts::PI / (len as f64);
+            for j in 0..half {
+                twiddles.push(Complex::cis(step * j as f64));
+            }
+            len <<= 1;
+        }
+        Ok(FftPlan { n, rev, twiddles, stage_offsets })
+    }
+
+    /// Transform length.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True for the degenerate length-1 plan.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.n <= 1
+    }
+
+    /// In-place forward transform (DFT with `e^{-2πi jk/n}` convention).
+    pub fn forward(&self, data: &mut [Complex]) -> Result<()> {
+        self.check_len(data.len())?;
+        self.permute(data);
+        self.butterflies(data, false);
+        Ok(())
+    }
+
+    /// In-place inverse transform, including the `1/n` normalization.
+    pub fn inverse(&self, data: &mut [Complex]) -> Result<()> {
+        self.check_len(data.len())?;
+        self.permute(data);
+        self.butterflies(data, true);
+        let scale = 1.0 / self.n as f64;
+        for z in data.iter_mut() {
+            *z = z.scale(scale);
+        }
+        Ok(())
+    }
+
+    fn check_len(&self, len: usize) -> Result<()> {
+        if len != self.n {
+            return Err(FftError::LengthMismatch { expected: self.n, found: len });
+        }
+        Ok(())
+    }
+
+    #[inline]
+    fn permute(&self, data: &mut [Complex]) {
+        for i in 0..self.n {
+            let j = self.rev[i] as usize;
+            if i < j {
+                data.swap(i, j);
+            }
+        }
+    }
+
+    fn butterflies(&self, data: &mut [Complex], inverse: bool) {
+        let mut len = 2;
+        let mut stage = 0;
+        while len <= self.n {
+            let half = len / 2;
+            let tw = &self.twiddles[self.stage_offsets[stage]..self.stage_offsets[stage] + half];
+            for start in (0..self.n).step_by(len) {
+                for j in 0..half {
+                    let w = if inverse { tw[j].conj() } else { tw[j] };
+                    let a = data[start + j];
+                    let b = data[start + j + half] * w;
+                    data[start + j] = a + b;
+                    data[start + j + half] = a - b;
+                }
+            }
+            len <<= 1;
+            stage += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_non_power_of_two() {
+        assert_eq!(FftPlan::new(12).unwrap_err(), FftError::NotPowerOfTwo(12));
+        assert_eq!(FftPlan::new(0).unwrap_err(), FftError::NotPowerOfTwo(0));
+    }
+
+    #[test]
+    fn length_one_is_identity() {
+        let plan = FftPlan::new(1).unwrap();
+        let mut d = [Complex::new(3.0, 4.0)];
+        plan.forward(&mut d).unwrap();
+        assert_eq!(d[0], Complex::new(3.0, 4.0));
+    }
+
+    #[test]
+    fn impulse_transforms_to_constant() {
+        let plan = FftPlan::new(8) .unwrap();
+        let mut d = vec![Complex::ZERO; 8];
+        d[0] = Complex::ONE;
+        plan.forward(&mut d).unwrap();
+        for z in &d {
+            assert!((z.re - 1.0).abs() < 1e-14 && z.im.abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn wrong_length_rejected() {
+        let plan = FftPlan::new(8).unwrap();
+        let mut d = vec![Complex::ZERO; 4];
+        assert!(plan.forward(&mut d).is_err());
+        assert!(plan.inverse(&mut d).is_err());
+    }
+
+    #[test]
+    fn forward_inverse_round_trip() {
+        let plan = FftPlan::new(16).unwrap();
+        let orig: Vec<Complex> =
+            (0..16).map(|i| Complex::new((i as f64).sin(), (i as f64 * 0.7).cos())).collect();
+        let mut d = orig.clone();
+        plan.forward(&mut d).unwrap();
+        plan.inverse(&mut d).unwrap();
+        for (a, b) in d.iter().zip(&orig) {
+            assert!((a.re - b.re).abs() < 1e-12 && (a.im - b.im).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,203 @@
+//! One-shot and multi-dimensional transforms built on [`FftPlan`].
+
+use crate::{Complex, FftPlan, Result};
+
+/// Forward DFT of `data` (allocates a plan; use [`FftPlan`] directly when
+/// transforming many same-size buffers).
+pub fn fft(data: &mut [Complex]) -> Result<()> {
+    FftPlan::new(data.len())?.forward(data)
+}
+
+/// Inverse DFT of `data`, normalized by `1/n`.
+pub fn ifft(data: &mut [Complex]) -> Result<()> {
+    FftPlan::new(data.len())?.inverse(data)
+}
+
+/// Forward 3-D DFT of an `n x n x n` cube stored in row-major
+/// (`z`-fastest) order; returns the transformed copy.
+pub fn fft3(data: &[Complex], n: usize) -> Result<Vec<Complex>> {
+    let mut out = data.to_vec();
+    let plan = FftPlan::new(n)?;
+    fft3_with_plan(&mut out, n, &plan, false)?;
+    Ok(out)
+}
+
+/// In-place forward 3-D DFT of an `n³`-element cube.
+pub fn fft3_inplace(data: &mut [Complex], n: usize, plan: &FftPlan) -> Result<()> {
+    fft3_with_plan(data, n, plan, false)
+}
+
+/// In-place inverse 3-D DFT of an `n³`-element cube (normalized).
+pub fn ifft3_inplace(data: &mut [Complex], n: usize, plan: &FftPlan) -> Result<()> {
+    fft3_with_plan(data, n, plan, true)
+}
+
+/// Applies the 1-D transform along each axis of the cube.
+///
+/// Indexing: element `(x, y, z)` lives at `x*n*n + y*n + z`.
+fn fft3_with_plan(data: &mut [Complex], n: usize, plan: &FftPlan, inverse: bool) -> Result<()> {
+    if data.len() != n * n * n {
+        return Err(crate::FftError::LengthMismatch { expected: n * n * n, found: data.len() });
+    }
+    if plan.len() != n {
+        return Err(crate::FftError::LengthMismatch { expected: n, found: plan.len() });
+    }
+    let mut line = vec![Complex::ZERO; n];
+    let run = |line: &mut Vec<Complex>, plan: &FftPlan| -> Result<()> {
+        if inverse {
+            plan.inverse(line)
+        } else {
+            plan.forward(line)
+        }
+    };
+    // Along z (contiguous).
+    for x in 0..n {
+        for y in 0..n {
+            let base = x * n * n + y * n;
+            line.copy_from_slice(&data[base..base + n]);
+            run(&mut line, plan)?;
+            data[base..base + n].copy_from_slice(&line);
+        }
+    }
+    // Along y.
+    for x in 0..n {
+        for z in 0..n {
+            for y in 0..n {
+                line[y] = data[x * n * n + y * n + z];
+            }
+            run(&mut line, plan)?;
+            for y in 0..n {
+                data[x * n * n + y * n + z] = line[y];
+            }
+        }
+    }
+    // Along x.
+    for y in 0..n {
+        for z in 0..n {
+            for x in 0..n {
+                line[x] = data[x * n * n + y * n + z];
+            }
+            run(&mut line, plan)?;
+            for x in 0..n {
+                data[x * n * n + y * n + z] = line[x];
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: Complex, b: Complex, tol: f64) {
+        assert!((a.re - b.re).abs() < tol && (a.im - b.im).abs() < tol, "{a:?} != {b:?}");
+    }
+
+    #[test]
+    fn matches_naive_dft() {
+        let n = 16;
+        let input: Vec<Complex> =
+            (0..n).map(|i| Complex::new((i as f64 * 0.3).sin(), (i as f64 * 1.1).cos())).collect();
+        let mut fast = input.clone();
+        fft(&mut fast).unwrap();
+        for k in 0..n {
+            let mut acc = Complex::ZERO;
+            for (j, &x) in input.iter().enumerate() {
+                let theta = -2.0 * std::f64::consts::PI * (j * k) as f64 / n as f64;
+                acc += x * Complex::cis(theta);
+            }
+            assert_close(fast[k], acc, 1e-11);
+        }
+    }
+
+    #[test]
+    fn parseval_energy_conservation() {
+        let n = 64;
+        let input: Vec<Complex> =
+            (0..n).map(|i| Complex::new((i as f64).cos(), (i as f64 * 0.2).sin())).collect();
+        let time_energy: f64 = input.iter().map(|z| z.norm_sqr()).sum();
+        let mut freq = input.clone();
+        fft(&mut freq).unwrap();
+        let freq_energy: f64 = freq.iter().map(|z| z.norm_sqr()).sum::<f64>() / n as f64;
+        assert!((time_energy - freq_energy).abs() < 1e-9 * time_energy);
+    }
+
+    #[test]
+    fn linearity() {
+        let n = 32;
+        let a: Vec<Complex> = (0..n).map(|i| Complex::real(i as f64)).collect();
+        let b: Vec<Complex> = (0..n).map(|i| Complex::new(0.0, (i * i % 7) as f64)).collect();
+        let mut fa = a.clone();
+        let mut fb = b.clone();
+        let mut fab: Vec<Complex> = a.iter().zip(&b).map(|(&x, &y)| x + y.scale(2.0)).collect();
+        fft(&mut fa).unwrap();
+        fft(&mut fb).unwrap();
+        fft(&mut fab).unwrap();
+        for k in 0..n {
+            assert_close(fab[k], fa[k] + fb[k].scale(2.0), 1e-10);
+        }
+    }
+
+    #[test]
+    fn fft3_impulse_is_flat() {
+        let n = 4;
+        let mut cube = vec![Complex::ZERO; n * n * n];
+        cube[0] = Complex::ONE;
+        let out = fft3(&cube, n).unwrap();
+        for z in &out {
+            assert_close(*z, Complex::ONE, 1e-13);
+        }
+    }
+
+    #[test]
+    fn fft3_round_trip() {
+        let n = 8;
+        let cube: Vec<Complex> = (0..n * n * n)
+            .map(|i| Complex::new((i as f64 * 0.01).sin(), (i as f64 * 0.013).cos()))
+            .collect();
+        let plan = FftPlan::new(n).unwrap();
+        let mut work = cube.clone();
+        fft3_inplace(&mut work, n, &plan).unwrap();
+        ifft3_inplace(&mut work, n, &plan).unwrap();
+        for (a, b) in work.iter().zip(&cube) {
+            assert_close(*a, *b, 1e-11);
+        }
+    }
+
+    #[test]
+    fn fft3_separable_product() {
+        // A separable input f(x)g(y)h(z) transforms to F(kx)G(ky)H(kz).
+        let n = 4;
+        let f: Vec<Complex> = (0..n).map(|i| Complex::real(1.0 + i as f64)).collect();
+        let g: Vec<Complex> = (0..n).map(|i| Complex::real((i as f64 * 0.5).cos())).collect();
+        let h: Vec<Complex> = (0..n).map(|i| Complex::real((i % 2) as f64)).collect();
+        let mut cube = vec![Complex::ZERO; n * n * n];
+        for x in 0..n {
+            for y in 0..n {
+                for z in 0..n {
+                    cube[x * n * n + y * n + z] = f[x] * g[y] * h[z];
+                }
+            }
+        }
+        let out = fft3(&cube, n).unwrap();
+        let (mut tf, mut tg, mut th) = (f, g, h);
+        fft(&mut tf).unwrap();
+        fft(&mut tg).unwrap();
+        fft(&mut th).unwrap();
+        for x in 0..n {
+            for y in 0..n {
+                for z in 0..n {
+                    assert_close(out[x * n * n + y * n + z], tf[x] * tg[y] * th[z], 1e-11);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fft3_wrong_cube_size_rejected() {
+        let plan = FftPlan::new(4).unwrap();
+        let mut data = vec![Complex::ZERO; 10];
+        assert!(fft3_inplace(&mut data, 4, &plan).is_err());
+    }
+}

@@ -1,0 +1,103 @@
+//! Property-based tests for the FFT stack.
+
+use dvfs_fft::{circular_convolve, fft, ifft, Complex, FftPlan};
+use proptest::prelude::*;
+
+fn signal(len: usize) -> impl Strategy<Value = Vec<Complex>> {
+    proptest::collection::vec((-1e3f64..1e3, -1e3f64..1e3), len)
+        .prop_map(|v| v.into_iter().map(|(re, im)| Complex::new(re, im)).collect())
+}
+
+fn pow2_len() -> impl Strategy<Value = usize> {
+    (0u32..8).prop_map(|k| 1usize << k)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn round_trip_is_identity((len, seedless) in pow2_len().prop_flat_map(|l| (Just(l), signal(l)))) {
+        let mut data = seedless.clone();
+        fft(&mut data).unwrap();
+        ifft(&mut data).unwrap();
+        let _ = len;
+        for (a, b) in data.iter().zip(&seedless) {
+            prop_assert!((a.re - b.re).abs() < 1e-8 && (a.im - b.im).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn parseval_holds((_len, x) in pow2_len().prop_flat_map(|l| (Just(l), signal(l)))) {
+        let time: f64 = x.iter().map(|z| z.norm_sqr()).sum();
+        let mut f = x.clone();
+        fft(&mut f).unwrap();
+        let freq: f64 = f.iter().map(|z| z.norm_sqr()).sum::<f64>() / x.len() as f64;
+        prop_assert!((time - freq).abs() <= 1e-7 * time.max(1.0));
+    }
+
+    #[test]
+    fn transform_is_linear((_l, x, y) in pow2_len().prop_flat_map(|l| (Just(l), signal(l), signal(l))), alpha in -3.0f64..3.0) {
+        let mut fx = x.clone();
+        let mut fy = y.clone();
+        let mut combo: Vec<Complex> =
+            x.iter().zip(&y).map(|(&a, &b)| a + b.scale(alpha)).collect();
+        fft(&mut fx).unwrap();
+        fft(&mut fy).unwrap();
+        fft(&mut combo).unwrap();
+        for i in 0..x.len() {
+            let expect = fx[i] + fy[i].scale(alpha);
+            prop_assert!((combo[i].re - expect.re).abs() < 1e-6);
+            prop_assert!((combo[i].im - expect.im).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn time_shift_multiplies_by_phase((_l, x) in (1u32..7).prop_map(|k| 1usize << k).prop_flat_map(|l| (Just(l), signal(l))), shift in 0usize..16) {
+        let n = x.len();
+        let shift = shift % n;
+        // y[k] = x[(k - shift) mod n]  =>  Y[j] = X[j]·e^{-2πi j·shift/n}.
+        let y: Vec<Complex> = (0..n).map(|k| x[(n + k - shift) % n]).collect();
+        let mut fx = x.clone();
+        let mut fy = y;
+        fft(&mut fx).unwrap();
+        fft(&mut fy).unwrap();
+        for j in 0..n {
+            let theta = -2.0 * std::f64::consts::PI * (j * shift) as f64 / n as f64;
+            let expect = fx[j] * Complex::cis(theta);
+            prop_assert!((fy[j].re - expect.re).abs() < 1e-6 * (1.0 + expect.abs()));
+            prop_assert!((fy[j].im - expect.im).abs() < 1e-6 * (1.0 + expect.abs()));
+        }
+    }
+
+    #[test]
+    fn convolution_commutes((_l, a, b) in (1u32..6).prop_map(|k| 1usize << k).prop_flat_map(|l| (Just(l), signal(l), signal(l)))) {
+        let ab = circular_convolve(&a, &b).unwrap();
+        let ba = circular_convolve(&b, &a).unwrap();
+        for (x, y) in ab.iter().zip(&ba) {
+            prop_assert!((x.re - y.re).abs() < 1e-5 && (x.im - y.im).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn convolution_with_delta_is_identity((_l, a) in (1u32..6).prop_map(|k| 1usize << k).prop_flat_map(|l| (Just(l), signal(l)))) {
+        let mut delta = vec![Complex::ZERO; a.len()];
+        delta[0] = Complex::ONE;
+        let out = circular_convolve(&a, &delta).unwrap();
+        for (o, x) in out.iter().zip(&a) {
+            prop_assert!((o.re - x.re).abs() < 1e-7 * (1.0 + x.abs()));
+            prop_assert!((o.im - x.im).abs() < 1e-7 * (1.0 + x.abs()));
+        }
+    }
+
+    #[test]
+    fn plan_reuse_matches_one_shot((_l, x) in pow2_len().prop_flat_map(|l| (Just(l), signal(l)))) {
+        let plan = FftPlan::new(x.len()).unwrap();
+        let mut via_plan = x.clone();
+        plan.forward(&mut via_plan).unwrap();
+        let mut one_shot = x.clone();
+        fft(&mut one_shot).unwrap();
+        for (a, b) in via_plan.iter().zip(&one_shot) {
+            prop_assert!((a.re - b.re).abs() < 1e-12 && (a.im - b.im).abs() < 1e-12);
+        }
+    }
+}

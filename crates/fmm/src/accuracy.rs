@@ -1,0 +1,78 @@
+//! Direct-sum reference and error norms.
+
+use crate::kernel::{Kernel, LaplaceKernel};
+use rayon::prelude::*;
+
+/// The O(N²) reference: `f(x_i) = Σ_j K(x_i, y_j) s(y_j)` with sources =
+/// targets (self-interaction excluded by the kernel's `r = 0` rule).
+pub fn direct_sum(points: &[[f64; 3]], densities: &[f64]) -> Vec<f64> {
+    direct_sum_with(&LaplaceKernel, points, densities)
+}
+
+/// [`direct_sum`] for an arbitrary kernel.
+pub fn direct_sum_with<K: Kernel>(
+    kernel: &K,
+    points: &[[f64; 3]],
+    densities: &[f64],
+) -> Vec<f64> {
+    assert_eq!(points.len(), densities.len());
+    points
+        .par_iter()
+        .map(|&t| {
+            let mut acc = 0.0;
+            for (j, &s) in points.iter().enumerate() {
+                acc += kernel.eval(t, s) * densities[j];
+            }
+            acc
+        })
+        .collect()
+}
+
+/// Relative L2 error `‖a − b‖₂ / ‖b‖₂` (`b` is the reference).
+pub fn relative_l2_error(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len());
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for (x, y) in a.iter().zip(b) {
+        num += (x - y) * (x - y);
+        den += y * y;
+    }
+    if den == 0.0 {
+        if num == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        (num / den).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_body_potential() {
+        let pts = [[0.0, 0.0, 0.0], [1.0, 0.0, 0.0]];
+        let den = [3.0, 5.0];
+        let pot = direct_sum(&pts, &den);
+        let k = 1.0 / (4.0 * std::f64::consts::PI);
+        assert!((pot[0] - 5.0 * k).abs() < 1e-15);
+        assert!((pot[1] - 3.0 * k).abs() < 1e-15);
+    }
+
+    #[test]
+    fn self_interaction_excluded() {
+        let pot = direct_sum(&[[0.5, 0.5, 0.5]], &[7.0]);
+        assert_eq!(pot[0], 0.0);
+    }
+
+    #[test]
+    fn error_norm_basics() {
+        assert_eq!(relative_l2_error(&[1.0, 2.0], &[1.0, 2.0]), 0.0);
+        assert!((relative_l2_error(&[1.1, 2.0], &[1.0, 2.0]) - 0.1 / 5.0f64.sqrt()).abs() < 1e-12);
+        assert_eq!(relative_l2_error(&[0.0], &[0.0]), 0.0);
+        assert!(relative_l2_error(&[1.0], &[0.0]).is_infinite());
+    }
+}

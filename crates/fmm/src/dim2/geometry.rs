@@ -1,0 +1,486 @@
+//! Adaptive quadtree and 2D interaction lists.
+//!
+//! A direct 2D transcription of the 3D [`crate::tree`] / [`crate::lists`]
+//! machinery: boxes are addressed by `(level, x, y)`, every box has up to
+//! four children, and the U/V/W/X definitions are identical (the paper's
+//! Figure 3 illustrates them on exactly this quadtree).
+
+use std::collections::HashMap;
+
+/// A quadtree box address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BoxId2 {
+    /// Refinement level.
+    pub level: u8,
+    /// Anchor x in `[0, 2^level)`.
+    pub x: u32,
+    /// Anchor y.
+    pub y: u32,
+}
+
+impl BoxId2 {
+    /// The root box.
+    pub fn root() -> Self {
+        BoxId2 { level: 0, x: 0, y: 0 }
+    }
+
+    /// Parent address.
+    pub fn parent(&self) -> Option<BoxId2> {
+        if self.level == 0 {
+            None
+        } else {
+            Some(BoxId2 { level: self.level - 1, x: self.x / 2, y: self.y / 2 })
+        }
+    }
+
+    /// Child address in `quadrant` (bit 0 = x, bit 1 = y).
+    pub fn child(&self, quadrant: usize) -> BoxId2 {
+        BoxId2 {
+            level: self.level + 1,
+            x: 2 * self.x + (quadrant & 1) as u32,
+            y: 2 * self.y + ((quadrant >> 1) & 1) as u32,
+        }
+    }
+
+    /// Which quadrant of its parent this box occupies.
+    pub fn quadrant(&self) -> usize {
+        ((self.x & 1) | ((self.y & 1) << 1)) as usize
+    }
+
+    /// Closed-square adjacency across levels (exact integer arithmetic).
+    pub fn adjacent(&self, other: &BoxId2) -> bool {
+        let common = self.level.max(other.level);
+        let sa = 1u64 << (common - self.level);
+        let sb = 1u64 << (common - other.level);
+        let overlap = |a: u32, b: u32| {
+            let a0 = a as u64 * sa;
+            let b0 = b as u64 * sb;
+            a0 <= b0 + sb && b0 <= a0 + sa
+        };
+        overlap(self.x, other.x) && overlap(self.y, other.y)
+    }
+}
+
+/// One quadtree node.
+#[derive(Debug, Clone)]
+pub struct Node2 {
+    /// Address.
+    pub id: BoxId2,
+    /// Parent index.
+    pub parent: Option<usize>,
+    /// Children by quadrant.
+    pub children: [Option<usize>; 4],
+    /// Owned range in the permuted point array.
+    pub point_range: (usize, usize),
+    /// Box center.
+    pub center: [f64; 2],
+    /// Half of the edge length.
+    pub half_width: f64,
+}
+
+impl Node2 {
+    /// True when the node has no children.
+    pub fn is_leaf(&self) -> bool {
+        self.children.iter().all(|c| c.is_none())
+    }
+
+    /// Number of owned points.
+    pub fn num_points(&self) -> usize {
+        self.point_range.1 - self.point_range.0
+    }
+}
+
+/// The adaptive quadtree.
+#[derive(Debug, Clone)]
+pub struct QuadTree {
+    /// Nodes, root first, children after parents.
+    pub nodes: Vec<Node2>,
+    /// Permuted points.
+    pub points: Vec<[f64; 2]>,
+    /// Permuted densities.
+    pub densities: Vec<f64>,
+    /// `permutation[i]` = original index of permuted point `i`.
+    pub permutation: Vec<usize>,
+    index: HashMap<BoxId2, usize>,
+    /// Node indices per level.
+    pub levels: Vec<Vec<usize>>,
+    /// The split threshold.
+    pub max_leaf_points: usize,
+}
+
+impl QuadTree {
+    /// Builds the quadtree over 2D points.
+    pub fn build(points: &[[f64; 2]], densities: &[f64], max_leaf_points: usize) -> Self {
+        assert!(!points.is_empty(), "empty point set");
+        assert_eq!(points.len(), densities.len());
+        assert!(max_leaf_points >= 1);
+
+        let mut lo = [f64::INFINITY; 2];
+        let mut hi = [f64::NEG_INFINITY; 2];
+        for p in points {
+            for d in 0..2 {
+                lo[d] = lo[d].min(p[d]);
+                hi[d] = hi[d].max(p[d]);
+            }
+        }
+        let width = (hi[0] - lo[0]).max(hi[1] - lo[1]).max(f64::MIN_POSITIVE) * (1.0 + 1e-12);
+        let root_center = [lo[0] + width * 0.5, lo[1] + width * 0.5];
+
+        let mut order: Vec<usize> = (0..points.len()).collect();
+        let mut nodes = vec![Node2 {
+            id: BoxId2::root(),
+            parent: None,
+            children: [None; 4],
+            point_range: (0, points.len()),
+            center: root_center,
+            half_width: width * 0.5,
+        }];
+        let mut stack = vec![0usize];
+        while let Some(ni) = stack.pop() {
+            let (start, end) = nodes[ni].point_range;
+            if end - start <= max_leaf_points || nodes[ni].id.level >= 24 {
+                continue;
+            }
+            let center = nodes[ni].center;
+            let hw = nodes[ni].half_width;
+            let mut buckets: [Vec<usize>; 4] = Default::default();
+            for &pi in &order[start..end] {
+                let p = points[pi];
+                let q = usize::from(p[0] >= center[0]) | (usize::from(p[1] >= center[1]) << 1);
+                buckets[q].push(pi);
+            }
+            let mut cursor = start;
+            let parent_id = nodes[ni].id;
+            for (q, bucket) in buckets.iter().enumerate() {
+                if bucket.is_empty() {
+                    continue;
+                }
+                let child_start = cursor;
+                for &pi in bucket {
+                    order[cursor] = pi;
+                    cursor += 1;
+                }
+                let child_center = [
+                    center[0] + hw * 0.5 * if q & 1 != 0 { 1.0 } else { -1.0 },
+                    center[1] + hw * 0.5 * if q & 2 != 0 { 1.0 } else { -1.0 },
+                ];
+                let idx = nodes.len();
+                nodes.push(Node2 {
+                    id: parent_id.child(q),
+                    parent: Some(ni),
+                    children: [None; 4],
+                    point_range: (child_start, cursor),
+                    center: child_center,
+                    half_width: hw * 0.5,
+                });
+                nodes[ni].children[q] = Some(idx);
+                stack.push(idx);
+            }
+        }
+
+        let permuted_points: Vec<[f64; 2]> = order.iter().map(|&i| points[i]).collect();
+        let permuted_densities: Vec<f64> = order.iter().map(|&i| densities[i]).collect();
+        let mut index = HashMap::with_capacity(nodes.len());
+        let mut levels: Vec<Vec<usize>> = Vec::new();
+        for (i, n) in nodes.iter().enumerate() {
+            index.insert(n.id, i);
+            let l = n.id.level as usize;
+            if levels.len() <= l {
+                levels.resize(l + 1, Vec::new());
+            }
+            levels[l].push(i);
+        }
+        QuadTree {
+            nodes,
+            points: permuted_points,
+            densities: permuted_densities,
+            permutation: order,
+            index,
+            levels,
+            max_leaf_points,
+        }
+    }
+
+    /// Node index of an address.
+    pub fn find(&self, id: &BoxId2) -> Option<usize> {
+        self.index.get(id).copied()
+    }
+
+    /// Deepest existing ancestor-or-self.
+    pub fn find_or_ancestor(&self, id: &BoxId2) -> Option<usize> {
+        let mut cur = *id;
+        loop {
+            if let Some(i) = self.find(&cur) {
+                return Some(i);
+            }
+            cur = cur.parent()?;
+        }
+    }
+
+    /// Leaf node indices.
+    pub fn leaves(&self) -> Vec<usize> {
+        (0..self.nodes.len()).filter(|&i| self.nodes[i].is_leaf()).collect()
+    }
+
+    /// Tree depth.
+    pub fn depth(&self) -> u8 {
+        (self.levels.len() - 1) as u8
+    }
+
+    /// Existing same-level neighbors (≤ 8 in 2D).
+    pub fn colleagues(&self, ni: usize) -> Vec<usize> {
+        let id = self.nodes[ni].id;
+        let max = 1i64 << id.level;
+        let mut out = Vec::new();
+        for dx in -1i64..=1 {
+            for dy in -1i64..=1 {
+                if dx == 0 && dy == 0 {
+                    continue;
+                }
+                let (nx, ny) = (id.x as i64 + dx, id.y as i64 + dy);
+                if nx < 0 || ny < 0 || nx >= max || ny >= max {
+                    continue;
+                }
+                if let Some(i) =
+                    self.find(&BoxId2 { level: id.level, x: nx as u32, y: ny as u32 })
+                {
+                    out.push(i);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// The 2D interaction lists (definitions identical to 3D).
+#[derive(Debug, Clone)]
+pub struct InteractionLists2 {
+    /// U list per node (leaves only; includes self).
+    pub u: Vec<Vec<usize>>,
+    /// V list per node.
+    pub v: Vec<Vec<usize>>,
+    /// W list per node (leaves only).
+    pub w: Vec<Vec<usize>>,
+    /// X list per node.
+    pub x: Vec<Vec<usize>>,
+}
+
+impl InteractionLists2 {
+    /// Builds all lists.
+    pub fn build(tree: &QuadTree) -> Self {
+        let n = tree.nodes.len();
+        let mut u = vec![Vec::new(); n];
+        let mut v = vec![Vec::new(); n];
+        let mut w = vec![Vec::new(); n];
+        let mut x = vec![Vec::new(); n];
+        for ni in 0..n {
+            let node = &tree.nodes[ni];
+            if let Some(pi) = node.parent {
+                for ci in tree.colleagues(pi) {
+                    for child in tree.nodes[ci].children.iter().flatten() {
+                        if !tree.nodes[*child].id.adjacent(&node.id) {
+                            v[ni].push(*child);
+                        }
+                    }
+                }
+            }
+            if node.is_leaf() {
+                u[ni] = adjacent_leaves(tree, ni);
+                u[ni].push(ni);
+                u[ni].sort_unstable();
+                u[ni].dedup();
+                for ci in tree.colleagues(ni) {
+                    collect_w(tree, ni, ci, &mut w[ni]);
+                }
+            }
+        }
+        for (leaf, wl) in w.iter().enumerate() {
+            for &c in wl {
+                x[c].push(leaf);
+            }
+        }
+        InteractionLists2 { u, v, w, x }
+    }
+}
+
+fn adjacent_leaves(tree: &QuadTree, ni: usize) -> Vec<usize> {
+    let id = tree.nodes[ni].id;
+    let max = 1i64 << id.level;
+    let mut seeds = Vec::new();
+    for dx in -1i64..=1 {
+        for dy in -1i64..=1 {
+            if dx == 0 && dy == 0 {
+                continue;
+            }
+            let (nx, ny) = (id.x as i64 + dx, id.y as i64 + dy);
+            if nx < 0 || ny < 0 || nx >= max || ny >= max {
+                continue;
+            }
+            if let Some(i) = tree.find_or_ancestor(&BoxId2 {
+                level: id.level,
+                x: nx as u32,
+                y: ny as u32,
+            }) {
+                seeds.push(i);
+            }
+        }
+    }
+    seeds.sort_unstable();
+    seeds.dedup();
+    let mut out = Vec::new();
+    for seed in seeds {
+        collect_adjacent_leaves(tree, ni, seed, &mut out);
+    }
+    out
+}
+
+fn collect_adjacent_leaves(tree: &QuadTree, target: usize, cand: usize, out: &mut Vec<usize>) {
+    if cand == target || !tree.nodes[cand].id.adjacent(&tree.nodes[target].id) {
+        return;
+    }
+    if tree.nodes[cand].is_leaf() {
+        out.push(cand);
+        return;
+    }
+    for child in tree.nodes[cand].children.iter().flatten() {
+        collect_adjacent_leaves(tree, target, *child, out);
+    }
+}
+
+fn collect_w(tree: &QuadTree, target: usize, cand: usize, out: &mut Vec<usize>) {
+    for child in tree.nodes[cand].children.iter().flatten() {
+        if tree.nodes[*child].id.adjacent(&tree.nodes[target].id) {
+            if !tree.nodes[*child].is_leaf() {
+                collect_w(tree, target, *child, out);
+            }
+        } else {
+            out.push(*child);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn cloud(n: usize, seed: u64) -> Vec<[f64; 2]> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| [rng.random(), rng.random()]).collect()
+    }
+
+    fn tree(n: usize, q: usize, seed: u64) -> QuadTree {
+        let pts = cloud(n, seed);
+        QuadTree::build(&pts, &vec![1.0; n], q)
+    }
+
+    #[test]
+    fn leaves_partition_points_and_respect_q() {
+        let t = tree(2000, 30, 1);
+        let mut covered = 0;
+        for &li in &t.leaves() {
+            let n = t.nodes[li].num_points();
+            assert!(n > 0 && n <= 30);
+            covered += n;
+        }
+        assert_eq!(covered, 2000);
+    }
+
+    #[test]
+    fn points_inside_their_boxes() {
+        let t = tree(700, 25, 2);
+        for n in &t.nodes {
+            let (s, e) = n.point_range;
+            for p in &t.points[s..e] {
+                assert!((p[0] - n.center[0]).abs() <= n.half_width * (1.0 + 1e-9));
+                assert!((p[1] - n.center[1]).abs() <= n.half_width * (1.0 + 1e-9));
+            }
+        }
+    }
+
+    #[test]
+    fn adjacency_2d_cases() {
+        let a = BoxId2 { level: 2, x: 1, y: 1 };
+        assert!(a.adjacent(&BoxId2 { level: 2, x: 2, y: 2 }), "corner touch");
+        assert!(!a.adjacent(&BoxId2 { level: 2, x: 3, y: 1 }));
+        let coarse = BoxId2 { level: 1, x: 0, y: 0 };
+        assert!(coarse.adjacent(&BoxId2 { level: 3, x: 4, y: 1 }));
+        assert!(!coarse.adjacent(&BoxId2 { level: 3, x: 6, y: 1 }));
+    }
+
+    #[test]
+    fn u_symmetry_and_v_separation() {
+        let t = tree(3000, 24, 3);
+        let lists = InteractionLists2::build(&t);
+        for (ni, ul) in lists.u.iter().enumerate() {
+            for &a in ul {
+                assert!(lists.u[a].contains(&ni));
+            }
+        }
+        for (ni, vl) in lists.v.iter().enumerate() {
+            for &s in vl {
+                assert_eq!(t.nodes[s].id.level, t.nodes[ni].id.level);
+                assert!(!t.nodes[s].id.adjacent(&t.nodes[ni].id));
+            }
+        }
+    }
+
+    #[test]
+    fn v_list_bounded_by_27_in_2d() {
+        let t = tree(8000, 20, 4);
+        let lists = InteractionLists2::build(&t);
+        // 2D: children of ≤8 colleagues = ≤32 minus ≥5 adjacent = ≤27.
+        for vl in &lists.v {
+            assert!(vl.len() <= 27, "V size {}", vl.len());
+        }
+    }
+
+    #[test]
+    fn pair_coverage_is_exactly_once() {
+        // Same fundamental invariant as 3D, on a clustered 2D cloud.
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut pts: Vec<[f64; 2]> =
+            (0..400).map(|_| [rng.random(), rng.random()]).collect();
+        for _ in 0..400 {
+            pts.push([0.3 + rng.random::<f64>() * 0.01, 0.6 + rng.random::<f64>() * 0.01]);
+        }
+        let t = QuadTree::build(&pts, &vec![1.0; 800], 16);
+        let lists = InteractionLists2::build(&t);
+        let leaves = t.leaves();
+        let ancestors = |mut i: usize| {
+            let mut chain = vec![i];
+            while let Some(p) = t.nodes[i].parent {
+                chain.push(p);
+                i = p;
+            }
+            chain
+        };
+        for &target in leaves.iter().step_by(5) {
+            for &source in leaves.iter().step_by(7) {
+                let mut coverage = 0;
+                if lists.u[target].contains(&source) {
+                    coverage += 1;
+                }
+                for &a in &ancestors(target) {
+                    for &b in &ancestors(source) {
+                        if lists.v[a].contains(&b) {
+                            coverage += 1;
+                        }
+                    }
+                }
+                for &b in &ancestors(source) {
+                    if lists.w[target].contains(&b) {
+                        coverage += 1;
+                    }
+                }
+                for &a in &ancestors(target) {
+                    if lists.x[a].contains(&source) {
+                        coverage += 1;
+                    }
+                }
+                assert_eq!(coverage, 1, "pair ({target}, {source})");
+            }
+        }
+    }
+}

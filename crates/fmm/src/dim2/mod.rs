@@ -1,0 +1,24 @@
+//! The two-dimensional KIFMM (quad-tree variant).
+//!
+//! Section III of the paper describes the tree construction as "an
+//! octree (or quad-tree in 2D)"; this module is that 2D variant, with
+//! the same structure as the 3D implementation:
+//!
+//! * [`geometry`] — adaptive quadtree and the U/V/W/X lists (the paper's
+//!   Figure 3 is exactly this 2D picture);
+//! * [`operators`] — the 2D Laplace kernel `−ln‖x−y‖ / 2π`, square
+//!   equivalent/check surfaces, and the translation operators;
+//! * [`evaluator`] — the six-phase engine with dense M2L.
+//!
+//! The 2D variant trades the 3D version's FFT acceleration for
+//! simplicity (its M2L matrices are tiny: `4p−4` square), and serves as
+//! both a readable reference implementation of the KIFMM structure and
+//! the substrate for 2D experiments.
+
+pub mod evaluator;
+pub mod geometry;
+pub mod operators;
+
+pub use evaluator::{direct_sum_2d, evaluate_2d, FmmPlan2};
+pub use geometry::{BoxId2, InteractionLists2, Node2, QuadTree};
+pub use operators::{surface_points_2d, Kernel2, Laplace2};

@@ -1,0 +1,333 @@
+//! 2D kernels, square surfaces, and translation operators.
+//!
+//! The 2D single-layer Laplace kernel is `K(x, y) = −ln‖x−y‖ / 2π`; the
+//! equivalent/check surfaces are the boundary nodes of a square lattice,
+//! with the same 1.05/2.95 radius scheme as 3D.
+//!
+//! One 2D-specific subtlety: the log kernel does not decay at infinity,
+//! so an equivalent density must reproduce both the field *and* the net
+//! charge (the coefficient of the log term).  The least-squares
+//! check-surface fit handles this automatically because the log term is
+//! in the span of the surface sources.
+
+use crate::dim2::geometry::QuadTree;
+use dvfs_linalg::{pseudo_inverse, Matrix};
+use std::collections::HashMap;
+
+/// Surface radius of the inner (upward-equivalent / downward-check)
+/// square, × half-width.
+pub const RADIUS_INNER_2D: f64 = 1.05;
+/// Surface radius of the outer (upward-check / downward-equivalent)
+/// square, × half-width.
+pub const RADIUS_OUTER_2D: f64 = 2.95;
+
+/// A translation-invariant 2D kernel.
+pub trait Kernel2: Sync {
+    /// Evaluates `K(target, source)`.
+    fn eval(&self, target: [f64; 2], source: [f64; 2]) -> f64;
+
+    /// Dense kernel matrix.
+    fn matrix(&self, targets: &[[f64; 2]], sources: &[[f64; 2]]) -> Matrix {
+        Matrix::from_fn(targets.len(), sources.len(), |i, j| self.eval(targets[i], sources[j]))
+    }
+
+    /// `out[i] += Σ_j K(t_i, s_j) q_j`.
+    fn p2p(&self, targets: &[[f64; 2]], sources: &[[f64; 2]], q: &[f64], out: &mut [f64]) {
+        for (i, &t) in targets.iter().enumerate() {
+            let mut acc = 0.0;
+            for (j, &s) in sources.iter().enumerate() {
+                acc += self.eval(t, s) * q[j];
+            }
+            out[i] += acc;
+        }
+    }
+}
+
+/// The 2D Laplace kernel `−ln r / 2π` (self-interaction = 0).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Laplace2;
+
+impl Kernel2 for Laplace2 {
+    #[inline]
+    fn eval(&self, target: [f64; 2], source: [f64; 2]) -> f64 {
+        let dx = target[0] - source[0];
+        let dy = target[1] - source[1];
+        let r2 = dx * dx + dy * dy;
+        if r2 == 0.0 {
+            0.0
+        } else {
+            -0.5 * r2.ln() / (2.0 * std::f64::consts::PI)
+        }
+    }
+}
+
+/// The boundary nodes of a `p × p` lattice spanning the square of radius
+/// `radius_factor × half_width` around `center` (`4p − 4` points).
+pub fn surface_points_2d(
+    p: usize,
+    center: [f64; 2],
+    half_width: f64,
+    radius_factor: f64,
+) -> Vec<[f64; 2]> {
+    assert!(p >= 2);
+    let r = radius_factor * half_width;
+    let step = 2.0 * r / (p - 1) as f64;
+    let mut out = Vec::with_capacity(4 * p - 4);
+    for i in 0..p {
+        for j in 0..p {
+            if i == 0 || i == p - 1 || j == 0 || j == p - 1 {
+                out.push([center[0] - r + step * i as f64, center[1] - r + step * j as f64]);
+            }
+        }
+    }
+    out
+}
+
+/// Relative offset at a common level, in box widths.
+pub type Offset2 = (i32, i32);
+
+/// The 2D operator cache (UC2E/DC2E per level, M2M/L2L per quadrant,
+/// dense M2L per realized offset).
+pub struct OperatorCache2 {
+    /// Surface order.
+    pub p: usize,
+    uc2e: HashMap<u8, Matrix>,
+    dc2e: HashMap<u8, Matrix>,
+    m2m: HashMap<(u8, usize), Matrix>,
+    l2l: HashMap<(u8, usize), Matrix>,
+    m2l: HashMap<(u8, Offset2), Matrix>,
+}
+
+const PINV_RTOL_2D: f64 = 1e-12;
+
+impl OperatorCache2 {
+    /// Builds every operator the tree's lists need.
+    pub fn build<K: Kernel2>(kernel: &K, tree: &QuadTree, p: usize) -> Self {
+        let mut cache = OperatorCache2 {
+            p,
+            uc2e: HashMap::new(),
+            dc2e: HashMap::new(),
+            m2m: HashMap::new(),
+            l2l: HashMap::new(),
+            m2l: HashMap::new(),
+        };
+        let root_hw = tree.nodes[0].half_width;
+        for level in 0..=tree.depth() {
+            let hw = root_hw / (1u64 << level) as f64;
+            cache.uc2e.insert(level, Self::make_c2e(kernel, p, hw, true));
+            cache.dc2e.insert(level, Self::make_c2e(kernel, p, hw, false));
+            if level > 0 {
+                let parent_uc2e = cache.uc2e[&(level - 1)].clone();
+                let child_dc2e = cache.dc2e[&level].clone();
+                for quadrant in 0..4 {
+                    cache.m2m.insert(
+                        (level, quadrant),
+                        Self::make_m2m(kernel, p, hw, quadrant, &parent_uc2e),
+                    );
+                    cache.l2l.insert(
+                        (level, quadrant),
+                        Self::make_l2l(kernel, p, hw, quadrant, &child_dc2e),
+                    );
+                }
+            }
+        }
+        let lists = crate::dim2::geometry::InteractionLists2::build(tree);
+        for (ti, vl) in lists.v.iter().enumerate() {
+            let tid = tree.nodes[ti].id;
+            for &si in vl {
+                let sid = tree.nodes[si].id;
+                let off = (sid.x as i32 - tid.x as i32, sid.y as i32 - tid.y as i32);
+                let hw = root_hw / (1u64 << tid.level) as f64;
+                cache
+                    .m2l
+                    .entry((tid.level, off))
+                    .or_insert_with(|| Self::make_m2l(kernel, p, hw, off));
+            }
+        }
+        cache
+    }
+
+    fn make_c2e<K: Kernel2>(kernel: &K, p: usize, hw: f64, upward: bool) -> Matrix {
+        let (equiv_r, check_r) = if upward {
+            (RADIUS_INNER_2D, RADIUS_OUTER_2D)
+        } else {
+            (RADIUS_OUTER_2D, RADIUS_INNER_2D)
+        };
+        let equiv = surface_points_2d(p, [0.0; 2], hw, equiv_r);
+        let check = surface_points_2d(p, [0.0; 2], hw, check_r);
+        pseudo_inverse(&kernel.matrix(&check, &equiv), PINV_RTOL_2D).expect("2d c2e pinv")
+    }
+
+    fn child_center(child_hw: f64, quadrant: usize) -> [f64; 2] {
+        [
+            child_hw * if quadrant & 1 != 0 { 1.0 } else { -1.0 },
+            child_hw * if quadrant & 2 != 0 { 1.0 } else { -1.0 },
+        ]
+    }
+
+    fn make_m2m<K: Kernel2>(
+        kernel: &K,
+        p: usize,
+        child_hw: f64,
+        quadrant: usize,
+        parent_uc2e: &Matrix,
+    ) -> Matrix {
+        let child_equiv =
+            surface_points_2d(p, Self::child_center(child_hw, quadrant), child_hw, RADIUS_INNER_2D);
+        let parent_check = surface_points_2d(p, [0.0; 2], 2.0 * child_hw, RADIUS_OUTER_2D);
+        parent_uc2e.matmul(&kernel.matrix(&parent_check, &child_equiv)).expect("m2m")
+    }
+
+    fn make_l2l<K: Kernel2>(
+        kernel: &K,
+        p: usize,
+        child_hw: f64,
+        quadrant: usize,
+        child_dc2e: &Matrix,
+    ) -> Matrix {
+        let parent_equiv = surface_points_2d(p, [0.0; 2], 2.0 * child_hw, RADIUS_OUTER_2D);
+        let child_check =
+            surface_points_2d(p, Self::child_center(child_hw, quadrant), child_hw, RADIUS_INNER_2D);
+        child_dc2e.matmul(&kernel.matrix(&child_check, &parent_equiv)).expect("l2l")
+    }
+
+    fn make_m2l<K: Kernel2>(kernel: &K, p: usize, hw: f64, off: Offset2) -> Matrix {
+        let width = 2.0 * hw;
+        let src_center = [off.0 as f64 * width, off.1 as f64 * width];
+        let src_equiv = surface_points_2d(p, src_center, hw, RADIUS_INNER_2D);
+        let tgt_check = surface_points_2d(p, [0.0; 2], hw, RADIUS_INNER_2D);
+        kernel.matrix(&tgt_check, &src_equiv)
+    }
+
+    /// UC2E at `level`.
+    pub fn uc2e(&self, level: u8) -> &Matrix {
+        &self.uc2e[&level]
+    }
+
+    /// DC2E at `level`.
+    pub fn dc2e(&self, level: u8) -> &Matrix {
+        &self.dc2e[&level]
+    }
+
+    /// M2M for a child at `level` in `quadrant`.
+    pub fn m2m(&self, level: u8, quadrant: usize) -> &Matrix {
+        &self.m2m[&(level, quadrant)]
+    }
+
+    /// L2L for a child at `level` in `quadrant`.
+    pub fn l2l(&self, level: u8, quadrant: usize) -> &Matrix {
+        &self.l2l[&(level, quadrant)]
+    }
+
+    /// Dense M2L at `(level, offset)`.
+    pub fn m2l(&self, level: u8, off: Offset2) -> Option<&Matrix> {
+        self.m2l.get(&(level, off))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    const P: usize = 8;
+
+    #[test]
+    fn log_kernel_values() {
+        let k = Laplace2;
+        assert_eq!(k.eval([0.0, 0.0], [1.0, 0.0]), 0.0_f64.max(-0.0), "ln 1 = 0");
+        assert!(k.eval([0.0, 0.0], [0.5, 0.0]) > 0.0, "attractive inside unit radius");
+        assert!(k.eval([0.0, 0.0], [3.0, 0.0]) < 0.0);
+        assert_eq!(k.eval([0.2, 0.2], [0.2, 0.2]), 0.0, "self-interaction");
+    }
+
+    #[test]
+    fn surface_count_is_4p_minus_4() {
+        for p in 2..9 {
+            assert_eq!(surface_points_2d(p, [0.0; 2], 1.0, 1.0).len(), 4 * p - 4);
+        }
+    }
+
+    #[test]
+    fn p2m_reproduces_far_field_2d() {
+        // Random sources in a box; the fitted equivalent density must
+        // reproduce the potential at well-separated targets — including
+        // the net-charge log behaviour at long range.
+        let kernel = Laplace2;
+        let hw = 0.5;
+        let mut rng = StdRng::seed_from_u64(2);
+        let src: Vec<[f64; 2]> = (0..30)
+            .map(|_| {
+                [
+                    hw * (2.0 * rng.random::<f64>() - 1.0),
+                    hw * (2.0 * rng.random::<f64>() - 1.0),
+                ]
+            })
+            .collect();
+        let den: Vec<f64> = (0..30).map(|_| 2.0 * rng.random::<f64>() - 1.0).collect();
+        let check = surface_points_2d(P, [0.0; 2], hw, RADIUS_OUTER_2D);
+        let equiv_pts = surface_points_2d(P, [0.0; 2], hw, RADIUS_INNER_2D);
+        let mut check_pot = vec![0.0; check.len()];
+        kernel.p2p(&check, &src, &den, &mut check_pot);
+        let uc2e = OperatorCache2::make_c2e(&kernel, P, hw, true);
+        let equiv_den = uc2e.matvec(&check_pot);
+        for t in [[4.0 * hw, 0.0], [3.0 * hw, 3.0 * hw], [0.0, -6.0 * hw]] {
+            let mut direct = [0.0];
+            kernel.p2p(&[t], &src, &den, &mut direct);
+            let mut approx = [0.0];
+            kernel.p2p(&[t], &equiv_pts, &equiv_den, &mut approx);
+            let scale = direct[0].abs().max(0.1);
+            assert!(
+                (direct[0] - approx[0]).abs() / scale < 1e-5,
+                "2D P2M error at {t:?}: {} vs {}",
+                approx[0],
+                direct[0]
+            );
+        }
+    }
+
+    #[test]
+    fn m2l_reproduces_interior_field_2d() {
+        let kernel = Laplace2;
+        let hw = 0.5;
+        let off: Offset2 = (2, -1);
+        let width = 2.0 * hw;
+        let src_center = [2.0 * width, -width];
+        let mut rng = StdRng::seed_from_u64(5);
+        let src: Vec<[f64; 2]> = (0..25)
+            .map(|_| {
+                [
+                    src_center[0] + hw * (2.0 * rng.random::<f64>() - 1.0),
+                    src_center[1] + hw * (2.0 * rng.random::<f64>() - 1.0),
+                ]
+            })
+            .collect();
+        let den: Vec<f64> = (0..25).map(|_| rng.random::<f64>() - 0.5).collect();
+        // Source multipole.
+        let src_local: Vec<[f64; 2]> =
+            src.iter().map(|p| [p[0] - src_center[0], p[1] - src_center[1]]).collect();
+        let check = surface_points_2d(P, [0.0; 2], hw, RADIUS_OUTER_2D);
+        let mut cpot = vec![0.0; check.len()];
+        kernel.p2p(&check, &src_local, &den, &mut cpot);
+        let uc2e = OperatorCache2::make_c2e(&kernel, P, hw, true);
+        let equiv_den = uc2e.matvec(&cpot);
+        // M2L + DC2E.
+        let m2l = OperatorCache2::make_m2l(&kernel, P, hw, off);
+        let dcheck = m2l.matvec(&equiv_den);
+        let dc2e = OperatorCache2::make_c2e(&kernel, P, hw, false);
+        let local = dc2e.matvec(&dcheck);
+        let local_pts = surface_points_2d(P, [0.0; 2], hw, RADIUS_OUTER_2D);
+        for t in [[0.0, 0.0], [0.4 * hw, -0.7 * hw]] {
+            let mut direct = [0.0];
+            kernel.p2p(&[t], &src, &den, &mut direct);
+            let mut approx = [0.0];
+            kernel.p2p(&[t], &local_pts, &local, &mut approx);
+            let scale = direct[0].abs().max(0.1);
+            assert!(
+                (direct[0] - approx[0]).abs() / scale < 1e-5,
+                "2D M2L error at {t:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,548 @@
+//! The six-phase FMM evaluation engine.
+//!
+//! Phases run in the paper's order — UP (P2M + M2M), V (M2L), U (P2P),
+//! W, X, DOWN (L2L + L2P) — with rayon data parallelism inside each
+//! phase: over same-level boxes for the tree passes and over leaves for
+//! the list passes.  Writes are race-free by construction: each parallel
+//! task owns a disjoint target (its box's expansion or its leaf's
+//! contiguous potential range), and all reads are to data finalized in an
+//! earlier level or phase.
+
+use crate::fft_m2l::FftM2l;
+use crate::kernel::{Kernel, LaplaceKernel};
+use crate::lists::InteractionLists;
+use crate::operators::OperatorCache;
+use crate::surface::{surface_point_count, surface_points, RADIUS_INNER, RADIUS_OUTER};
+use crate::tree::Octree;
+use rayon::prelude::*;
+
+/// How the V-list translations are evaluated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum M2lMethod {
+    /// Dense per-offset operator matrices.
+    Dense,
+    /// FFT convolution (the paper's configuration).
+    Fft,
+}
+
+/// An execution plan: tree, lists, and precomputed operators.
+///
+/// Generic over the interaction kernel — the "kernel independence" of
+/// the KIFMM is literal here: any [`Kernel`] implementation gets the
+/// same tree, lists, operators and FFT machinery.
+///
+/// ```
+/// use kifmm::evaluator::{FmmPlan, M2lMethod};
+/// use kifmm::{direct_sum, relative_l2_error, FmmEvaluator};
+/// use kifmm::distributions::uniform_cube;
+///
+/// let points = uniform_cube(400, 7);
+/// let densities = vec![1.0; 400];
+/// let plan = FmmPlan::new(&points, &densities, 32, 4, M2lMethod::Fft);
+/// let potentials = FmmEvaluator::new().evaluate(&plan);
+/// let reference = direct_sum(&points, &densities);
+/// assert!(relative_l2_error(&potentials, &reference) < 1e-2);
+/// ```
+pub struct FmmPlan<K: Kernel = LaplaceKernel> {
+    /// The interaction kernel.
+    pub kernel: K,
+    /// The octree.
+    pub tree: Octree,
+    /// The U/V/W/X lists.
+    pub lists: InteractionLists,
+    /// Dense translation operators.
+    pub ops: OperatorCache,
+    /// FFT M2L state (present when `method == Fft`).
+    pub fft: Option<FftM2l>,
+    /// Surface order.
+    pub p: usize,
+    /// V-list evaluation method.
+    pub method: M2lMethod,
+}
+
+impl FmmPlan<LaplaceKernel> {
+    /// Builds a plan for `points`/`densities` with at most `q` points per
+    /// leaf and surface order `p` (must be a power of two for the FFT
+    /// method), using the single-layer Laplace kernel.
+    pub fn new(
+        points: &[[f64; 3]],
+        densities: &[f64],
+        q: usize,
+        p: usize,
+        method: M2lMethod,
+    ) -> Self {
+        FmmPlan::with_kernel(LaplaceKernel, points, densities, q, p, method)
+    }
+}
+
+impl<K: Kernel> FmmPlan<K> {
+    /// Builds a plan for an arbitrary interaction kernel.
+    pub fn with_kernel(
+        kernel: K,
+        points: &[[f64; 3]],
+        densities: &[f64],
+        q: usize,
+        p: usize,
+        method: M2lMethod,
+    ) -> Self {
+        let tree = Octree::build(points, densities, q);
+        let lists = InteractionLists::build(&tree);
+        // The dense M2L matrices are only built for the dense method; the
+        // FFT method precomputes kernel spectra instead.
+        let ops =
+            OperatorCache::build_for_method(&kernel, &tree, p, method == M2lMethod::Dense);
+        let fft = match method {
+            M2lMethod::Fft => Some(FftM2l::build(&kernel, &tree, p)),
+            M2lMethod::Dense => None,
+        };
+        FmmPlan { kernel, tree, lists, ops, fft, p, method }
+    }
+
+    /// Surface points per box.
+    pub fn ns(&self) -> usize {
+        surface_point_count(self.p)
+    }
+}
+
+/// The evaluator.  Stateless; the kernel lives in the plan.
+#[derive(Debug, Default)]
+pub struct FmmEvaluator;
+
+impl FmmEvaluator {
+    /// Creates an evaluator.
+    pub fn new() -> Self {
+        FmmEvaluator
+    }
+
+    /// Computes all `N` potentials, returned in the ORIGINAL point order.
+    pub fn evaluate<K: Kernel>(&self, plan: &FmmPlan<K>) -> Vec<f64> {
+        self.evaluate_impl(plan, false).0
+    }
+
+    /// Computes potentials *and* their gradients `∇f(x_i)` (for the
+    /// Laplace kernel, `−∇f` is the field — the force per unit charge),
+    /// both in the ORIGINAL point order.
+    ///
+    /// The far field is differentiated through its single-layer
+    /// representation: at the leaf stages (L2P, W, U) the gradient kernel
+    /// is applied against the same equivalent densities and sources the
+    /// potential uses, so force accuracy matches potential accuracy up to
+    /// one derivative order.
+    pub fn evaluate_with_gradient<K: Kernel>(
+        &self,
+        plan: &FmmPlan<K>,
+    ) -> (Vec<f64>, Vec<[f64; 3]>) {
+        let (pot, grad) = self.evaluate_impl(plan, true);
+        (pot, grad.expect("gradient requested"))
+    }
+
+    fn evaluate_impl<K: Kernel>(
+        &self,
+        plan: &FmmPlan<K>,
+        with_grad: bool,
+    ) -> (Vec<f64>, Option<Vec<[f64; 3]>>) {
+        let tree = &plan.tree;
+        let ns = plan.ns();
+        let n_nodes = tree.nodes.len();
+
+        // ---- UP: P2M at leaves, M2M bottom-up. ----------------------
+        let mut up_equiv: Vec<Vec<f64>> = vec![Vec::new(); n_nodes];
+        for level in (0..tree.levels.len()).rev() {
+            let computed: Vec<(usize, Vec<f64>)> = tree.levels[level]
+                .par_iter()
+                .map(|&ni| (ni, self.upward_for_node(plan, ni, &up_equiv)))
+                .collect();
+            for (ni, equiv) in computed {
+                up_equiv[ni] = equiv;
+            }
+        }
+
+        // ---- V: M2L into downward-check accumulators. ---------------
+        let mut down_check: Vec<Vec<f64>> = vec![vec![0.0; ns]; n_nodes];
+        match plan.method {
+            M2lMethod::Fft => {
+                let fft = plan.fft.as_ref().expect("fft plan built");
+                // Forward transforms for every box that appears as a V
+                // source.
+                let mut is_source = vec![false; n_nodes];
+                for vl in &plan.lists.v {
+                    for &s in vl {
+                        is_source[s] = true;
+                    }
+                }
+                let spectra: Vec<Option<Vec<dvfs_fft::Complex>>> = (0..n_nodes)
+                    .into_par_iter()
+                    .map(|ni| {
+                        if is_source[ni] {
+                            Some(fft.source_spectrum(&up_equiv[ni]))
+                        } else {
+                            None
+                        }
+                    })
+                    .collect();
+                let results: Vec<(usize, Vec<f64>)> = (0..n_nodes)
+                    .into_par_iter()
+                    .filter(|&ni| !plan.lists.v[ni].is_empty())
+                    .map(|ni| {
+                        let tid = tree.nodes[ni].id;
+                        let mut acc = fft.new_accumulator();
+                        for &si in &plan.lists.v[ni] {
+                            let sid = tree.nodes[si].id;
+                            let off = (
+                                sid.x as i32 - tid.x as i32,
+                                sid.y as i32 - tid.y as i32,
+                                sid.z as i32 - tid.z as i32,
+                            );
+                            let spec = spectra[si].as_ref().expect("source spectrum");
+                            let ok = fft.accumulate(tid.level, off, spec, &mut acc);
+                            debug_assert!(ok, "spectrum for every realized offset");
+                        }
+                        (ni, fft.finish(acc))
+                    })
+                    .collect();
+                for (ni, pot) in results {
+                    for (d, p) in down_check[ni].iter_mut().zip(&pot) {
+                        *d += p;
+                    }
+                }
+            }
+            M2lMethod::Dense => {
+                let results: Vec<(usize, Vec<f64>)> = (0..n_nodes)
+                    .into_par_iter()
+                    .filter(|&ni| !plan.lists.v[ni].is_empty())
+                    .map(|ni| {
+                        let tid = tree.nodes[ni].id;
+                        let mut acc = vec![0.0; ns];
+                        for &si in &plan.lists.v[ni] {
+                            let sid = tree.nodes[si].id;
+                            let off = (
+                                sid.x as i32 - tid.x as i32,
+                                sid.y as i32 - tid.y as i32,
+                                sid.z as i32 - tid.z as i32,
+                            );
+                            let m2l = plan.ops.m2l(tid.level, off).expect("operator cached");
+                            let contrib = m2l.matvec(&up_equiv[si]);
+                            for (a, c) in acc.iter_mut().zip(&contrib) {
+                                *a += c;
+                            }
+                        }
+                        (ni, acc)
+                    })
+                    .collect();
+                for (ni, pot) in results {
+                    for (d, p) in down_check[ni].iter_mut().zip(&pot) {
+                        *d += p;
+                    }
+                }
+            }
+        }
+
+        // ---- X: source points onto downward-check surfaces. ---------
+        let x_results: Vec<(usize, Vec<f64>)> = (0..n_nodes)
+            .into_par_iter()
+            .filter(|&ni| !plan.lists.x[ni].is_empty())
+            .map(|ni| {
+                let node = &tree.nodes[ni];
+                let check = surface_points(plan.p, node.center, node.half_width, RADIUS_INNER);
+                let mut acc = vec![0.0; ns];
+                for &ci in &plan.lists.x[ni] {
+                    let (s, e) = tree.nodes[ci].point_range;
+                    plan.kernel.p2p(&check, &tree.points[s..e], &tree.densities[s..e], &mut acc);
+                }
+                (ni, acc)
+            })
+            .collect();
+        for (ni, pot) in x_results {
+            for (d, p) in down_check[ni].iter_mut().zip(&pot) {
+                *d += p;
+            }
+        }
+
+        // ---- DOWN (part 1): L2L top-down. ----------------------------
+        let mut down_equiv: Vec<Vec<f64>> = vec![Vec::new(); n_nodes];
+        for level in 0..tree.levels.len() {
+            let computed: Vec<(usize, Vec<f64>)> = tree.levels[level]
+                .par_iter()
+                .map(|&ni| {
+                    let node = &tree.nodes[ni];
+                    let mut equiv = plan.ops.dc2e(node.id.level).matvec(&down_check[ni]);
+                    if let Some(pi) = node.parent {
+                        if !down_equiv[pi].is_empty() {
+                            let l2l = plan.ops.l2l(node.id.level, node.id.octant());
+                            let from_parent = l2l.matvec(&down_equiv[pi]);
+                            for (e, f) in equiv.iter_mut().zip(&from_parent) {
+                                *e += f;
+                            }
+                        }
+                    }
+                    (ni, equiv)
+                })
+                .collect();
+            for (ni, equiv) in computed {
+                down_equiv[ni] = equiv;
+            }
+        }
+
+        // ---- Leaf phases: L2P + W + U, writing disjoint ranges. ------
+        type LeafResult = ((usize, usize), Vec<f64>, Option<Vec<[f64; 3]>>);
+        let leaves = tree.leaves();
+        let leaf_results: Vec<LeafResult> = leaves
+            .par_iter()
+            .map(|&li| {
+                let node = &tree.nodes[li];
+                let (s, e) = node.point_range;
+                let targets = &tree.points[s..e];
+                let mut pot = vec![0.0; e - s];
+                let mut grad = if with_grad { Some(vec![[0.0; 3]; e - s]) } else { None };
+                // L2P: evaluate the local expansion.
+                let equiv_pts =
+                    surface_points(plan.p, node.center, node.half_width, RADIUS_OUTER);
+                plan.kernel.p2p(targets, &equiv_pts, &down_equiv[li], &mut pot);
+                if let Some(g) = grad.as_mut() {
+                    plan.kernel.p2p_grad(targets, &equiv_pts, &down_equiv[li], g);
+                }
+                // W: multipoles of W-list boxes evaluated directly.
+                for &wi in &plan.lists.w[li] {
+                    let wnode = &tree.nodes[wi];
+                    let wequiv_pts =
+                        surface_points(plan.p, wnode.center, wnode.half_width, RADIUS_INNER);
+                    plan.kernel.p2p(targets, &wequiv_pts, &up_equiv[wi], &mut pot);
+                    if let Some(g) = grad.as_mut() {
+                        plan.kernel.p2p_grad(targets, &wequiv_pts, &up_equiv[wi], g);
+                    }
+                }
+                // U: direct near-field.
+                for &ui in &plan.lists.u[li] {
+                    let (us, ue) = tree.nodes[ui].point_range;
+                    plan.kernel.p2p(
+                        targets,
+                        &tree.points[us..ue],
+                        &tree.densities[us..ue],
+                        &mut pot,
+                    );
+                    if let Some(g) = grad.as_mut() {
+                        plan.kernel.p2p_grad(
+                            targets,
+                            &tree.points[us..ue],
+                            &tree.densities[us..ue],
+                            g,
+                        );
+                    }
+                }
+                ((s, e), pot, grad)
+            })
+            .collect();
+
+        // Scatter to original order.
+        let mut out = vec![0.0; tree.points.len()];
+        let mut out_grad =
+            if with_grad { Some(vec![[0.0; 3]; tree.points.len()]) } else { None };
+        for ((s, _e), pot, grad) in leaf_results {
+            for (offset, v) in pot.into_iter().enumerate() {
+                out[tree.permutation[s + offset]] = v;
+            }
+            if let (Some(og), Some(g)) = (out_grad.as_mut(), grad) {
+                for (offset, v) in g.into_iter().enumerate() {
+                    og[tree.permutation[s + offset]] = v;
+                }
+            }
+        }
+        (out, out_grad)
+    }
+
+    /// P2M for leaves, M2M for internal nodes.
+    fn upward_for_node<K: Kernel>(
+        &self,
+        plan: &FmmPlan<K>,
+        ni: usize,
+        up_equiv: &[Vec<f64>],
+    ) -> Vec<f64> {
+        let tree = &plan.tree;
+        let node = &tree.nodes[ni];
+        let level = node.id.level;
+        if node.is_leaf() {
+            let check = surface_points(plan.p, node.center, node.half_width, RADIUS_OUTER);
+            let mut check_pot = vec![0.0; check.len()];
+            let (s, e) = node.point_range;
+            plan.kernel.p2p(&check, &tree.points[s..e], &tree.densities[s..e], &mut check_pot);
+            plan.ops.uc2e(level).matvec(&check_pot)
+        } else {
+            let ns = plan.ns();
+            let mut equiv = vec![0.0; ns];
+            for child in node.children.iter().flatten() {
+                let cnode = &tree.nodes[*child];
+                let m2m = plan.ops.m2m(cnode.id.level, cnode.id.octant());
+                let contrib = m2m.matvec(&up_equiv[*child]);
+                for (a, c) in equiv.iter_mut().zip(&contrib) {
+                    *a += c;
+                }
+            }
+            equiv
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::accuracy::{direct_sum, relative_l2_error};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_problem(n: usize, seed: u64) -> (Vec<[f64; 3]>, Vec<f64>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pts = (0..n).map(|_| [rng.random(), rng.random(), rng.random()]).collect();
+        let den = (0..n).map(|_| 2.0 * rng.random::<f64>() - 1.0).collect();
+        (pts, den)
+    }
+
+    #[test]
+    fn matches_direct_sum_dense_m2l() {
+        let (pts, den) = random_problem(1500, 1);
+        let plan = FmmPlan::new(&pts, &den, 40, 4, M2lMethod::Dense);
+        let fmm = FmmEvaluator::new().evaluate(&plan);
+        let direct = direct_sum(&pts, &den);
+        let err = relative_l2_error(&fmm, &direct);
+        assert!(err < 5e-3, "FMM vs direct relative L2 error {err}");
+    }
+
+    #[test]
+    fn matches_direct_sum_fft_m2l() {
+        let (pts, den) = random_problem(1500, 2);
+        let plan = FmmPlan::new(&pts, &den, 40, 4, M2lMethod::Fft);
+        let fmm = FmmEvaluator::new().evaluate(&plan);
+        let direct = direct_sum(&pts, &den);
+        let err = relative_l2_error(&fmm, &direct);
+        assert!(err < 5e-3, "FFT-M2L FMM vs direct relative L2 error {err}");
+    }
+
+    #[test]
+    fn fft_and_dense_agree_closely() {
+        let (pts, den) = random_problem(2000, 3);
+        let dense = FmmEvaluator::new()
+            .evaluate(&FmmPlan::new(&pts, &den, 50, 4, M2lMethod::Dense));
+        let fft = FmmEvaluator::new().evaluate(&FmmPlan::new(&pts, &den, 50, 4, M2lMethod::Fft));
+        let err = relative_l2_error(&fft, &dense);
+        assert!(err < 1e-10, "two M2L paths are the same operator: {err}");
+    }
+
+    #[test]
+    fn higher_order_is_more_accurate() {
+        let (pts, den) = random_problem(1200, 4);
+        let direct = direct_sum(&pts, &den);
+        let e4 = relative_l2_error(
+            &FmmEvaluator::new().evaluate(&FmmPlan::new(&pts, &den, 30, 4, M2lMethod::Fft)),
+            &direct,
+        );
+        let e8 = relative_l2_error(
+            &FmmEvaluator::new().evaluate(&FmmPlan::new(&pts, &den, 30, 8, M2lMethod::Fft)),
+            &direct,
+        );
+        assert!(e8 < e4, "p=8 ({e8}) beats p=4 ({e4})");
+        assert!(e8 < 1e-5, "p=8 reaches ~1e-6: {e8}");
+    }
+
+    #[test]
+    fn clustered_distribution_still_accurate() {
+        // Exercises the adaptive W/X paths.
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut pts = Vec::new();
+        for _ in 0..800 {
+            pts.push([
+                0.1 + rng.random::<f64>() * 0.02,
+                0.5 + rng.random::<f64>() * 0.02,
+                0.5 + rng.random::<f64>() * 0.02,
+            ]);
+        }
+        for _ in 0..700 {
+            pts.push([rng.random(), rng.random(), rng.random()]);
+        }
+        let den: Vec<f64> = (0..1500).map(|_| 2.0 * rng.random::<f64>() - 1.0).collect();
+        let plan = FmmPlan::new(&pts, &den, 24, 4, M2lMethod::Fft);
+        // Sanity: the adaptive paths are actually exercised.
+        assert!(plan.lists.w.iter().map(|l| l.len()).sum::<usize>() > 0);
+        let fmm = FmmEvaluator::new().evaluate(&plan);
+        let direct = direct_sum(&pts, &den);
+        let err = relative_l2_error(&fmm, &direct);
+        assert!(err < 5e-3, "adaptive case error {err}");
+    }
+
+    #[test]
+    fn single_leaf_tree_is_exact() {
+        // Q >= N: everything is one U-list self-interaction = direct sum.
+        let (pts, den) = random_problem(120, 6);
+        let plan = FmmPlan::new(&pts, &den, 200, 4, M2lMethod::Dense);
+        let fmm = FmmEvaluator::new().evaluate(&plan);
+        let direct = direct_sum(&pts, &den);
+        let err = relative_l2_error(&fmm, &direct);
+        assert!(err < 1e-14, "single box is exact: {err}");
+    }
+
+    #[test]
+    fn gradients_match_direct_force_sum() {
+        use crate::kernel::{Kernel, LaplaceKernel};
+        let (pts, den) = random_problem(1000, 21);
+        let plan = FmmPlan::new(&pts, &den, 32, 8, M2lMethod::Fft);
+        let (pot, grad) = FmmEvaluator::new().evaluate_with_gradient(&plan);
+        // Potentials unchanged by the gradient path.
+        let pot_only = FmmEvaluator::new().evaluate(&plan);
+        assert_eq!(pot, pot_only);
+        // Reference gradient by direct summation.
+        let kernel = LaplaceKernel;
+        let mut reference = vec![[0.0; 3]; pts.len()];
+        for (i, &t) in pts.iter().enumerate() {
+            let mut acc = [0.0; 3];
+            for (j, &s) in pts.iter().enumerate() {
+                let g = kernel.eval_grad(t, s);
+                acc[0] += g[0] * den[j];
+                acc[1] += g[1] * den[j];
+                acc[2] += g[2] * den[j];
+            }
+            reference[i] = acc;
+        }
+        // Relative L2 over all 3N components.
+        let mut num = 0.0;
+        let mut d2 = 0.0;
+        for (a, b) in grad.iter().zip(&reference) {
+            for k in 0..3 {
+                num += (a[k] - b[k]) * (a[k] - b[k]);
+                d2 += b[k] * b[k];
+            }
+        }
+        let err = (num / d2).sqrt();
+        assert!(err < 2e-2, "gradient relative L2 error {err}");
+    }
+
+    #[test]
+    fn kernel_independence_yukawa_matches_its_direct_sum() {
+        // The headline KIFMM property: swap the kernel, keep everything
+        // else — the scheme still converges to that kernel's direct sum.
+        use crate::accuracy::direct_sum_with;
+        use crate::kernel::YukawaKernel;
+        let (pts, den) = random_problem(1200, 9);
+        let kernel = YukawaKernel::new(1.5);
+        let plan = FmmPlan::with_kernel(kernel, &pts, &den, 40, 4, M2lMethod::Fft);
+        let fmm = FmmEvaluator::new().evaluate(&plan);
+        let direct = direct_sum_with(&kernel, &pts, &den);
+        let err = relative_l2_error(&fmm, &direct);
+        assert!(err < 5e-3, "Yukawa FMM vs direct relative L2 error {err}");
+        // And it is genuinely a different answer than Laplace.
+        let laplace = direct_sum(&pts, &den);
+        assert!(relative_l2_error(&direct, &laplace) > 0.05);
+    }
+
+    #[test]
+    fn potentials_scale_linearly_with_density() {
+        let (pts, den) = random_problem(600, 7);
+        let plan = FmmPlan::new(&pts, &den, 30, 4, M2lMethod::Fft);
+        let base = FmmEvaluator::new().evaluate(&plan);
+        let den2: Vec<f64> = den.iter().map(|d| 2.0 * d).collect();
+        let plan2 = FmmPlan::new(&pts, &den2, 30, 4, M2lMethod::Fft);
+        let doubled = FmmEvaluator::new().evaluate(&plan2);
+        let err = relative_l2_error(
+            &doubled,
+            &base.iter().map(|p| 2.0 * p).collect::<Vec<_>>(),
+        );
+        assert!(err < 1e-12, "linearity: {err}");
+    }
+}

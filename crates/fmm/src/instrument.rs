@@ -1,0 +1,617 @@
+//! nvprof-style profiling of an FMM plan.
+//!
+//! The paper reads its FMM's operation counts from hardware counters
+//! (Table III) and feeds them to the energy model.  Here the same
+//! counters are produced by an instrumentation pass over the plan: it
+//! walks every interaction the evaluator would perform, charges analytic
+//! instruction costs per inner-loop iteration (the [`CostModel`]
+//! constants below document exactly what each iteration costs and why),
+//! and classifies every memory access through the cache-hierarchy
+//! simulator in the same traversal order the evaluator uses.
+//!
+//! The pass is *separate from* the numeric evaluator — profiling does not
+//! require executing the kernel arithmetic, exactly as nvprof replays
+//! kernels to collect counters.  This keeps the hot numeric loops free of
+//! instrumentation and lets the paper-scale inputs (N = 262144) be
+//! profiled in seconds.
+//!
+//! Memory-path modeling follows Kepler's actual load paths:
+//!
+//! * U-phase point data is read through the read-only (`__ldg`) path and
+//!   is L1-cacheable ([`gpu_counters::CacheSim::read`]);
+//! * V-phase spectra, kernel tableaux and operator matrices are plain
+//!   global loads, cached in L2 only
+//!   ([`gpu_counters::CacheSim::read_l2_only`]);
+//! * the FFT's transpose passes exchange data through shared memory.
+
+use crate::evaluator::{FmmPlan, M2lMethod};
+use crate::tree::Octree;
+use crate::Phase;
+use gpu_counters::{derive_op_vector, CacheSim, CounterEvent, CounterSet};
+use tk1_sim::{KernelProfile, OpVector};
+
+/// Analytic per-iteration instruction costs and per-phase utilizations.
+///
+/// The instruction constants come from counting the operations in the
+/// actual inner loops (see `kernel.rs` and `fft_m2l.rs`): one Laplace
+/// evaluation is 3 coordinate differences, a fused norm accumulation, a
+/// reciprocal square root and the density multiply-accumulate; its
+/// integer cost is the source index increment, the four address
+/// computations (x/y/z/density), the loop-bound compare/branch and the
+/// accumulator indexing of an unrolled-by-4 GPU loop.
+#[derive(Debug, Clone)]
+pub struct CostModel {
+    /// DP FMAs per kernel evaluation.
+    pub fma_per_eval: u64,
+    /// DP adds per kernel evaluation.
+    pub add_per_eval: u64,
+    /// DP muls per kernel evaluation (includes the rsqrt iteration).
+    pub mul_per_eval: u64,
+    /// Integer instructions per kernel evaluation.
+    pub int_per_eval: u64,
+    /// Integer instructions per target-point loop iteration.
+    pub int_per_point: u64,
+    /// Integer instructions per dense-matvec element (index + address).
+    pub int_per_matvec_elem: u64,
+    /// DP FMAs per radix-2 butterfly (complex multiply).
+    pub fma_per_butterfly: u64,
+    /// DP adds per butterfly (complex add/sub).
+    pub add_per_butterfly: u64,
+    /// Integer instructions per butterfly.
+    pub int_per_butterfly: u64,
+    /// DP FMAs per spectral multiply-accumulate grid element.
+    pub fma_per_mac: u64,
+    /// DP adds per spectral MAC element.
+    pub add_per_mac: u64,
+    /// Integer instructions per spectral MAC element.
+    pub int_per_mac: u64,
+    /// Achieved utilization per phase (fraction of the bound resource's
+    /// peak; the paper measures the FMM below a quarter of peak IPC).
+    pub utilization: [f64; 6],
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            fma_per_eval: 6,
+            add_per_eval: 2,
+            mul_per_eval: 3,
+            int_per_eval: 16,
+            int_per_point: 12,
+            int_per_matvec_elem: 2,
+            fma_per_butterfly: 4,
+            add_per_butterfly: 4,
+            int_per_butterfly: 10,
+            fma_per_mac: 4,
+            add_per_mac: 4,
+            int_per_mac: 8,
+            // Order: UP, V, U, W, X, DOWN (Phase::ALL order).
+            utilization: [0.30, 0.35, 0.25, 0.30, 0.30, 0.30],
+        }
+    }
+}
+
+impl CostModel {
+    fn utilization_of(&self, phase: Phase) -> f64 {
+        let idx = Phase::ALL.iter().position(|&p| p == phase).expect("known phase");
+        self.utilization[idx]
+    }
+}
+
+/// The profile of one FMM phase.
+#[derive(Debug)]
+pub struct PhaseProfile {
+    /// Which phase.
+    pub phase: Phase,
+    /// The raw Table III counters collected for the phase.
+    pub counters: CounterSet,
+    /// The phase's achieved utilization.
+    pub utilization: f64,
+    /// Kernel launches the phase performs (one per level for the tree
+    /// passes).
+    pub launches: u32,
+}
+
+impl PhaseProfile {
+    /// The energy model's feature vector, derived from the counters by
+    /// the Section IV-A rules.
+    pub fn ops(&self) -> OpVector {
+        derive_op_vector(&self.counters)
+    }
+
+    /// The phase as an executable kernel descriptor for the simulator.
+    pub fn kernel_profile(&self, tag: &str) -> KernelProfile {
+        KernelProfile::new(format!("fmm-{}-{}", self.phase.name(), tag), self.ops())
+            .with_utilization(self.utilization)
+            .with_launches(self.launches)
+    }
+}
+
+/// The profile of a full FMM evaluation.
+#[derive(Debug)]
+pub struct FmmProfile {
+    /// Problem size.
+    pub n: usize,
+    /// Points-per-box parameter.
+    pub q: usize,
+    /// Per-phase profiles, in [`Phase::ALL`] order.
+    pub phases: Vec<PhaseProfile>,
+}
+
+impl FmmProfile {
+    /// The profile of one phase.
+    pub fn phase(&self, phase: Phase) -> &PhaseProfile {
+        self.phases.iter().find(|p| p.phase == phase).expect("all phases profiled")
+    }
+
+    /// Total operation counts across all phases.
+    pub fn total_ops(&self) -> OpVector {
+        let mut total = OpVector::zero();
+        for p in &self.phases {
+            total.accumulate(&p.ops());
+        }
+        total
+    }
+
+    /// Executable kernel descriptors for every phase.
+    pub fn kernels(&self) -> Vec<KernelProfile> {
+        let tag = format!("N{}-Q{}", self.n, self.q);
+        self.phases.iter().map(|p| p.kernel_profile(&tag)).collect()
+    }
+}
+
+// Synthetic address-space bases for the cache simulator.
+const POINTS_BASE: u64 = 0x1000_0000;
+const POTENTIALS_BASE: u64 = 0x3000_0000;
+const UP_EQUIV_BASE: u64 = 0x5000_0000;
+const DOWN_EQUIV_BASE: u64 = 0x6000_0000;
+const DOWN_CHECK_BASE: u64 = 0x7000_0000;
+const SPECTRA_BASE: u64 = 0x0009_0000_0000;
+const TABLEAU_BASE: u64 = 0x000B_0000_0000;
+const OPERATOR_BASE: u64 = 0x000D_0000_0000;
+
+/// Bytes per stored point (x, y, z, density — four doubles).
+const POINT_BYTES: u64 = 32;
+/// GPU warp width.
+const WARP: u64 = 32;
+
+/// Profiles `plan` under `cost`, producing per-phase counters.
+pub fn profile_plan<K: crate::kernel::Kernel>(
+    plan: &FmmPlan<K>,
+    cost: &CostModel,
+) -> FmmProfile {
+    let tree = &plan.tree;
+    let ns = plan.ns() as u64;
+    let depth = tree.depth() as u32;
+    let mut cache = CacheSim::tegra_k1();
+    let mut phases = Vec::new();
+
+    for phase in Phase::ALL {
+        cache.flush();
+        let counters = CounterSet::new();
+        match phase {
+            Phase::Up => profile_up(plan, cost, &mut cache, &counters, ns),
+            Phase::V => profile_v(plan, cost, &mut cache, &counters, ns),
+            Phase::U => profile_u(plan, cost, &mut cache, &counters),
+            Phase::W => profile_w(plan, cost, &mut cache, &counters, ns),
+            Phase::X => profile_x(plan, cost, &mut cache, &counters, ns),
+            Phase::Down => profile_down(plan, cost, &mut cache, &counters, ns),
+        }
+        let launches = match phase {
+            Phase::Up | Phase::Down => depth + 1,
+            Phase::V => depth.max(2) - 1,
+            _ => 1,
+        };
+        phases.push(PhaseProfile {
+            phase,
+            counters,
+            utilization: cost.utilization_of(phase),
+            launches,
+        });
+    }
+
+    FmmProfile { n: tree.points.len(), q: tree.max_leaf_points, phases }
+}
+
+/// Charges `evals` kernel evaluations plus `points` target-loop
+/// iterations of instruction cost.
+fn charge_evals(c: &CounterSet, cost: &CostModel, evals: u64, points: u64) {
+    c.add(CounterEvent::flops_dp_fma, evals * cost.fma_per_eval);
+    c.add(CounterEvent::flops_dp_add, evals * cost.add_per_eval);
+    c.add(CounterEvent::flops_dp_mul, evals * cost.mul_per_eval);
+    c.add(CounterEvent::inst_integer, evals * cost.int_per_eval + points * cost.int_per_point);
+}
+
+/// Charges an `rows x cols` dense matvec.
+fn charge_matvec(c: &CounterSet, cost: &CostModel, rows: u64, cols: u64) {
+    let elems = rows * cols;
+    c.add(CounterEvent::flops_dp_fma, elems);
+    c.add(CounterEvent::inst_integer, elems * cost.int_per_matvec_elem);
+}
+
+fn point_region(tree: &Octree, ni: usize) -> (u64, usize) {
+    let (s, e) = tree.nodes[ni].point_range;
+    (POINTS_BASE + s as u64 * POINT_BYTES, (e - s) * POINT_BYTES as usize)
+}
+
+fn profile_up<K: crate::kernel::Kernel>(plan: &FmmPlan<K>, cost: &CostModel, cache: &mut CacheSim, c: &CounterSet, ns: u64) {
+    let tree = &plan.tree;
+    for level in (0..tree.levels.len()).rev() {
+        for &ni in &tree.levels[level] {
+            let node = &tree.nodes[ni];
+            let lvl = node.id.level;
+            if node.is_leaf() {
+                let np = node.num_points() as u64;
+                charge_evals(c, cost, ns * np, np);
+                let (addr, bytes) = point_region(tree, ni);
+                cache.read(addr, bytes, c);
+                charge_matvec(c, cost, ns, ns);
+                cache.read_l2_only(OPERATOR_BASE + lvl as u64 * 0x0100_0000, (ns * ns * 8) as usize, c);
+            } else {
+                for child in node.children.iter().flatten() {
+                    charge_matvec(c, cost, ns, ns);
+                    let octant = tree.nodes[*child].id.octant() as u64;
+                    cache.read_l2_only(
+                        OPERATOR_BASE + 0x1000_0000 + (lvl as u64 * 8 + octant) * 0x0040_0000,
+                        (ns * ns * 8) as usize,
+                        c,
+                    );
+                    cache.read_l2_only(UP_EQUIV_BASE + *child as u64 * ns * 8, (ns * 8) as usize, c);
+                }
+            }
+            cache.write(UP_EQUIV_BASE + ni as u64 * ns * 8, (ns * 8) as usize, c);
+        }
+    }
+}
+
+fn profile_v<K: crate::kernel::Kernel>(plan: &FmmPlan<K>, cost: &CostModel, cache: &mut CacheSim, c: &CounterSet, ns: u64) {
+    let tree = &plan.tree;
+    match plan.method {
+        M2lMethod::Fft => {
+            let fft = plan.fft.as_ref().expect("fft plan");
+            let grid = fft.grid_len() as u64;
+            let m = fft.m as u64;
+            // 3 axis passes of m² independent length-m transforms.
+            let butterflies_per_transform = 3 * m * m * (m / 2) * (64 - (m - 1).leading_zeros() as u64);
+            let shared_tx_per_transform = 3 * grid * 16 / 128;
+            // Forward transforms: once per box appearing as a V source.
+            let mut is_source = vec![false; tree.nodes.len()];
+            for vl in &plan.lists.v {
+                for &s in vl {
+                    is_source[s] = true;
+                }
+            }
+            let mut spectrum_index = std::collections::HashMap::new();
+            for (ni, &src) in is_source.iter().enumerate() {
+                if !src {
+                    continue;
+                }
+                charge_fft(c, cost, butterflies_per_transform, shared_tx_per_transform);
+                cache.read_l2_only(UP_EQUIV_BASE + ni as u64 * ns * 8, (ns * 8) as usize, c);
+                cache.write(SPECTRA_BASE + ni as u64 * grid * 16, (grid * 16) as usize, c);
+            }
+            // Translations, blocked by parent as the real GPU kernel
+            // blocks them: each source spectrum and each kernel tableau
+            // is staged into shared memory *once* per parent block
+            // (global, L2-cached reads), then the per-pair MAC inner loop
+            // streams it from shared memory — so SM transactions scale
+            // with pairs while off-chip traffic scales with unique
+            // (parent, source) combinations.
+            for level in 0..tree.levels.len() {
+                for &pi in &tree.levels[level] {
+                    let parent = &tree.nodes[pi];
+                    if parent.children.iter().all(|ch| ch.is_none()) {
+                        continue;
+                    }
+                    // Stage the union of the children's V sources.
+                    let mut union_sources: Vec<usize> = Vec::new();
+                    let mut union_offsets: Vec<u64> = Vec::new();
+                    for child in parent.children.iter().flatten() {
+                        let tid = tree.nodes[*child].id;
+                        for &si in &plan.lists.v[*child] {
+                            union_sources.push(si);
+                            let sid = tree.nodes[si].id;
+                            let off = (
+                                sid.x as i32 - tid.x as i32,
+                                sid.y as i32 - tid.y as i32,
+                                sid.z as i32 - tid.z as i32,
+                            );
+                            let next = spectrum_index.len() as u64;
+                            let kidx = *spectrum_index.entry((tid.level, off)).or_insert(next);
+                            union_offsets.push(kidx);
+                        }
+                    }
+                    union_sources.sort_unstable();
+                    union_sources.dedup();
+                    union_offsets.sort_unstable();
+                    union_offsets.dedup();
+                    for &si in &union_sources {
+                        cache.read_l2_only(
+                            SPECTRA_BASE + si as u64 * grid * 16,
+                            (grid * 16) as usize,
+                            c,
+                        );
+                    }
+                    for &kidx in &union_offsets {
+                        cache.read_l2_only(TABLEAU_BASE + kidx * grid * 16, (grid * 16) as usize, c);
+                    }
+                    // Per-pair spectral MACs out of shared memory.
+                    for child in parent.children.iter().flatten() {
+                        let ti = *child;
+                        if plan.lists.v[ti].is_empty() {
+                            continue;
+                        }
+                        let pairs = plan.lists.v[ti].len() as u64;
+                        c.add(CounterEvent::flops_dp_fma, pairs * grid * cost.fma_per_mac);
+                        c.add(CounterEvent::flops_dp_add, pairs * grid * cost.add_per_mac);
+                        c.add(CounterEvent::inst_integer, pairs * grid * cost.int_per_mac);
+                        c.add(
+                            CounterEvent::l1_shared_load_transactions,
+                            pairs * grid * 16 / 128,
+                        );
+                        // Inverse transform + check-surface extraction.
+                        charge_fft(c, cost, butterflies_per_transform, shared_tx_per_transform);
+                        cache.write(DOWN_CHECK_BASE + ti as u64 * ns * 8, (ns * 8) as usize, c);
+                    }
+                }
+            }
+        }
+        M2lMethod::Dense => {
+            for (ti, vl) in plan.lists.v.iter().enumerate() {
+                if vl.is_empty() {
+                    continue;
+                }
+                let tid = tree.nodes[ti].id;
+                for &si in vl {
+                    let sid = tree.nodes[si].id;
+                    charge_matvec(c, cost, ns, ns);
+                    // Distinct matrix per offset: hash the offset into an
+                    // operator slot.
+                    let off_key = ((sid.x as i64 - tid.x as i64 + 3)
+                        + 7 * (sid.y as i64 - tid.y as i64 + 3)
+                        + 49 * (sid.z as i64 - tid.z as i64 + 3)) as u64
+                        + 343 * tid.level as u64;
+                    cache.read_l2_only(
+                        OPERATOR_BASE + 0x4000_0000 + off_key * ns * ns * 8,
+                        (ns * ns * 8) as usize,
+                        c,
+                    );
+                    cache.read_l2_only(UP_EQUIV_BASE + si as u64 * ns * 8, (ns * 8) as usize, c);
+                }
+                cache.write(DOWN_CHECK_BASE + ti as u64 * ns * 8, (ns * 8) as usize, c);
+            }
+        }
+    }
+}
+
+fn charge_fft(c: &CounterSet, cost: &CostModel, butterflies: u64, shared_tx: u64) {
+    c.add(CounterEvent::flops_dp_fma, butterflies * cost.fma_per_butterfly);
+    c.add(CounterEvent::flops_dp_add, butterflies * cost.add_per_butterfly);
+    c.add(CounterEvent::inst_integer, butterflies * cost.int_per_butterfly);
+    c.add(CounterEvent::l1_shared_load_transactions, shared_tx);
+    c.add(CounterEvent::l1_shared_store_transactions, shared_tx);
+}
+
+fn profile_u<K: crate::kernel::Kernel>(plan: &FmmPlan<K>, cost: &CostModel, cache: &mut CacheSim, c: &CounterSet) {
+    let tree = &plan.tree;
+    for li in tree.leaves() {
+        let nt = tree.nodes[li].num_points() as u64;
+        let warps = nt.div_ceil(WARP);
+        for &ai in &plan.lists.u[li] {
+            let np = tree.nodes[ai].num_points() as u64;
+            charge_evals(c, cost, nt * np, nt);
+            // Each warp streams the source box through the read-only
+            // (L1-cached) path.
+            let (addr, bytes) = point_region(tree, ai);
+            for _ in 0..warps {
+                cache.read(addr, bytes, c);
+            }
+        }
+        // Target coordinates and the potential write-back.
+        let (taddr, tbytes) = point_region(tree, li);
+        cache.read(taddr, tbytes, c);
+        let (s, _) = tree.nodes[li].point_range;
+        cache.write(POTENTIALS_BASE + s as u64 * 8, (nt * 8) as usize, c);
+    }
+}
+
+fn profile_w<K: crate::kernel::Kernel>(plan: &FmmPlan<K>, cost: &CostModel, cache: &mut CacheSim, c: &CounterSet, ns: u64) {
+    let tree = &plan.tree;
+    for li in tree.leaves() {
+        if plan.lists.w[li].is_empty() {
+            continue;
+        }
+        let nt = tree.nodes[li].num_points() as u64;
+        for &wi in &plan.lists.w[li] {
+            charge_evals(c, cost, nt * ns, nt);
+            cache.read_l2_only(UP_EQUIV_BASE + wi as u64 * ns * 8, (ns * 8) as usize, c);
+        }
+        let (s, _) = tree.nodes[li].point_range;
+        cache.write(POTENTIALS_BASE + s as u64 * 8, (nt * 8) as usize, c);
+    }
+}
+
+fn profile_x<K: crate::kernel::Kernel>(plan: &FmmPlan<K>, cost: &CostModel, cache: &mut CacheSim, c: &CounterSet, ns: u64) {
+    let tree = &plan.tree;
+    for (bi, xl) in plan.lists.x.iter().enumerate() {
+        if xl.is_empty() {
+            continue;
+        }
+        for &ci in xl {
+            let np = tree.nodes[ci].num_points() as u64;
+            charge_evals(c, cost, ns * np, ns);
+            let (addr, bytes) = point_region(tree, ci);
+            cache.read(addr, bytes, c);
+        }
+        cache.write(DOWN_CHECK_BASE + bi as u64 * ns * 8, (ns * 8) as usize, c);
+    }
+}
+
+fn profile_down<K: crate::kernel::Kernel>(plan: &FmmPlan<K>, cost: &CostModel, cache: &mut CacheSim, c: &CounterSet, ns: u64) {
+    let tree = &plan.tree;
+    for level in 0..tree.levels.len() {
+        for &ni in &tree.levels[level] {
+            let node = &tree.nodes[ni];
+            let lvl = node.id.level;
+            // DC2E solve.
+            charge_matvec(c, cost, ns, ns);
+            cache.read_l2_only(DOWN_CHECK_BASE + ni as u64 * ns * 8, (ns * 8) as usize, c);
+            cache.read_l2_only(
+                OPERATOR_BASE + 0x2000_0000 + lvl as u64 * 0x0100_0000,
+                (ns * ns * 8) as usize,
+                c,
+            );
+            if node.parent.is_some() {
+                // L2L from the parent.
+                charge_matvec(c, cost, ns, ns);
+                let octant = node.id.octant() as u64;
+                cache.read_l2_only(
+                    OPERATOR_BASE + 0x3000_0000 + (lvl as u64 * 8 + octant) * 0x0040_0000,
+                    (ns * ns * 8) as usize,
+                    c,
+                );
+            }
+            cache.write(DOWN_EQUIV_BASE + ni as u64 * ns * 8, (ns * 8) as usize, c);
+            if node.is_leaf() {
+                // L2P.
+                let nt = node.num_points() as u64;
+                charge_evals(c, cost, nt * ns, nt);
+                let (taddr, tbytes) = point_region(tree, ni);
+                cache.read(taddr, tbytes, c);
+                let (s, _) = node.point_range;
+                cache.write(POTENTIALS_BASE + s as u64 * 8, (nt * 8) as usize, c);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use tk1_sim::OpClass;
+
+    fn plan(n: usize, q: usize, seed: u64) -> FmmPlan {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pts: Vec<[f64; 3]> =
+            (0..n).map(|_| [rng.random(), rng.random(), rng.random()]).collect();
+        let den: Vec<f64> = (0..n).map(|_| rng.random::<f64>() - 0.5).collect();
+        FmmPlan::new(&pts, &den, q, 4, M2lMethod::Fft)
+    }
+
+    #[test]
+    fn profile_covers_all_phases() {
+        let p = plan(4000, 64, 1);
+        let prof = profile_plan(&p, &CostModel::default());
+        assert_eq!(prof.phases.len(), 6);
+        for phase in Phase::ALL {
+            let _ = prof.phase(phase);
+        }
+        assert_eq!(prof.n, 4000);
+        assert_eq!(prof.q, 64);
+    }
+
+    #[test]
+    fn u_phase_eval_count_matches_pair_sum() {
+        let p = plan(3000, 50, 2);
+        let prof = profile_plan(&p, &CostModel::default());
+        let cost = CostModel::default();
+        // Expected FMA count: Σ over leaves, U-pairs of nt·ns evals.
+        let mut evals = 0u64;
+        for li in p.tree.leaves() {
+            let nt = p.tree.nodes[li].num_points() as u64;
+            for &ai in &p.lists.u[li] {
+                evals += nt * p.tree.nodes[ai].num_points() as u64;
+            }
+        }
+        let fma = prof.phase(Phase::U).counters.get(CounterEvent::flops_dp_fma);
+        assert_eq!(fma, evals * cost.fma_per_eval);
+    }
+
+    #[test]
+    fn integer_share_of_instructions_near_sixty_percent() {
+        // The paper's Section IV-C(a) observation.
+        let p = plan(8000, 64, 3);
+        let prof = profile_plan(&p, &CostModel::default());
+        let ops = prof.total_ops();
+        let int_share = ops.get(OpClass::Int) / ops.total_compute();
+        assert!(
+            (0.45..0.70).contains(&int_share),
+            "integer instruction share {int_share:.2} should be near 60%"
+        );
+    }
+
+    #[test]
+    fn dram_is_minority_of_accesses() {
+        // Section IV-C(b): DRAM ≈ 13% of accesses.
+        let p = plan(8000, 64, 4);
+        let prof = profile_plan(&p, &CostModel::default());
+        let ops = prof.total_ops();
+        let dram_share = ops.get(OpClass::Dram) / ops.total_memory_ops();
+        assert!(
+            dram_share < 0.35,
+            "DRAM share of accesses {dram_share:.2} should be a small minority"
+        );
+        assert!(dram_share > 0.005, "but not negligible: {dram_share:.4}");
+    }
+
+    #[test]
+    fn u_phase_is_compute_bound_v_phase_less_intense() {
+        let p = plan(8000, 64, 5);
+        let prof = profile_plan(&p, &CostModel::default());
+        let u_ops = prof.phase(Phase::U).ops();
+        let v_ops = prof.phase(Phase::V).ops();
+        // Arithmetic intensity (flops per byte of off-chip traffic).
+        let intensity = |o: &OpVector| {
+            o.total_flops() / (o.bytes(OpClass::Dram) + o.bytes(OpClass::L2)).max(1.0)
+        };
+        assert!(
+            intensity(&u_ops) > 4.0 * intensity(&v_ops),
+            "U intensity {} ≫ V intensity {}",
+            intensity(&u_ops),
+            intensity(&v_ops)
+        );
+    }
+
+    #[test]
+    fn kernels_are_executable_descriptors() {
+        let p = plan(2000, 40, 6);
+        let prof = profile_plan(&p, &CostModel::default());
+        let kernels = prof.kernels();
+        assert_eq!(kernels.len(), 6);
+        for k in &kernels {
+            assert!(k.utilization > 0.0 && k.utilization <= 1.0);
+            assert!(k.launches >= 1);
+        }
+        // Executing them on the simulator produces sane times.
+        let mut dev = tk1_sim::Device::new(1);
+        let total: f64 = kernels.iter().map(|k| dev.execute(k).duration_s).sum();
+        assert!(total > 0.0 && total.is_finite());
+    }
+
+    #[test]
+    fn larger_q_shifts_work_toward_u_phase() {
+        // The paper's tuning knob: larger Q = more direct (U) work, fewer
+        // tree levels, less V work.
+        let cost = CostModel::default();
+        let small_q = profile_plan(&plan(8000, 32, 7), &cost);
+        let large_q = profile_plan(&plan(8000, 256, 7), &cost);
+        let u_flops = |p: &FmmProfile| p.phase(Phase::U).ops().total_flops();
+        let v_flops = |p: &FmmProfile| p.phase(Phase::V).ops().total_flops();
+        assert!(u_flops(&large_q) > u_flops(&small_q));
+        let ratio_small = u_flops(&small_q) / v_flops(&small_q).max(1.0);
+        let ratio_large = u_flops(&large_q) / v_flops(&large_q).max(1.0);
+        assert!(ratio_large > ratio_small, "{ratio_large} vs {ratio_small}");
+    }
+
+    #[test]
+    fn profile_is_deterministic() {
+        let p = plan(3000, 64, 8);
+        let a = profile_plan(&p, &CostModel::default());
+        let b = profile_plan(&p, &CostModel::default());
+        for (pa, pb) in a.phases.iter().zip(&b.phases) {
+            assert_eq!(pa.counters.snapshot(), pb.counters.snapshot());
+        }
+    }
+}

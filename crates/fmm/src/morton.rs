@@ -1,0 +1,125 @@
+//! Morton (Z-order) keys for octree boxes.
+//!
+//! A box is identified by its refinement level and integer anchor
+//! coordinates within that level's `2^level` grid.  The Morton key
+//! interleaves the coordinate bits, giving a total order in which
+//! siblings are contiguous and each subtree is an interval — the
+//! property the tree builder and the list builders rely on.
+
+/// Maximum supported refinement level (3 × 20 bits + level tag fit u64).
+pub const MAX_LEVEL: u8 = 20;
+
+/// Spreads the low 20 bits of `x` so consecutive bits land 3 apart.
+#[inline]
+fn spread(x: u32) -> u64 {
+    let mut v = (x as u64) & 0x1F_FFFF; // 21 bits
+    v = (v | (v << 32)) & 0x001F_0000_0000_FFFF;
+    v = (v | (v << 16)) & 0x001F_0000_FF00_00FF;
+    v = (v | (v << 8)) & 0x100F_00F0_0F00_F00F;
+    v = (v | (v << 4)) & 0x10C3_0C30_C30C_30C3;
+    v = (v | (v << 2)) & 0x1249_2492_4924_9249;
+    v
+}
+
+/// Inverse of [`spread`].
+#[inline]
+fn compact(v: u64) -> u32 {
+    let mut v = v & 0x1249_2492_4924_9249;
+    v = (v | (v >> 2)) & 0x10C3_0C30_C30C_30C3;
+    v = (v | (v >> 4)) & 0x100F_00F0_0F00_F00F;
+    v = (v | (v >> 8)) & 0x001F_0000_FF00_00FF;
+    v = (v | (v >> 16)) & 0x001F_0000_0000_FFFF;
+    v = (v | (v >> 32)) & 0x1F_FFFF;
+    v as u32
+}
+
+/// Encodes `(level, x, y, z)` into a Morton key.
+///
+/// The interleaved coordinates occupy the low 60 bits; the level is not
+/// stored in the key itself (callers pair keys with levels), but anchors
+/// are validated against the level's grid.
+pub fn encode(level: u8, x: u32, y: u32, z: u32) -> u64 {
+    debug_assert!(level <= MAX_LEVEL);
+    debug_assert!(
+        (x as u64) < (1 << level.max(1)) || level == 0,
+        "anchor outside level grid"
+    );
+    spread(x) | (spread(y) << 1) | (spread(z) << 2)
+}
+
+/// Decodes a Morton key back into `(x, y, z)`.
+pub fn decode(key: u64) -> (u32, u32, u32) {
+    (compact(key), compact(key >> 1), compact(key >> 2))
+}
+
+/// The octant (0–7) a child anchor occupies within its parent.
+#[inline]
+pub fn octant(x: u32, y: u32, z: u32) -> usize {
+    ((x & 1) | ((y & 1) << 1) | ((z & 1) << 2)) as usize
+}
+
+/// Child anchor for `parent` anchor and `octant`.
+#[inline]
+pub fn child_anchor(x: u32, y: u32, z: u32, octant: usize) -> (u32, u32, u32) {
+    (
+        2 * x + (octant & 1) as u32,
+        2 * y + ((octant >> 1) & 1) as u32,
+        2 * z + ((octant >> 2) & 1) as u32,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_round_trip() {
+        for &(x, y, z) in &[(0, 0, 0), (1, 2, 3), (1023, 511, 255), (0xF_FFFF, 0, 0xF_FFFF)] {
+            let key = encode(MAX_LEVEL, x, y, z);
+            assert_eq!(decode(key), (x, y, z));
+        }
+    }
+
+    #[test]
+    fn keys_order_siblings_contiguously() {
+        // The 8 children of (level 1, anchor (0,0,0) scaled) are keys 0..8.
+        let mut keys: Vec<u64> = (0..8)
+            .map(|o| {
+                let (x, y, z) = child_anchor(0, 0, 0, o);
+                encode(1, x, y, z)
+            })
+            .collect();
+        keys.sort_unstable();
+        assert_eq!(keys, (0..8).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn z_order_is_monotone_in_each_axis() {
+        assert!(encode(3, 1, 0, 0) < encode(3, 2, 0, 0));
+        assert!(encode(3, 0, 1, 0) < encode(3, 0, 2, 0));
+        assert!(encode(3, 0, 0, 1) < encode(3, 0, 0, 2));
+    }
+
+    #[test]
+    fn octant_and_child_anchor_are_inverse() {
+        for o in 0..8 {
+            let (x, y, z) = child_anchor(5, 3, 7, o);
+            assert_eq!(octant(x, y, z), o);
+            assert_eq!((x / 2, y / 2, z / 2), (5, 3, 7));
+        }
+    }
+
+    #[test]
+    fn distinct_anchors_distinct_keys() {
+        use std::collections::HashSet;
+        let mut seen = HashSet::new();
+        for x in 0..8 {
+            for y in 0..8 {
+                for z in 0..8 {
+                    assert!(seen.insert(encode(3, x, y, z)));
+                }
+            }
+        }
+        assert_eq!(seen.len(), 512);
+    }
+}

@@ -1,0 +1,469 @@
+//! Adaptive octree construction.
+//!
+//! Given points in a bounding cube and the user parameter `Q` (maximum
+//! points per box), boxes are recursively subdivided while they hold more
+//! than `Q` points.  Empty children are pruned.  Points are permuted so
+//! every node owns a contiguous index range, which keeps the P2P phases
+//! streaming.
+
+use crate::morton;
+use std::collections::HashMap;
+
+/// A box address: refinement level plus integer anchor in the level grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BoxId {
+    /// Refinement level (root = 0).
+    pub level: u8,
+    /// Anchor coordinates in `[0, 2^level)`.
+    pub x: u32,
+    /// Anchor y.
+    pub y: u32,
+    /// Anchor z.
+    pub z: u32,
+}
+
+impl BoxId {
+    /// The root box.
+    pub fn root() -> Self {
+        BoxId { level: 0, x: 0, y: 0, z: 0 }
+    }
+
+    /// The parent box (None for the root).
+    pub fn parent(&self) -> Option<BoxId> {
+        if self.level == 0 {
+            None
+        } else {
+            Some(BoxId { level: self.level - 1, x: self.x / 2, y: self.y / 2, z: self.z / 2 })
+        }
+    }
+
+    /// The child box in `octant`.
+    pub fn child(&self, octant: usize) -> BoxId {
+        let (x, y, z) = morton::child_anchor(self.x, self.y, self.z, octant);
+        BoxId { level: self.level + 1, x, y, z }
+    }
+
+    /// Which octant of its parent this box occupies.
+    pub fn octant(&self) -> usize {
+        morton::octant(self.x, self.y, self.z)
+    }
+
+    /// True when the closed cubes of `self` and `other` touch or overlap
+    /// (the adjacency relation of the interaction lists).  Works across
+    /// levels using exact integer arithmetic.
+    pub fn adjacent(&self, other: &BoxId) -> bool {
+        // Box spans [anchor, anchor+1] * 2^(L - level) at a common scale L.
+        let common = self.level.max(other.level);
+        let sa = 1u64 << (common - self.level);
+        let sb = 1u64 << (common - other.level);
+        let overlap_1d = |a: u32, b: u32, sa: u64, sb: u64| {
+            let a0 = a as u64 * sa;
+            let a1 = a0 + sa;
+            let b0 = b as u64 * sb;
+            let b1 = b0 + sb;
+            a0 <= b1 && b0 <= a1
+        };
+        overlap_1d(self.x, other.x, sa, sb)
+            && overlap_1d(self.y, other.y, sa, sb)
+            && overlap_1d(self.z, other.z, sa, sb)
+    }
+
+    /// True when `self` is an ancestor of `other` (or equal).
+    pub fn contains(&self, other: &BoxId) -> bool {
+        if other.level < self.level {
+            return false;
+        }
+        let shift = other.level - self.level;
+        other.x >> shift == self.x && other.y >> shift == self.y && other.z >> shift == self.z
+    }
+}
+
+/// One tree node.
+#[derive(Debug, Clone)]
+pub struct Node {
+    /// The box address.
+    pub id: BoxId,
+    /// Parent node index (None for the root).
+    pub parent: Option<usize>,
+    /// Child node indices by octant (pruned children are None).
+    pub children: [Option<usize>; 8],
+    /// Contiguous range of owned points in the permuted point array
+    /// (covers all descendants for internal nodes).
+    pub point_range: (usize, usize),
+    /// Box center in problem coordinates.
+    pub center: [f64; 3],
+    /// Half of the box edge length.
+    pub half_width: f64,
+}
+
+impl Node {
+    /// True when the node has no children.
+    pub fn is_leaf(&self) -> bool {
+        self.children.iter().all(|c| c.is_none())
+    }
+
+    /// Number of points the node owns.
+    pub fn num_points(&self) -> usize {
+        self.point_range.1 - self.point_range.0
+    }
+}
+
+/// The adaptive octree over a point set.
+#[derive(Debug, Clone)]
+pub struct Octree {
+    /// Nodes; index 0 is the root.  Children always appear after their
+    /// parent, so a forward scan is a valid top-down order.
+    pub nodes: Vec<Node>,
+    /// Points permuted into tree order.
+    pub points: Vec<[f64; 3]>,
+    /// Source densities permuted identically.
+    pub densities: Vec<f64>,
+    /// `permutation[i]` = original index of permuted point `i`.
+    pub permutation: Vec<usize>,
+    /// Box-address → node-index lookup.
+    index: HashMap<BoxId, usize>,
+    /// Node indices grouped by level.
+    pub levels: Vec<Vec<usize>>,
+    /// The split threshold `Q`.
+    pub max_leaf_points: usize,
+}
+
+impl Octree {
+    /// Builds the tree over `points` (with per-point `densities`),
+    /// splitting boxes holding more than `max_leaf_points` points.
+    ///
+    /// # Panics
+    /// Panics if the inputs are empty or of mismatched length.
+    pub fn build(points: &[[f64; 3]], densities: &[f64], max_leaf_points: usize) -> Self {
+        assert!(!points.is_empty(), "empty point set");
+        assert_eq!(points.len(), densities.len(), "one density per point");
+        assert!(max_leaf_points >= 1, "Q must be at least 1");
+
+        // Bounding cube (slightly padded so boundary points stay interior).
+        let mut lo = [f64::INFINITY; 3];
+        let mut hi = [f64::NEG_INFINITY; 3];
+        for p in points {
+            for d in 0..3 {
+                lo[d] = lo[d].min(p[d]);
+                hi[d] = hi[d].max(p[d]);
+            }
+        }
+        let mut width = 0.0f64;
+        for d in 0..3 {
+            width = width.max(hi[d] - lo[d]);
+        }
+        let width = if width > 0.0 { width * (1.0 + 1e-12) } else { 1.0 };
+        let root_center =
+            [lo[0] + width * 0.5, lo[1] + width * 0.5, lo[2] + width * 0.5];
+
+        let mut order: Vec<usize> = (0..points.len()).collect();
+        let mut nodes = Vec::new();
+        nodes.push(Node {
+            id: BoxId::root(),
+            parent: None,
+            children: [None; 8],
+            point_range: (0, points.len()),
+            center: root_center,
+            half_width: width * 0.5,
+        });
+
+        // Iterative refinement (explicit stack keeps children after
+        // parents in `nodes`).
+        let mut stack = vec![0usize];
+        while let Some(ni) = stack.pop() {
+            let (start, end) = nodes[ni].point_range;
+            if end - start <= max_leaf_points || nodes[ni].id.level >= morton::MAX_LEVEL {
+                continue;
+            }
+            let center = nodes[ni].center;
+            let hw = nodes[ni].half_width;
+            // Bucket the node's points by octant (stable three-way via
+            // counting sort over 8 buckets).
+            let mut buckets: [Vec<usize>; 8] = Default::default();
+            for &pi in &order[start..end] {
+                let p = points[pi];
+                let o = (usize::from(p[0] >= center[0]))
+                    | (usize::from(p[1] >= center[1]) << 1)
+                    | (usize::from(p[2] >= center[2]) << 2);
+                buckets[o].push(pi);
+            }
+            let mut cursor = start;
+            let parent_id = nodes[ni].id;
+            for (o, bucket) in buckets.iter().enumerate() {
+                if bucket.is_empty() {
+                    continue;
+                }
+                let child_start = cursor;
+                for &pi in bucket {
+                    order[cursor] = pi;
+                    cursor += 1;
+                }
+                let child_id = parent_id.child(o);
+                let child_center = [
+                    center[0] + hw * 0.5 * if o & 1 != 0 { 1.0 } else { -1.0 },
+                    center[1] + hw * 0.5 * if o & 2 != 0 { 1.0 } else { -1.0 },
+                    center[2] + hw * 0.5 * if o & 4 != 0 { 1.0 } else { -1.0 },
+                ];
+                let child_index = nodes.len();
+                nodes.push(Node {
+                    id: child_id,
+                    parent: Some(ni),
+                    children: [None; 8],
+                    point_range: (child_start, cursor),
+                    center: child_center,
+                    half_width: hw * 0.5,
+                });
+                nodes[ni].children[o] = Some(child_index);
+                stack.push(child_index);
+            }
+            debug_assert_eq!(cursor, end);
+        }
+
+        let permuted_points: Vec<[f64; 3]> = order.iter().map(|&i| points[i]).collect();
+        let permuted_densities: Vec<f64> = order.iter().map(|&i| densities[i]).collect();
+
+        let mut index = HashMap::with_capacity(nodes.len());
+        let mut levels: Vec<Vec<usize>> = Vec::new();
+        for (i, n) in nodes.iter().enumerate() {
+            index.insert(n.id, i);
+            let l = n.id.level as usize;
+            if levels.len() <= l {
+                levels.resize(l + 1, Vec::new());
+            }
+            levels[l].push(i);
+        }
+
+        Octree {
+            nodes,
+            points: permuted_points,
+            densities: permuted_densities,
+            permutation: order,
+            index,
+            levels,
+            max_leaf_points,
+        }
+    }
+
+    /// Node index of a box address, if the box exists.
+    pub fn find(&self, id: &BoxId) -> Option<usize> {
+        self.index.get(id).copied()
+    }
+
+    /// The deepest existing ancestor-or-self of a box address.
+    pub fn find_or_ancestor(&self, id: &BoxId) -> Option<usize> {
+        let mut cur = *id;
+        loop {
+            if let Some(i) = self.find(&cur) {
+                return Some(i);
+            }
+            cur = cur.parent()?;
+        }
+    }
+
+    /// Number of leaves.
+    pub fn num_leaves(&self) -> usize {
+        self.nodes.iter().filter(|n| n.is_leaf()).count()
+    }
+
+    /// Depth of the tree (max level present).
+    pub fn depth(&self) -> u8 {
+        (self.levels.len() - 1) as u8
+    }
+
+    /// Indices of all leaf nodes.
+    pub fn leaves(&self) -> Vec<usize> {
+        (0..self.nodes.len()).filter(|&i| self.nodes[i].is_leaf()).collect()
+    }
+
+    /// The existing same-level neighbors (colleagues) of node `ni`,
+    /// excluding itself.
+    pub fn colleagues(&self, ni: usize) -> Vec<usize> {
+        let id = self.nodes[ni].id;
+        let max = 1i64 << id.level;
+        let mut out = Vec::new();
+        for dx in -1i64..=1 {
+            for dy in -1i64..=1 {
+                for dz in -1i64..=1 {
+                    if dx == 0 && dy == 0 && dz == 0 {
+                        continue;
+                    }
+                    let (nx, ny, nz) =
+                        (id.x as i64 + dx, id.y as i64 + dy, id.z as i64 + dz);
+                    if nx < 0 || ny < 0 || nz < 0 || nx >= max || ny >= max || nz >= max {
+                        continue;
+                    }
+                    let nid =
+                        BoxId { level: id.level, x: nx as u32, y: ny as u32, z: nz as u32 };
+                    if let Some(i) = self.find(&nid) {
+                        out.push(i);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_points(n: usize, seed: u64) -> Vec<[f64; 3]> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| [rng.random(), rng.random(), rng.random()]).collect()
+    }
+
+    fn build(n: usize, q: usize) -> Octree {
+        let pts = random_points(n, 42);
+        let den = vec![1.0; n];
+        Octree::build(&pts, &den, q)
+    }
+
+    #[test]
+    fn all_leaves_respect_q() {
+        let t = build(2000, 50);
+        for n in &t.nodes {
+            if n.is_leaf() {
+                assert!(n.num_points() <= 50, "leaf holds {}", n.num_points());
+                assert!(n.num_points() > 0, "empty leaves are pruned");
+            }
+        }
+    }
+
+    #[test]
+    fn leaves_partition_the_points() {
+        let t = build(1234, 40);
+        let mut covered = vec![false; 1234];
+        for &li in &t.leaves() {
+            let (s, e) = t.nodes[li].point_range;
+            for i in s..e {
+                assert!(!covered[i], "point {i} owned by two leaves");
+                covered[i] = true;
+            }
+        }
+        assert!(covered.iter().all(|&c| c));
+    }
+
+    #[test]
+    fn permutation_is_a_bijection_and_consistent() {
+        let pts = random_points(500, 7);
+        let den: Vec<f64> = (0..500).map(|i| i as f64).collect();
+        let t = Octree::build(&pts, &den, 30);
+        let mut seen = vec![false; 500];
+        for (i, &orig) in t.permutation.iter().enumerate() {
+            assert!(!seen[orig]);
+            seen[orig] = true;
+            assert_eq!(t.points[i], pts[orig]);
+            assert_eq!(t.densities[i], den[orig]);
+        }
+    }
+
+    #[test]
+    fn children_follow_parents() {
+        let t = build(3000, 60);
+        for (i, n) in t.nodes.iter().enumerate() {
+            if let Some(p) = n.parent {
+                assert!(p < i, "top-down scan order");
+                assert!(t.nodes[p].id.contains(&n.id));
+            }
+        }
+    }
+
+    #[test]
+    fn points_lie_inside_their_boxes() {
+        let t = build(800, 25);
+        for n in &t.nodes {
+            let (s, e) = n.point_range;
+            for p in &t.points[s..e] {
+                for d in 0..3 {
+                    assert!(
+                        (p[d] - n.center[d]).abs() <= n.half_width * (1.0 + 1e-9),
+                        "point escapes box"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_points_build_nearly_uniform_tree() {
+        let t = build(4096, 64);
+        // 4096/64 = 64 boxes minimum; uniform points should reach level 2–3.
+        assert!(t.depth() >= 2);
+        assert!(t.num_leaves() >= 64);
+    }
+
+    #[test]
+    fn single_box_when_q_large() {
+        let t = build(100, 1000);
+        assert_eq!(t.nodes.len(), 1);
+        assert!(t.nodes[0].is_leaf());
+        assert_eq!(t.depth(), 0);
+    }
+
+    #[test]
+    fn adjacency_same_level() {
+        let a = BoxId { level: 2, x: 1, y: 1, z: 1 };
+        assert!(a.adjacent(&BoxId { level: 2, x: 2, y: 2, z: 2 }), "corner touch");
+        assert!(a.adjacent(&a), "self-adjacent");
+        assert!(!a.adjacent(&BoxId { level: 2, x: 3, y: 1, z: 1 }), "gap of one box");
+    }
+
+    #[test]
+    fn adjacency_across_levels() {
+        let coarse = BoxId { level: 1, x: 0, y: 0, z: 0 };
+        let fine_inside = BoxId { level: 3, x: 1, y: 2, z: 3 };
+        assert!(coarse.adjacent(&fine_inside), "containment counts as touching");
+        let fine_touching = BoxId { level: 3, x: 4, y: 0, z: 0 };
+        assert!(coarse.adjacent(&fine_touching));
+        let fine_far = BoxId { level: 3, x: 6, y: 0, z: 0 };
+        assert!(!coarse.adjacent(&fine_far));
+    }
+
+    #[test]
+    fn find_or_ancestor_walks_up() {
+        let t = build(100, 30);
+        let deep = BoxId { level: 9, x: 100, y: 200, z: 300 };
+        let found = t.find_or_ancestor(&deep).unwrap();
+        assert!(t.nodes[found].id.contains(&deep));
+    }
+
+    #[test]
+    fn colleagues_are_adjacent_same_level() {
+        let t = build(5000, 40);
+        for &ni in &t.levels[t.depth() as usize - 1] {
+            for c in t.colleagues(ni) {
+                assert_eq!(t.nodes[c].id.level, t.nodes[ni].id.level);
+                assert!(t.nodes[c].id.adjacent(&t.nodes[ni].id));
+                assert_ne!(c, ni);
+            }
+        }
+    }
+
+    #[test]
+    fn clustered_points_build_deep_adaptive_tree() {
+        // Two tight clusters force deep refinement locally.
+        let mut pts = Vec::new();
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..500 {
+            pts.push([
+                0.1 + rng.random::<f64>() * 1e-3,
+                0.1 + rng.random::<f64>() * 1e-3,
+                0.1 + rng.random::<f64>() * 1e-3,
+            ]);
+        }
+        for _ in 0..500 {
+            pts.push([rng.random(), rng.random(), rng.random()]);
+        }
+        let t = Octree::build(&pts, &vec![1.0; 1000], 32);
+        assert!(t.depth() >= 5, "clusters force depth, got {}", t.depth());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty point set")]
+    fn empty_input_rejected() {
+        let _ = Octree::build(&[], &[], 10);
+    }
+}

@@ -1,0 +1,143 @@
+//! Property-based tests for the FMM's structural invariants and
+//! numerical accuracy over random particle distributions.
+
+use kifmm::evaluator::{FmmPlan, M2lMethod};
+use kifmm::lists::InteractionLists;
+use kifmm::morton;
+use kifmm::tree::{BoxId, Octree};
+use kifmm::{direct_sum, relative_l2_error, FmmEvaluator};
+use proptest::prelude::*;
+
+fn points(n: std::ops::Range<usize>) -> impl Strategy<Value = Vec<[f64; 3]>> {
+    proptest::collection::vec([0.0f64..1.0, 0.0f64..1.0, 0.0f64..1.0], n)
+        .prop_map(|v| v.into_iter().map(|[x, y, z]| [x, y, z]).collect())
+}
+
+/// A mixture of a uniform cloud and a tight cluster — exercises the
+/// adaptive (W/X) machinery.
+fn clustered_points() -> impl Strategy<Value = Vec<[f64; 3]>> {
+    (points(100..200), points(100..200), 0.05f64..0.9).prop_map(|(uniform, cluster, center)| {
+        let mut all = uniform;
+        for p in cluster {
+            all.push([
+                center + p[0] * 0.01,
+                center + p[1] * 0.01,
+                center + p[2] * 0.01,
+            ]);
+        }
+        all
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn morton_round_trips(x in 0u32..(1 << 20), y in 0u32..(1 << 20), z in 0u32..(1 << 20)) {
+        let key = morton::encode(morton::MAX_LEVEL, x, y, z);
+        prop_assert_eq!(morton::decode(key), (x, y, z));
+    }
+
+    #[test]
+    fn adjacency_is_symmetric(
+        la in 1u8..5, xa in 0u32..16, ya in 0u32..16, za in 0u32..16,
+        lb in 1u8..5, xb in 0u32..16, yb in 0u32..16, zb in 0u32..16,
+    ) {
+        let clamp = |l: u8, v: u32| v % (1u32 << l);
+        let a = BoxId { level: la, x: clamp(la, xa), y: clamp(la, ya), z: clamp(la, za) };
+        let b = BoxId { level: lb, x: clamp(lb, xb), y: clamp(lb, yb), z: clamp(lb, zb) };
+        prop_assert_eq!(a.adjacent(&b), b.adjacent(&a));
+        prop_assert!(a.adjacent(&a));
+        // Ancestors of an adjacent box are adjacent too (containment
+        // only grows the cube).
+        if let Some(pb) = b.parent() {
+            if a.adjacent(&b) {
+                prop_assert!(a.adjacent(&pb));
+            }
+        }
+    }
+
+    #[test]
+    fn tree_partitions_points(pts in points(50..400), q in 8usize..64) {
+        let den = vec![1.0; pts.len()];
+        let tree = Octree::build(&pts, &den, q);
+        // Permutation is a bijection.
+        let mut seen = vec![false; pts.len()];
+        for &orig in &tree.permutation {
+            prop_assert!(!seen[orig]);
+            seen[orig] = true;
+        }
+        // Leaves tile the permuted range exactly.
+        let mut covered = 0usize;
+        for &li in &tree.leaves() {
+            let n = tree.nodes[li].num_points();
+            prop_assert!(n <= q);
+            prop_assert!(n > 0);
+            covered += n;
+        }
+        prop_assert_eq!(covered, pts.len());
+        // Every internal node's range equals the union of its children's.
+        for node in &tree.nodes {
+            if !node.is_leaf() {
+                let child_sum: usize = node
+                    .children
+                    .iter()
+                    .flatten()
+                    .map(|&c| tree.nodes[c].num_points())
+                    .sum();
+                prop_assert_eq!(child_sum, node.num_points());
+            }
+        }
+    }
+
+    #[test]
+    fn interaction_lists_invariants(pts in clustered_points()) {
+        let den = vec![1.0; pts.len()];
+        let tree = Octree::build(&pts, &den, 24);
+        let lists = InteractionLists::build(&tree);
+        for (ni, node) in tree.nodes.iter().enumerate() {
+            // U symmetry and leaf-ness.
+            for &u in &lists.u[ni] {
+                prop_assert!(tree.nodes[u].is_leaf());
+                prop_assert!(lists.u[u].contains(&ni));
+            }
+            // V members are same-level non-adjacent with adjacent parents.
+            for &v in &lists.v[ni] {
+                prop_assert_eq!(tree.nodes[v].id.level, node.id.level);
+                prop_assert!(!tree.nodes[v].id.adjacent(&node.id));
+            }
+            // W/X duality.
+            for &w in &lists.w[ni] {
+                prop_assert!(lists.x[w].contains(&ni));
+            }
+        }
+    }
+
+    #[test]
+    fn fmm_matches_direct_sum_on_random_clouds(pts in points(200..500), seed in 0u64..1000) {
+        let n = pts.len();
+        let den: Vec<f64> = (0..n)
+            .map(|i| ((i as f64 + seed as f64) * 0.7).sin())
+            .collect();
+        let plan = FmmPlan::new(&pts, &den, 32, 4, M2lMethod::Fft);
+        let fmm = FmmEvaluator::new().evaluate(&plan);
+        let reference = direct_sum(&pts, &den);
+        let err = relative_l2_error(&fmm, &reference);
+        prop_assert!(err < 1e-2, "relative L2 error {err}");
+    }
+
+    #[test]
+    fn fmm_is_translation_invariant(pts in points(150..300), shift in 0.0f64..100.0) {
+        // The Laplace kernel depends on differences only: shifting every
+        // point leaves all potentials unchanged.
+        let den: Vec<f64> = (0..pts.len()).map(|i| (i as f64 * 0.3).cos()).collect();
+        let base = FmmEvaluator::new()
+            .evaluate(&FmmPlan::new(&pts, &den, 32, 4, M2lMethod::Fft));
+        let shifted: Vec<[f64; 3]> =
+            pts.iter().map(|p| [p[0] + shift, p[1] + shift, p[2] + shift]).collect();
+        let moved = FmmEvaluator::new()
+            .evaluate(&FmmPlan::new(&shifted, &den, 32, 4, M2lMethod::Fft));
+        let err = relative_l2_error(&moved, &base);
+        prop_assert!(err < 1e-9, "translation changed potentials: {err}");
+    }
+}

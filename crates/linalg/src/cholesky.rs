@@ -1,0 +1,154 @@
+//! Cholesky factorization `A = L Lᵀ` for symmetric positive-definite
+//! matrices, with forward/back substitution solves.
+//!
+//! Used for the normal-equations path of ridge regression and as a fast
+//! SPD solve inside the KIFMM operator precompute.
+
+#![allow(clippy::needless_range_loop)] // triangular solves index several arrays by the same k
+use crate::{LinalgError, Matrix, Result};
+
+/// Lower-triangular Cholesky factor of an SPD matrix.
+#[derive(Debug, Clone)]
+pub struct Cholesky {
+    l: Matrix,
+}
+
+impl Cholesky {
+    /// Factors the symmetric positive-definite matrix `a`.
+    ///
+    /// Only the lower triangle of `a` is read.  Fails with
+    /// [`LinalgError::NotPositiveDefinite`] when a pivot is non-positive.
+    pub fn new(a: &Matrix) -> Result<Self> {
+        let (m, n) = a.shape();
+        if m != n {
+            return Err(LinalgError::ShapeMismatch {
+                context: "cholesky (square required)",
+                expected: (m, m),
+                found: (m, n),
+            });
+        }
+        let mut l = Matrix::zeros(n, n);
+        for j in 0..n {
+            let mut d = a[(j, j)];
+            for k in 0..j {
+                d -= l[(j, k)] * l[(j, k)];
+            }
+            if d <= 0.0 {
+                return Err(LinalgError::NotPositiveDefinite { pivot: j });
+            }
+            let djj = d.sqrt();
+            l[(j, j)] = djj;
+            for i in (j + 1)..n {
+                let mut s = a[(i, j)];
+                for k in 0..j {
+                    s -= l[(i, k)] * l[(j, k)];
+                }
+                l[(i, j)] = s / djj;
+            }
+        }
+        Ok(Cholesky { l })
+    }
+
+    /// The lower-triangular factor `L`.
+    pub fn l(&self) -> &Matrix {
+        &self.l
+    }
+
+    /// Solves `A x = b` via the two triangular solves.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let n = self.l.rows();
+        if b.len() != n {
+            return Err(LinalgError::ShapeMismatch {
+                context: "cholesky solve",
+                expected: (n, 1),
+                found: (b.len(), 1),
+            });
+        }
+        // Forward: L y = b.
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut s = b[i];
+            for k in 0..i {
+                s -= self.l[(i, k)] * y[k];
+            }
+            y[i] = s / self.l[(i, i)];
+        }
+        // Backward: Lᵀ x = y.
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut s = y[i];
+            for k in (i + 1)..n {
+                s -= self.l[(k, i)] * x[k];
+            }
+            x[i] = s / self.l[(i, i)];
+        }
+        Ok(x)
+    }
+
+    /// log(det(A)) computed from the factor diagonal (stable for small
+    /// determinants).
+    pub fn log_det(&self) -> f64 {
+        (0..self.l.rows()).map(|i| self.l[(i, i)].ln()).sum::<f64>() * 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd() -> Matrix {
+        // A = Bᵀ B + I is SPD for any B.
+        let b = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+        let mut g = b.gram();
+        for i in 0..2 {
+            g[(i, i)] += 1.0;
+        }
+        g
+    }
+
+    #[test]
+    fn factor_reconstructs() {
+        let a = spd();
+        let ch = Cholesky::new(&a).unwrap();
+        let llt = ch.l().matmul(&ch.l().transpose()).unwrap();
+        assert!(llt.approx_eq(&a, 1e-12));
+    }
+
+    #[test]
+    fn solve_round_trips() {
+        let a = spd();
+        let ch = Cholesky::new(&a).unwrap();
+        let x_true = vec![2.0, -1.0];
+        let b = a.matvec(&x_true);
+        let x = ch.solve(&b).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-12 && (x[1] + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn indefinite_rejected() {
+        let a = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, -1.0]]);
+        assert!(matches!(
+            Cholesky::new(&a),
+            Err(LinalgError::NotPositiveDefinite { pivot: 1 })
+        ));
+    }
+
+    #[test]
+    fn non_square_rejected() {
+        let a = Matrix::zeros(2, 3);
+        assert!(Cholesky::new(&a).is_err());
+    }
+
+    #[test]
+    fn log_det_matches_known() {
+        let a = Matrix::from_diag(&[2.0, 8.0]);
+        let ch = Cholesky::new(&a).unwrap();
+        assert!((ch.log_det() - (16.0f64).ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_wrong_length_rejected() {
+        let ch = Cholesky::new(&spd()).unwrap();
+        assert!(ch.solve(&[1.0]).is_err());
+    }
+}

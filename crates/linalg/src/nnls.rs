@@ -1,0 +1,278 @@
+//! Non-negative least squares: the Lawson–Hanson active-set algorithm.
+//!
+//! Solves `min ||A x - b||₂ subject to x >= 0`.  This is the estimator the
+//! paper uses to fit the DVFS-aware energy-roofline constants
+//! (Section II-C): energies per operation and leakage coefficients are
+//! physically non-negative, so unconstrained least squares — which can and
+//! does go negative on noisy power data — is not acceptable.
+//!
+//! Reference: C. L. Lawson and R. J. Hanson, *Solving Least Squares
+//! Problems*, Chapter 23.
+
+use crate::{lstsq, LinalgError, Matrix, Result};
+
+/// Tuning knobs for [`nnls`].
+#[derive(Debug, Clone)]
+pub struct NnlsOptions {
+    /// Maximum outer iterations; the default `10 * n` is far more than the
+    /// model-fitting problems here ever need.
+    pub max_iterations: usize,
+    /// Entries of the dual vector `w = Aᵀ(b - Ax)` below this threshold are
+    /// treated as non-positive (KKT tolerance).
+    pub tolerance: f64,
+}
+
+impl Default for NnlsOptions {
+    fn default() -> Self {
+        NnlsOptions { max_iterations: 0, tolerance: 1e-10 }
+    }
+}
+
+/// Output of [`nnls`].
+#[derive(Debug, Clone)]
+pub struct NnlsSolution {
+    /// The non-negative minimizer.
+    pub x: Vec<f64>,
+    /// Residual 2-norm `||A x - b||₂`.
+    pub residual_norm: f64,
+    /// Indices of the passive (strictly positive) set on exit.
+    pub passive_set: Vec<usize>,
+    /// Outer iterations consumed.
+    pub iterations: usize,
+}
+
+/// Solves `min ||A x - b||₂ s.t. x >= 0` by Lawson–Hanson.
+///
+/// ```
+/// use dvfs_linalg::{nnls, Matrix, NnlsOptions};
+///
+/// // The unconstrained least-squares solution would need x[1] < 0;
+/// // NNLS clamps it to the boundary and re-optimizes x[0].
+/// let a = Matrix::from_rows(&[&[1.0, 1.0], &[1.0, -1.0], &[1.0, 1.0]]);
+/// let b = [1.0, 4.0, 1.0];
+/// let sol = nnls(&a, &b, &NnlsOptions::default()).unwrap();
+/// assert_eq!(sol.x[1], 0.0);
+/// assert!((sol.x[0] - 2.0).abs() < 1e-10);
+/// ```
+pub fn nnls(a: &Matrix, b: &[f64], options: &NnlsOptions) -> Result<NnlsSolution> {
+    let (m, n) = a.shape();
+    if b.len() != m {
+        return Err(LinalgError::ShapeMismatch {
+            context: "nnls",
+            expected: (m, 1),
+            found: (b.len(), 1),
+        });
+    }
+    let max_iter = if options.max_iterations == 0 { 10 * n.max(3) } else { options.max_iterations };
+
+    let mut x = vec![0.0; n];
+    let mut passive = vec![false; n];
+    let mut iterations = 0;
+
+    // Residual r = b - A x  (x = 0 initially).
+    let mut r: Vec<f64> = b.to_vec();
+
+    loop {
+        // Dual vector w = Aᵀ r; KKT: stop when w_j <= tol for all active j.
+        let w = a.matvec_t(&r);
+        let mut best: Option<(usize, f64)> = None;
+        for j in 0..n {
+            if !passive[j] && w[j] > options.tolerance
+                && best.is_none_or(|(_, bw)| w[j] > bw) {
+                    best = Some((j, w[j]));
+                }
+        }
+        let Some((j_star, _)) = best else { break };
+        if iterations >= max_iter {
+            return Err(LinalgError::NoConvergence { routine: "nnls", iterations });
+        }
+        iterations += 1;
+        passive[j_star] = true;
+
+        // Inner loop: solve the unconstrained LSQ on the passive set and
+        // walk back along the segment to stay feasible.
+        loop {
+            let p: Vec<usize> = (0..n).filter(|&j| passive[j]).collect();
+            let ap = a.select_columns(&p);
+            let z = match lstsq(&ap, b) {
+                Ok(z) => z,
+                Err(LinalgError::Singular(_)) => {
+                    // The passive set became rank-deficient (collinear
+                    // columns); drop the newest variable and resume.
+                    passive[j_star] = false;
+                    break;
+                }
+                Err(e) => return Err(e),
+            };
+            if z.iter().all(|&v| v > 0.0) {
+                // Fully feasible: accept.
+                for (idx, &j) in p.iter().enumerate() {
+                    x[j] = z[idx];
+                }
+                for j in 0..n {
+                    if !passive[j] {
+                        x[j] = 0.0;
+                    }
+                }
+                break;
+            }
+            // Step length to the first variable that hits zero.
+            let mut alpha = f64::INFINITY;
+            for (idx, &j) in p.iter().enumerate() {
+                if z[idx] <= 0.0 {
+                    let denom = x[j] - z[idx];
+                    if denom > 0.0 {
+                        alpha = alpha.min(x[j] / denom);
+                    }
+                }
+            }
+            if !alpha.is_finite() {
+                // Degenerate: everything already at zero; drop offender.
+                for (idx, &j) in p.iter().enumerate() {
+                    if z[idx] <= 0.0 {
+                        passive[j] = false;
+                    }
+                }
+                continue;
+            }
+            for (idx, &j) in p.iter().enumerate() {
+                x[j] += alpha * (z[idx] - x[j]);
+            }
+            // Move variables that reached (numerical) zero to the active set.
+            for &j in &p {
+                if x[j] <= options.tolerance {
+                    x[j] = 0.0;
+                    passive[j] = false;
+                }
+            }
+        }
+
+        // Refresh residual.
+        let ax = a.matvec(&x);
+        for i in 0..m {
+            r[i] = b[i] - ax[i];
+        }
+    }
+
+    let passive_set: Vec<usize> = (0..n).filter(|&j| x[j] > 0.0).collect();
+    Ok(NnlsSolution { residual_norm: crate::norm2(&r), x, passive_set, iterations })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn solve(a: &Matrix, b: &[f64]) -> NnlsSolution {
+        nnls(a, b, &NnlsOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn interior_solution_matches_lstsq() {
+        // Well-posed problem whose unconstrained solution is positive.
+        let a = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0]]);
+        let b = a.matvec(&[2.0, 3.0]);
+        let sol = solve(&a, &b);
+        assert!((sol.x[0] - 2.0).abs() < 1e-10 && (sol.x[1] - 3.0).abs() < 1e-10);
+        assert!(sol.residual_norm < 1e-10);
+    }
+
+    #[test]
+    fn negative_unconstrained_solution_is_clamped() {
+        // Unconstrained solution has x[1] < 0; NNLS must return x[1] = 0 and
+        // the best non-negative x[0].
+        let a = Matrix::from_rows(&[&[1.0, 1.0], &[1.0, -1.0], &[1.0, 1.0]]);
+        let b = [1.0, 4.0, 1.0];
+        let sol = solve(&a, &b);
+        assert!(sol.x.iter().all(|&v| v >= 0.0));
+        assert_eq!(sol.x[1], 0.0);
+        assert!((sol.x[0] - 2.0).abs() < 1e-10, "best 1-var fit is mean = 2: {:?}", sol.x);
+    }
+
+    #[test]
+    fn zero_rhs_gives_zero_solution() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let sol = solve(&a, &[0.0, 0.0]);
+        assert_eq!(sol.x, vec![0.0, 0.0]);
+        assert_eq!(sol.iterations, 0);
+    }
+
+    #[test]
+    fn kkt_conditions_hold() {
+        let a = Matrix::from_rows(&[
+            &[0.5, 1.2, 0.1],
+            &[1.5, 0.2, 0.3],
+            &[0.7, 0.9, 1.1],
+            &[1.1, 0.4, 0.8],
+        ]);
+        let b = [1.0, 2.0, 0.1, 3.0];
+        let sol = solve(&a, &b);
+        let r: Vec<f64> =
+            a.matvec(&sol.x).iter().zip(&b).map(|(ax, bi)| bi - ax).collect();
+        let w = a.matvec_t(&r);
+        for j in 0..3 {
+            if sol.x[j] > 0.0 {
+                assert!(w[j].abs() < 1e-8, "gradient vanishes on passive set: w[{j}] = {}", w[j]);
+            } else {
+                assert!(w[j] <= 1e-8, "dual feasibility on active set: w[{j}] = {}", w[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn beats_or_ties_any_nonnegative_grid_candidate() {
+        // Brute-force verification of optimality on a coarse grid.
+        let a = Matrix::from_rows(&[&[1.0, 0.3], &[0.2, 1.0], &[0.5, 0.5]]);
+        let b = [0.3, -0.4, 0.1];
+        let sol = solve(&a, &b);
+        let obj = |x: &[f64]| {
+            let r: Vec<f64> = a.matvec(x).iter().zip(&b).map(|(ax, bi)| ax - bi).collect();
+            crate::norm2(&r)
+        };
+        let best = sol.residual_norm;
+        for i in 0..=40 {
+            for j in 0..=40 {
+                let cand = [i as f64 * 0.05, j as f64 * 0.05];
+                assert!(obj(&cand) >= best - 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn collinear_columns_do_not_hang() {
+        let a = Matrix::from_rows(&[&[1.0, 1.0], &[1.0, 1.0], &[1.0, 1.0]]);
+        let b = [1.0, 1.0, 1.0];
+        let sol = solve(&a, &b);
+        // x may put weight on either column, but the fit must be exact.
+        assert!(sol.residual_norm < 1e-10);
+        assert!(sol.x.iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn rhs_length_mismatch_rejected() {
+        let a = Matrix::zeros(3, 2);
+        assert!(nnls(&a, &[1.0], &NnlsOptions::default()).is_err());
+    }
+
+    #[test]
+    fn recovers_energy_model_like_fit() {
+        // Miniature version of the paper's fitting problem: 3 features
+        // (flop count, mop count, time) with known non-negative costs.
+        let truth = [29.0e-12, 377.0e-12, 6.8];
+        let rows = 40;
+        let mut data = Vec::new();
+        let mut b = Vec::new();
+        for i in 0..rows {
+            let w = 1e9 + (i as f64) * 3.7e8;
+            let q = 5e7 + ((i * 13 % 17) as f64) * 9.1e6;
+            let t = 0.01 + (i as f64) * 1e-3;
+            data.extend_from_slice(&[w, q, t]);
+            b.push(truth[0] * w + truth[1] * q + truth[2] * t);
+        }
+        let a = Matrix::from_vec(rows, 3, data);
+        let sol = solve(&a, &b);
+        for k in 0..3 {
+            let rel = (sol.x[k] - truth[k]).abs() / truth[k];
+            assert!(rel < 1e-8, "constant {k}: got {}, want {}", sol.x[k], truth[k]);
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! Moore–Penrose and Tikhonov-regularized pseudo-inverses.
+//!
+//! KIFMM's check-surface → equivalent-density solves invert severely
+//! ill-conditioned kernel matrices; Ying, Biros & Zorin regularize them
+//! with a truncated/regularized SVD, which is reproduced here.
+
+use crate::{Matrix, Result, Svd};
+
+/// Moore–Penrose pseudo-inverse via SVD with relative truncation `rtol`
+/// (singular values below `rtol * sigma_max` are treated as zero).
+pub fn pseudo_inverse(a: &Matrix, rtol: f64) -> Result<Matrix> {
+    apply_filter(a, |s, smax| if s > rtol * smax { 1.0 / s } else { 0.0 })
+}
+
+/// Tikhonov-regularized pseudo-inverse: singular values are filtered with
+/// `s / (s² + α²)` where `α = alpha_rel * sigma_max`.
+///
+/// This is the filter used for KIFMM equivalent-density solves; unlike hard
+/// truncation it degrades gracefully as the kernel matrix's spectrum decays.
+pub fn regularized_pseudo_inverse(a: &Matrix, alpha_rel: f64) -> Result<Matrix> {
+    apply_filter(a, |s, smax| {
+        let alpha = alpha_rel * smax;
+        s / (s * s + alpha * alpha)
+    })
+}
+
+fn apply_filter(a: &Matrix, filter: impl Fn(f64, f64) -> f64) -> Result<Matrix> {
+    let (m, n) = a.shape();
+    // Jacobi SVD requires rows >= cols; handle wide matrices through the
+    // transpose identity pinv(A) = pinv(Aᵀ)ᵀ.
+    if m < n {
+        return Ok(apply_filter(&a.transpose(), filter)?.transpose());
+    }
+    let svd = Svd::new(a)?;
+    let smax = svd.sigma.first().copied().unwrap_or(0.0);
+    // pinv = V Σ⁺ Uᵀ.
+    let mut v_filtered = svd.v.clone();
+    for j in 0..svd.sigma.len() {
+        let f = if smax > 0.0 { filter(svd.sigma[j], smax) } else { 0.0 };
+        for i in 0..v_filtered.rows() {
+            v_filtered[(i, j)] *= f;
+        }
+    }
+    v_filtered.matmul(&svd.u.transpose())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pinv_of_invertible_is_inverse() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]);
+        let p = pseudo_inverse(&a, 1e-12).unwrap();
+        let id = a.matmul(&p).unwrap();
+        assert!(id.approx_eq(&Matrix::identity(2), 1e-12));
+    }
+
+    #[test]
+    fn pinv_satisfies_penrose_conditions() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+        let p = pseudo_inverse(&a, 1e-12).unwrap();
+        // A P A = A and P A P = P.
+        let apa = a.matmul(&p).unwrap().matmul(&a).unwrap();
+        let pap = p.matmul(&a).unwrap().matmul(&p).unwrap();
+        assert!(apa.approx_eq(&a, 1e-10));
+        assert!(pap.approx_eq(&p, 1e-10));
+    }
+
+    #[test]
+    fn pinv_of_wide_matrix() {
+        let a = Matrix::from_rows(&[&[1.0, 0.0, 1.0], &[0.0, 1.0, 1.0]]);
+        let p = pseudo_inverse(&a, 1e-12).unwrap();
+        assert_eq!(p.shape(), (3, 2));
+        let apa = a.matmul(&p).unwrap().matmul(&a).unwrap();
+        assert!(apa.approx_eq(&a, 1e-10));
+    }
+
+    #[test]
+    fn truncation_kills_tiny_singular_values() {
+        // Rank-1 matrix plus tiny perturbation: pinv should not blow up.
+        let a = Matrix::from_rows(&[&[1.0, 1.0], &[1.0, 1.0 + 1e-13]]);
+        let p = pseudo_inverse(&a, 1e-8).unwrap();
+        assert!(p.norm_max() < 10.0, "truncated pinv stays bounded: {}", p.norm_max());
+    }
+
+    #[test]
+    fn tikhonov_is_bounded_by_half_inverse_alpha() {
+        let a = Matrix::from_rows(&[&[1e-9, 0.0], &[0.0, 1.0]]);
+        let alpha_rel = 1e-3;
+        let p = regularized_pseudo_inverse(&a, alpha_rel).unwrap();
+        // Filter max over s of s/(s²+α²) = 1/(2α) with α = alpha_rel·σmax.
+        assert!(p.norm_max() <= 0.5 / (alpha_rel * 1.0) + 1e-9);
+    }
+
+    #[test]
+    fn tikhonov_near_zero_alpha_matches_pinv() {
+        let a = Matrix::from_rows(&[&[2.0, 0.0], &[0.0, 5.0]]);
+        let p1 = regularized_pseudo_inverse(&a, 1e-12).unwrap();
+        let p2 = pseudo_inverse(&a, 1e-14).unwrap();
+        assert!(p1.approx_eq(&p2, 1e-8));
+    }
+}

@@ -1,0 +1,195 @@
+//! One-sided Jacobi singular value decomposition.
+//!
+//! Computes the thin SVD `A = U Σ Vᵀ` of an `m x n` matrix (`m >= n`; wide
+//! matrices are handled by transposition in [`crate::pinv`]).  One-sided
+//! Jacobi orthogonalizes the columns of a working copy of `A` by repeated
+//! plane rotations; it is slow for large matrices but extremely accurate for
+//! the small kernel matrices the KIFMM needs (high relative accuracy even
+//! for tiny singular values, which matters because equivalent-density
+//! systems are severely ill-conditioned).
+
+use crate::{LinalgError, Matrix, Result};
+
+/// Thin singular value decomposition.
+#[derive(Debug, Clone)]
+pub struct Svd {
+    /// Left singular vectors, `m x n`.
+    pub u: Matrix,
+    /// Singular values, descending, length `n`.
+    pub sigma: Vec<f64>,
+    /// Right singular vectors, `n x n` (the matrix `V`, not `Vᵀ`).
+    pub v: Matrix,
+}
+
+impl Svd {
+    /// Computes the thin SVD of `a` (`rows >= cols` required).
+    pub fn new(a: &Matrix) -> Result<Self> {
+        let (m, n) = a.shape();
+        if m < n {
+            return Err(LinalgError::ShapeMismatch {
+                context: "svd (requires rows >= cols; transpose first)",
+                expected: (n, n),
+                found: (m, n),
+            });
+        }
+        let mut u = a.clone();
+        let mut v = Matrix::identity(n);
+        let max_sweeps = 60;
+        let tol = 1e-14;
+        let mut converged = false;
+        for _sweep in 0..max_sweeps {
+            let mut off = 0.0f64;
+            for p in 0..n {
+                for q in (p + 1)..n {
+                    // Gram entries over columns p, q.
+                    let mut app = 0.0;
+                    let mut aqq = 0.0;
+                    let mut apq = 0.0;
+                    for i in 0..m {
+                        let up = u[(i, p)];
+                        let uq = u[(i, q)];
+                        app += up * up;
+                        aqq += uq * uq;
+                        apq += up * uq;
+                    }
+                    if apq.abs() <= tol * (app * aqq).sqrt() {
+                        continue;
+                    }
+                    off = off.max(apq.abs() / (app * aqq).sqrt().max(f64::MIN_POSITIVE));
+                    // Jacobi rotation that annihilates the (p,q) Gram entry.
+                    let zeta = (aqq - app) / (2.0 * apq);
+                    let t = zeta.signum() / (zeta.abs() + (1.0 + zeta * zeta).sqrt());
+                    let c = 1.0 / (1.0 + t * t).sqrt();
+                    let s = c * t;
+                    for i in 0..m {
+                        let up = u[(i, p)];
+                        let uq = u[(i, q)];
+                        u[(i, p)] = c * up - s * uq;
+                        u[(i, q)] = s * up + c * uq;
+                    }
+                    for i in 0..n {
+                        let vp = v[(i, p)];
+                        let vq = v[(i, q)];
+                        v[(i, p)] = c * vp - s * vq;
+                        v[(i, q)] = s * vp + c * vq;
+                    }
+                }
+            }
+            if off <= tol {
+                converged = true;
+                break;
+            }
+        }
+        if !converged {
+            return Err(LinalgError::NoConvergence { routine: "svd", iterations: max_sweeps });
+        }
+        // Column norms are the singular values; normalize U's columns.
+        let mut sigma: Vec<f64> = (0..n).map(|j| crate::norm2(&u.col(j))).collect();
+        for j in 0..n {
+            if sigma[j] > 0.0 {
+                for i in 0..m {
+                    u[(i, j)] /= sigma[j];
+                }
+            }
+        }
+        // Sort descending, permuting U and V consistently.
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&a, &b| sigma[b].partial_cmp(&sigma[a]).unwrap());
+        let u_sorted = u.select_columns(&order);
+        let v_sorted = v.select_columns(&order);
+        let sig_sorted: Vec<f64> = order.iter().map(|&j| sigma[j]).collect();
+        sigma = sig_sorted;
+        Ok(Svd { u: u_sorted, sigma, v: v_sorted })
+    }
+
+    /// Numerical rank at relative threshold `rtol` (relative to σ₁).
+    pub fn rank(&self, rtol: f64) -> usize {
+        let s0 = self.sigma.first().copied().unwrap_or(0.0);
+        self.sigma.iter().filter(|&&s| s > rtol * s0).count()
+    }
+
+    /// 2-norm condition number σ₁/σₙ (∞ if rank-deficient).
+    pub fn condition_number(&self) -> f64 {
+        match (self.sigma.first(), self.sigma.last()) {
+            (Some(&s1), Some(&sn)) if sn > 0.0 => s1 / sn,
+            _ => f64::INFINITY,
+        }
+    }
+
+    /// Reconstructs `A = U Σ Vᵀ` (for testing / diagnostics).
+    pub fn reconstruct(&self) -> Matrix {
+        let mut usig = self.u.clone();
+        for j in 0..self.sigma.len() {
+            for i in 0..usig.rows() {
+                usig[(i, j)] *= self.sigma[j];
+            }
+        }
+        usig.matmul(&self.v.transpose()).expect("shape ok")
+    }
+}
+
+/// Convenience: just the singular values of `a`, descending.
+pub fn singular_values(a: &Matrix) -> Result<Vec<f64>> {
+    let (m, n) = a.shape();
+    let work = if m >= n { a.clone() } else { a.transpose() };
+    Ok(Svd::new(&work)?.sigma)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diagonal_matrix_svd() {
+        let a = Matrix::from_diag(&[3.0, 1.0, 2.0]);
+        let svd = Svd::new(&a).unwrap();
+        assert!((svd.sigma[0] - 3.0).abs() < 1e-12);
+        assert!((svd.sigma[1] - 2.0).abs() < 1e-12);
+        assert!((svd.sigma[2] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reconstruction_matches() {
+        let a = Matrix::from_rows(&[&[2.0, 0.0], &[0.0, -3.0], &[1.0, 1.0]]);
+        let svd = Svd::new(&a).unwrap();
+        assert!(svd.reconstruct().approx_eq(&a, 1e-12));
+    }
+
+    #[test]
+    fn u_and_v_are_orthonormal() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+        let svd = Svd::new(&a).unwrap();
+        let utu = svd.u.transpose().matmul(&svd.u).unwrap();
+        let vtv = svd.v.transpose().matmul(&svd.v).unwrap();
+        assert!(utu.approx_eq(&Matrix::identity(2), 1e-12));
+        assert!(vtv.approx_eq(&Matrix::identity(2), 1e-12));
+    }
+
+    #[test]
+    fn rank_deficient_detected() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0], &[3.0, 6.0]]);
+        let svd = Svd::new(&a).unwrap();
+        assert_eq!(svd.rank(1e-10), 1);
+        assert!(svd.condition_number() > 1e10);
+    }
+
+    #[test]
+    fn singular_values_of_wide_matrix() {
+        let a = Matrix::from_rows(&[&[3.0, 0.0, 0.0], &[0.0, 4.0, 0.0]]);
+        let s = singular_values(&a).unwrap();
+        assert!((s[0] - 4.0).abs() < 1e-12 && (s[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn frobenius_norm_equals_sigma_norm() {
+        let a = Matrix::from_rows(&[&[1.0, -2.0], &[0.5, 4.0], &[3.0, 0.0]]);
+        let svd = Svd::new(&a).unwrap();
+        let sig_norm = crate::norm2(&svd.sigma);
+        assert!((a.norm_fro() - sig_norm).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wide_input_rejected() {
+        assert!(Svd::new(&Matrix::zeros(2, 3)).is_err());
+    }
+}

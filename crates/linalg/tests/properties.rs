@@ -1,0 +1,139 @@
+//! Property-based tests for the linear-algebra kernels.
+
+use dvfs_linalg::{lstsq, nnls, pseudo_inverse, Matrix, NnlsOptions, QrFactorization, Svd};
+use proptest::prelude::*;
+
+/// Bounded, finite matrix entries keep the factorizations in a sane
+/// numeric regime.
+fn entry() -> impl Strategy<Value = f64> {
+    (-100.0f64..100.0).prop_filter("nonzero-ish", |x| x.abs() > 1e-6 || *x == 0.0)
+}
+
+fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(entry(), rows * cols)
+        .prop_map(move |data| Matrix::from_vec(rows, cols, data))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn qr_reconstructs_the_matrix(a in matrix(6, 4)) {
+        let f = QrFactorization::new(&a).unwrap();
+        let qr = f.thin_q().matmul(&f.r()).unwrap();
+        prop_assert!(qr.approx_eq(&a, 1e-9), "QR != A");
+    }
+
+    #[test]
+    fn qr_q_columns_are_orthonormal(a in matrix(7, 3)) {
+        let q = QrFactorization::new(&a).unwrap().thin_q();
+        let qtq = q.transpose().matmul(&q).unwrap();
+        prop_assert!(qtq.approx_eq(&Matrix::identity(3), 1e-8));
+    }
+
+    #[test]
+    fn lstsq_residual_is_minimal(a in matrix(8, 3), perturb in proptest::collection::vec(-1.0f64..1.0, 3)) {
+        // For any candidate x', ||A x' - b|| >= ||A x* - b||.
+        let b: Vec<f64> = (0..8).map(|i| (i as f64).sin() * 10.0).collect();
+        let x_star = match lstsq(&a, &b) {
+            Ok(x) => x,
+            Err(_) => return Ok(()), // singular draw: nothing to check
+        };
+        let resid = |x: &[f64]| -> f64 {
+            a.matvec(x).iter().zip(&b).map(|(ax, bi)| (ax - bi) * (ax - bi)).sum()
+        };
+        let candidate: Vec<f64> =
+            x_star.iter().zip(&perturb).map(|(x, p)| x + p).collect();
+        prop_assert!(resid(&candidate) >= resid(&x_star) - 1e-6);
+    }
+
+    #[test]
+    fn nnls_is_nonnegative_and_no_worse_than_clamped_lstsq(a in matrix(10, 4)) {
+        let b: Vec<f64> = (0..10).map(|i| ((i * 7 % 11) as f64) - 3.0).collect();
+        let sol = match nnls(&a, &b, &NnlsOptions::default()) {
+            Ok(s) => s,
+            Err(_) => return Ok(()),
+        };
+        for &x in &sol.x {
+            prop_assert!(x >= 0.0);
+        }
+        // Clamping the unconstrained solution is a valid feasible point;
+        // NNLS must match or beat it.
+        if let Ok(unconstrained) = lstsq(&a, &b) {
+            let clamped: Vec<f64> = unconstrained.iter().map(|&x| x.max(0.0)).collect();
+            let resid = |x: &[f64]| -> f64 {
+                a.matvec(x).iter().zip(&b).map(|(ax, bi)| (ax - bi) * (ax - bi)).sum::<f64>().sqrt()
+            };
+            prop_assert!(sol.residual_norm <= resid(&clamped) + 1e-8);
+        }
+    }
+
+    #[test]
+    fn nnls_solves_consistent_nonnegative_systems_exactly(
+        x_true in proptest::collection::vec(0.0f64..10.0, 3),
+        a in matrix(9, 3),
+    ) {
+        let b = a.matvec(&x_true);
+        let sol = match nnls(&a, &b, &NnlsOptions::default()) {
+            Ok(s) => s,
+            Err(_) => return Ok(()),
+        };
+        // The system is consistent with a feasible solution, so the
+        // optimum residual is (numerically) zero.
+        let scale = dvfs_linalg::norm2(&b).max(1.0);
+        prop_assert!(sol.residual_norm <= 1e-7 * scale, "residual {}", sol.residual_norm);
+    }
+
+    #[test]
+    fn svd_reconstructs_and_orders(a in matrix(6, 4)) {
+        let svd = match Svd::new(&a) {
+            Ok(s) => s,
+            Err(_) => return Ok(()),
+        };
+        prop_assert!(svd.reconstruct().approx_eq(&a, 1e-8));
+        for w in svd.sigma.windows(2) {
+            prop_assert!(w[0] >= w[1] - 1e-12, "descending singular values");
+        }
+        for &s in &svd.sigma {
+            prop_assert!(s >= 0.0);
+        }
+    }
+
+    #[test]
+    fn svd_frobenius_identity(a in matrix(5, 5)) {
+        let svd = match Svd::new(&a) {
+            Ok(s) => s,
+            Err(_) => return Ok(()),
+        };
+        let fro = a.norm_fro();
+        let sig = dvfs_linalg::norm2(&svd.sigma);
+        prop_assert!((fro - sig).abs() <= 1e-8 * fro.max(1.0));
+    }
+
+    #[test]
+    fn pinv_satisfies_first_penrose_condition(a in matrix(5, 3)) {
+        let p = match pseudo_inverse(&a, 1e-10) {
+            Ok(p) => p,
+            Err(_) => return Ok(()),
+        };
+        let apa = a.matmul(&p).unwrap().matmul(&a).unwrap();
+        // With truncation the identity holds up to the dropped spectrum.
+        let tol = 1e-6 * a.norm_fro().max(1.0);
+        let diff = (&apa - &a).norm_fro();
+        prop_assert!(diff <= tol, "||A P A - A|| = {diff}");
+    }
+
+    #[test]
+    fn matmul_is_associative(a in matrix(3, 4), b in matrix(4, 2), c in matrix(2, 5)) {
+        let left = a.matmul(&b).unwrap().matmul(&c).unwrap();
+        let right = a.matmul(&b.matmul(&c).unwrap()).unwrap();
+        prop_assert!(left.approx_eq(&right, 1e-7));
+    }
+
+    #[test]
+    fn transpose_reverses_products(a in matrix(3, 4), b in matrix(4, 2)) {
+        let ab_t = a.matmul(&b).unwrap().transpose();
+        let bt_at = b.transpose().matmul(&a.transpose()).unwrap();
+        prop_assert!(ab_t.approx_eq(&bt_at, 1e-9));
+    }
+}

@@ -1,0 +1,257 @@
+//! The five intensity-microbenchmark families.
+//!
+//! Each family targets one resource class.  A benchmark instance is a
+//! kernel that performs `intensity` operations of the targeted compute
+//! class per word loaded from the targeted memory level (or, for the
+//! memory-level families, `intensity` words per flop), with the minimal
+//! bookkeeping overhead of a hand-unrolled CUDA kernel.  Utilization is
+//! ~1.0 by construction — the paper's microbenchmarks saturate close to
+//! 100% of the targeted resource, which is why their constant-power share
+//! (~30%) is so much lower than the FMM's (75–95%).
+
+use tk1_sim::{KernelProfile, OpClass, OpVector};
+
+/// The benchmark families of the suite.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MicrobenchKind {
+    /// SP flops per DRAM word swept over 25 intensities.
+    SinglePrecision,
+    /// DP flops per DRAM word swept over 36 intensities.
+    DoublePrecision,
+    /// Integer ops per DRAM word swept over 23 intensities.
+    Integer,
+    /// Shared-memory words per flop swept over 10 intensities.
+    SharedMemory,
+    /// L2 words per flop swept over 9 intensities.
+    L2,
+}
+
+impl MicrobenchKind {
+    /// All families in suite order.
+    pub const ALL: [MicrobenchKind; 5] = [
+        MicrobenchKind::SinglePrecision,
+        MicrobenchKind::DoublePrecision,
+        MicrobenchKind::Integer,
+        MicrobenchKind::SharedMemory,
+        MicrobenchKind::L2,
+    ];
+
+    /// Display name as used in the paper's Table II.
+    pub fn name(self) -> &'static str {
+        match self {
+            MicrobenchKind::SinglePrecision => "Single",
+            MicrobenchKind::DoublePrecision => "Double",
+            MicrobenchKind::Integer => "Integer",
+            MicrobenchKind::SharedMemory => "Shared memory",
+            MicrobenchKind::L2 => "L2",
+        }
+    }
+
+    /// Number of intensity points, matching Table II's "out of N" counts.
+    pub fn intensity_count(self) -> usize {
+        match self {
+            MicrobenchKind::SinglePrecision => 25,
+            MicrobenchKind::DoublePrecision => 36,
+            MicrobenchKind::Integer => 23,
+            MicrobenchKind::SharedMemory => 10,
+            MicrobenchKind::L2 => 9,
+        }
+    }
+
+    /// The intensity grid for this family (log-spaced, as in the suite).
+    pub fn intensities(self) -> Vec<f64> {
+        let n = self.intensity_count();
+        let (lo, hi): (f64, f64) = match self {
+            // Compute families sweep flops-per-word across the roofline
+            // knee (machine balance is ~11 flops/word SP, ~0.5 DP).
+            MicrobenchKind::SinglePrecision => (0.25, 256.0),
+            MicrobenchKind::DoublePrecision => (0.125, 64.0),
+            MicrobenchKind::Integer => (0.25, 128.0),
+            // Memory families sweep words-per-flop.
+            MicrobenchKind::SharedMemory => (0.5, 32.0),
+            MicrobenchKind::L2 => (0.5, 16.0),
+        };
+        (0..n)
+            .map(|i| {
+                let t = i as f64 / (n - 1) as f64;
+                lo * (hi / lo).powf(t)
+            })
+            .collect()
+    }
+
+    /// Builds the benchmark instance at one intensity point.
+    pub fn instance(self, intensity: f64) -> Microbenchmark {
+        Microbenchmark::new(self, intensity)
+    }
+
+    /// All instances of this family.
+    pub fn instances(self) -> Vec<Microbenchmark> {
+        self.intensities().into_iter().map(|a| self.instance(a)).collect()
+    }
+}
+
+/// One benchmark instance: a family at a fixed intensity.
+#[derive(Debug, Clone)]
+pub struct Microbenchmark {
+    /// The family.
+    pub kind: MicrobenchKind,
+    /// The intensity (flops/word or words/flop depending on family).
+    pub intensity: f64,
+    kernel: KernelProfile,
+}
+
+/// Words streamed per benchmark run.  Sized so each run lasts tens of
+/// milliseconds at max frequency — long enough for dozens of power
+/// samples at 1024 Hz, matching the suite's repetition strategy.
+const STREAM_WORDS: f64 = 64.0 * 1024.0 * 1024.0;
+
+/// Tile-reuse factor for the on-chip (shared memory, L2) families.
+const ONCHIP_REPS: f64 = 64.0;
+
+impl Microbenchmark {
+    /// Builds the kernel descriptor for `kind` at `intensity`.
+    pub fn new(kind: MicrobenchKind, intensity: f64) -> Self {
+        assert!(intensity > 0.0, "intensity must be positive");
+        let q = STREAM_WORDS;
+        let ops = match kind {
+            MicrobenchKind::SinglePrecision => OpVector::from_pairs(&[
+                (OpClass::FlopSp, intensity * q),
+                (OpClass::Dram, q),
+                // Unrolled pointer arithmetic: ~1 int op per 16 words.
+                (OpClass::Int, q / 16.0),
+            ]),
+            MicrobenchKind::DoublePrecision => OpVector::from_pairs(&[
+                (OpClass::FlopDp, intensity * q),
+                // DP streams 8-byte words: twice the 4-byte mop count.
+                (OpClass::Dram, 2.0 * q),
+                (OpClass::Int, q / 16.0),
+            ]),
+            MicrobenchKind::Integer => OpVector::from_pairs(&[
+                (OpClass::Int, intensity * q),
+                (OpClass::Dram, q),
+            ]),
+            // The on-chip families loop over a resident tile many times
+            // (ONCHIP_REPS), so even the lowest intensity point runs long
+            // enough for the 1024 Hz meter to log dozens of samples.
+            MicrobenchKind::SharedMemory => OpVector::from_pairs(&[
+                // One flop per inner iteration, `intensity` SM words each.
+                (OpClass::FlopSp, ONCHIP_REPS * q / 8.0),
+                (OpClass::Shared, intensity * ONCHIP_REPS * q / 8.0),
+                // Initial tile load from DRAM, amortized over reuse.
+                (OpClass::Dram, q / 512.0),
+                (OpClass::Int, ONCHIP_REPS * q / 64.0),
+            ]),
+            MicrobenchKind::L2 => OpVector::from_pairs(&[
+                (OpClass::FlopSp, ONCHIP_REPS * q / 8.0),
+                (OpClass::L2, intensity * ONCHIP_REPS * q / 8.0),
+                // The working set slightly exceeds L2 now and then.
+                (OpClass::Dram, q / 256.0),
+                (OpClass::Int, ONCHIP_REPS * q / 64.0),
+            ]),
+        };
+        let name = format!("{}@{:.4}", kind.name(), intensity);
+        let kernel = KernelProfile::new(name, ops).with_utilization(0.98);
+        Microbenchmark { kind, intensity, kernel }
+    }
+
+    /// The kernel descriptor the device executes.
+    pub fn kernel(&self) -> &KernelProfile {
+        &self.kernel
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intensity_counts_match_table2() {
+        assert_eq!(MicrobenchKind::SinglePrecision.intensity_count(), 25);
+        assert_eq!(MicrobenchKind::DoublePrecision.intensity_count(), 36);
+        assert_eq!(MicrobenchKind::Integer.intensity_count(), 23);
+        assert_eq!(MicrobenchKind::SharedMemory.intensity_count(), 10);
+        assert_eq!(MicrobenchKind::L2.intensity_count(), 9);
+        let total: usize = MicrobenchKind::ALL.iter().map(|k| k.intensity_count()).sum();
+        assert_eq!(total, 103, "103 intensity points across the suite");
+    }
+
+    #[test]
+    fn intensity_grids_are_log_spaced_and_sorted() {
+        for kind in MicrobenchKind::ALL {
+            let grid = kind.intensities();
+            assert_eq!(grid.len(), kind.intensity_count());
+            for w in grid.windows(2) {
+                assert!(w[0] < w[1], "ascending");
+            }
+            // Log spacing: constant ratio.
+            let r0 = grid[1] / grid[0];
+            for w in grid.windows(2) {
+                assert!((w[1] / w[0] - r0).abs() < 1e-9 * r0);
+            }
+        }
+    }
+
+    #[test]
+    fn sp_kernel_has_requested_intensity() {
+        let mb = MicrobenchKind::SinglePrecision.instance(8.0);
+        let ops = &mb.kernel().ops;
+        // Arithmetic intensity in flops per DRAM *byte* = 8 per word / 4.
+        assert!((ops.arithmetic_intensity() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sp_sweep_crosses_the_roofline_knee() {
+        use tk1_sim::{Setting, TimingModel};
+        let tm = TimingModel::default();
+        let s = Setting::max_performance();
+        let grid = MicrobenchKind::SinglePrecision.intensities();
+        let first = MicrobenchKind::SinglePrecision.instance(grid[0]);
+        let last = MicrobenchKind::SinglePrecision.instance(*grid.last().unwrap());
+        use tk1_sim::timing::BoundResource;
+        assert_eq!(tm.execution_time(first.kernel(), s).bound, BoundResource::Dram);
+        assert_eq!(
+            tm.execution_time(last.kernel(), s).bound,
+            BoundResource::FloatingPoint
+        );
+    }
+
+    #[test]
+    fn sm_benchmark_is_shared_dominated() {
+        let mb = MicrobenchKind::SharedMemory.instance(16.0);
+        let ops = &mb.kernel().ops;
+        assert!(ops.get(OpClass::Shared) > 100.0 * ops.get(OpClass::Dram));
+    }
+
+    #[test]
+    fn l2_benchmark_is_l2_dominated() {
+        let mb = MicrobenchKind::L2.instance(8.0);
+        let ops = &mb.kernel().ops;
+        assert!(ops.get(OpClass::L2) > 50.0 * ops.get(OpClass::Dram));
+    }
+
+    #[test]
+    fn dp_streams_double_width_words() {
+        let mb = MicrobenchKind::DoublePrecision.instance(1.0);
+        let ops = &mb.kernel().ops;
+        assert_eq!(ops.get(OpClass::Dram), 2.0 * STREAM_WORDS);
+    }
+
+    #[test]
+    fn runs_last_tens_of_milliseconds() {
+        use tk1_sim::{Setting, TimingModel};
+        let tm = TimingModel::default();
+        let s = Setting::max_performance();
+        for kind in MicrobenchKind::ALL {
+            let t = tm
+                .execution_time(kind.instance(kind.intensities()[0]).kernel(), s)
+                .total_s;
+            assert!(t > 0.005, "{kind:?}: {t} s is long enough to sample");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_intensity_rejected() {
+        let _ = MicrobenchKind::SinglePrecision.instance(0.0);
+    }
+}

@@ -1,0 +1,237 @@
+//! The measurement dataset and the Table I training/validation split.
+
+use crate::benchmarks::MicrobenchKind;
+use serde::{Deserialize, Serialize};
+use tk1_sim::{OpVector, Setting};
+
+/// Whether a DVFS setting belongs to the paper's training ("T") or
+/// validation ("V") rows of Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SettingType {
+    /// Used for fitting the model constants.
+    Training,
+    /// Held out for validation.
+    Validation,
+}
+
+/// The 8 training settings of Table I, `(core MHz, mem MHz)`.
+pub const TRAINING_SETTINGS: [(f64, f64); 8] = [
+    (852.0, 924.0),
+    (396.0, 924.0),
+    (852.0, 528.0),
+    (648.0, 528.0),
+    (396.0, 528.0),
+    (852.0, 204.0),
+    (648.0, 204.0),
+    (396.0, 204.0),
+];
+
+/// The 8 validation settings of Table I, `(core MHz, mem MHz)`.
+pub const VALIDATION_SETTINGS: [(f64, f64); 8] = [
+    (756.0, 924.0),
+    (180.0, 528.0),
+    (540.0, 528.0),
+    (540.0, 204.0),
+    (756.0, 204.0),
+    (72.0, 68.0),
+    (756.0, 68.0),
+    (180.0, 924.0),
+];
+
+/// Resolves the Table I settings, training first then validation.
+pub fn table1_settings() -> Vec<(Setting, SettingType)> {
+    let resolve = |(c, m): (f64, f64)| {
+        Setting::from_frequencies(c, m)
+            .unwrap_or_else(|| panic!("Table I setting {c}/{m} missing from DVFS tables"))
+    };
+    TRAINING_SETTINGS
+        .iter()
+        .map(|&fm| (resolve(fm), SettingType::Training))
+        .chain(VALIDATION_SETTINGS.iter().map(|&fm| (resolve(fm), SettingType::Validation)))
+        .collect()
+}
+
+/// One observed (kernel, setting) measurement: everything the
+/// experimenter can see, and nothing they can't.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Sample {
+    /// Which benchmark family produced the kernel (None for applications).
+    pub kind: Option<String>,
+    /// The family's intensity parameter, if applicable.
+    pub intensity: Option<f64>,
+    /// Operation counts of the kernel (known analytically for the suite;
+    /// from performance counters for applications).
+    pub ops: OpVector,
+    /// The DVFS setting it ran at.
+    pub setting: Setting,
+    /// Whether the setting is in the training or validation split.
+    pub setting_type: SettingType,
+    /// Host-timed execution duration, seconds.
+    pub time_s: f64,
+    /// PowerMon-measured energy, J.
+    pub energy_j: f64,
+}
+
+impl Sample {
+    /// Measured average power, W.
+    pub fn power_w(&self) -> f64 {
+        if self.time_s > 0.0 {
+            self.energy_j / self.time_s
+        } else {
+            0.0
+        }
+    }
+}
+
+/// A collected measurement dataset.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Dataset {
+    /// All samples, in collection order.
+    pub samples: Vec<Sample>,
+}
+
+impl Dataset {
+    /// Creates an empty dataset.
+    pub fn new() -> Self {
+        Dataset::default()
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when no samples have been collected.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Appends a sample.
+    pub fn push(&mut self, sample: Sample) {
+        self.samples.push(sample);
+    }
+
+    /// The training-split samples.
+    pub fn training(&self) -> impl Iterator<Item = &Sample> {
+        self.samples.iter().filter(|s| s.setting_type == SettingType::Training)
+    }
+
+    /// The validation-split samples.
+    pub fn validation(&self) -> impl Iterator<Item = &Sample> {
+        self.samples.iter().filter(|s| s.setting_type == SettingType::Validation)
+    }
+
+    /// Samples of one benchmark family.
+    pub fn of_kind(&self, kind: MicrobenchKind) -> impl Iterator<Item = &Sample> {
+        let name = kind.name();
+        self.samples.iter().filter(move |s| s.kind.as_deref() == Some(name))
+    }
+
+    /// The distinct settings present, in first-appearance order.
+    pub fn settings(&self) -> Vec<Setting> {
+        let mut seen = Vec::new();
+        for s in &self.samples {
+            if !seen.contains(&s.setting) {
+                seen.push(s.setting);
+            }
+        }
+        seen
+    }
+
+    /// Partitions sample indices into `k` folds by setting, for k-fold
+    /// cross-validation over *settings* (the paper's 16-fold CV holds out
+    /// one setting at a time).
+    pub fn folds_by_setting(&self) -> Vec<Vec<usize>> {
+        let settings = self.settings();
+        settings
+            .iter()
+            .map(|&set| {
+                self.samples
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, s)| s.setting == set)
+                    .map(|(i, _)| i)
+                    .collect()
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tk1_sim::OpClass;
+
+    fn sample_at(core: f64, mem: f64, ty: SettingType, e: f64) -> Sample {
+        Sample {
+            kind: Some("Single".into()),
+            intensity: Some(1.0),
+            ops: OpVector::from_pairs(&[(OpClass::FlopSp, 1.0)]),
+            setting: Setting::from_frequencies(core, mem).unwrap(),
+            setting_type: ty,
+            time_s: 2.0,
+            energy_j: e,
+        }
+    }
+
+    #[test]
+    fn table1_settings_resolve_and_split() {
+        let all = table1_settings();
+        assert_eq!(all.len(), 16);
+        assert_eq!(all.iter().filter(|(_, t)| *t == SettingType::Training).count(), 8);
+        // No duplicates.
+        for i in 0..all.len() {
+            for j in (i + 1)..all.len() {
+                assert_ne!(all[i].0, all[j].0);
+            }
+        }
+    }
+
+    #[test]
+    fn split_iterators_partition() {
+        let mut ds = Dataset::new();
+        ds.push(sample_at(852.0, 924.0, SettingType::Training, 1.0));
+        ds.push(sample_at(756.0, 924.0, SettingType::Validation, 2.0));
+        ds.push(sample_at(396.0, 204.0, SettingType::Training, 3.0));
+        assert_eq!(ds.training().count(), 2);
+        assert_eq!(ds.validation().count(), 1);
+        assert_eq!(ds.len(), 3);
+    }
+
+    #[test]
+    fn power_is_energy_over_time() {
+        let s = sample_at(852.0, 924.0, SettingType::Training, 10.0);
+        assert_eq!(s.power_w(), 5.0);
+    }
+
+    #[test]
+    fn folds_group_by_setting() {
+        let mut ds = Dataset::new();
+        ds.push(sample_at(852.0, 924.0, SettingType::Training, 1.0));
+        ds.push(sample_at(756.0, 924.0, SettingType::Validation, 2.0));
+        ds.push(sample_at(852.0, 924.0, SettingType::Training, 3.0));
+        let folds = ds.folds_by_setting();
+        assert_eq!(folds.len(), 2);
+        assert_eq!(folds[0], vec![0, 2]);
+        assert_eq!(folds[1], vec![1]);
+    }
+
+    #[test]
+    fn of_kind_filters() {
+        let mut ds = Dataset::new();
+        ds.push(sample_at(852.0, 924.0, SettingType::Training, 1.0));
+        let mut app = sample_at(852.0, 924.0, SettingType::Training, 1.0);
+        app.kind = None;
+        ds.push(app);
+        assert_eq!(ds.of_kind(MicrobenchKind::SinglePrecision).count(), 1);
+        assert_eq!(ds.of_kind(MicrobenchKind::L2).count(), 0);
+    }
+
+    #[test]
+    fn empty_dataset_reports_empty() {
+        let ds = Dataset::new();
+        assert!(ds.is_empty());
+        assert!(ds.settings().is_empty());
+        assert!(ds.folds_by_setting().is_empty());
+    }
+}

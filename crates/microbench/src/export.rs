@@ -1,0 +1,220 @@
+//! Dataset export/import in CSV — the counterpart of the paper's
+//! published measurement data (their Jetson TK1 dataset shipped as flat
+//! files consumed by R scripts).
+//!
+//! The format is one row per sample with a fixed header; floats are
+//! written with enough digits to round-trip exactly.
+
+use crate::dataset::{Dataset, Sample, SettingType};
+use tk1_sim::{OpClass, Setting, ALL_CLASSES};
+
+/// The CSV header, in column order.
+pub const HEADER: &str = "kind,intensity,core_mhz,mem_mhz,split,\
+sp,dp,int,shared,l1,l2,dram,time_s,energy_j";
+
+/// Serializes a dataset to CSV (header + one line per sample).
+pub fn to_csv(dataset: &Dataset) -> String {
+    let mut out = String::with_capacity(64 * (dataset.len() + 1));
+    out.push_str(HEADER);
+    out.push('\n');
+    for s in &dataset.samples {
+        let op = s.setting.operating_point();
+        out.push_str(&format!(
+            "{},{},{},{},{},{:e},{:e},{:e},{:e},{:e},{:e},{:e},{:e},{:e}\n",
+            s.kind.as_deref().unwrap_or(""),
+            s.intensity.map_or(String::new(), |i| format!("{i:e}")),
+            op.core.freq_mhz,
+            op.mem.freq_mhz,
+            match s.setting_type {
+                SettingType::Training => "T",
+                SettingType::Validation => "V",
+            },
+            s.ops.get(OpClass::FlopSp),
+            s.ops.get(OpClass::FlopDp),
+            s.ops.get(OpClass::Int),
+            s.ops.get(OpClass::Shared),
+            s.ops.get(OpClass::L1),
+            s.ops.get(OpClass::L2),
+            s.ops.get(OpClass::Dram),
+            s.time_s,
+            s.energy_j,
+        ));
+    }
+    out
+}
+
+/// Errors produced when parsing a CSV dataset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CsvError {
+    /// The header line is missing or does not match [`HEADER`].
+    BadHeader,
+    /// A data row has the wrong number of fields.
+    FieldCount { line: usize, found: usize },
+    /// A numeric field failed to parse.
+    BadNumber { line: usize, field: &'static str },
+    /// A frequency pair does not correspond to a DVFS operating point.
+    UnknownSetting { line: usize },
+    /// The split tag is neither "T" nor "V".
+    BadSplit { line: usize },
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CsvError::BadHeader => write!(f, "missing or mismatched CSV header"),
+            CsvError::FieldCount { line, found } => {
+                write!(f, "line {line}: expected 14 fields, found {found}")
+            }
+            CsvError::BadNumber { line, field } => {
+                write!(f, "line {line}: field '{field}' is not a number")
+            }
+            CsvError::UnknownSetting { line } => {
+                write!(f, "line {line}: frequencies are not a DVFS operating point")
+            }
+            CsvError::BadSplit { line } => write!(f, "line {line}: split must be T or V"),
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+/// Parses a dataset previously written by [`to_csv`].
+pub fn from_csv(text: &str) -> Result<Dataset, CsvError> {
+    let mut lines = text.lines();
+    if lines.next().map(str::trim) != Some(HEADER) {
+        return Err(CsvError::BadHeader);
+    }
+    let mut dataset = Dataset::new();
+    for (i, line) in lines.enumerate() {
+        let line_no = i + 2;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() != 14 {
+            return Err(CsvError::FieldCount { line: line_no, found: fields.len() });
+        }
+        let num = |idx: usize, name: &'static str| -> Result<f64, CsvError> {
+            fields[idx]
+                .parse::<f64>()
+                .map_err(|_| CsvError::BadNumber { line: line_no, field: name })
+        };
+        let core = num(2, "core_mhz")?;
+        let mem = num(3, "mem_mhz")?;
+        let setting = Setting::from_frequencies(core, mem)
+            .ok_or(CsvError::UnknownSetting { line: line_no })?;
+        let setting_type = match fields[4] {
+            "T" => SettingType::Training,
+            "V" => SettingType::Validation,
+            _ => return Err(CsvError::BadSplit { line: line_no }),
+        };
+        let mut ops = tk1_sim::OpVector::zero();
+        for (k, &class) in ALL_CLASSES.iter().enumerate() {
+            ops.set(class, num(5 + k, class.name())?);
+        }
+        dataset.push(Sample {
+            kind: if fields[0].is_empty() { None } else { Some(fields[0].to_string()) },
+            intensity: if fields[1].is_empty() { None } else { Some(num(1, "intensity")?) },
+            ops,
+            setting,
+            setting_type,
+            time_s: num(12, "time_s")?,
+            energy_j: num(13, "energy_j")?,
+        });
+    }
+    Ok(dataset)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sweep::{run_sweep, SweepConfig};
+    use crate::MicrobenchKind;
+
+    fn small_dataset() -> Dataset {
+        run_sweep(&SweepConfig {
+            kinds: vec![MicrobenchKind::L2],
+            settings: crate::dataset::table1_settings().into_iter().take(2).collect(),
+            ..SweepConfig::default()
+        })
+    }
+
+    #[test]
+    fn round_trip_preserves_every_sample_exactly() {
+        let ds = small_dataset();
+        let csv = to_csv(&ds);
+        let back = from_csv(&csv).unwrap();
+        assert_eq!(back.len(), ds.len());
+        for (a, b) in ds.samples.iter().zip(&back.samples) {
+            assert_eq!(a.kind, b.kind);
+            assert_eq!(a.setting, b.setting);
+            assert_eq!(a.setting_type, b.setting_type);
+            assert_eq!(a.time_s, b.time_s, "floats round-trip bit-exactly via {{:e}}");
+            assert_eq!(a.energy_j, b.energy_j);
+            for (class, count) in a.ops.iter() {
+                assert_eq!(count, b.ops.get(class));
+            }
+        }
+    }
+
+    #[test]
+    fn header_is_first_line() {
+        let csv = to_csv(&small_dataset());
+        assert!(csv.starts_with(HEADER));
+        assert_eq!(csv.lines().count(), small_dataset().len() + 1);
+    }
+
+    #[test]
+    fn missing_header_rejected() {
+        assert_eq!(from_csv("nope\n1,2,3").unwrap_err(), CsvError::BadHeader);
+    }
+
+    #[test]
+    fn short_row_rejected() {
+        let bad = format!("{HEADER}\na,b,c\n");
+        assert_eq!(from_csv(&bad).unwrap_err(), CsvError::FieldCount { line: 2, found: 3 });
+    }
+
+    #[test]
+    fn bad_number_rejected() {
+        let bad = format!("{HEADER}\nL2,1.0,852,924,T,x,0,0,0,0,0,0,1.0,2.0\n");
+        assert!(matches!(from_csv(&bad), Err(CsvError::BadNumber { line: 2, field: "SP" })));
+    }
+
+    #[test]
+    fn unknown_setting_rejected() {
+        let bad = format!("{HEADER}\nL2,1.0,853,924,T,0,0,0,0,0,0,0,1.0,2.0\n");
+        assert_eq!(from_csv(&bad).unwrap_err(), CsvError::UnknownSetting { line: 2 });
+    }
+
+    #[test]
+    fn bad_split_rejected() {
+        let bad = format!("{HEADER}\nL2,1.0,852,924,Q,0,0,0,0,0,0,0,1.0,2.0\n");
+        assert_eq!(from_csv(&bad).unwrap_err(), CsvError::BadSplit { line: 2 });
+    }
+
+    #[test]
+    fn empty_lines_are_skipped() {
+        let ds = small_dataset();
+        let csv = format!("{}\n\n", to_csv(&ds));
+        assert_eq!(from_csv(&csv).unwrap().len(), ds.len());
+    }
+
+    #[test]
+    fn application_samples_round_trip() {
+        let mut ds = Dataset::new();
+        ds.push(Sample {
+            kind: None,
+            intensity: None,
+            ops: tk1_sim::OpVector::from_pairs(&[(tk1_sim::OpClass::FlopDp, 42.5)]),
+            setting: Setting::max_performance(),
+            setting_type: SettingType::Validation,
+            time_s: 1.25,
+            energy_j: 8.5,
+        });
+        let back = from_csv(&to_csv(&ds)).unwrap();
+        assert_eq!(back.samples[0].kind, None);
+        assert_eq!(back.samples[0].intensity, None);
+        assert_eq!(back.samples[0].ops.get(tk1_sim::OpClass::FlopDp), 42.5);
+    }
+}

@@ -1,0 +1,27 @@
+//! The "intensity" microbenchmark suite.
+//!
+//! The paper instantiates its model from a suite of highly tuned
+//! microbenchmarks (the authors' public "archline" suite) that exercise
+//! one resource class at a time while sweeping *arithmetic intensity* —
+//! flops executed per word of data loaded — and the DVFS setting.  This
+//! crate reproduces that suite against the simulated platform:
+//!
+//! * [`benchmarks`] — the five benchmark families (single precision,
+//!   double precision, integer, shared memory, L2), each generating a
+//!   kernel descriptor per intensity point.  The per-family intensity
+//!   grids match the paper's Table II counts (25/36/23/10/9).
+//! * [`sweep`] — the sweep driver: run families × intensities × DVFS
+//!   settings × trials on a device through a power meter, producing
+//!   [`Sample`]s of exactly what the experimenter can observe.
+//! * [`dataset`] — the collected dataset with the paper's
+//!   training/validation split (Table I's "T" and "V" setting types).
+
+pub mod benchmarks;
+pub mod dataset;
+pub mod export;
+pub mod sweep;
+
+pub use benchmarks::{Microbenchmark, MicrobenchKind};
+pub use dataset::{Dataset, Sample, SettingType};
+pub use export::{from_csv, to_csv, CsvError};
+pub use sweep::{run_sweep, SweepConfig};

@@ -1,0 +1,136 @@
+//! Property-based tests for the microbenchmark suite and dataset layer.
+
+use dvfs_microbench::{from_csv, to_csv, Dataset, MicrobenchKind, Sample, SettingType};
+use proptest::prelude::*;
+use tk1_sim::{OpClass, OpVector, Setting};
+
+fn kind() -> impl Strategy<Value = MicrobenchKind> {
+    prop_oneof![
+        Just(MicrobenchKind::SinglePrecision),
+        Just(MicrobenchKind::DoublePrecision),
+        Just(MicrobenchKind::Integer),
+        Just(MicrobenchKind::SharedMemory),
+        Just(MicrobenchKind::L2),
+    ]
+}
+
+fn sample() -> impl Strategy<Value = Sample> {
+    (
+        proptest::option::of(kind()),
+        proptest::option::of(0.01f64..1e3),
+        proptest::array::uniform7(0.0f64..1e12),
+        0usize..15,
+        0usize..7,
+        proptest::bool::ANY,
+        1e-6f64..100.0,
+        1e-6f64..1e3,
+    )
+        .prop_map(|(k, intensity, counts, c, m, train, time_s, energy_j)| Sample {
+            kind: k.map(|k| k.name().to_string()),
+            intensity,
+            ops: OpVector::from_pairs(&[
+                (OpClass::FlopSp, counts[0]),
+                (OpClass::FlopDp, counts[1]),
+                (OpClass::Int, counts[2]),
+                (OpClass::Shared, counts[3]),
+                (OpClass::L1, counts[4]),
+                (OpClass::L2, counts[5]),
+                (OpClass::Dram, counts[6]),
+            ]),
+            setting: Setting::new(c, m),
+            setting_type: if train { SettingType::Training } else { SettingType::Validation },
+            time_s,
+            energy_j,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn csv_round_trips_arbitrary_datasets(samples in proptest::collection::vec(sample(), 0..40)) {
+        let mut ds = Dataset::new();
+        for s in samples {
+            ds.push(s);
+        }
+        let back = from_csv(&to_csv(&ds)).expect("own output parses");
+        prop_assert_eq!(back.len(), ds.len());
+        for (a, b) in ds.samples.iter().zip(&back.samples) {
+            prop_assert_eq!(&a.kind, &b.kind);
+            prop_assert_eq!(a.intensity, b.intensity);
+            prop_assert_eq!(a.setting, b.setting);
+            prop_assert_eq!(a.setting_type, b.setting_type);
+            prop_assert_eq!(a.time_s, b.time_s);
+            prop_assert_eq!(a.energy_j, b.energy_j);
+            for (class, count) in a.ops.iter() {
+                prop_assert_eq!(count, b.ops.get(class));
+            }
+        }
+    }
+
+    #[test]
+    fn folds_partition_the_dataset(samples in proptest::collection::vec(sample(), 1..60)) {
+        let mut ds = Dataset::new();
+        for s in samples {
+            ds.push(s);
+        }
+        let folds = ds.folds_by_setting();
+        let mut seen = vec![false; ds.len()];
+        for fold in &folds {
+            prop_assert!(!fold.is_empty());
+            for &i in fold {
+                prop_assert!(!seen[i], "index {i} in two folds");
+                seen[i] = true;
+            }
+            // All members of a fold share a setting.
+            let s0 = ds.samples[fold[0]].setting;
+            for &i in fold {
+                prop_assert_eq!(ds.samples[i].setting, s0);
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+        prop_assert_eq!(folds.len(), ds.settings().len());
+    }
+
+    #[test]
+    fn training_validation_split_is_a_partition(samples in proptest::collection::vec(sample(), 0..60)) {
+        let mut ds = Dataset::new();
+        for s in samples {
+            ds.push(s);
+        }
+        prop_assert_eq!(ds.training().count() + ds.validation().count(), ds.len());
+    }
+
+    #[test]
+    fn benchmark_instances_have_positive_target_ops(k in kind(), idx in 0usize..36) {
+        let grid = k.intensities();
+        let intensity = grid[idx % grid.len()];
+        let mb = k.instance(intensity);
+        let ops = &mb.kernel().ops;
+        // The targeted class dominates the kernel.
+        let target = match k {
+            MicrobenchKind::SinglePrecision => ops.get(OpClass::FlopSp),
+            MicrobenchKind::DoublePrecision => ops.get(OpClass::FlopDp),
+            MicrobenchKind::Integer => ops.get(OpClass::Int),
+            MicrobenchKind::SharedMemory => ops.get(OpClass::Shared),
+            MicrobenchKind::L2 => ops.get(OpClass::L2),
+        };
+        prop_assert!(target > 0.0);
+        prop_assert!(mb.kernel().utilization > 0.9, "suite kernels saturate");
+    }
+
+    #[test]
+    fn higher_intensity_means_more_target_work(k in kind()) {
+        let grid = k.intensities();
+        let low = k.instance(grid[0]);
+        let high = k.instance(*grid.last().unwrap());
+        let class = match k {
+            MicrobenchKind::SinglePrecision => OpClass::FlopSp,
+            MicrobenchKind::DoublePrecision => OpClass::FlopDp,
+            MicrobenchKind::Integer => OpClass::Int,
+            MicrobenchKind::SharedMemory => OpClass::Shared,
+            MicrobenchKind::L2 => OpClass::L2,
+        };
+        prop_assert!(high.kernel().ops.get(class) > low.kernel().ops.get(class));
+    }
+}

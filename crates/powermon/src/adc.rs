@@ -1,0 +1,113 @@
+//! ADC front-end model: quantization, gain/offset error, sensor noise.
+//!
+//! PowerMon 2 senses current through a shunt into a 12-bit ADC.  The model
+//! here reads *power* directly (current × the nominally constant supply
+//! voltage) but keeps the three error terms that matter for energy
+//! integration: additive white noise, a small calibration gain error, and
+//! quantization to the ADC's resolution.
+
+use tk1_sim::rng::Noise;
+
+/// ADC conversion model for one measurement channel.
+#[derive(Debug, Clone)]
+pub struct AdcModel {
+    /// Full-scale power reading, W (readings clip here).
+    pub full_scale_w: f64,
+    /// ADC resolution in bits.
+    pub bits: u32,
+    /// Multiplicative calibration error (1.0 = perfect).
+    pub gain: f64,
+    /// Additive offset, W.
+    pub offset_w: f64,
+    /// White sensor noise (σ), W.
+    pub noise_sigma_w: f64,
+}
+
+impl Default for AdcModel {
+    fn default() -> Self {
+        // 12-bit converter scaled for a board that peaks near 15 W, with a
+        // ±0.2% gain calibration and a few mW of sensor noise — consistent
+        // with PowerMon 2's published accuracy.
+        AdcModel {
+            full_scale_w: 15.0,
+            bits: 12,
+            gain: 1.002,
+            offset_w: 0.003,
+            noise_sigma_w: 0.008,
+        }
+    }
+}
+
+impl AdcModel {
+    /// An error-free converter (still quantizes, but with no gain, offset,
+    /// or noise error).
+    pub fn ideal(full_scale_w: f64, bits: u32) -> Self {
+        AdcModel { full_scale_w, bits, gain: 1.0, offset_w: 0.0, noise_sigma_w: 0.0 }
+    }
+
+    /// The quantization step, W per LSB.
+    pub fn lsb_w(&self) -> f64 {
+        self.full_scale_w / (1u64 << self.bits) as f64
+    }
+
+    /// Converts a true instantaneous power into the value the ADC reports.
+    pub fn convert(&self, true_power_w: f64, noise: &mut Noise) -> f64 {
+        let noisy = true_power_w * self.gain
+            + self.offset_w
+            + if self.noise_sigma_w > 0.0 { noise.normal(0.0, self.noise_sigma_w) } else { 0.0 };
+        let clipped = noisy.clamp(0.0, self.full_scale_w);
+        let lsb = self.lsb_w();
+        (clipped / lsb).round() * lsb
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lsb_matches_bits() {
+        let adc = AdcModel::ideal(16.0, 12);
+        assert!((adc.lsb_w() - 16.0 / 4096.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn ideal_adc_error_bounded_by_half_lsb() {
+        let adc = AdcModel::ideal(15.0, 12);
+        let mut noise = Noise::new(1);
+        for i in 0..100 {
+            let p = 0.1 + i as f64 * 0.14;
+            let r = adc.convert(p, &mut noise);
+            assert!((r - p).abs() <= adc.lsb_w() / 2.0 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn readings_clip_at_full_scale() {
+        let adc = AdcModel::ideal(10.0, 12);
+        let mut noise = Noise::new(1);
+        assert_eq!(adc.convert(25.0, &mut noise), 10.0);
+        assert_eq!(adc.convert(-3.0, &mut noise), 0.0);
+    }
+
+    #[test]
+    fn gain_error_scales_reading() {
+        let adc = AdcModel { gain: 1.01, ..AdcModel::ideal(15.0, 16) };
+        let mut noise = Noise::new(1);
+        let r = adc.convert(5.0, &mut noise);
+        assert!((r - 5.05).abs() < adc.lsb_w());
+    }
+
+    #[test]
+    fn noise_has_expected_scale() {
+        let adc = AdcModel { noise_sigma_w: 0.05, ..AdcModel::ideal(15.0, 16) };
+        let mut noise = Noise::new(42);
+        let readings: Vec<f64> = (0..20_000).map(|_| adc.convert(5.0, &mut noise)).collect();
+        let mean = readings.iter().sum::<f64>() / readings.len() as f64;
+        let sd = (readings.iter().map(|r| (r - mean) * (r - mean)).sum::<f64>()
+            / readings.len() as f64)
+            .sqrt();
+        assert!((mean - 5.0).abs() < 0.01, "unbiased: {mean}");
+        assert!((sd - 0.05).abs() < 0.01, "sigma ~0.05: {sd}");
+    }
+}

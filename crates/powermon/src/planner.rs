@@ -1,0 +1,160 @@
+//! Adaptive measurement planning: repeat until the estimate converges.
+//!
+//! Run-to-run noise means a single measurement of a (kernel, setting)
+//! pair carries a few percent of scatter; the autotuner and the
+//! validation experiments care about mean energies.  The standard lab
+//! protocol — repeat until the half-width of the confidence interval of
+//! the mean drops under a target, with a cap — is implemented here.
+
+use crate::monitor::PowerMon;
+use tk1_sim::{Device, KernelProfile};
+
+/// Configuration of the adaptive protocol.
+#[derive(Debug, Clone)]
+pub struct MeasurePlan {
+    /// Target relative half-width of the ~95% CI of the mean energy.
+    pub target_rel_ci: f64,
+    /// Minimum trials before testing convergence.
+    pub min_trials: usize,
+    /// Hard cap on trials.
+    pub max_trials: usize,
+}
+
+impl Default for MeasurePlan {
+    fn default() -> Self {
+        MeasurePlan { target_rel_ci: 0.01, min_trials: 3, max_trials: 30 }
+    }
+}
+
+/// The converged estimate.
+#[derive(Debug, Clone)]
+pub struct MeasuredMean {
+    /// Mean energy over the trials, J.
+    pub mean_energy_j: f64,
+    /// Mean duration, s.
+    pub mean_time_s: f64,
+    /// Sample standard deviation of energy, J.
+    pub std_energy_j: f64,
+    /// Trials actually run.
+    pub trials: usize,
+    /// Achieved relative CI half-width.
+    pub achieved_rel_ci: f64,
+    /// True when the target was met within the trial cap.
+    pub converged: bool,
+}
+
+/// Measures `kernel` on `device` repeatedly until the mean energy's CI
+/// half-width falls below the plan's target (≈95%: `2σ/√n`).
+pub fn measure_until(
+    device: &mut Device,
+    meter: &mut PowerMon,
+    kernel: &KernelProfile,
+    plan: &MeasurePlan,
+) -> MeasuredMean {
+    assert!(plan.target_rel_ci > 0.0);
+    assert!(plan.min_trials >= 2, "variance needs at least two trials");
+    assert!(plan.max_trials >= plan.min_trials);
+    let mut energies: Vec<f64> = Vec::new();
+    let mut times: Vec<f64> = Vec::new();
+    let mut achieved = f64::INFINITY;
+    while energies.len() < plan.max_trials {
+        let m = meter.measure(device, kernel);
+        energies.push(m.measured_energy_j);
+        times.push(m.execution.duration_s);
+        if energies.len() >= plan.min_trials {
+            let n = energies.len() as f64;
+            let mean = energies.iter().sum::<f64>() / n;
+            let var =
+                energies.iter().map(|e| (e - mean) * (e - mean)).sum::<f64>() / (n - 1.0);
+            achieved = 2.0 * (var / n).sqrt() / mean;
+            if achieved <= plan.target_rel_ci {
+                break;
+            }
+        }
+    }
+    let n = energies.len() as f64;
+    let mean_energy_j = energies.iter().sum::<f64>() / n;
+    let mean_time_s = times.iter().sum::<f64>() / n;
+    let std_energy_j = if energies.len() > 1 {
+        (energies.iter().map(|e| (e - mean_energy_j) * (e - mean_energy_j)).sum::<f64>()
+            / (n - 1.0))
+            .sqrt()
+    } else {
+        0.0
+    };
+    MeasuredMean {
+        mean_energy_j,
+        mean_time_s,
+        std_energy_j,
+        trials: energies.len(),
+        achieved_rel_ci: achieved,
+        converged: achieved <= plan.target_rel_ci,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tk1_sim::{OpClass, OpVector};
+
+    fn kernel() -> KernelProfile {
+        KernelProfile::new(
+            "planned",
+            OpVector::from_pairs(&[(OpClass::FlopSp, 2e10), (OpClass::Dram, 5e7)]),
+        )
+    }
+
+    #[test]
+    fn converges_within_cap_on_normal_noise() {
+        let mut dev = Device::new(1);
+        let mut meter = PowerMon::new(2);
+        let plan = MeasurePlan { target_rel_ci: 0.02, min_trials: 3, max_trials: 30 };
+        let m = measure_until(&mut dev, &mut meter, &kernel(), &plan);
+        assert!(m.converged, "CI {:.4} after {} trials", m.achieved_rel_ci, m.trials);
+        assert!(m.trials >= 3 && m.trials <= 30);
+        assert!(m.mean_energy_j > 0.0 && m.mean_time_s > 0.0);
+    }
+
+    #[test]
+    fn tighter_targets_cost_more_trials() {
+        let plan_loose = MeasurePlan { target_rel_ci: 0.05, ..MeasurePlan::default() };
+        let plan_tight =
+            MeasurePlan { target_rel_ci: 0.005, max_trials: 200, ..MeasurePlan::default() };
+        let mut dev = Device::new(3);
+        let mut meter = PowerMon::new(4);
+        let loose = measure_until(&mut dev, &mut meter, &kernel(), &plan_loose);
+        let mut dev2 = Device::new(3);
+        let mut meter2 = PowerMon::new(4);
+        let tight = measure_until(&mut dev2, &mut meter2, &kernel(), &plan_tight);
+        assert!(tight.trials >= loose.trials, "{} vs {}", tight.trials, loose.trials);
+    }
+
+    #[test]
+    fn unreachable_target_reports_nonconvergence() {
+        let plan = MeasurePlan { target_rel_ci: 1e-9, min_trials: 2, max_trials: 5 };
+        let mut dev = Device::new(5);
+        let mut meter = PowerMon::new(6);
+        let m = measure_until(&mut dev, &mut meter, &kernel(), &plan);
+        assert!(!m.converged);
+        assert_eq!(m.trials, 5);
+    }
+
+    #[test]
+    fn noiseless_device_converges_immediately() {
+        let plan = MeasurePlan::default();
+        let mut dev = Device::ideal(7);
+        let mut meter = PowerMon::ideal(8);
+        let m = measure_until(&mut dev, &mut meter, &kernel(), &plan);
+        assert_eq!(m.trials, plan.min_trials);
+        assert!(m.std_energy_j / m.mean_energy_j < 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "two trials")]
+    fn degenerate_plan_rejected() {
+        let plan = MeasurePlan { min_trials: 1, ..MeasurePlan::default() };
+        let mut dev = Device::new(9);
+        let mut meter = PowerMon::new(10);
+        let _ = measure_until(&mut dev, &mut meter, &kernel(), &plan);
+    }
+}

@@ -1,0 +1,255 @@
+//! Power-trace segmentation: recovering phase structure from the log.
+//!
+//! A PowerMon capture of a whole application run is a single stream of
+//! samples with no kernel markers.  The analyst's first post-processing
+//! step is to segment it — find the instants where mean power shifts —
+//! and integrate each segment separately, so per-phase energies can be
+//! attributed without host-side timestamps.  This module implements the
+//! standard approach: top-down binary segmentation minimizing
+//! within-segment variance, with a penalized stopping rule.
+
+use crate::trace::PowerTrace;
+
+/// One detected segment of a trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Segment {
+    /// First sample index (inclusive).
+    pub start: usize,
+    /// One past the last sample index.
+    pub end: usize,
+    /// Mean power over the segment, W.
+    pub mean_power_w: f64,
+    /// Segment energy (mean power × segment duration), J.
+    pub energy_j: f64,
+}
+
+impl Segment {
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// True for an empty segment (cannot occur in valid output).
+    pub fn is_empty(&self) -> bool {
+        self.start >= self.end
+    }
+}
+
+/// Configuration of the segmentation.
+#[derive(Debug, Clone)]
+pub struct SegmentConfig {
+    /// Maximum number of segments to return.
+    pub max_segments: usize,
+    /// Minimum samples per segment (suppresses spurious splits on noise).
+    pub min_segment_len: usize,
+    /// A split must reduce the total squared error by at least this
+    /// relative amount to be accepted.
+    pub min_gain: f64,
+}
+
+impl Default for SegmentConfig {
+    fn default() -> Self {
+        SegmentConfig { max_segments: 16, min_segment_len: 4, min_gain: 0.02 }
+    }
+}
+
+/// Segments `trace` by binary segmentation.
+///
+/// Returns at least one segment covering the whole trace; segments are
+/// contiguous, non-overlapping, and in order.
+pub fn segment_trace(trace: &PowerTrace, config: &SegmentConfig) -> Vec<Segment> {
+    assert!(config.max_segments >= 1);
+    assert!(config.min_segment_len >= 1);
+    let samples = trace.samples();
+    if samples.is_empty() {
+        return Vec::new();
+    }
+    // Prefix sums for O(1) segment cost queries.
+    let mut sum = vec![0.0f64; samples.len() + 1];
+    let mut sum2 = vec![0.0f64; samples.len() + 1];
+    for (i, &p) in samples.iter().enumerate() {
+        sum[i + 1] = sum[i] + p;
+        sum2[i + 1] = sum2[i] + p * p;
+    }
+    // Sum of squared deviations from the segment mean over [a, b).
+    let sse = |a: usize, b: usize| -> f64 {
+        let n = (b - a) as f64;
+        let s = sum[b] - sum[a];
+        (sum2[b] - sum2[a]) - s * s / n
+    };
+
+    let total_sse = sse(0, samples.len()).max(1e-12);
+    let mut boundaries = vec![0usize, samples.len()];
+    while boundaries.len() - 1 < config.max_segments {
+        // Find the single split with the largest SSE reduction.
+        let mut best: Option<(f64, usize)> = None;
+        for w in 0..boundaries.len() - 1 {
+            let (a, b) = (boundaries[w], boundaries[w + 1]);
+            if b - a < 2 * config.min_segment_len {
+                continue;
+            }
+            let base = sse(a, b);
+            for cut in (a + config.min_segment_len)..=(b - config.min_segment_len) {
+                let gain = base - sse(a, cut) - sse(cut, b);
+                if best.is_none_or(|(g, _)| gain > g) {
+                    best = Some((gain, cut));
+                }
+            }
+        }
+        match best {
+            Some((gain, cut)) if gain > config.min_gain * total_sse => {
+                let pos = boundaries.binary_search(&cut).unwrap_err();
+                boundaries.insert(pos, cut);
+            }
+            _ => break,
+        }
+    }
+
+    let dt = 1.0 / trace.sample_rate_hz();
+    boundaries
+        .windows(2)
+        .map(|w| {
+            let (a, b) = (w[0], w[1]);
+            let mean = (sum[b] - sum[a]) / (b - a) as f64;
+            Segment {
+                start: a,
+                end: b,
+                mean_power_w: mean,
+                energy_j: mean * (b - a) as f64 * dt,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace_of(levels: &[(f64, usize)]) -> PowerTrace {
+        let mut samples = Vec::new();
+        for &(w, n) in levels {
+            samples.extend(std::iter::repeat(w).take(n));
+        }
+        PowerTrace::new(100.0, samples)
+    }
+
+    #[test]
+    fn flat_trace_is_one_segment() {
+        let t = trace_of(&[(5.0, 200)]);
+        let segs = segment_trace(&t, &SegmentConfig::default());
+        assert_eq!(segs.len(), 1);
+        assert_eq!(segs[0].start, 0);
+        assert_eq!(segs[0].end, 200);
+        assert!((segs[0].mean_power_w - 5.0).abs() < 1e-12);
+        assert!((segs[0].energy_j - 5.0 * 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn two_level_trace_splits_at_the_step() {
+        let t = trace_of(&[(5.0, 100), (9.0, 150)]);
+        let segs = segment_trace(&t, &SegmentConfig::default());
+        assert_eq!(segs.len(), 2);
+        assert_eq!(segs[0].end, 100, "cut at the power step");
+        assert!((segs[0].mean_power_w - 5.0).abs() < 1e-9);
+        assert!((segs[1].mean_power_w - 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn three_phases_recovered_with_noise() {
+        use tk1_sim::rng::Noise;
+        let mut noise = Noise::new(5);
+        let mut samples = Vec::new();
+        for &(w, n) in &[(6.0, 120), (10.0, 80), (7.0, 150)] {
+            for _ in 0..n {
+                samples.push(w + noise.normal(0.0, 0.15));
+            }
+        }
+        let t = PowerTrace::new(100.0, samples);
+        let segs = segment_trace(&t, &SegmentConfig::default());
+        assert_eq!(segs.len(), 3, "{segs:?}");
+        assert!((segs[0].end as i64 - 120).unsigned_abs() <= 3);
+        assert!((segs[1].end as i64 - 200).unsigned_abs() <= 3);
+        assert!((segs[0].mean_power_w - 6.0).abs() < 0.1);
+        assert!((segs[1].mean_power_w - 10.0).abs() < 0.1);
+        assert!((segs[2].mean_power_w - 7.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn segments_partition_the_trace_and_conserve_energy() {
+        let t = trace_of(&[(4.0, 50), (8.0, 70), (3.0, 60), (12.0, 40)]);
+        let segs = segment_trace(&t, &SegmentConfig::default());
+        // Contiguous, ordered, covering.
+        assert_eq!(segs.first().unwrap().start, 0);
+        assert_eq!(segs.last().unwrap().end, 220);
+        for w in segs.windows(2) {
+            assert_eq!(w[0].end, w[1].start);
+        }
+        // Energy conservation vs rectangle integration.
+        let total: f64 = segs.iter().map(|s| s.energy_j).sum();
+        let expected = (4.0 * 50.0 + 8.0 * 70.0 + 3.0 * 60.0 + 12.0 * 40.0) / 100.0;
+        assert!((total - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn max_segments_is_respected() {
+        let t = trace_of(&[(1.0, 20), (2.0, 20), (3.0, 20), (4.0, 20), (5.0, 20)]);
+        let cfg = SegmentConfig { max_segments: 2, ..SegmentConfig::default() };
+        let segs = segment_trace(&t, &cfg);
+        assert_eq!(segs.len(), 2);
+    }
+
+    #[test]
+    fn min_gain_suppresses_noise_splits() {
+        use tk1_sim::rng::Noise;
+        let mut noise = Noise::new(9);
+        let samples: Vec<f64> = (0..400).map(|_| 6.0 + noise.normal(0.0, 0.2)).collect();
+        let t = PowerTrace::new(100.0, samples);
+        let segs = segment_trace(&t, &SegmentConfig::default());
+        assert_eq!(segs.len(), 1, "pure noise must not split: {segs:?}");
+    }
+
+    #[test]
+    fn empty_trace_yields_no_segments() {
+        let t = PowerTrace::new(100.0, vec![]);
+        assert!(segment_trace(&t, &SegmentConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn segmentation_of_a_real_fmm_like_sequence() {
+        // Execute two very different kernels back-to-back on the device,
+        // concatenate their sampled traces, and check the segmentation
+        // recovers the boundary and the per-phase energies within a few
+        // percent.
+        use tk1_sim::{Device, KernelProfile, OpClass, OpVector};
+        let mut dev = Device::new(3);
+        let hot = KernelProfile::new(
+            "hot",
+            OpVector::from_pairs(&[(OpClass::FlopSp, 6e10), (OpClass::Dram, 1e6)]),
+        );
+        let cool = KernelProfile::new(
+            "cool",
+            OpVector::from_pairs(&[(OpClass::FlopSp, 1e8), (OpClass::Dram, 4e8)]),
+        )
+        .with_utilization(0.3);
+        let mut meter = crate::PowerMon::new(7);
+        let m1 = meter.measure(&mut dev, &hot);
+        let m2 = meter.measure(&mut dev, &cool);
+        let mut combined = m1.trace.samples().to_vec();
+        combined.extend_from_slice(m2.trace.samples());
+        let t = PowerTrace::new(m1.trace.sample_rate_hz(), combined);
+        let segs = segment_trace(&t, &SegmentConfig::default());
+        assert!(segs.len() >= 2, "at least the kernel boundary: {}", segs.len());
+        // The first detected boundary sits near the true one.
+        let true_cut = m1.trace.len();
+        let nearest = segs
+            .iter()
+            .map(|s| (s.end as i64 - true_cut as i64).unsigned_abs())
+            .min()
+            .unwrap();
+        assert!(nearest <= 5, "boundary within 5 samples, got {nearest}");
+        // Total energy conserved.
+        let total: f64 = segs.iter().map(|s| s.energy_j).sum();
+        let direct = t.mean_power_w() * t.duration_s();
+        assert!((total - direct).abs() / direct < 1e-9);
+    }
+}

@@ -1,0 +1,142 @@
+//! Sampled power traces and their statistics.
+
+/// A fixed-rate sequence of power samples from one measurement window.
+#[derive(Debug, Clone)]
+pub struct PowerTrace {
+    sample_rate_hz: f64,
+    samples_w: Vec<f64>,
+}
+
+impl PowerTrace {
+    /// Wraps a sample vector taken at `sample_rate_hz`.
+    pub fn new(sample_rate_hz: f64, samples_w: Vec<f64>) -> Self {
+        assert!(sample_rate_hz > 0.0, "sample rate must be positive");
+        PowerTrace { sample_rate_hz, samples_w }
+    }
+
+    /// Sampling rate, Hz.
+    pub fn sample_rate_hz(&self) -> f64 {
+        self.sample_rate_hz
+    }
+
+    /// The raw samples, W.
+    pub fn samples(&self) -> &[f64] {
+        &self.samples_w
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples_w.len()
+    }
+
+    /// True when the trace holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.samples_w.is_empty()
+    }
+
+    /// Trace duration, seconds (N samples cover N sample periods).
+    pub fn duration_s(&self) -> f64 {
+        self.samples_w.len() as f64 / self.sample_rate_hz
+    }
+
+    /// Mean power over the trace, W.
+    pub fn mean_power_w(&self) -> f64 {
+        if self.samples_w.is_empty() {
+            return 0.0;
+        }
+        self.samples_w.iter().sum::<f64>() / self.samples_w.len() as f64
+    }
+
+    /// Peak sample, W.
+    pub fn peak_power_w(&self) -> f64 {
+        self.samples_w.iter().fold(0.0f64, |m, &p| m.max(p))
+    }
+
+    /// Energy by trapezoidal integration of the sample stream, J.
+    ///
+    /// Samples are treated as midpoints of their sampling intervals for
+    /// the first/last half-periods, matching how PowerMon post-processing
+    /// integrates its logs.
+    pub fn energy_j(&self) -> f64 {
+        let n = self.samples_w.len();
+        if n == 0 {
+            return 0.0;
+        }
+        if n == 1 {
+            return self.samples_w[0] * self.duration_s();
+        }
+        let dt = 1.0 / self.sample_rate_hz;
+        // Trapezoid over interior plus half-interval extensions at the ends
+        // so the integral spans the full window n*dt.
+        let interior: f64 =
+            self.samples_w.windows(2).map(|w| 0.5 * (w[0] + w[1]) * dt).sum();
+        interior + 0.5 * dt * (self.samples_w[0] + self.samples_w[n - 1])
+    }
+
+    /// Standard deviation of the samples, W.
+    pub fn std_dev_w(&self) -> f64 {
+        let n = self.samples_w.len();
+        if n < 2 {
+            return 0.0;
+        }
+        let mean = self.mean_power_w();
+        (self.samples_w.iter().map(|p| (p - mean) * (p - mean)).sum::<f64>() / (n - 1) as f64)
+            .sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_trace_energy() {
+        let t = PowerTrace::new(1000.0, vec![5.0; 1000]);
+        assert!((t.duration_s() - 1.0).abs() < 1e-12);
+        assert!((t.energy_j() - 5.0).abs() < 1e-9, "5 W for 1 s = 5 J: {}", t.energy_j());
+        assert_eq!(t.mean_power_w(), 5.0);
+        assert_eq!(t.peak_power_w(), 5.0);
+        assert_eq!(t.std_dev_w(), 0.0);
+    }
+
+    #[test]
+    fn empty_trace_is_zero() {
+        let t = PowerTrace::new(1024.0, vec![]);
+        assert!(t.is_empty());
+        assert_eq!(t.energy_j(), 0.0);
+        assert_eq!(t.mean_power_w(), 0.0);
+    }
+
+    #[test]
+    fn single_sample_trace() {
+        let t = PowerTrace::new(10.0, vec![3.0]);
+        assert!((t.energy_j() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn linear_ramp_integrates_exactly() {
+        // Trapezoid rule is exact for linear signals.
+        let n = 101;
+        let rate = 100.0;
+        let samples: Vec<f64> = (0..n).map(|i| i as f64 * 0.1).collect();
+        let t = PowerTrace::new(rate, samples);
+        // Integral of the ramp over the interior + end extensions.
+        let dt = 1.0 / rate;
+        let expected: f64 = (0..n - 1).map(|i| 0.5 * (i as f64 + (i + 1) as f64) * 0.1 * dt).sum::<f64>()
+            + 0.5 * dt * (0.0 + (n - 1) as f64 * 0.1);
+        assert!((t.energy_j() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn std_dev_of_alternating_signal() {
+        let t = PowerTrace::new(10.0, vec![1.0, 3.0, 1.0, 3.0, 1.0, 3.0]);
+        assert_eq!(t.mean_power_w(), 2.0);
+        assert!((t.std_dev_w() - (6.0f64 / 5.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "sample rate")]
+    fn zero_rate_rejected() {
+        let _ = PowerTrace::new(0.0, vec![]);
+    }
+}

@@ -1,0 +1,204 @@
+//! DVFS operating points of the simulated Tegra K1.
+//!
+//! The paper reports 15 selectable GPU-core frequencies and 7 memory
+//! frequencies (105 permutations), where "changing the frequency
+//! automatically changes the voltage to a predetermined value".  The
+//! frequency/voltage pairs below include every pair that appears in the
+//! paper's Tables I and IV; the remaining pairs interpolate monotonically,
+//! matching published Tegra K1 operating tables.
+
+use serde::{Deserialize, Serialize};
+
+/// One frequency/voltage operating point of a clock domain.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DvfsPoint {
+    /// Clock frequency in MHz.
+    pub freq_mhz: f64,
+    /// Supply voltage in volts.
+    pub voltage_v: f64,
+}
+
+impl DvfsPoint {
+    const fn new(freq_mhz: f64, mv: f64) -> Self {
+        DvfsPoint { freq_mhz, voltage_v: mv / 1000.0 }
+    }
+
+    /// Frequency in Hz.
+    pub fn freq_hz(&self) -> f64 {
+        self.freq_mhz * 1e6
+    }
+}
+
+/// The 15 GPU-core operating points (frequency MHz, voltage mV).
+const CORE_POINTS: [DvfsPoint; 15] = [
+    DvfsPoint::new(72.0, 760.0),
+    DvfsPoint::new(108.0, 760.0),
+    DvfsPoint::new(180.0, 760.0),
+    DvfsPoint::new(252.0, 760.0),
+    DvfsPoint::new(324.0, 770.0),
+    DvfsPoint::new(396.0, 770.0),
+    DvfsPoint::new(468.0, 800.0),
+    DvfsPoint::new(540.0, 840.0),
+    DvfsPoint::new(612.0, 860.0),
+    DvfsPoint::new(648.0, 890.0),
+    DvfsPoint::new(684.0, 900.0),
+    DvfsPoint::new(708.0, 920.0),
+    DvfsPoint::new(756.0, 950.0),
+    DvfsPoint::new(804.0, 990.0),
+    DvfsPoint::new(852.0, 1030.0),
+];
+
+/// The 7 memory operating points (frequency MHz, voltage mV).
+const MEM_POINTS: [DvfsPoint; 7] = [
+    DvfsPoint::new(68.0, 800.0),
+    DvfsPoint::new(204.0, 800.0),
+    DvfsPoint::new(300.0, 820.0),
+    DvfsPoint::new(396.0, 850.0),
+    DvfsPoint::new(528.0, 880.0),
+    DvfsPoint::new(792.0, 970.0),
+    DvfsPoint::new(924.0, 1010.0),
+];
+
+/// All selectable GPU-core operating points (ascending frequency).
+pub fn core_points() -> &'static [DvfsPoint] {
+    &CORE_POINTS
+}
+
+/// All selectable memory operating points (ascending frequency).
+pub fn mem_points() -> &'static [DvfsPoint] {
+    &MEM_POINTS
+}
+
+/// A (core, memory) DVFS setting, addressed by indices into
+/// [`core_points`] / [`mem_points`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Setting {
+    /// Index into [`core_points`].
+    pub core_idx: usize,
+    /// Index into [`mem_points`].
+    pub mem_idx: usize,
+}
+
+impl Setting {
+    /// Creates a setting; panics if an index is out of range.
+    pub fn new(core_idx: usize, mem_idx: usize) -> Self {
+        assert!(core_idx < CORE_POINTS.len(), "core index out of range");
+        assert!(mem_idx < MEM_POINTS.len(), "mem index out of range");
+        Setting { core_idx, mem_idx }
+    }
+
+    /// Finds the setting with the given core/memory frequencies (MHz).
+    ///
+    /// Returns `None` if either frequency is not an operating point.
+    pub fn from_frequencies(core_mhz: f64, mem_mhz: f64) -> Option<Self> {
+        let core_idx = CORE_POINTS.iter().position(|p| p.freq_mhz == core_mhz)?;
+        let mem_idx = MEM_POINTS.iter().position(|p| p.freq_mhz == mem_mhz)?;
+        Some(Setting { core_idx, mem_idx })
+    }
+
+    /// The resolved pair of operating points.
+    pub fn operating_point(&self) -> OperatingPoint {
+        OperatingPoint { core: CORE_POINTS[self.core_idx], mem: MEM_POINTS[self.mem_idx] }
+    }
+
+    /// The setting with both domains at maximum frequency (852 / 924 MHz).
+    pub fn max_performance() -> Self {
+        Setting { core_idx: CORE_POINTS.len() - 1, mem_idx: MEM_POINTS.len() - 1 }
+    }
+
+    /// Iterates over all 105 settings (core-major order).
+    pub fn all() -> impl Iterator<Item = Setting> {
+        (0..CORE_POINTS.len())
+            .flat_map(|c| (0..MEM_POINTS.len()).map(move |m| Setting { core_idx: c, mem_idx: m }))
+    }
+
+    /// Short display label, e.g. `"852/924"`.
+    pub fn label(&self) -> String {
+        let op = self.operating_point();
+        format!("{:.0}/{:.0}", op.core.freq_mhz, op.mem.freq_mhz)
+    }
+}
+
+/// A fully resolved (core, memory) frequency/voltage pair.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OperatingPoint {
+    /// GPU-core domain point.
+    pub core: DvfsPoint,
+    /// Memory domain point.
+    pub mem: DvfsPoint,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exactly_105_permutations() {
+        assert_eq!(core_points().len(), 15);
+        assert_eq!(mem_points().len(), 7);
+        assert_eq!(Setting::all().count(), 105);
+    }
+
+    #[test]
+    fn frequencies_ascend_and_voltages_monotone() {
+        for pts in [core_points(), mem_points()] {
+            for w in pts.windows(2) {
+                assert!(w[0].freq_mhz < w[1].freq_mhz);
+                assert!(w[0].voltage_v <= w[1].voltage_v, "voltage must not drop with frequency");
+            }
+        }
+    }
+
+    #[test]
+    fn paper_table1_pairs_present() {
+        // Every (freq, voltage) pair in the paper's Table I must exist.
+        let cores = [(852.0, 1.030), (756.0, 0.950), (648.0, 0.890), (540.0, 0.840),
+                     (396.0, 0.770), (180.0, 0.760), (72.0, 0.760)];
+        for (f, v) in cores {
+            let p = core_points().iter().find(|p| p.freq_mhz == f).expect("core freq missing");
+            assert!((p.voltage_v - v).abs() < 1e-9, "core {f} MHz: {} != {v}", p.voltage_v);
+        }
+        let mems = [(924.0, 1.010), (528.0, 0.880), (204.0, 0.800), (68.0, 0.800)];
+        for (f, v) in mems {
+            let p = mem_points().iter().find(|p| p.freq_mhz == f).expect("mem freq missing");
+            assert!((p.voltage_v - v).abs() < 1e-9, "mem {f} MHz: {} != {v}", p.voltage_v);
+        }
+    }
+
+    #[test]
+    fn paper_table4_frequencies_present() {
+        // Table IV uses core 852/756/612/540/180 and mem 924/792/528/396/204.
+        for f in [852.0, 756.0, 612.0, 540.0, 180.0] {
+            assert!(core_points().iter().any(|p| p.freq_mhz == f), "core {f} missing");
+        }
+        for f in [924.0, 792.0, 528.0, 396.0, 204.0] {
+            assert!(mem_points().iter().any(|p| p.freq_mhz == f), "mem {f} missing");
+        }
+    }
+
+    #[test]
+    fn from_frequencies_round_trips() {
+        let s = Setting::from_frequencies(612.0, 396.0).unwrap();
+        let op = s.operating_point();
+        assert_eq!(op.core.freq_mhz, 612.0);
+        assert_eq!(op.mem.freq_mhz, 396.0);
+        assert!(Setting::from_frequencies(613.0, 396.0).is_none());
+    }
+
+    #[test]
+    fn max_performance_is_max() {
+        let op = Setting::max_performance().operating_point();
+        assert_eq!(op.core.freq_mhz, 852.0);
+        assert_eq!(op.mem.freq_mhz, 924.0);
+    }
+
+    #[test]
+    fn label_formats() {
+        assert_eq!(Setting::max_performance().label(), "852/924");
+    }
+
+    #[test]
+    fn freq_hz_conversion() {
+        assert_eq!(core_points()[0].freq_hz(), 72.0e6);
+    }
+}

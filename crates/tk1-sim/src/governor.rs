@@ -1,0 +1,277 @@
+//! DVFS governors: the system-level policies the paper's Related Work
+//! contrasts its model against.
+//!
+//! Slack-based DVFS (Ge, Freeh, Lively, ...) throttles frequency when the
+//! processor is not the bottleneck; the paper's point is that a
+//! model-based choice also wins on *uniform* computation.  This module
+//! makes that comparison concrete: several governors drive the simulated
+//! device through a sequence of kernels (e.g. the FMM's phases) and the
+//! resulting time/energy totals can be compared.
+//!
+//! Governors:
+//!
+//! * [`Governor::Performance`] — both domains pinned at maximum
+//!   frequency (race-to-halt).
+//! * [`Governor::Powersave`] — both domains pinned at minimum.
+//! * [`Governor::OnDemand`] — a load-following heuristic in the style of
+//!   the Linux `ondemand` governor: per kernel, each domain runs at the
+//!   lowest frequency that keeps that domain's utilization below a
+//!   threshold, computed from the kernel's roofline times (the idealized
+//!   information a reactive governor converges to after a few periods).
+//! * [`Governor::ModelBased`] — picks the setting minimizing energy
+//!   predicted by supplied per-op energy/constant-power estimates (the
+//!   paper's contribution, as a governor).
+
+use crate::device::Device;
+use crate::dvfs::Setting;
+use crate::kernel::KernelProfile;
+use crate::ops::NUM_OP_CLASSES;
+use crate::timing::TimingModel;
+
+/// Per-op-class energy coefficients for the model-based governor
+/// (mirrors the fitted model's shape without depending on the model
+/// crate; the energy model crate converts into this).
+#[derive(Debug, Clone)]
+pub struct EnergyEstimates {
+    /// `ĉ0` per op class, pJ/V².
+    pub c0_pj_per_v2: [f64; NUM_OP_CLASSES],
+    /// Processor leakage, W/V.
+    pub c1_proc_w_per_v: f64,
+    /// Memory leakage, W/V.
+    pub c1_mem_w_per_v: f64,
+    /// Constant misc power, W.
+    pub p_misc_w: f64,
+}
+
+impl EnergyEstimates {
+    /// Predicted energy of `kernel` at `setting` given a predicted
+    /// duration.
+    pub fn predict_j(&self, kernel: &KernelProfile, setting: Setting, time_s: f64) -> f64 {
+        let op = setting.operating_point();
+        let mut dynamic = 0.0;
+        for (class, count) in kernel.ops.iter() {
+            let v = if class.is_mem_domain() { op.mem.voltage_v } else { op.core.voltage_v };
+            dynamic += count * self.c0_pj_per_v2[class.index()] * 1e-12 * v * v;
+        }
+        let pi0 = self.c1_proc_w_per_v * op.core.voltage_v
+            + self.c1_mem_w_per_v * op.mem.voltage_v
+            + self.p_misc_w;
+        dynamic + pi0 * time_s
+    }
+}
+
+/// A frequency-selection policy.
+#[derive(Debug, Clone)]
+pub enum Governor {
+    /// Maximum frequencies, always.
+    Performance,
+    /// Minimum frequencies, always.
+    Powersave,
+    /// Load-following: slowest clocks that keep each domain's utilization
+    /// below the threshold (e.g. 0.95).
+    OnDemand {
+        /// Target utilization ceiling in `(0, 1]`.
+        threshold: f64,
+    },
+    /// Minimize predicted energy over all settings.
+    ModelBased(EnergyEstimates),
+}
+
+/// The outcome of driving a kernel sequence under a governor.
+#[derive(Debug, Clone)]
+pub struct GovernorRun {
+    /// Setting chosen for each kernel.
+    pub settings: Vec<Setting>,
+    /// Total measured time, s.
+    pub total_time_s: f64,
+    /// Total true energy, J.
+    pub total_energy_j: f64,
+}
+
+impl Governor {
+    /// Selects a setting for `kernel` (using the timing model for the
+    /// reactive/ model policies).
+    pub fn select(&self, kernel: &KernelProfile, timing: &TimingModel) -> Setting {
+        match self {
+            Governor::Performance => Setting::max_performance(),
+            Governor::Powersave => Setting::new(0, 0),
+            Governor::OnDemand { threshold } => {
+                assert!(*threshold > 0.0 && *threshold <= 1.0);
+                // The kernel's bound time at max frequency determines the
+                // demand; each domain independently drops to the slowest
+                // frequency whose capacity still covers demand/threshold.
+                let max = Setting::max_performance();
+                let at_max = timing.execution_time(kernel, max);
+                let busy = (at_max.total_s - at_max.overhead_s).max(1e-12);
+                // Core domain: find the slowest core index that keeps the
+                // core-side time under the budget.
+                let core_idx = (0..crate::dvfs::core_points().len())
+                    .find(|&c| {
+                        let s = Setting::new(c, max.mem_idx);
+                        let t = timing.execution_time(kernel, s);
+                        let core_side = t.fp_s.max(t.int_s).max(t.sm_l1_s).max(t.l2_s);
+                        core_side <= busy / threshold
+                    })
+                    .unwrap_or(crate::dvfs::core_points().len() - 1);
+                let mem_idx = (0..crate::dvfs::mem_points().len())
+                    .find(|&m| {
+                        let s = Setting::new(max.core_idx, m);
+                        let t = timing.execution_time(kernel, s);
+                        t.dram_s <= busy / threshold
+                    })
+                    .unwrap_or(crate::dvfs::mem_points().len() - 1);
+                Setting::new(core_idx, mem_idx)
+            }
+            Governor::ModelBased(estimates) => Setting::all()
+                .min_by(|&a, &b| {
+                    let ta = timing.execution_time(kernel, a).total_s;
+                    let tb = timing.execution_time(kernel, b).total_s;
+                    estimates
+                        .predict_j(kernel, a, ta)
+                        .partial_cmp(&estimates.predict_j(kernel, b, tb))
+                        .expect("finite")
+                })
+                .expect("non-empty settings"),
+        }
+    }
+
+    /// Drives `kernels` through `device` under this policy.
+    pub fn run(&self, device: &mut Device, kernels: &[KernelProfile]) -> GovernorRun {
+        let timing = device.timing_model().clone();
+        let mut settings = Vec::with_capacity(kernels.len());
+        let mut total_time_s = 0.0;
+        let mut total_energy_j = 0.0;
+        for kernel in kernels {
+            let setting = self.select(kernel, &timing);
+            device.set_operating_point(setting);
+            let execution = device.execute(kernel);
+            total_time_s += execution.duration_s;
+            total_energy_j += execution.true_energy_j();
+            settings.push(setting);
+        }
+        GovernorRun { settings, total_time_s, total_energy_j }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::{OpClass, OpVector};
+
+    fn compute_kernel() -> KernelProfile {
+        KernelProfile::new(
+            "compute",
+            OpVector::from_pairs(&[(OpClass::FlopSp, 2e10), (OpClass::Dram, 1e6)]),
+        )
+    }
+
+    fn memory_kernel() -> KernelProfile {
+        KernelProfile::new(
+            "stream",
+            OpVector::from_pairs(&[(OpClass::FlopSp, 1e6), (OpClass::Dram, 5e8)]),
+        )
+    }
+
+    fn estimates() -> EnergyEstimates {
+        let t = crate::power::TruthConstants::ideal();
+        EnergyEstimates {
+            c0_pj_per_v2: t.c0_pj_per_v2,
+            c1_proc_w_per_v: t.c1_proc_w_per_v,
+            c1_mem_w_per_v: t.c1_mem_w_per_v,
+            p_misc_w: t.p_misc_w,
+        }
+    }
+
+    #[test]
+    fn performance_pins_max_and_powersave_pins_min() {
+        let tm = TimingModel::default();
+        assert_eq!(
+            Governor::Performance.select(&compute_kernel(), &tm),
+            Setting::max_performance()
+        );
+        assert_eq!(Governor::Powersave.select(&compute_kernel(), &tm), Setting::new(0, 0));
+    }
+
+    #[test]
+    fn ondemand_throttles_the_idle_domain() {
+        let tm = TimingModel::default();
+        let g = Governor::OnDemand { threshold: 0.95 };
+        // Compute-bound: the memory domain can drop far below max.
+        let s = g.select(&compute_kernel(), &tm);
+        assert_eq!(s.core_idx, crate::dvfs::core_points().len() - 1, "core stays fast");
+        assert!(s.mem_idx < crate::dvfs::mem_points().len() - 1, "memory throttles");
+        // Memory-bound: the core domain throttles instead.
+        let s = g.select(&memory_kernel(), &tm);
+        assert!(s.core_idx < crate::dvfs::core_points().len() - 1, "core throttles");
+        assert_eq!(s.mem_idx, crate::dvfs::mem_points().len() - 1, "memory stays fast");
+    }
+
+    #[test]
+    fn ondemand_barely_costs_time() {
+        let mut dev = Device::ideal(1);
+        let kernels = vec![compute_kernel(), memory_kernel()];
+        let fast = Governor::Performance.run(&mut dev, &kernels);
+        let ondemand = Governor::OnDemand { threshold: 0.95 }.run(&mut dev, &kernels);
+        assert!(
+            ondemand.total_time_s <= fast.total_time_s * 1.10,
+            "throttling the idle domain costs little time: {} vs {}",
+            ondemand.total_time_s,
+            fast.total_time_s
+        );
+        assert!(ondemand.total_energy_j < fast.total_energy_j, "and saves energy");
+    }
+
+    #[test]
+    fn powersave_saves_power_not_energy() {
+        let mut dev = Device::ideal(2);
+        let kernels = vec![compute_kernel()];
+        let fast = Governor::Performance.run(&mut dev, &kernels);
+        let slow = Governor::Powersave.run(&mut dev, &kernels);
+        // Average power is lower...
+        assert!(
+            slow.total_energy_j / slow.total_time_s < fast.total_energy_j / fast.total_time_s
+        );
+        // ...but the 72 MHz crawl stretches constant energy so far that
+        // total energy is worse.
+        assert!(slow.total_energy_j > fast.total_energy_j);
+    }
+
+    #[test]
+    fn model_based_governor_wins_on_energy() {
+        let mut dev = Device::ideal(3);
+        let kernels = vec![compute_kernel(), memory_kernel(), compute_kernel()];
+        let model = Governor::ModelBased(estimates()).run(&mut dev, &kernels);
+        for other in [
+            Governor::Performance.run(&mut dev, &kernels),
+            Governor::Powersave.run(&mut dev, &kernels),
+            Governor::OnDemand { threshold: 0.95 }.run(&mut dev, &kernels),
+        ] {
+            assert!(
+                model.total_energy_j <= other.total_energy_j * 1.001,
+                "model {} J vs other {} J",
+                model.total_energy_j,
+                other.total_energy_j
+            );
+        }
+    }
+
+    #[test]
+    fn run_records_one_setting_per_kernel() {
+        let mut dev = Device::new(4);
+        let kernels = vec![compute_kernel(), memory_kernel()];
+        let run = Governor::Performance.run(&mut dev, &kernels);
+        assert_eq!(run.settings.len(), 2);
+        assert!(run.total_time_s > 0.0 && run.total_energy_j > 0.0);
+    }
+
+    #[test]
+    fn estimates_predict_matches_shape() {
+        let e = estimates();
+        let k = compute_kernel();
+        let s = Setting::max_performance();
+        let j = e.predict_j(&k, s, 0.1);
+        // 2e10 SP flops at 29 pJ plus ~6.7 W for 0.1 s.
+        let expected = 2e10 * 29.0e-12 + 6.7 * 0.1;
+        assert!((j - expected).abs() / expected < 0.05, "{j} vs {expected}");
+    }
+}

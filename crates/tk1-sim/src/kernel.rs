@@ -1,0 +1,86 @@
+//! Kernel descriptors: what the device executes.
+//!
+//! A kernel, for the purposes of the timing and power models, is its
+//! operation-count vector plus an *achieved utilization* — the fraction of
+//! the bound resource's peak the implementation actually sustains.  The
+//! paper's microbenchmarks are hand-tuned to ~100% utilization of the
+//! targeted resource, while the FMM sustains less than a quarter of peak
+//! IPC (Section IV-C); this single parameter is what lets the simulator
+//! reproduce the "constant power dominates the FMM" observation.
+
+use crate::ops::OpVector;
+use serde::{Deserialize, Serialize};
+
+/// An executable kernel description.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct KernelProfile {
+    /// Identifying name (used in traces and datasets).
+    pub name: String,
+    /// Operation counts by class.
+    pub ops: OpVector,
+    /// Fraction of peak throughput the kernel sustains on its bound
+    /// resource, in `(0, 1]`.
+    pub utilization: f64,
+    /// Number of launches this profile represents (each launch pays the
+    /// device's launch overhead).
+    pub launches: u32,
+}
+
+impl KernelProfile {
+    /// Creates a kernel profile with full utilization and a single launch.
+    pub fn new(name: impl Into<String>, ops: OpVector) -> Self {
+        KernelProfile { name: name.into(), ops, utilization: 1.0, launches: 1 }
+    }
+
+    /// Sets the achieved utilization (must be in `(0, 1]`).
+    pub fn with_utilization(mut self, utilization: f64) -> Self {
+        assert!(
+            utilization > 0.0 && utilization <= 1.0,
+            "utilization must be in (0, 1], got {utilization}"
+        );
+        self.utilization = utilization;
+        self
+    }
+
+    /// Sets the launch count.
+    pub fn with_launches(mut self, launches: u32) -> Self {
+        assert!(launches >= 1, "at least one launch");
+        self.launches = launches;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::OpClass;
+
+    #[test]
+    fn builder_defaults() {
+        let k = KernelProfile::new("k", OpVector::from_pairs(&[(OpClass::FlopSp, 1.0)]));
+        assert_eq!(k.utilization, 1.0);
+        assert_eq!(k.launches, 1);
+        assert_eq!(k.name, "k");
+    }
+
+    #[test]
+    fn builder_overrides() {
+        let k = KernelProfile::new("k", OpVector::zero())
+            .with_utilization(0.25)
+            .with_launches(6);
+        assert_eq!(k.utilization, 0.25);
+        assert_eq!(k.launches, 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "utilization")]
+    fn zero_utilization_rejected() {
+        let _ = KernelProfile::new("k", OpVector::zero()).with_utilization(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "launch")]
+    fn zero_launches_rejected() {
+        let _ = KernelProfile::new("k", OpVector::zero()).with_launches(0);
+    }
+}

@@ -1,0 +1,293 @@
+//! The operation taxonomy of the DVFS-aware energy model.
+//!
+//! The paper's instantiated model distinguishes single-precision,
+//! double-precision and integer instructions, and data loaded from shared
+//! memory, L1, L2 and DRAM.  (Table I lists energy costs for SP, DP,
+//! integer, SM, L2 and DRAM; on Kepler the L1 cache and shared memory are
+//! the same physical SRAM array, so L1 accesses share the SM cost — the
+//! paper's Figure 6 accordingly reports an L1 energy share.)
+
+use serde::{Deserialize, Serialize};
+
+/// One operation class of the model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OpClass {
+    /// Single-precision floating-point instruction (FMA-equivalent).
+    FlopSp,
+    /// Double-precision floating-point instruction.
+    FlopDp,
+    /// Integer instruction (address arithmetic, loop bookkeeping, ...).
+    Int,
+    /// Shared-memory load/store (per 4-byte word).
+    Shared,
+    /// L1-cache hit (per 4-byte word; same SRAM array as shared memory).
+    L1,
+    /// L2-cache hit (per 4-byte word).
+    L2,
+    /// DRAM access (per 4-byte word).
+    Dram,
+}
+
+/// Number of operation classes.
+pub const NUM_OP_CLASSES: usize = 7;
+
+/// All classes in canonical order (compute first, then memory levels from
+/// closest to farthest).
+pub const ALL_CLASSES: [OpClass; NUM_OP_CLASSES] = [
+    OpClass::FlopSp,
+    OpClass::FlopDp,
+    OpClass::Int,
+    OpClass::Shared,
+    OpClass::L1,
+    OpClass::L2,
+    OpClass::Dram,
+];
+
+/// The compute (instruction) classes.
+pub const COMPUTE_CLASSES: [OpClass; 3] = [OpClass::FlopSp, OpClass::FlopDp, OpClass::Int];
+
+/// The memory (data access) classes.
+pub const MEMORY_CLASSES: [OpClass; 4] =
+    [OpClass::Shared, OpClass::L1, OpClass::L2, OpClass::Dram];
+
+impl OpClass {
+    /// Canonical index into [`ALL_CLASSES`]-ordered arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            OpClass::FlopSp => 0,
+            OpClass::FlopDp => 1,
+            OpClass::Int => 2,
+            OpClass::Shared => 3,
+            OpClass::L1 => 4,
+            OpClass::L2 => 5,
+            OpClass::Dram => 6,
+        }
+    }
+
+    /// True for instruction (compute) classes.
+    pub fn is_compute(self) -> bool {
+        matches!(self, OpClass::FlopSp | OpClass::FlopDp | OpClass::Int)
+    }
+
+    /// True for data-access classes.
+    pub fn is_memory(self) -> bool {
+        !self.is_compute()
+    }
+
+    /// Bytes moved per operation (0 for compute classes, 4-byte words for
+    /// memory classes).
+    pub fn bytes_per_op(self) -> f64 {
+        if self.is_memory() {
+            4.0
+        } else {
+            0.0
+        }
+    }
+
+    /// Whether the op's dynamic energy scales with the *memory* domain
+    /// voltage (only DRAM traffic does; on-chip SRAM levels are in the
+    /// core domain).
+    pub fn is_mem_domain(self) -> bool {
+        matches!(self, OpClass::Dram)
+    }
+
+    /// Human-readable short name matching the paper's column headers.
+    pub fn name(self) -> &'static str {
+        match self {
+            OpClass::FlopSp => "SP",
+            OpClass::FlopDp => "DP",
+            OpClass::Int => "Integer",
+            OpClass::Shared => "SM",
+            OpClass::L1 => "L1",
+            OpClass::L2 => "L2",
+            OpClass::Dram => "Mem",
+        }
+    }
+}
+
+/// Operation counts per class: the `(W_k, Q_l)` feature vector of the
+/// energy model.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct OpVector {
+    counts: [f64; NUM_OP_CLASSES],
+}
+
+impl OpVector {
+    /// The zero vector.
+    pub fn zero() -> Self {
+        OpVector::default()
+    }
+
+    /// Builds from `(class, count)` pairs.
+    pub fn from_pairs(pairs: &[(OpClass, f64)]) -> Self {
+        let mut v = OpVector::default();
+        for &(c, n) in pairs {
+            v.counts[c.index()] += n;
+        }
+        v
+    }
+
+    /// Count for one class.
+    #[inline]
+    pub fn get(&self, class: OpClass) -> f64 {
+        self.counts[class.index()]
+    }
+
+    /// Sets the count for one class.
+    pub fn set(&mut self, class: OpClass, count: f64) {
+        assert!(count >= 0.0 && count.is_finite(), "op count must be finite and non-negative");
+        self.counts[class.index()] = count;
+    }
+
+    /// Adds to the count for one class.
+    pub fn add(&mut self, class: OpClass, count: f64) {
+        debug_assert!(count >= 0.0);
+        self.counts[class.index()] += count;
+    }
+
+    /// Element-wise accumulation of another vector.
+    pub fn accumulate(&mut self, other: &OpVector) {
+        for i in 0..NUM_OP_CLASSES {
+            self.counts[i] += other.counts[i];
+        }
+    }
+
+    /// Element-wise scaling (e.g. extrapolating a sampled profile).
+    pub fn scaled(&self, factor: f64) -> OpVector {
+        let mut out = *self;
+        for c in &mut out.counts {
+            *c *= factor;
+        }
+        out
+    }
+
+    /// Total compute instructions `Σ W_k`.
+    pub fn total_compute(&self) -> f64 {
+        COMPUTE_CLASSES.iter().map(|&c| self.get(c)).sum()
+    }
+
+    /// Total memory operations `Σ Q_l`.
+    pub fn total_memory_ops(&self) -> f64 {
+        MEMORY_CLASSES.iter().map(|&c| self.get(c)).sum()
+    }
+
+    /// Total bytes moved across all memory levels.
+    pub fn total_bytes(&self) -> f64 {
+        MEMORY_CLASSES.iter().map(|&c| self.get(c) * c.bytes_per_op()).sum()
+    }
+
+    /// Bytes moved at one memory level.
+    pub fn bytes(&self, class: OpClass) -> f64 {
+        self.get(class) * class.bytes_per_op()
+    }
+
+    /// Floating-point operations (SP + DP).
+    pub fn total_flops(&self) -> f64 {
+        self.get(OpClass::FlopSp) + self.get(OpClass::FlopDp)
+    }
+
+    /// Arithmetic intensity in flops per *DRAM* byte — the x-axis of the
+    /// roofline and of the paper's intensity microbenchmarks.
+    ///
+    /// Returns `f64::INFINITY` for kernels with no DRAM traffic.
+    pub fn arithmetic_intensity(&self) -> f64 {
+        let dram_bytes = self.bytes(OpClass::Dram);
+        if dram_bytes == 0.0 {
+            f64::INFINITY
+        } else {
+            self.total_flops() / dram_bytes
+        }
+    }
+
+    /// Iterates `(class, count)` over all classes.
+    pub fn iter(&self) -> impl Iterator<Item = (OpClass, f64)> + '_ {
+        ALL_CLASSES.iter().map(move |&c| (c, self.get(c)))
+    }
+
+    /// True if every count is zero.
+    pub fn is_zero(&self) -> bool {
+        self.counts.iter().all(|&c| c == 0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_is_consistent_with_all_classes() {
+        for (i, c) in ALL_CLASSES.iter().enumerate() {
+            assert_eq!(c.index(), i);
+        }
+    }
+
+    #[test]
+    fn compute_and_memory_partition() {
+        for c in ALL_CLASSES {
+            assert!(c.is_compute() != c.is_memory());
+        }
+        assert_eq!(COMPUTE_CLASSES.len() + MEMORY_CLASSES.len(), NUM_OP_CLASSES);
+    }
+
+    #[test]
+    fn only_dram_is_mem_domain() {
+        for c in ALL_CLASSES {
+            assert_eq!(c.is_mem_domain(), c == OpClass::Dram);
+        }
+    }
+
+    #[test]
+    fn opvector_accounting() {
+        let v = OpVector::from_pairs(&[
+            (OpClass::FlopSp, 100.0),
+            (OpClass::FlopDp, 50.0),
+            (OpClass::Int, 200.0),
+            (OpClass::Shared, 10.0),
+            (OpClass::L2, 20.0),
+            (OpClass::Dram, 5.0),
+        ]);
+        assert_eq!(v.total_compute(), 350.0);
+        assert_eq!(v.total_memory_ops(), 35.0);
+        assert_eq!(v.total_flops(), 150.0);
+        assert_eq!(v.total_bytes(), 140.0);
+        assert_eq!(v.bytes(OpClass::Dram), 20.0);
+        assert_eq!(v.arithmetic_intensity(), 150.0 / 20.0);
+    }
+
+    #[test]
+    fn intensity_infinite_without_dram() {
+        let v = OpVector::from_pairs(&[(OpClass::FlopSp, 10.0)]);
+        assert!(v.arithmetic_intensity().is_infinite());
+    }
+
+    #[test]
+    fn accumulate_and_scale() {
+        let mut a = OpVector::from_pairs(&[(OpClass::Int, 1.0)]);
+        let b = OpVector::from_pairs(&[(OpClass::Int, 2.0), (OpClass::Dram, 3.0)]);
+        a.accumulate(&b);
+        assert_eq!(a.get(OpClass::Int), 3.0);
+        let s = a.scaled(2.0);
+        assert_eq!(s.get(OpClass::Dram), 6.0);
+        assert!(!s.is_zero());
+        assert!(OpVector::zero().is_zero());
+    }
+
+    #[test]
+    fn from_pairs_accumulates_duplicates() {
+        let v = OpVector::from_pairs(&[(OpClass::L2, 1.0), (OpClass::L2, 2.0)]);
+        assert_eq!(v.get(OpClass::L2), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_count_rejected() {
+        OpVector::zero().set(OpClass::Int, -1.0);
+    }
+
+    #[test]
+    fn names_match_paper_headers() {
+        assert_eq!(OpClass::FlopSp.name(), "SP");
+        assert_eq!(OpClass::Dram.name(), "Mem");
+    }
+}

@@ -1,0 +1,280 @@
+//! Roofline-style execution-time model.
+//!
+//! Each resource (floating-point pipes, integer pipes, the shared-memory/L1
+//! SRAM, the L2 slice crossbar, the DRAM interface) has a peak throughput
+//! proportional to its domain clock.  A kernel's time on each resource is
+//! its demand divided by that throughput; the *bound* resource (the max)
+//! determines execution time, derated by the kernel's achieved utilization
+//! — the classic roofline argument the energy-roofline papers build on.
+
+use crate::dvfs::Setting;
+use crate::kernel::KernelProfile;
+use crate::ops::OpClass;
+
+/// Microarchitectural throughput parameters of the simulated Kepler SMX.
+///
+/// Defaults follow the Tegra K1's published shape: 192 CUDA cores issuing
+/// one SP FMA per cycle, double precision at 1/24 of SP (the paper calls
+/// this limitation out explicitly), 160 integer lanes, a 128-byte/cycle
+/// shared/L1 SRAM, a 64-byte/cycle L2, and a 64-bit DDR interface moving
+/// 16 bytes per memory clock.
+#[derive(Debug, Clone)]
+pub struct MachineSpec {
+    /// SP instructions retired per core-clock cycle.
+    pub sp_ops_per_cycle: f64,
+    /// DP instructions retired per core-clock cycle.
+    pub dp_ops_per_cycle: f64,
+    /// Integer instructions retired per core-clock cycle.
+    pub int_ops_per_cycle: f64,
+    /// Shared-memory/L1 bytes per core-clock cycle (same SRAM array).
+    pub sm_l1_bytes_per_cycle: f64,
+    /// L2 bytes per core-clock cycle.
+    pub l2_bytes_per_cycle: f64,
+    /// DRAM bytes per memory-clock cycle.
+    pub dram_bytes_per_cycle: f64,
+    /// Fixed driver/launch overhead per kernel launch, seconds.
+    pub launch_overhead_s: f64,
+}
+
+impl Default for MachineSpec {
+    fn default() -> Self {
+        MachineSpec {
+            sp_ops_per_cycle: 192.0,
+            dp_ops_per_cycle: 8.0,
+            int_ops_per_cycle: 160.0,
+            sm_l1_bytes_per_cycle: 128.0,
+            l2_bytes_per_cycle: 64.0,
+            dram_bytes_per_cycle: 16.0,
+            launch_overhead_s: 15e-6,
+        }
+    }
+}
+
+impl MachineSpec {
+    /// Peak SP throughput in ops/s at the given setting.
+    pub fn peak_sp_ops(&self, setting: Setting) -> f64 {
+        self.sp_ops_per_cycle * setting.operating_point().core.freq_hz()
+    }
+
+    /// Peak DRAM bandwidth in bytes/s at the given setting.
+    pub fn peak_dram_bandwidth(&self, setting: Setting) -> f64 {
+        self.dram_bytes_per_cycle * setting.operating_point().mem.freq_hz()
+    }
+}
+
+/// Which resource bound a kernel's execution time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BoundResource {
+    /// Floating-point issue (SP+DP).
+    FloatingPoint,
+    /// Integer issue.
+    Integer,
+    /// Shared-memory / L1 SRAM bandwidth.
+    SharedL1,
+    /// L2 bandwidth.
+    L2,
+    /// DRAM bandwidth.
+    Dram,
+}
+
+/// Decomposed timing of one kernel execution.
+#[derive(Debug, Clone)]
+pub struct TimingBreakdown {
+    /// Busy time each resource would need in isolation, seconds.
+    pub fp_s: f64,
+    /// Integer pipe time, seconds.
+    pub int_s: f64,
+    /// Shared/L1 time, seconds.
+    pub sm_l1_s: f64,
+    /// L2 time, seconds.
+    pub l2_s: f64,
+    /// DRAM time, seconds.
+    pub dram_s: f64,
+    /// The binding resource.
+    pub bound: BoundResource,
+    /// Total launch overhead, seconds.
+    pub overhead_s: f64,
+    /// Final execution time (bound / utilization + overhead), seconds.
+    pub total_s: f64,
+}
+
+/// The execution-time model.
+#[derive(Debug, Clone, Default)]
+pub struct TimingModel {
+    /// Machine parameters.
+    pub spec: MachineSpec,
+}
+
+impl TimingModel {
+    /// Creates a timing model over a machine spec.
+    pub fn new(spec: MachineSpec) -> Self {
+        TimingModel { spec }
+    }
+
+    /// Predicts execution time for `kernel` at `setting`.
+    ///
+    /// Floating-point and integer instructions issue from different pipes
+    /// (the paper notes integer ops "use different resources in the
+    /// pipeline from floating point", which is why the FMM's 60% integer
+    /// instruction share costs little time), so compute time is the *max*
+    /// of the two pipes rather than their sum.
+    pub fn execution_time(&self, kernel: &KernelProfile, setting: Setting) -> TimingBreakdown {
+        let op = setting.operating_point();
+        let fc = op.core.freq_hz();
+        let fm = op.mem.freq_hz();
+        let ops = &kernel.ops;
+        let s = &self.spec;
+
+        let fp_s = (ops.get(OpClass::FlopSp) / s.sp_ops_per_cycle
+            + ops.get(OpClass::FlopDp) / s.dp_ops_per_cycle)
+            / fc;
+        let int_s = ops.get(OpClass::Int) / s.int_ops_per_cycle / fc;
+        let sm_l1_s =
+            (ops.bytes(OpClass::Shared) + ops.bytes(OpClass::L1)) / s.sm_l1_bytes_per_cycle / fc;
+        let l2_s = ops.bytes(OpClass::L2) / s.l2_bytes_per_cycle / fc;
+        let dram_s = ops.bytes(OpClass::Dram) / s.dram_bytes_per_cycle / fm;
+
+        let candidates = [
+            (fp_s, BoundResource::FloatingPoint),
+            (int_s, BoundResource::Integer),
+            (sm_l1_s, BoundResource::SharedL1),
+            (l2_s, BoundResource::L2),
+            (dram_s, BoundResource::Dram),
+        ];
+        let (busy, bound) = candidates
+            .iter()
+            .copied()
+            .max_by(|a, b| a.0.partial_cmp(&b.0).expect("times are finite"))
+            .expect("non-empty");
+
+        let overhead_s = kernel.launches as f64 * s.launch_overhead_s;
+        let total_s = busy / kernel.utilization + overhead_s;
+        TimingBreakdown { fp_s, int_s, sm_l1_s, l2_s, dram_s, bound, overhead_s, total_s }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::OpVector;
+
+    fn setting_max() -> Setting {
+        Setting::max_performance()
+    }
+
+    #[test]
+    fn sp_peak_matches_spec() {
+        let spec = MachineSpec::default();
+        // 192 ops/cycle * 852 MHz = 163.6 Gops/s.
+        let peak = spec.peak_sp_ops(setting_max());
+        assert!((peak - 192.0 * 852e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn compute_bound_kernel_scales_with_core_freq() {
+        let tm = TimingModel::default();
+        let k = KernelProfile::new("sp", OpVector::from_pairs(&[(OpClass::FlopSp, 1e9)]));
+        let fast = tm.execution_time(&k, Setting::from_frequencies(852.0, 924.0).unwrap());
+        let slow = tm.execution_time(&k, Setting::from_frequencies(396.0, 924.0).unwrap());
+        assert_eq!(fast.bound, BoundResource::FloatingPoint);
+        let busy_fast = fast.total_s - fast.overhead_s;
+        let busy_slow = slow.total_s - slow.overhead_s;
+        assert!((busy_slow / busy_fast - 852.0 / 396.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn memory_bound_kernel_scales_with_mem_freq() {
+        let tm = TimingModel::default();
+        let k = KernelProfile::new("stream", OpVector::from_pairs(&[(OpClass::Dram, 1e9)]));
+        let fast = tm.execution_time(&k, Setting::from_frequencies(852.0, 924.0).unwrap());
+        let slow = tm.execution_time(&k, Setting::from_frequencies(852.0, 204.0).unwrap());
+        assert_eq!(fast.bound, BoundResource::Dram);
+        let busy_fast = fast.total_s - fast.overhead_s;
+        let busy_slow = slow.total_s - slow.overhead_s;
+        assert!((busy_slow / busy_fast - 924.0 / 204.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dp_is_24x_slower_than_sp() {
+        let tm = TimingModel::default();
+        let sp = KernelProfile::new("sp", OpVector::from_pairs(&[(OpClass::FlopSp, 1e9)]));
+        let dp = KernelProfile::new("dp", OpVector::from_pairs(&[(OpClass::FlopDp, 1e9)]));
+        let s = setting_max();
+        let t_sp = tm.execution_time(&sp, s).fp_s;
+        let t_dp = tm.execution_time(&dp, s).fp_s;
+        assert!((t_dp / t_sp - 24.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn integer_overlaps_with_fp() {
+        // Adding integer work below the FP time must not change total time.
+        let tm = TimingModel::default();
+        let s = setting_max();
+        let fp_only = KernelProfile::new("a", OpVector::from_pairs(&[(OpClass::FlopSp, 1e9)]));
+        let with_int = KernelProfile::new(
+            "b",
+            OpVector::from_pairs(&[(OpClass::FlopSp, 1e9), (OpClass::Int, 5e8)]),
+        );
+        let ta = tm.execution_time(&fp_only, s).total_s;
+        let tb = tm.execution_time(&with_int, s).total_s;
+        assert_eq!(ta, tb, "integer ops hide under the FP roof");
+    }
+
+    #[test]
+    fn utilization_derates_time() {
+        let tm = TimingModel::default();
+        let s = setting_max();
+        let full = KernelProfile::new("u1", OpVector::from_pairs(&[(OpClass::FlopSp, 1e9)]));
+        let quarter = full.clone().with_utilization(0.25);
+        let t1 = tm.execution_time(&full, s);
+        let t4 = tm.execution_time(&quarter, s);
+        assert!(((t4.total_s - t4.overhead_s) / (t1.total_s - t1.overhead_s) - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn launch_overhead_accumulates() {
+        let tm = TimingModel::default();
+        let s = setting_max();
+        let k = KernelProfile::new("k", OpVector::zero()).with_launches(10);
+        let t = tm.execution_time(&k, s);
+        assert!((t.overhead_s - 150e-6).abs() < 1e-12);
+        assert_eq!(t.total_s, t.overhead_s);
+    }
+
+    #[test]
+    fn bound_resource_transitions_with_intensity() {
+        // Low intensity -> DRAM-bound; high intensity -> FP-bound.
+        let tm = TimingModel::default();
+        let s = setting_max();
+        let lo = KernelProfile::new(
+            "lo",
+            OpVector::from_pairs(&[(OpClass::FlopSp, 1e6), (OpClass::Dram, 1e8)]),
+        );
+        let hi = KernelProfile::new(
+            "hi",
+            OpVector::from_pairs(&[(OpClass::FlopSp, 1e10), (OpClass::Dram, 1e6)]),
+        );
+        assert_eq!(tm.execution_time(&lo, s).bound, BoundResource::Dram);
+        assert_eq!(tm.execution_time(&hi, s).bound, BoundResource::FloatingPoint);
+    }
+
+    #[test]
+    fn machine_balance_crossover_near_roofline_knee() {
+        // The intensity where FP time equals DRAM time is peak_flops /
+        // peak_bandwidth; check the model's knee lands there.
+        let tm = TimingModel::default();
+        let s = setting_max();
+        let balance = tm.spec.peak_sp_ops(s) / tm.spec.peak_dram_bandwidth(s);
+        let w = 1e9;
+        let make = |intensity: f64| {
+            KernelProfile::new(
+                "x",
+                OpVector::from_pairs(&[(OpClass::FlopSp, w), (OpClass::Dram, w / intensity / 4.0)]),
+            )
+        };
+        let below = tm.execution_time(&make(balance * 0.9), s);
+        let above = tm.execution_time(&make(balance * 1.1), s);
+        assert_eq!(below.bound, BoundResource::Dram);
+        assert_eq!(above.bound, BoundResource::FloatingPoint);
+    }
+}

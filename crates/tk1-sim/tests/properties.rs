@@ -1,0 +1,128 @@
+//! Property-based tests for the platform simulator's physical
+//! invariants: energies and times must respond to frequency, voltage and
+//! workload the way the underlying physics says they must, for *every*
+//! workload and setting.
+
+use proptest::prelude::*;
+use tk1_sim::{Device, KernelProfile, OpClass, OpVector, Setting, TimingModel};
+
+fn op_vector() -> impl Strategy<Value = OpVector> {
+    (
+        0.0f64..1e10,
+        0.0f64..1e9,
+        0.0f64..1e10,
+        0.0f64..1e9,
+        0.0f64..1e9,
+        0.0f64..1e9,
+        1.0f64..1e9, // at least some DRAM traffic keeps kernels non-empty
+    )
+        .prop_map(|(sp, dp, int, sm, l1, l2, dram)| {
+            OpVector::from_pairs(&[
+                (OpClass::FlopSp, sp),
+                (OpClass::FlopDp, dp),
+                (OpClass::Int, int),
+                (OpClass::Shared, sm),
+                (OpClass::L1, l1),
+                (OpClass::L2, l2),
+                (OpClass::Dram, dram),
+            ])
+        })
+}
+
+fn setting() -> impl Strategy<Value = Setting> {
+    (0usize..15, 0usize..7).prop_map(|(c, m)| Setting::new(c, m))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn time_never_improves_at_lower_frequencies(ops in op_vector(), s in setting()) {
+        let tm = TimingModel::default();
+        let k = KernelProfile::new("k", ops);
+        let t = tm.execution_time(&k, s).total_s;
+        // Dropping either domain's frequency can only slow the kernel.
+        if s.core_idx > 0 {
+            let slower = Setting::new(s.core_idx - 1, s.mem_idx);
+            prop_assert!(tm.execution_time(&k, slower).total_s >= t - 1e-15);
+        }
+        if s.mem_idx > 0 {
+            let slower = Setting::new(s.core_idx, s.mem_idx - 1);
+            prop_assert!(tm.execution_time(&k, slower).total_s >= t - 1e-15);
+        }
+    }
+
+    #[test]
+    fn time_equals_max_of_resource_times(ops in op_vector(), s in setting()) {
+        let tm = TimingModel::default();
+        let k = KernelProfile::new("k", ops);
+        let b = tm.execution_time(&k, s);
+        let max = b.fp_s.max(b.int_s).max(b.sm_l1_s).max(b.l2_s).max(b.dram_s);
+        prop_assert!((b.total_s - (max / k.utilization + b.overhead_s)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn true_energy_is_positive_and_consistent(ops in op_vector(), s in setting(), seed in 0u64..500) {
+        let mut dev = Device::new(seed);
+        dev.set_operating_point(s);
+        let k = KernelProfile::new(format!("k{seed}"), ops);
+        let e = dev.execute(&k);
+        prop_assert!(e.duration_s > 0.0);
+        prop_assert!(e.true_energy_j() > 0.0);
+        prop_assert!((e.avg_power_w * e.duration_s - e.true_energy_j()).abs() < 1e-9);
+        // Board power stays within the supply's envelope.
+        prop_assert!(e.avg_power_w > 2.0 && e.avg_power_w < 40.0, "{} W", e.avg_power_w);
+    }
+
+    #[test]
+    fn dynamic_energy_scales_with_voltage(ops in op_vector()) {
+        // On the noiseless device, core-domain dynamic energy at a higher
+        // core voltage (same memory setting) is strictly larger.
+        let truth = tk1_sim::TruthConstants::ideal();
+        let lo = Setting::from_frequencies(396.0, 528.0).unwrap();
+        let hi = Setting::from_frequencies(852.0, 528.0).unwrap();
+        for class in [OpClass::FlopSp, OpClass::FlopDp, OpClass::Int, OpClass::L2] {
+            if ops.get(class) > 0.0 {
+                prop_assert!(truth.energy_per_op_j(class, hi) > truth.energy_per_op_j(class, lo));
+            }
+        }
+        // DRAM energy is independent of the core setting.
+        prop_assert_eq!(
+            truth.energy_per_op_j(OpClass::Dram, hi),
+            truth.energy_per_op_j(OpClass::Dram, lo)
+        );
+    }
+
+    #[test]
+    fn execution_determinism_per_seed(ops in op_vector(), seed in 0u64..100) {
+        let k = KernelProfile::new("det", ops);
+        let mut a = Device::new(seed);
+        let mut b = Device::new(seed);
+        let ea = a.execute(&k);
+        let eb = b.execute(&k);
+        prop_assert_eq!(ea.duration_s, eb.duration_s);
+        prop_assert_eq!(ea.true_energy_j(), eb.true_energy_j());
+    }
+
+    #[test]
+    fn op_vector_accumulate_is_commutative(a in op_vector(), b in op_vector()) {
+        let mut ab = a;
+        ab.accumulate(&b);
+        let mut ba = b;
+        ba.accumulate(&a);
+        for (class, count) in ab.iter() {
+            prop_assert!((count - ba.get(class)).abs() < 1e-6 * count.max(1.0));
+        }
+        prop_assert!((ab.total_bytes() - a.total_bytes() - b.total_bytes()).abs()
+            < 1e-6 * ab.total_bytes().max(1.0));
+    }
+
+    #[test]
+    fn scaling_ops_scales_ideal_energy_linearly(ops in op_vector(), factor in 1.0f64..8.0) {
+        let truth = tk1_sim::TruthConstants::ideal();
+        let s = Setting::max_performance();
+        let e1 = truth.dynamic_energy_j(&ops, s);
+        let e2 = truth.dynamic_energy_j(&ops.scaled(factor), s);
+        prop_assert!((e2 - factor * e1).abs() <= 1e-9 * e2.max(1e-12));
+    }
+}

@@ -1,0 +1,78 @@
+//! Energy autotuning: the fitted model vs the race-to-halt time oracle.
+//!
+//! Reproduces the paper's Section II-E experiment on a subset of the
+//! microbenchmark suite and prints a Table II-style summary, then shows
+//! the crossover the paper explains in Section IV-C: when constant power
+//! dominates (low utilization), racing to halt *is* energy-optimal.
+//!
+//! Run with: `cargo run --release --example autotune`
+
+use fmm_energy::prelude::*;
+
+fn main() {
+    println!("fitting the model (sweep + NNLS) ...");
+    let dataset = run_sweep(&SweepConfig::default());
+    let model = fit_model(dataset.training()).model;
+
+    println!("\nautotuning each benchmark family over all 105 DVFS settings:");
+    println!(
+        "{:<16} {:>22} {:>22}",
+        "benchmark", "model mispredictions", "oracle mispredictions"
+    );
+    let outcomes = autotune_microbenchmarks(
+        &model,
+        &[
+            MicrobenchKind::SinglePrecision,
+            MicrobenchKind::DoublePrecision,
+            MicrobenchKind::Integer,
+            MicrobenchKind::SharedMemory,
+            MicrobenchKind::L2,
+        ],
+        7,
+    );
+    for o in &outcomes {
+        println!(
+            "{:<16} {:>15} / {:<4} {:>15} / {:<4}  (oracle loses {:.1}% mean)",
+            o.kind.name(),
+            o.model.mispredictions,
+            o.cases,
+            o.oracle.mispredictions,
+            o.cases,
+            o.oracle.mean_lost_pct()
+        );
+    }
+
+    // The crossover: sweep utilization for one compute-bound kernel.
+    println!("\nrace-to-halt penalty as constant power comes to dominate:");
+    println!("{:>12} {:>16} {:>18}", "utilization", "constant share", "race-to-halt loss");
+    let base = MicrobenchKind::SinglePrecision.instance(64.0);
+    for util in [1.0, 0.5, 0.25, 0.1] {
+        let kernel = base.kernel().clone().with_utilization(util);
+        let mut device = Device::new(99);
+        let mut meter = PowerMon::new(100);
+        let settings: Vec<Setting> = Setting::all().collect();
+        let mut energies = Vec::new();
+        let mut times = Vec::new();
+        for &s in &settings {
+            device.set_operating_point(s);
+            let m = meter.measure(&mut device, &kernel);
+            energies.push(m.measured_energy_j);
+            times.push(m.execution.duration_s);
+        }
+        let best = (0..settings.len())
+            .min_by(|&a, &b| energies[a].partial_cmp(&energies[b]).unwrap())
+            .unwrap();
+        let fastest = (0..settings.len())
+            .min_by(|&a, &b| times[a].partial_cmp(&times[b]).unwrap())
+            .unwrap();
+        let share = BreakdownReport::new(&model, &kernel.ops, settings[best], times[best])
+            .constant_share();
+        println!(
+            "{util:>12.2} {:>15.1}% {:>17.1}%",
+            share * 100.0,
+            (energies[fastest] / energies[best] - 1.0) * 100.0
+        );
+    }
+    println!("\nthis is why the FMM — at under a quarter of peak IPC — is best run");
+    println!("at maximum frequency, while the saturating microbenchmarks are not.");
+}

@@ -1,0 +1,101 @@
+//! Where does the FMM spend its energy?
+//!
+//! The paper's Section IV analysis in one program: profile the FMM with
+//! the counter pipeline, run it on the simulated TK1 across DVFS
+//! settings, and decompose the energy by instruction class, memory
+//! level, and the computation/data/constant-power buckets (Figures 4, 6
+//! and 7), including the prefetch what-if from the conclusion.
+//!
+//! Run with: `cargo run --release --example energy_breakdown`
+
+use fmm_energy::model::experiments::SYSTEM_SETTINGS;
+use fmm_energy::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    println!("fitting the model ...");
+    let dataset = run_sweep(&SweepConfig::default());
+    let model = fit_model(dataset.training()).model;
+
+    // Profile an FMM run (a scaled-down F1: N = 32768, Q = 128).
+    let n = 32_768;
+    let q = 128;
+    let mut rng = StdRng::seed_from_u64(4);
+    let points: Vec<[f64; 3]> =
+        (0..n).map(|_| [rng.random(), rng.random(), rng.random()]).collect();
+    let densities: Vec<f64> = (0..n).map(|_| 2.0 * rng.random::<f64>() - 1.0).collect();
+    let plan = FmmPlan::new(&points, &densities, q, 4, M2lMethod::Fft);
+    let profile = profile_plan(&plan, &CostModel::default());
+    let ops = profile.total_ops();
+
+    // --- Figure 4 flavor: instruction and data-access mix. -------------
+    println!("\ninstruction mix (N = {n}, Q = {q}):");
+    let compute = ops.total_compute();
+    println!("  DP floating point : {:5.1}%", ops.get(OpClass::FlopDp) / compute * 100.0);
+    println!("  integer           : {:5.1}%", ops.get(OpClass::Int) / compute * 100.0);
+    println!("data accesses by level (words):");
+    let mem = ops.total_memory_ops();
+    for class in [OpClass::Shared, OpClass::L1, OpClass::L2, OpClass::Dram] {
+        println!("  {:>4}              : {:5.1}%", class.name(), ops.get(class) / mem * 100.0);
+    }
+
+    // --- Figures 6 & 7 flavor: energy decomposition across settings. ---
+    println!("\nenergy decomposition per DVFS setting:");
+    println!(
+        "{:>8} {:>9} {:>12} {:>8} {:>8} {:>10}",
+        "setting", "time s", "energy J", "comp %", "data %", "constant %"
+    );
+    let mut device = Device::new(11);
+    for sys in SYSTEM_SETTINGS {
+        let setting = sys.setting();
+        device.set_operating_point(setting);
+        let time_s: f64 = profile.kernels().iter().map(|k| device.execute(k).duration_s).sum();
+        let report = BreakdownReport::new(&model, &ops, setting, time_s);
+        println!(
+            "{:>8} {:>9.3} {:>12.3} {:>7.1}% {:>7.1}% {:>9.1}%",
+            setting.label(),
+            time_s,
+            report.breakdown.total_j(),
+            report.buckets[0].share * 100.0,
+            report.buckets[1].share * 100.0,
+            report.buckets[2].share * 100.0,
+        );
+    }
+
+    // --- The two headline observations. ---------------------------------
+    let s1 = SYSTEM_SETTINGS[0].setting();
+    device.set_operating_point(s1);
+    let t1: f64 = profile.kernels().iter().map(|k| device.execute(k).duration_s).sum();
+    let report = BreakdownReport::new(&model, &ops, s1, t1);
+    println!(
+        "\ninteger ops are {:.0}% of instructions but only {:.0}% of compute energy;",
+        ops.get(OpClass::Int) / compute * 100.0,
+        report.integer_share_of_compute() * 100.0
+    );
+    println!(
+        "DRAM is {:.0}% of accesses but {:.0}% of data-access energy.",
+        ops.get(OpClass::Dram) / mem * 100.0,
+        report.dram_share_of_data() * 100.0
+    );
+
+    // --- Prefetch what-if (the paper's concluding scenario). ------------
+    println!("\nprefetch what-if at {} (time {:.3} s):", s1.label(), t1);
+    for unused in [0.1, 0.3] {
+        for slowdown in [1.0, 1.05] {
+            let verdict = prefetch_whatif(
+                &model,
+                &PrefetchScenario { ops, time_s: t1, unused_fraction: unused, slowdown },
+                s1,
+            );
+            println!(
+                "  {:.0}% unused, {:.2}x slowdown: {} ({:+.4} J, break-even {:.4}x)",
+                unused * 100.0,
+                slowdown,
+                if verdict.should_disable() { "disable prefetch" } else { "keep prefetch" },
+                verdict.savings_j,
+                verdict.breakeven_slowdown
+            );
+        }
+    }
+}

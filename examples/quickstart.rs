@@ -1,0 +1,76 @@
+//! Quickstart: fit the DVFS-aware energy model and use it.
+//!
+//! Mirrors the paper's Section II end to end:
+//!   1. sweep the intensity microbenchmarks over the Table I settings,
+//!   2. fit the model constants by NNLS,
+//!   3. validate on the held-out settings,
+//!   4. predict the energy of a new kernel and pick its best DVFS point.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use fmm_energy::prelude::*;
+
+fn main() {
+    // 1. Measure.  The default config is the paper's: all five benchmark
+    //    families at 103 intensity points across the 16 Table I settings.
+    println!("sweeping microbenchmarks over {} settings ...", SweepConfig::default().settings.len());
+    let dataset = run_sweep(&SweepConfig::default());
+    println!("collected {} samples", dataset.len());
+
+    // 2. Fit on the training ("T") split.
+    let report = fit_model(dataset.training());
+    let model = report.model;
+    println!(
+        "fit {} samples, training RMS error {:.2}%",
+        report.samples,
+        report.train_rms_rel * 100.0
+    );
+
+    // The derived per-op energies at maximum frequency (the paper's
+    // Table I, first row):
+    let s_max = Setting::max_performance();
+    let (sp, dp, int, sm, l2, dram, pi0) = model.table1_row(s_max);
+    println!("at {}: ε_SP {sp:.1} pJ, ε_DP {dp:.1} pJ, ε_Int {int:.1} pJ,", s_max.label());
+    println!("           ε_SM {sm:.1} pJ, ε_L2 {l2:.1} pJ, ε_DRAM {dram:.0} pJ, π0 {pi0:.2} W");
+
+    // 3. Validate on the held-out "V" settings.
+    let validation = holdout_validation(&dataset);
+    println!("holdout validation: {}", validation.stats.summary());
+
+    // 4. Use the model: predict a kernel's energy across settings and
+    //    pick the most efficient one.
+    let kernel = KernelProfile::new(
+        "user-kernel",
+        OpVector::from_pairs(&[
+            (OpClass::FlopSp, 5e9),
+            (OpClass::Int, 1e9),
+            (OpClass::Dram, 5e7),
+        ]),
+    );
+    let mut device = Device::new(42);
+    let mut best: Option<(f64, Setting)> = None;
+    for setting in Setting::all() {
+        device.set_operating_point(setting);
+        let execution = device.execute(&kernel);
+        let joules = model.predict_energy_j(&kernel.ops, setting, execution.duration_s);
+        if best.map_or(true, |(e, _)| joules < e) {
+            best = Some((joules, setting));
+        }
+    }
+    let (joules, setting) = best.expect("105 settings scanned");
+    println!(
+        "predicted best setting for the kernel: {} ({:.3} J)",
+        setting.label(),
+        joules
+    );
+    let max_op = Setting::max_performance();
+    device.set_operating_point(max_op);
+    let t = device.execute(&kernel).duration_s;
+    let at_max = model.predict_energy_j(&kernel.ops, max_op, t);
+    println!(
+        "racing to halt at {} would use {:.3} J ({:+.1}%)",
+        max_op.label(),
+        at_max,
+        (at_max / joules - 1.0) * 100.0
+    );
+}

@@ -1,0 +1,147 @@
+//! Cross-crate integration: the paper's full methodology, end to end.
+//!
+//! These tests run the same pipeline as the `repro` harness at reduced
+//! scale: sweep → fit → validate → profile the FMM → predict its energy
+//! → check the Section IV observations.
+
+use fmm_energy::prelude::*;
+
+/// Fit once for the whole file (the sweep is the expensive step).
+fn fitted() -> (EnergyModel, Dataset) {
+    let dataset = run_sweep(&SweepConfig { seed: 2016, ..SweepConfig::default() });
+    let model = fit_model(dataset.training()).model;
+    (model, dataset)
+}
+
+#[test]
+fn sweep_fit_validate_cycle_matches_paper_error_band() {
+    let (_, dataset) = fitted();
+    assert_eq!(dataset.len(), 16 * 103, "16 settings x 103 intensity points");
+
+    let holdout = holdout_validation(&dataset);
+    assert!(
+        holdout.stats.mean_pct > 0.3 && holdout.stats.mean_pct < 8.0,
+        "holdout mean {:.2}% should be a few percent (paper: 2.87%)",
+        holdout.stats.mean_pct
+    );
+
+    let kfold = leave_one_setting_out(&dataset);
+    assert!(
+        kfold.stats.mean_pct < 10.0,
+        "16-fold mean {:.2}% (paper: 6.56%)",
+        kfold.stats.mean_pct
+    );
+    assert!(kfold.stats.max_pct < 35.0, "worst case stays bounded");
+}
+
+#[test]
+fn fitted_constants_recover_table1_scale() {
+    let (model, _) = fitted();
+    let (sp, dp, int, sm, l2, dram, pi0) = model.table1_row(Setting::max_performance());
+    // Paper's Table I row 1: 29.0 / 139.1 / 60.0 / 35.4 / 90.2 / 377.0 / 6.8.
+    for (got, want, label) in [
+        (sp, 29.0, "SP"),
+        (int, 60.0, "Int"),
+        (sm, 35.4, "SM"),
+        (l2, 90.2, "L2"),
+        (dram, 377.0, "DRAM"),
+        (pi0, 6.8, "pi0"),
+    ] {
+        let rel = (got - want).abs() / want;
+        assert!(rel < 0.20, "{label}: {got:.1} vs paper {want} ({:.1}% off)", rel * 100.0);
+    }
+    // ε_DP is the hardest coefficient to identify on this platform: the
+    // TK1's 1/24-rate double precision makes the DP microbenchmarks
+    // constant-power-dominated (~85% of their energy is π0·T), so meter
+    // calibration error is amplified roughly eightfold in the DP column.
+    // The same conditioning problem affects the physical experiment.
+    let rel = (dp - 139.1).abs() / 139.1;
+    assert!(rel < 0.45, "DP: {dp:.1} vs paper 139.1 ({:.1}% off)", rel * 100.0);
+}
+
+#[test]
+fn fmm_energy_prediction_matches_measurement() {
+    let (model, _) = fitted();
+    // Profile a scaled-down F7 (N = 16384, Q = 128).
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let n = 16_384;
+    let mut rng = StdRng::seed_from_u64(8);
+    let pts: Vec<[f64; 3]> = (0..n).map(|_| [rng.random(), rng.random(), rng.random()]).collect();
+    let den: Vec<f64> = (0..n).map(|_| rng.random::<f64>() - 0.5).collect();
+    let plan = FmmPlan::new(&pts, &den, 128, 4, M2lMethod::Fft);
+    let profile = profile_plan(&plan, &CostModel::default());
+
+    let mut device = Device::new(3);
+    let mut meter = PowerMon::new(5);
+    for (core, mem) in [(852.0, 924.0), (612.0, 528.0), (180.0, 924.0)] {
+        let setting = Setting::from_frequencies(core, mem).expect("valid setting");
+        device.set_operating_point(setting);
+        let mut time_s = 0.0;
+        let mut measured = 0.0;
+        for k in profile.kernels() {
+            let m = meter.measure(&mut device, &k);
+            time_s += m.execution.duration_s;
+            measured += m.measured_energy_j;
+        }
+        let predicted = model.predict_energy_j(&profile.total_ops(), setting, time_s);
+        let err = (predicted - measured).abs() / measured;
+        assert!(
+            err < 0.18,
+            "{}: predicted {predicted:.2} J vs measured {measured:.2} J ({:.1}%)",
+            setting.label(),
+            err * 100.0
+        );
+    }
+}
+
+#[test]
+fn fmm_constant_power_dominates_and_microbench_does_not() {
+    let (model, _) = fitted();
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let n = 8192;
+    let mut rng = StdRng::seed_from_u64(13);
+    let pts: Vec<[f64; 3]> = (0..n).map(|_| [rng.random(), rng.random(), rng.random()]).collect();
+    let den = vec![1.0; n];
+    let plan = FmmPlan::new(&pts, &den, 64, 4, M2lMethod::Fft);
+    let profile = profile_plan(&plan, &CostModel::default());
+    let setting = Setting::max_performance();
+    let mut device = Device::new(17);
+    device.set_operating_point(setting);
+    let fmm_time: f64 = profile.kernels().iter().map(|k| device.execute(k).duration_s).sum();
+    let fmm_share = BreakdownReport::new(&model, &profile.total_ops(), setting, fmm_time)
+        .constant_share();
+
+    let top_sp = MicrobenchKind::SinglePrecision.instance(256.0);
+    let micro_time = device.execute(top_sp.kernel()).duration_s;
+    let micro_share =
+        BreakdownReport::new(&model, &top_sp.kernel().ops, setting, micro_time).constant_share();
+
+    assert!(fmm_share > 0.70, "FMM constant share {fmm_share:.2} (paper: 0.75–0.95)");
+    assert!(
+        micro_share < fmm_share - 0.15,
+        "microbench constant share {micro_share:.2} must sit far below the FMM's {fmm_share:.2}"
+    );
+}
+
+#[test]
+fn model_autotunes_at_least_as_well_as_time_oracle() {
+    let (model, _) = fitted();
+    let outcomes = autotune_microbenchmarks(&model, &[MicrobenchKind::L2], 23);
+    let o = &outcomes[0];
+    assert!(o.model.mispredictions <= o.oracle.mispredictions);
+    assert!(o.model.mean_lost_pct() <= o.oracle.mean_lost_pct() + 1e-9);
+}
+
+#[test]
+fn whole_facade_quickstart_compiles_and_runs() {
+    // The README's five-line quickstart, as a test.
+    let mut config = SweepConfig::default();
+    config.kinds = vec![MicrobenchKind::L2];
+    let dataset = run_sweep(&config);
+    let report = fit_model(dataset.training());
+    let ops = OpVector::from_pairs(&[(OpClass::FlopSp, 1e9)]);
+    let e = report.model.predict_energy_j(&ops, Setting::max_performance(), 0.01);
+    assert!(e > 0.0 && e.is_finite());
+}

@@ -1,0 +1,121 @@
+//! Integration tests over the `dvfs-bench` reproduction harness: every
+//! table/figure generator runs at reduced scale and its headline shape
+//! matches the paper's.
+
+use dvfs_bench::pipeline::{
+    fig4_breakdown, fig5_validation, fig6_energy_breakdown, fig7_buckets, fitted_model,
+    fmm_profiles, observations, prefetch_scan, table1_rows, table2_outcomes,
+};
+
+const SEED: u64 = 0x5EED;
+/// Profiles run at the paper's full problem sizes (N up to 262144): the
+/// instrumentation pass is analytic, so even F1 profiles in seconds.
+const SHIFT: u32 = 0;
+
+#[test]
+fn table2_model_beats_oracle_in_every_family() {
+    let (model, _) = fitted_model(SEED);
+    let outcomes = table2_outcomes(&model, SEED);
+    assert_eq!(outcomes.len(), 5);
+    let cases: usize = outcomes.iter().map(|o| o.cases).sum();
+    assert_eq!(cases, 103, "25+36+23+10+9 intensity points");
+    for o in &outcomes {
+        assert!(
+            o.model.mispredictions <= o.oracle.mispredictions,
+            "{}: model {} vs oracle {}",
+            o.kind.name(),
+            o.model.mispredictions,
+            o.oracle.mispredictions
+        );
+    }
+    // The single-precision family is the paper's headline: the oracle is
+    // wrong on most cases and pays double-digit energy.
+    let sp = &outcomes[0];
+    assert!(sp.oracle.mispredictions >= sp.cases * 3 / 5);
+    assert!(sp.oracle.mean_lost_pct() > 5.0);
+}
+
+#[test]
+fn figures_4_through_7_hold_their_shapes() {
+    let (model, _) = fitted_model(SEED);
+    let profiles = fmm_profiles(SHIFT, SEED);
+    assert_eq!(profiles.len(), 8);
+
+    // Fig 4: integer instructions dominate the mix in every input.
+    for row in fig4_breakdown(&profiles) {
+        let (dp, int) = row.instruction_shares;
+        assert!((dp + int - 1.0).abs() < 1e-9);
+        assert!(int > 0.45 && int < 0.75, "{}: int share {int:.2}", row.f_id);
+        let (sm, l1, l2, dram) = row.byte_shares;
+        assert!((sm + l1 + l2 + dram - 1.0).abs() < 1e-9);
+        assert!(dram < 0.40, "{}: DRAM is a minority of accesses: {dram:.2}", row.f_id);
+    }
+
+    // Fig 5: 64 cases, error in the paper's band.
+    let (cases, stats) = fig5_validation(&model, &profiles, SEED);
+    assert_eq!(cases.len(), 64);
+    assert!(stats.mean_pct < 12.0, "fig5 mean error {:.2}% (paper 6.17%)", stats.mean_pct);
+
+    // Fig 6: DRAM's energy share exceeds its access share.
+    for (f_id, report) in fig6_energy_breakdown(&model, &profiles, SEED) {
+        let dram_energy = report.dram_share_of_data();
+        assert!(dram_energy > 0.25, "{f_id}: DRAM energy share {dram_energy:.2}");
+    }
+
+    // Fig 7: constant power dominates every case.
+    let rows = fig7_buckets(&model, &cases);
+    for r in &rows {
+        assert!(r.constant > 0.55, "{}: constant {:.2}", r.label, r.constant);
+    }
+}
+
+#[test]
+fn observations_match_paper_directions() {
+    let (model, _) = fitted_model(SEED);
+    let profiles = fmm_profiles(SHIFT, SEED);
+    let (cases, _) = fig5_validation(&model, &profiles, SEED);
+    let o = observations(&model, &profiles, &cases, SEED);
+
+    // (a) integer ops: majority of instructions, minority of energy.
+    assert!(o.integer_instruction_share > 0.45);
+    assert!(o.integer_energy_share < o.integer_instruction_share - 0.10);
+    // (b) DRAM: minority of accesses, (near-)majority of data energy.
+    assert!(o.dram_access_share < 0.40);
+    assert!(o.dram_energy_share > 2.0 * o.dram_access_share);
+    // (c) constant power dominates the FMM...
+    assert!(o.fmm_constant_share_range.0 > 0.55);
+    // ... far more than the saturating microbenchmarks.
+    assert!(o.microbench_constant_share < o.fmm_constant_share_range.0);
+    // (d) hence racing to halt is fine for the FMM.
+    assert!(o.fmm_best_energy_is_best_time);
+}
+
+#[test]
+fn table1_tracks_paper_columns() {
+    let (model, _) = fitted_model(SEED);
+    let rows = table1_rows(&model);
+    assert_eq!(rows.len(), 16);
+    for row in &rows {
+        for (got, want) in [
+            (row.measured.0, row.paper.0),
+            (row.measured.5, row.paper.5),
+            (row.measured.6, row.paper.6),
+        ] {
+            let rel = (got - want).abs() / want;
+            assert!(rel < 0.20, "{}: {got:.1} vs {want:.1}", row.setting.label());
+        }
+    }
+}
+
+#[test]
+fn prefetch_breakeven_grows_with_waste() {
+    let (model, _) = fitted_model(SEED);
+    let profiles = fmm_profiles(SHIFT, SEED);
+    let scan = prefetch_scan(&model, &profiles[0].1, 1.0);
+    for w in scan.windows(2) {
+        assert!(w[1].1 > w[0].1, "more unused data -> larger tolerable slowdown");
+    }
+    for (_, breakeven) in &scan {
+        assert!(*breakeven > 1.0);
+    }
+}
