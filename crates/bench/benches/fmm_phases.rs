@@ -6,11 +6,10 @@
 //! is the A2 ablation from DESIGN.md: it shows the arithmetic-intensity
 //! trade the V list makes.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use compat::bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use compat::rng::StdRng;
 use kifmm::evaluator::{FmmPlan, M2lMethod};
 use kifmm::{direct_sum, profile_plan, CostModel, FmmEvaluator, InteractionLists, Octree};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use std::hint::black_box;
 
 fn cloud(n: usize, seed: u64) -> (Vec<[f64; 3]>, Vec<f64>) {

@@ -3,7 +3,7 @@
 //! one bench per reproduced artifact's dominant cost, so `cargo bench`
 //! exercises the full Table I / Table II / Figure 5 machinery.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use compat::bench::{criterion_group, criterion_main, Criterion};
 use dvfs_bench::pipeline::{fig5_validation, fitted_model, fmm_profiles};
 use dvfs_energy_model::fit_model;
 use dvfs_microbench::{run_sweep, MicrobenchKind, SweepConfig};
@@ -21,9 +21,7 @@ fn bench_sweep(c: &mut Criterion) {
 
 fn bench_fit_and_predict(c: &mut Criterion) {
     let dataset = run_sweep(&SweepConfig::default());
-    c.bench_function("fit/nnls-824x9", |b| {
-        b.iter(|| fit_model(black_box(dataset.training())))
-    });
+    c.bench_function("fit/nnls-824x9", |b| b.iter(|| fit_model(black_box(dataset.training()))));
     let model = fit_model(dataset.training()).model;
     let ops = OpVector::from_pairs(&[
         (OpClass::FlopDp, 1e10),
@@ -48,11 +46,7 @@ fn bench_autotune_family(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("l2-family-105-settings", |b| {
         b.iter(|| {
-            dvfs_energy_model::autotune_microbenchmarks(
-                black_box(&model),
-                &[MicrobenchKind::L2],
-                7,
-            )
+            dvfs_energy_model::autotune_microbenchmarks(black_box(&model), &[MicrobenchKind::L2], 7)
         })
     });
     group.finish();

@@ -1,11 +1,10 @@
 //! Criterion benchmarks for the numeric substrates: NNLS and the FFT —
 //! the two solvers the fitting pipeline and the V-list phase live on.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use compat::bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use compat::rng::StdRng;
 use dvfs_fft::{fft3_inplace, Complex, FftPlan};
 use dvfs_linalg::{nnls, pseudo_inverse, Matrix, NnlsOptions, QrFactorization, Svd};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use std::hint::black_box;
 
 fn random_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
@@ -25,9 +24,7 @@ fn bench_nnls(c: &mut Criterion) {
             BenchmarkId::new("solve", format!("{rows}x{cols}")),
             &rows,
             |bench, _| {
-                bench.iter(|| {
-                    nnls(black_box(&a), black_box(&b), &NnlsOptions::default()).unwrap()
-                })
+                bench.iter(|| nnls(black_box(&a), black_box(&b), &NnlsOptions::default()).unwrap())
             },
         );
     }
@@ -36,9 +33,7 @@ fn bench_nnls(c: &mut Criterion) {
 
 fn bench_qr_and_svd(c: &mut Criterion) {
     let a = random_matrix(152, 152, 8);
-    c.bench_function("qr/152x152", |b| {
-        b.iter(|| QrFactorization::new(black_box(&a)).unwrap())
-    });
+    c.bench_function("qr/152x152", |b| b.iter(|| QrFactorization::new(black_box(&a)).unwrap()));
     let small = random_matrix(56, 56, 9);
     c.bench_function("svd/56x56", |b| b.iter(|| Svd::new(black_box(&small)).unwrap()));
     c.bench_function("pinv/56x56", |b| {
@@ -85,9 +80,8 @@ fn bench_fft(c: &mut Criterion) {
     let mut group = c.benchmark_group("fft3");
     for &m in &[8usize, 16, 32] {
         let plan = FftPlan::new(m).unwrap();
-        let mut data: Vec<Complex> = (0..m * m * m)
-            .map(|i| Complex::new((i as f64 * 0.01).sin(), 0.0))
-            .collect();
+        let mut data: Vec<Complex> =
+            (0..m * m * m).map(|i| Complex::new((i as f64 * 0.01).sin(), 0.0)).collect();
         group.bench_with_input(BenchmarkId::new("forward", m), &m, |b, _| {
             b.iter(|| fft3_inplace(black_box(&mut data), m, &plan).unwrap())
         });

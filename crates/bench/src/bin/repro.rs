@@ -155,10 +155,7 @@ fn main() {
 }
 
 fn flag_value(args: &[String], flag: &str) -> Option<u64> {
-    args.iter()
-        .position(|a| a == flag)
-        .and_then(|i| args.get(i + 1))
-        .and_then(|v| v.parse().ok())
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).and_then(|v| v.parse().ok())
 }
 
 /// Lazily built shared pipeline state so `repro all` fits everything
@@ -192,9 +189,7 @@ impl Context {
         self.dataset.clone().expect("built with model")
     }
 
-    fn profiles(
-        &mut self,
-    ) -> &[(dvfs_energy_model::experiments::FmmInput, kifmm::FmmProfile)] {
+    fn profiles(&mut self) -> &[(dvfs_energy_model::experiments::FmmInput, kifmm::FmmProfile)] {
         if self.profiles.is_none() {
             eprintln!(
                 "[repro] building + profiling FMM plans (scale shift {}) ...",
@@ -242,7 +237,10 @@ fn table1(ctx: &mut Context) {
     println!(
         "{}",
         table(
-            &["Type", "Core", "Mem", "SP pJ", "DP pJ", "Int pJ", "SM pJ", "L2 pJ", "Mem pJ", "π0 W"],
+            &[
+                "Type", "Core", "Mem", "SP pJ", "DP pJ", "Int pJ", "SM pJ", "L2 pJ", "Mem pJ",
+                "π0 W"
+            ],
             &body
         )
     );
@@ -277,16 +275,17 @@ fn table2(ctx: &mut Context) {
     let outcomes = pipeline::table2_outcomes(&model, ctx.seed ^ 0x7AB2);
     let mut body = Vec::new();
     for o in &outcomes {
-        let paper_rows: Vec<_> =
-            paper::TABLE2.iter().filter(|r| r.0 == o.kind.name()).collect();
-        for (strategy, result, paper_row) in [
-            ("Our model", &o.model, paper_rows[0]),
-            ("Time Oracle", &o.oracle, paper_rows[1]),
-        ] {
+        let paper_rows: Vec<_> = paper::TABLE2.iter().filter(|r| r.0 == o.kind.name()).collect();
+        for (strategy, result, paper_row) in
+            [("Our model", &o.model, paper_rows[0]), ("Time Oracle", &o.oracle, paper_rows[1])]
+        {
             body.push(vec![
                 o.kind.name().to_string(),
                 strategy.to_string(),
-                format!("{}/{} (paper {}/{})", result.mispredictions, o.cases, paper_row.2, paper_row.3),
+                format!(
+                    "{}/{} (paper {}/{})",
+                    result.mispredictions, o.cases, paper_row.2, paper_row.3
+                ),
                 format!("{:.2} ({:.2})", result.mean_lost_pct(), paper_row.4),
                 format!(
                     "{:.2} ({:.2})",
@@ -367,7 +366,10 @@ fn fig4(ctx: &mut Context) {
     println!("== Figure 4: FMM instruction mix and data-access breakdown ==");
     println!(
         "{}",
-        table(&["F", "DP insts", "Int insts", "SM bytes", "L1 bytes", "L2 bytes", "DRAM bytes"], &body)
+        table(
+            &["F", "DP insts", "Int insts", "SM bytes", "L1 bytes", "L2 bytes", "DRAM bytes"],
+            &body
+        )
     );
     println!(
         "(paper: integer ≈ {:.0}% of instructions; DRAM ≈ {:.0}% of accesses)\n",
@@ -423,10 +425,7 @@ fn fig6(ctx: &mut Context) {
         })
         .collect();
     println!("== Figure 6: FMM energy breakdown by class at S1 (shares of total) ==");
-    println!(
-        "{}",
-        table(&["F", "SP", "DP", "Int", "SM", "L1", "L2", "DRAM", "Constant"], &body)
-    );
+    println!("{}", table(&["F", "SP", "DP", "Int", "SM", "L1", "L2", "DRAM", "Constant"], &body));
 }
 
 fn fig7(ctx: &mut Context) {
@@ -435,9 +434,7 @@ fn fig7(ctx: &mut Context) {
     let rows = pipeline::fig7_buckets(&model, &cases);
     let body: Vec<Vec<String>> = rows
         .iter()
-        .map(|r| {
-            vec![r.label.clone(), pct(r.computation), pct(r.data), pct(r.constant)]
-        })
+        .map(|r| vec![r.label.clone(), pct(r.computation), pct(r.data), pct(r.constant)])
         .collect();
     println!("== Figure 7: computation / data / constant-power energy shares ==");
     println!("{}", table(&["Case", "Computation", "Data", "Constant"], &body));
@@ -503,11 +500,7 @@ fn ablation_util(ctx: &mut Context) {
     let body: Vec<Vec<String>> = points
         .iter()
         .map(|p| {
-            vec![
-                format!("{:.2}", p.utilization),
-                pct(p.constant_share),
-                pct(p.race_to_halt_loss),
-            ]
+            vec![format!("{:.2}", p.utilization), pct(p.constant_share), pct(p.race_to_halt_loss)]
         })
         .collect();
     println!("== Ablation A1: race-to-halt penalty vs utilization ==");
@@ -519,17 +512,12 @@ fn prefetch(ctx: &mut Context) {
     let model = ctx.model();
     let cases = ctx.cases();
     let profiles = ctx.profiles();
-    let f1_time = cases
-        .iter()
-        .find(|c| c.s_id == "S1" && c.f_id == "F1")
-        .expect("S1/F1 present")
-        .time_s;
+    let f1_time =
+        cases.iter().find(|c| c.s_id == "S1" && c.f_id == "F1").expect("S1/F1 present").time_s;
     let scan = pipeline::prefetch_scan(&model, &profiles[0].1, f1_time);
     let body: Vec<Vec<String>> = scan
         .iter()
-        .map(|(unused, breakeven)| {
-            vec![pct(*unused), format!("{:.4}×", breakeven)]
-        })
+        .map(|(unused, breakeven)| vec![pct(*unused), format!("{:.4}×", breakeven)])
         .collect();
     println!("== Ablation A3: prefetch what-if (F1 at S1) ==");
     println!("{}", table(&["Unused prefetched data", "Break-even slowdown"], &body));
@@ -621,10 +609,7 @@ fn bootstrap(ctx: &mut Context) {
     );
     print!("{}", report.summary());
     let pi0 = report.constant_power_at(tk1_sim::Setting::max_performance());
-    println!(
-        "π0(852/924) = {:.2} W [{:.2}, {:.2}]\n",
-        pi0.estimate, pi0.lo, pi0.hi
-    );
+    println!("π0(852/924) = {:.2} W [{:.2}, {:.2}]\n", pi0.estimate, pi0.lo, pi0.hi);
 }
 
 fn csv_export(ctx: &mut Context) {

@@ -5,17 +5,15 @@
 //! sweep → NNLS fit → cross-validation → autotuning → FMM profiling →
 //! FMM energy validation and breakdowns.
 
+use compat::rng::StdRng;
 use dvfs_energy_model::experiments::{FmmInput, FMM_INPUTS, SYSTEM_SETTINGS};
 use dvfs_energy_model::{
-    autotune_microbenchmarks, fit_model, AutotuneOutcome, BreakdownReport, EnergyModel,
-    ErrorStats,
+    autotune_microbenchmarks, fit_model, AutotuneOutcome, BreakdownReport, EnergyModel, ErrorStats,
 };
 use dvfs_microbench::{run_sweep, Dataset, MicrobenchKind, SweepConfig};
-use kifmm::{profile_plan, CostModel, FmmProfile};
 use kifmm::evaluator::{FmmPlan, M2lMethod};
+use kifmm::{profile_plan, CostModel, FmmProfile};
 use powermon_sim::PowerMon;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use tk1_sim::{Device, OpClass, OpVector, Setting};
 
 /// Runs the microbenchmark sweep and fits the model on the training
@@ -209,8 +207,7 @@ pub fn fig6_energy_breakdown(
     profiles
         .iter()
         .map(|(input, profile)| {
-            let time_s: f64 =
-                profile.kernels().iter().map(|k| device.execute(k).duration_s).sum();
+            let time_s: f64 = profile.kernels().iter().map(|k| device.execute(k).duration_s).sum();
             (input.id, BreakdownReport::new(model, &profile.total_ops(), s1, time_s))
         })
         .collect()
@@ -278,10 +275,7 @@ pub fn observations(
     let (_, f1) = &profiles[0];
     let ops = f1.total_ops();
     let s1 = SYSTEM_SETTINGS[0].setting();
-    let case_s1f1 = cases
-        .iter()
-        .find(|c| c.s_id == "S1" && c.f_id == "F1")
-        .expect("S1/F1 present");
+    let case_s1f1 = cases.iter().find(|c| c.s_id == "S1" && c.f_id == "F1").expect("S1/F1 present");
     let report = BreakdownReport::new(model, &ops, s1, case_s1f1.time_s);
     let integer_instruction_share = ops.get(OpClass::Int) / ops.total_compute();
     let integer_energy_share = report.integer_share_of_compute();
@@ -303,8 +297,8 @@ pub fn observations(
     let mut device = Device::new(seed ^ 0x0B5);
     device.set_operating_point(s1);
     let exec = device.execute(top.kernel());
-    let micro_share = BreakdownReport::new(model, &top.kernel().ops, s1, exec.duration_s)
-        .constant_share();
+    let micro_share =
+        BreakdownReport::new(model, &top.kernel().ops, s1, exec.duration_s).constant_share();
 
     // Best-energy vs best-time over all 105 settings for F1.  As in the
     // paper, this is the *model's* verdict: the model predicts energy at
@@ -334,10 +328,8 @@ pub fn observations(
     // dominates.  Accept either signature: the argmin-energy setting ties
     // the fastest on time, or the fastest setting's predicted energy is
     // within a few percent of the optimum.
-    let fastest = rows
-        .iter()
-        .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
-        .expect("non-empty");
+    let fastest =
+        rows.iter().min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite")).expect("non-empty");
     let fmm_best_energy_is_best_time =
         best_energy.1 <= t_min * 1.02 || fastest.2 <= best_energy.2 * 1.05;
 
@@ -453,10 +445,22 @@ mod tests {
             // — bias the dynamic coefficients upward by ~10%; see
             // EXPERIMENTS.md).
             let rel = (row.measured.0 - row.paper.0).abs() / row.paper.0;
-            assert!(rel < 0.18, "{}: SP {:.1} vs {:.1}", row.setting.label(), row.measured.0, row.paper.0);
+            assert!(
+                rel < 0.18,
+                "{}: SP {:.1} vs {:.1}",
+                row.setting.label(),
+                row.measured.0,
+                row.paper.0
+            );
             // Constant power within 10%.
             let rel = (row.measured.6 - row.paper.6).abs() / row.paper.6;
-            assert!(rel < 0.10, "{}: π0 {:.2} vs {:.2}", row.setting.label(), row.measured.6, row.paper.6);
+            assert!(
+                rel < 0.10,
+                "{}: π0 {:.2} vs {:.2}",
+                row.setting.label(),
+                row.measured.6,
+                row.paper.6
+            );
         }
     }
 

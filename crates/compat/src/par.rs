@@ -1,0 +1,223 @@
+//! Data parallelism over scoped threads with a fixed reduction order.
+//!
+//! Replaces the workspace's `rayon` usage.  The API mirrors the three
+//! call-site shapes the FMM evaluator and direct-sum reference use:
+//!
+//! ```
+//! use compat::par::*;
+//! let v = vec![1u64, 2, 3, 4];
+//! let doubled: Vec<u64> = v.par_iter().map(|&x| 2 * x).collect();
+//! let squares: Vec<u64> = (0..4usize).into_par_iter().map(|i| (i * i) as u64).collect();
+//! let odd: Vec<u64> = (0..8u64).into_par_iter().filter(|&x| x % 2 == 1).map(|x| x).collect();
+//! assert_eq!(doubled, vec![2, 4, 6, 8]);
+//! assert_eq!(squares, vec![0, 1, 4, 9]);
+//! assert_eq!(odd, vec![1, 3, 5, 7]);
+//! ```
+//!
+//! Determinism: items are split into contiguous chunks, each chunk is
+//! mapped on its own scoped thread, and chunk results are concatenated
+//! in chunk order.  The output order therefore equals sequential order
+//! *regardless of the thread count or scheduling*, so any caller that
+//! reduces the collected vector sequentially is bitwise reproducible
+//! across thread counts — the property the determinism test suite
+//! locks in.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Global thread-count override (0 = automatic).
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Forces the pool to `n` threads (`None` restores automatic sizing).
+///
+/// Intended for determinism tests that compare runs across thread
+/// counts; the computed results are identical either way.
+pub fn set_thread_count(n: Option<usize>) {
+    THREAD_OVERRIDE.store(n.unwrap_or(0), Ordering::Relaxed);
+}
+
+/// The worker count used for parallel maps.
+///
+/// Resolution order: [`set_thread_count`] override, then the
+/// `FMM_ENERGY_THREADS` environment variable, then
+/// `std::thread::available_parallelism()` (capped at 8 — the map
+/// regions here saturate memory bandwidth well before core count).
+pub fn num_threads() -> usize {
+    let forced = THREAD_OVERRIDE.load(Ordering::Relaxed);
+    if forced > 0 {
+        return forced;
+    }
+    if let Ok(v) = std::env::var("FMM_ENERGY_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(8)
+}
+
+/// Maps `f` over `items` on scoped threads, preserving input order.
+pub fn par_map_vec<I, U, F>(items: Vec<I>, f: &F) -> Vec<U>
+where
+    I: Send,
+    U: Send,
+    F: Fn(I) -> U + Sync,
+{
+    let n = items.len();
+    let threads = num_threads().min(n);
+    if threads <= 1 || n < 2 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk_len = n.div_ceil(threads);
+    let mut chunks: Vec<Vec<I>> = Vec::with_capacity(threads);
+    let mut it = items.into_iter();
+    loop {
+        let chunk: Vec<I> = it.by_ref().take(chunk_len).collect();
+        if chunk.is_empty() {
+            break;
+        }
+        chunks.push(chunk);
+    }
+    let results: Vec<Vec<U>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<U>>()))
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("compat::par worker panicked")).collect()
+    });
+    let mut out = Vec::with_capacity(n);
+    for r in results {
+        out.extend(r);
+    }
+    out
+}
+
+/// A materialized parallel iterator (order-preserving).
+pub struct ParIter<I> {
+    items: Vec<I>,
+}
+
+impl<I: Send> ParIter<I> {
+    /// Keeps the items matching `pred` (applied sequentially — the
+    /// predicates at the call sites are trivial index tests).
+    pub fn filter<P: Fn(&I) -> bool>(mut self, pred: P) -> Self {
+        self.items.retain(|i| pred(i));
+        self
+    }
+
+    /// Attaches the map stage; the parallel work happens at `collect`.
+    pub fn map<U, F>(self, f: F) -> ParMap<I, F>
+    where
+        U: Send,
+        F: Fn(I) -> U + Sync,
+    {
+        ParMap { items: self.items, f }
+    }
+}
+
+/// A pending parallel map; [`ParMap::collect`] runs it.
+pub struct ParMap<I, F> {
+    items: Vec<I>,
+    f: F,
+}
+
+impl<I, F> ParMap<I, F> {
+    /// Runs the map on the pool and collects the results in input order.
+    pub fn collect<U, C>(self) -> C
+    where
+        I: Send,
+        U: Send,
+        F: Fn(I) -> U + Sync,
+        C: FromIterator<U>,
+    {
+        par_map_vec(self.items, &self.f).into_iter().collect()
+    }
+}
+
+/// `par_iter` over slices (and anything that derefs to a slice).
+pub trait ParSliceExt<T: Sync> {
+    /// A parallel iterator over references to the elements.
+    fn par_iter(&self) -> ParIter<&T>;
+}
+
+impl<T: Sync> ParSliceExt<T> for [T] {
+    fn par_iter(&self) -> ParIter<&T> {
+        ParIter { items: self.iter().collect() }
+    }
+}
+
+/// `into_par_iter` for owned collections and ranges.
+pub trait IntoParIterExt {
+    /// The element type.
+    type Item: Send;
+    /// Converts into a parallel iterator over owned items.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParIterExt for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl IntoParIterExt for std::ops::Range<usize> {
+    type Item = usize;
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter { items: self.collect() }
+    }
+}
+
+impl IntoParIterExt for std::ops::Range<u64> {
+    type Item = u64;
+    fn into_par_iter(self) -> ParIter<u64> {
+        ParIter { items: self.collect() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let out: Vec<usize> = (0..1000usize).into_par_iter().map(|i| i * 3).collect();
+        assert_eq!(out, (0..1000).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn filter_then_map() {
+        let out: Vec<usize> =
+            (0..100usize).into_par_iter().filter(|&i| i % 7 == 0).map(|i| i + 1).collect();
+        assert_eq!(out, (0..100).filter(|i| i % 7 == 0).map(|i| i + 1).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn slice_par_iter_borrows() {
+        let data = vec![1.5f64, 2.5, 3.5];
+        let out: Vec<f64> = data.par_iter().map(|&x| x * 2.0).collect();
+        assert_eq!(out, vec![3.0, 5.0, 7.0]);
+    }
+
+    #[test]
+    fn identical_across_thread_counts() {
+        let run = || -> Vec<f64> {
+            (0..512usize).into_par_iter().map(|i| (i as f64).sqrt().sin()).collect()
+        };
+        set_thread_count(Some(1));
+        let serial = run();
+        for t in [2, 3, 5, 8] {
+            set_thread_count(Some(t));
+            assert_eq!(serial, run(), "thread count {t} changed results");
+        }
+        set_thread_count(None);
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        let empty: Vec<u8> = Vec::<u8>::new().into_par_iter().map(|x| x).collect();
+        assert!(empty.is_empty());
+        let one: Vec<u8> = vec![9u8].into_par_iter().map(|x| x + 1).collect();
+        assert_eq!(one, vec![10]);
+    }
+}

@@ -1,0 +1,63 @@
+//! Synchronization primitives with a `parking_lot`-style API.
+
+/// A reader-writer lock whose guards never expose poisoning.
+///
+/// Wraps `std::sync::RwLock`; a panic while a guard is held aborts the
+/// poisoned state by propagating the panic at the next acquisition,
+/// matching how the workspace used `parking_lot` (no call site handled
+/// poisoning — a panicked writer is a bug, not a recoverable state).
+#[derive(Debug, Default)]
+pub struct RwLock<T>(std::sync::RwLock<T>);
+
+impl<T> RwLock<T> {
+    /// Creates a lock owning `value`.
+    pub fn new(value: T) -> Self {
+        RwLock(std::sync::RwLock::new(value))
+    }
+
+    /// Acquires shared read access.
+    pub fn read(&self) -> std::sync::RwLockReadGuard<'_, T> {
+        self.0.read().expect("RwLock poisoned: a holder panicked")
+    }
+
+    /// Acquires exclusive write access.
+    pub fn write(&self) -> std::sync::RwLockWriteGuard<'_, T> {
+        self.0.write().expect("RwLock poisoned: a holder panicked")
+    }
+
+    /// Consumes the lock, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().expect("RwLock poisoned: a holder panicked")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn read_write_round_trip() {
+        let lock = RwLock::new(5);
+        assert_eq!(*lock.read(), 5);
+        *lock.write() += 1;
+        assert_eq!(*lock.read(), 6);
+        assert_eq!(lock.into_inner(), 6);
+    }
+
+    #[test]
+    fn concurrent_writers_serialize() {
+        let lock = Arc::new(RwLock::new(0u64));
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let lock = Arc::clone(&lock);
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        *lock.write() += 1;
+                    }
+                });
+            }
+        });
+        assert_eq!(*lock.read(), 8000);
+    }
+}

@@ -1,0 +1,161 @@
+//! Property tests for the dependency shims, written against the shims'
+//! own property-testing framework (which is itself a shim — the snake
+//! eats well here).
+//!
+//! Three contracts matter to the rest of the workspace:
+//!
+//! 1. the PRNG emits uniform `f64`s in `[0, 1)` and respects
+//!    `random_range` bounds for any seed;
+//! 2. the thread pool is *observationally sequential*: any chunked
+//!    map/reduce equals the sequential computation, element for element;
+//! 3. JSON encoding round-trips every value losslessly, floats bitwise.
+
+use compat::json::Json;
+use compat::par::{par_map_vec, IntoParIterExt, ParSliceExt};
+use compat::prop::prelude::*;
+use compat::rng::StdRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // ---- PRNG ----
+
+    #[test]
+    fn unit_draws_stay_in_unit_interval(seed in 0u64..1_000_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..512 {
+            let x: f64 = rng.random();
+            prop_assert!((0.0..1.0).contains(&x), "{x}");
+        }
+    }
+
+    #[test]
+    fn unit_draws_look_uniform(seed in 0u64..1_000_000) {
+        // Mean of 4096 uniform draws has σ ≈ 0.0045; a 0.05 band is
+        // ~11σ, so a failure means a broken generator, not bad luck.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = 4096;
+        let mut sum = 0.0;
+        let mut buckets = [0u32; 8];
+        for _ in 0..n {
+            let x: f64 = rng.random();
+            sum += x;
+            buckets[(x * 8.0) as usize] += 1;
+        }
+        let mean = sum / n as f64;
+        prop_assert!((0.45..0.55).contains(&mean), "mean {mean}");
+        for (i, &b) in buckets.iter().enumerate() {
+            // Expected 512 per octile; ±40% is ~9σ for a binomial.
+            prop_assert!((307..=717).contains(&b), "octile {i} holds {b}/4096");
+        }
+    }
+
+    #[test]
+    fn range_draws_respect_bounds(seed in 0u64..1_000_000, lo in 0usize..1000, width in 1usize..1000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..256 {
+            let x = rng.random_range(lo..lo + width);
+            prop_assert!((lo..lo + width).contains(&x), "{x} outside {lo}..{}", lo + width);
+        }
+    }
+
+    #[test]
+    fn seeded_streams_are_reproducible(seed in 0u64..u64::MAX) {
+        let mut a = StdRng::seed_from_u64(seed);
+        let mut b = StdRng::seed_from_u64(seed);
+        for _ in 0..64 {
+            prop_assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    // ---- thread pool ----
+
+    #[test]
+    fn par_map_equals_sequential_map(xs in compat::prop::collection::vec(-1e6f64..1e6, 0..200)) {
+        let f = |x: &f64| x.sin() * x.cos() + x;
+        let seq: Vec<f64> = xs.iter().map(f).collect();
+        let par: Vec<f64> = xs.par_iter().map(f).collect();
+        prop_assert_eq!(seq.len(), par.len());
+        for (s, p) in seq.iter().zip(&par) {
+            prop_assert_eq!(s.to_bits(), p.to_bits());
+        }
+    }
+
+    #[test]
+    fn par_map_vec_preserves_order(xs in compat::prop::collection::vec(0usize..10_000, 0..300)) {
+        let out = par_map_vec(xs.clone(), &|x| x * 2 + 1);
+        let expect: Vec<usize> = xs.iter().map(|x| x * 2 + 1).collect();
+        prop_assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn par_reduce_equals_sequential_fold(n in 0usize..5000) {
+        let par: Vec<u64> = (0..n).into_par_iter().map(|i| (i as u64).wrapping_mul(2654435761)).collect();
+        let seq: u64 = (0..n).map(|i| (i as u64).wrapping_mul(2654435761)).fold(0, u64::wrapping_add);
+        let par_sum = par.iter().fold(0u64, |a, &b| a.wrapping_add(b));
+        prop_assert_eq!(par_sum, seq);
+    }
+
+    #[test]
+    fn par_filter_map_matches_sequential(xs in compat::prop::collection::vec(0i64..1_000_000, 0..250)) {
+        let par: Vec<i64> = xs
+            .clone()
+            .into_par_iter()
+            .filter(|x| x % 3 == 0)
+            .map(|x| x * 7)
+            .collect();
+        let seq: Vec<i64> = xs.iter().filter(|&&x| x % 3 == 0).map(|&x| x * 7).collect();
+        prop_assert_eq!(par, seq);
+    }
+
+    // ---- JSON ----
+
+    #[test]
+    fn f64_round_trips_bitwise(x in -1e300f64..1e300) {
+        let text = Json::Num(x).to_text();
+        let back = Json::parse(&text).unwrap().as_f64().unwrap();
+        prop_assert_eq!(back.to_bits(), x.to_bits(), "{text}");
+    }
+
+    #[test]
+    fn json_values_round_trip(v in json_value(3)) {
+        let text = v.to_text();
+        let back = Json::parse(&text).unwrap();
+        prop_assert_eq!(&back, &v, "{text}");
+        // Printing is canonical: a second round trip is a fixed point.
+        prop_assert_eq!(back.to_text(), text);
+    }
+
+    #[test]
+    fn strings_with_escapes_round_trip(parts in compat::prop::collection::vec(0usize..10, 0..20)) {
+        const ATOMS: [&str; 10] = ["a", "\"", "\\", "/", "\n", "\t", "\r", "π", "✓", "\u{0}"];
+        let s: String = parts.iter().map(|&i| ATOMS[i]).collect();
+        let text = Json::Str(s.clone()).to_text();
+        let back = Json::parse(&text).unwrap();
+        prop_assert_eq!(back, Json::Str(s));
+    }
+}
+
+/// Depth-bounded strategy over arbitrary JSON documents.
+fn json_value(depth: u32) -> BoxedStrategy<Json> {
+    let leaf = prop_oneof![
+        Just(Json::Null),
+        compat::prop::bool::ANY.prop_map(Json::Bool),
+        (-1e15f64..1e15).prop_map(Json::Num),
+        (0u64..1000).prop_map(|n| Json::Str(format!("s{n}\"\\esc"))),
+    ]
+    .boxed();
+    if depth == 0 {
+        return leaf;
+    }
+    prop_oneof![
+        leaf,
+        compat::prop::collection::vec(json_value(depth - 1), 0..4).prop_map(Json::Arr),
+        compat::prop::collection::vec((0u64..100, json_value(depth - 1)), 0..4).prop_map(|kvs| {
+            Json::Obj(
+                kvs.into_iter().enumerate().map(|(i, (k, v))| (format!("k{i}_{k}"), v)).collect(),
+            )
+        }),
+    ]
+    .boxed()
+}

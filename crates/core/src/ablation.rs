@@ -177,14 +177,8 @@ mod tests {
         let dvfs = rows[0].holdout.mean_pct;
         let stat = rows[1].holdout.mean_pct;
         let mean = rows[2].holdout.mean_pct;
-        assert!(
-            dvfs < stat,
-            "DVFS-aware {dvfs:.2}% must beat static {stat:.2}% across settings"
-        );
-        assert!(
-            stat < mean,
-            "op-aware static {stat:.2}% must beat mean-power {mean:.2}%"
-        );
+        assert!(dvfs < stat, "DVFS-aware {dvfs:.2}% must beat static {stat:.2}% across settings");
+        assert!(stat < mean, "op-aware static {stat:.2}% must beat mean-power {mean:.2}%");
         // And the gaps are material, not noise.
         assert!(stat > dvfs * 1.5, "static at least 1.5x worse: {stat:.2} vs {dvfs:.2}");
     }
@@ -200,15 +194,11 @@ mod tests {
         assert!(at_setting.len() > 50);
         // Interleave so every benchmark family appears in both halves
         // (a family absent from training leaves its ε unconstrained).
-        let train: Vec<&Sample> =
-            at_setting.iter().step_by(2).copied().collect();
-        let test: Vec<&Sample> =
-            at_setting.iter().skip(1).step_by(2).copied().collect();
+        let train: Vec<&Sample> = at_setting.iter().step_by(2).copied().collect();
+        let test: Vec<&Sample> = at_setting.iter().skip(1).step_by(2).copied().collect();
         let predictor = FittedPredictor::fit(ModelStructure::Static, train);
-        let errors: Vec<f64> = test
-            .iter()
-            .map(|s| relative_error(predictor.predict_j(s), s.energy_j))
-            .collect();
+        let errors: Vec<f64> =
+            test.iter().map(|s| relative_error(predictor.predict_j(s), s.energy_j)).collect();
         let stats = ErrorStats::from_relative_errors(&errors);
         assert!(stats.mean_pct < 8.0, "single-setting static error {:.2}%", stats.mean_pct);
     }

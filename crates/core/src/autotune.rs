@@ -16,7 +16,7 @@
 //! setting dissipated than the measured minimum, as in Table II.
 
 use crate::model::EnergyModel;
-use dvfs_microbench::{Microbenchmark, MicrobenchKind};
+use dvfs_microbench::{MicrobenchKind, Microbenchmark};
 use powermon_sim::PowerMon;
 use tk1_sim::{Device, Setting};
 
@@ -163,10 +163,7 @@ pub fn autotune_microbenchmarks(
     seed: u64,
 ) -> Vec<AutotuneOutcome> {
     let settings: Vec<Setting> = Setting::all().collect();
-    kinds
-        .iter()
-        .map(|&kind| autotune_family(model, kind, &settings, seed))
-        .collect()
+    kinds.iter().map(|&kind| autotune_family(model, kind, &settings, seed)).collect()
 }
 
 fn autotune_family(
@@ -184,10 +181,9 @@ fn autotune_family(
         let case = measure_case(model, mb, settings, &mut device, &mut meter);
         let best = case.best_measured();
         let e_best = case.energy_j[best];
-        for (pick, result) in [
-            (case.model_pick(), &mut model_result),
-            (case.oracle_pick(), &mut oracle_result),
-        ] {
+        for (pick, result) in
+            [(case.model_pick(), &mut model_result), (case.oracle_pick(), &mut oracle_result)]
+        {
             if pick != best {
                 result.mispredictions += 1;
                 result.losses.push(case.energy_j[pick] / e_best - 1.0);
@@ -238,8 +234,7 @@ mod tests {
         // oracle mispredicts most cases and loses double-digit energy on
         // average; the model does much better.
         let model = fitted_model();
-        let outcomes =
-            autotune_microbenchmarks(&model, &[MicrobenchKind::SinglePrecision], 77);
+        let outcomes = autotune_microbenchmarks(&model, &[MicrobenchKind::SinglePrecision], 77);
         let sp = &outcomes[0];
         assert_eq!(sp.cases, 25);
         assert!(

@@ -70,8 +70,7 @@ impl BootstrapReport {
         let mut noise = Noise::new(seed ^ 0xB007);
 
         // Collect replicate coefficient vectors (10 coefficients each).
-        let mut replicate_values: Vec<[f64; NUM_OP_CLASSES + 3]> =
-            Vec::with_capacity(replicates);
+        let mut replicate_values: Vec<[f64; NUM_OP_CLASSES + 3]> = Vec::with_capacity(replicates);
         for _ in 0..replicates {
             let resampled: Vec<&Sample> = (0..samples.len())
                 .map(|_| samples[(noise.uniform() * samples.len() as f64) as usize % samples.len()])
@@ -123,11 +122,7 @@ impl BootstrapReport {
                 + f(&self.c1_mem) * op.mem.voltage_v
                 + f(&self.p_misc)
         };
-        Interval {
-            estimate: combine(|i| i.estimate),
-            lo: combine(|i| i.lo),
-            hi: combine(|i| i.hi),
-        }
+        Interval { estimate: combine(|i| i.estimate), lo: combine(|i| i.lo), hi: combine(|i| i.hi) }
     }
 
     /// The model constants formatted with their intervals.

@@ -171,8 +171,7 @@ mod tests {
 
     #[test]
     fn zero_ops_is_all_constant() {
-        let r =
-            BreakdownReport::new(&model(), &OpVector::zero(), Setting::max_performance(), 1.0);
+        let r = BreakdownReport::new(&model(), &OpVector::zero(), Setting::max_performance(), 1.0);
         assert!((r.constant_share() - 1.0).abs() < 1e-12);
         assert_eq!(r.integer_share_of_compute(), 0.0);
         assert_eq!(r.dram_share_of_data(), 0.0);

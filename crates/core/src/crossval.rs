@@ -65,11 +65,7 @@ pub fn leave_one_setting_out(dataset: &Dataset) -> ValidationReport {
     }
     // Also fit on everything for the returned reference model.
     let full = fit_model(dataset.samples.iter());
-    ValidationReport {
-        stats: ErrorStats::from_relative_errors(&errors),
-        errors,
-        model: full.model,
-    }
+    ValidationReport { stats: ErrorStats::from_relative_errors(&errors), errors, model: full.model }
 }
 
 #[cfg(test)]

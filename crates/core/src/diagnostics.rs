@@ -81,15 +81,12 @@ impl DiagnosticReport {
 
         let mean_measured =
             residuals.iter().map(|r| r.measured_j).sum::<f64>() / residuals.len() as f64;
-        let ss_res: f64 =
-            residuals.iter().map(|r| (r.measured_j - r.predicted_j).powi(2)).sum();
-        let ss_tot: f64 =
-            residuals.iter().map(|r| (r.measured_j - mean_measured).powi(2)).sum();
+        let ss_res: f64 = residuals.iter().map(|r| (r.measured_j - r.predicted_j).powi(2)).sum();
+        let ss_tot: f64 = residuals.iter().map(|r| (r.measured_j - mean_measured).powi(2)).sum();
         let r_squared = if ss_tot > 0.0 { 1.0 - ss_res / ss_tot } else { 1.0 };
 
-        let by_family = group_by(&residuals, |r| {
-            r.family.clone().unwrap_or_else(|| "application".into())
-        });
+        let by_family =
+            group_by(&residuals, |r| r.family.clone().unwrap_or_else(|| "application".into()));
         let by_setting = group_by(&residuals, |r| r.setting.label());
 
         DiagnosticReport { residuals, r_squared, by_family, by_setting }
@@ -98,12 +95,7 @@ impl DiagnosticReport {
     /// The `n` worst samples by absolute relative residual, worst first.
     pub fn worst(&self, n: usize) -> Vec<&Residual> {
         let mut refs: Vec<&Residual> = self.residuals.iter().collect();
-        refs.sort_by(|a, b| {
-            b.relative()
-                .abs()
-                .partial_cmp(&a.relative().abs())
-                .expect("finite")
-        });
+        refs.sort_by(|a, b| b.relative().abs().partial_cmp(&a.relative().abs()).expect("finite"));
         refs.truncate(n);
         refs
     }
@@ -234,10 +226,8 @@ mod tests {
         let (model, ds) = fitted();
         let report = DiagnosticReport::new(&model, &ds);
         let hist = report.residual_histogram(10, 30);
-        let total: usize = hist
-            .lines()
-            .map(|l| l.rsplit_once(' ').unwrap().1.parse::<usize>().unwrap())
-            .sum();
+        let total: usize =
+            hist.lines().map(|l| l.rsplit_once(' ').unwrap().1.parse::<usize>().unwrap()).sum();
         assert_eq!(total, ds.len());
     }
 

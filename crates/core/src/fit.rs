@@ -234,8 +234,8 @@ mod tests {
         // Recovered SP cost within ~15% of truth despite noise and the
         // activity nonlinearity.
         let truth = tk1_sim::TruthConstants::default();
-        let rel = (report.model.c0_pj_per_v2[0] - truth.c0_pj_per_v2[0]).abs()
-            / truth.c0_pj_per_v2[0];
+        let rel =
+            (report.model.c0_pj_per_v2[0] - truth.c0_pj_per_v2[0]).abs() / truth.c0_pj_per_v2[0];
         assert!(rel < 0.15, "SP ĉ0 off by {rel:.3}");
         assert!(report.train_rms_rel < 0.08, "rms {:.4}", report.train_rms_rel);
     }

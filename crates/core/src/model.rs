@@ -210,7 +210,8 @@ mod tests {
         let b = m.energy_per_op_j(OpClass::Dram, Setting::from_frequencies(396.0, 528.0).unwrap());
         assert_eq!(a, b);
         // And SP must not change with memory frequency.
-        let c = m.energy_per_op_j(OpClass::FlopSp, Setting::from_frequencies(852.0, 924.0).unwrap());
+        let c =
+            m.energy_per_op_j(OpClass::FlopSp, Setting::from_frequencies(852.0, 924.0).unwrap());
         let d = m.energy_per_op_j(OpClass::FlopSp, Setting::from_frequencies(852.0, 68.0).unwrap());
         assert_eq!(c, d);
     }

@@ -93,13 +93,7 @@ impl<'m> EnergyRoofline<'m> {
     /// B_ε = (ε_byte + π0/Bw) / ε_flop        if B_ε >= B_τ (knee in the
     ///                                         compute-bound region)
     /// ```
-    fn energy_balance(
-        flop_j: f64,
-        byte_j: f64,
-        pi0: f64,
-        peak_flops: f64,
-        peak_bw: f64,
-    ) -> f64 {
+    fn energy_balance(flop_j: f64, byte_j: f64, pi0: f64, peak_flops: f64, peak_bw: f64) -> f64 {
         // Memory-bound side carries the constant power (T = bytes/Bw).
         let eff_byte = byte_j + pi0 / peak_bw;
         let b_eps = eff_byte / flop_j;

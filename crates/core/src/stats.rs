@@ -22,7 +22,13 @@ impl ErrorStats {
     /// Returns an all-zero summary for an empty slice.
     pub fn from_relative_errors(errors: &[f64]) -> Self {
         if errors.is_empty() {
-            return ErrorStats { count: 0, mean_pct: 0.0, std_pct: 0.0, min_pct: 0.0, max_pct: 0.0 };
+            return ErrorStats {
+                count: 0,
+                mean_pct: 0.0,
+                std_pct: 0.0,
+                min_pct: 0.0,
+                max_pct: 0.0,
+            };
         }
         let pct: Vec<f64> = errors.iter().map(|e| e.abs() * 100.0).collect();
         let n = pct.len() as f64;

@@ -60,10 +60,7 @@ pub fn prefetch_whatif(
     scenario: &PrefetchScenario,
     setting: Setting,
 ) -> PrefetchVerdict {
-    assert!(
-        (0.0..1.0).contains(&scenario.unused_fraction),
-        "unused fraction must be in [0, 1)"
-    );
+    assert!((0.0..1.0).contains(&scenario.unused_fraction), "unused fraction must be in [0, 1)");
     assert!(scenario.slowdown >= 1.0, "disabling prefetch cannot speed the program up here");
 
     let energy_on_j = model.predict_energy_j(&scenario.ops, setting, scenario.time_s);

@@ -1,17 +1,12 @@
 //! Property-based tests for the energy model's algebraic invariants.
 
+use compat::prop::prelude::*;
 use dvfs_energy_model::{EnergyModel, PrefetchScenario};
-use proptest::prelude::*;
 use tk1_sim::{OpClass, OpVector, Setting, NUM_OP_CLASSES};
 
 fn model() -> impl Strategy<Value = EnergyModel> {
-    (
-        proptest::array::uniform7(1.0f64..500.0),
-        0.5f64..5.0,
-        0.5f64..5.0,
-        0.0f64..2.0,
-    )
-        .prop_map(|(c0, c1p, c1m, pmisc)| {
+    (compat::prop::array::uniform7(1.0f64..500.0), 0.5f64..5.0, 0.5f64..5.0, 0.0f64..2.0).prop_map(
+        |(c0, c1p, c1m, pmisc)| {
             let mut c0_arr = [0.0; NUM_OP_CLASSES];
             c0_arr.copy_from_slice(&c0);
             EnergyModel {
@@ -20,11 +15,12 @@ fn model() -> impl Strategy<Value = EnergyModel> {
                 c1_mem_w_per_v: c1m,
                 p_misc_w: pmisc,
             }
-        })
+        },
+    )
 }
 
 fn ops() -> impl Strategy<Value = OpVector> {
-    proptest::array::uniform7(0.0f64..1e9).prop_map(|counts| {
+    compat::prop::array::uniform7(0.0f64..1e9).prop_map(|counts| {
         OpVector::from_pairs(&[
             (OpClass::FlopSp, counts[0]),
             (OpClass::FlopDp, counts[1]),
@@ -113,7 +109,7 @@ proptest! {
     }
 
     #[test]
-    fn error_stats_bounds(errors in proptest::collection::vec(-0.5f64..0.5, 1..100)) {
+    fn error_stats_bounds(errors in compat::prop::collection::vec(-0.5f64..0.5, 1..100)) {
         let stats = dvfs_energy_model::ErrorStats::from_relative_errors(&errors);
         prop_assert!(stats.min_pct <= stats.mean_pct + 1e-12);
         prop_assert!(stats.mean_pct <= stats.max_pct + 1e-12);
@@ -123,8 +119,8 @@ proptest! {
 
     #[test]
     fn pareto_frontier_contains_no_dominated_point(
-        times in proptest::collection::vec(0.1f64..10.0, 2..40),
-        energies in proptest::collection::vec(0.1f64..10.0, 2..40),
+        times in compat::prop::collection::vec(0.1f64..10.0, 2..40),
+        energies in compat::prop::collection::vec(0.1f64..10.0, 2..40),
     ) {
         use dvfs_energy_model::{OperatingPointMeasure, TradeoffAnalysis};
         let n = times.len().min(energies.len());

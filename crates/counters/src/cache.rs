@@ -178,7 +178,12 @@ impl CacheSim {
     /// Simulates a read that bypasses L1 (Kepler's *default* global-load
     /// path: plain loads are cached in L2 only; L1 caching requires the
     /// read-only `__ldg` path, which [`CacheSim::read`] models).
-    pub fn read_l2_only(&mut self, addr: u64, bytes: usize, counters: &CounterSet) -> AccessOutcome {
+    pub fn read_l2_only(
+        &mut self,
+        addr: u64,
+        bytes: usize,
+        counters: &CounterSet,
+    ) -> AccessOutcome {
         assert!(bytes > 0, "zero-length access");
         let line_bytes = self.l1.config.line_bytes as u64;
         let first_line = addr / line_bytes;

@@ -43,8 +43,7 @@ impl DerivedMetrics {
         let l2_queries = c.get(CounterEvent::l2_subp0_total_read_sector_queries);
         let l1_misses_lines = l2_queries / (LINE_BYTES / SECTOR_BYTES);
         let l1_lookups = l1_hits + l1_misses_lines;
-        let l1_hit_rate =
-            if l1_lookups > 0 { l1_hits as f64 / l1_lookups as f64 } else { 0.0 };
+        let l1_hit_rate = if l1_lookups > 0 { l1_hits as f64 / l1_lookups as f64 } else { 0.0 };
 
         let l2_hits = c.l2_read_hit_sectors();
         let l2_read_hit_rate =

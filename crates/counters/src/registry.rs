@@ -6,7 +6,7 @@
 //! uses a `parking_lot` lock since it is touched once per phase.
 
 use crate::events::{CounterEvent, TABLE3_EVENTS};
-use parking_lot::RwLock;
+use compat::sync::RwLock;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;

@@ -1,14 +1,11 @@
 //! Property-based tests for the counter registry and cache simulator.
 
+use compat::prop::prelude::*;
 use gpu_counters::{derive_op_vector, AccessOutcome, CacheConfig, CacheSim, CounterSet};
-use proptest::prelude::*;
 use tk1_sim::OpClass;
 
 fn access_stream() -> impl Strategy<Value = Vec<(u64, usize, bool)>> {
-    proptest::collection::vec(
-        (0u64..(1 << 20), 1usize..256, proptest::bool::ANY),
-        1..200,
-    )
+    compat::prop::collection::vec((0u64..(1 << 20), 1usize..256, compat::prop::bool::ANY), 1..200)
 }
 
 proptest! {

@@ -147,7 +147,7 @@ mod tests {
 
     #[test]
     fn impulse_transforms_to_constant() {
-        let plan = FftPlan::new(8) .unwrap();
+        let plan = FftPlan::new(8).unwrap();
         let mut d = vec![Complex::ZERO; 8];
         d[0] = Complex::ONE;
         plan.forward(&mut d).unwrap();

@@ -1,10 +1,10 @@
 //! Property-based tests for the FFT stack.
 
+use compat::prop::prelude::*;
 use dvfs_fft::{circular_convolve, fft, ifft, Complex, FftPlan};
-use proptest::prelude::*;
 
 fn signal(len: usize) -> impl Strategy<Value = Vec<Complex>> {
-    proptest::collection::vec((-1e3f64..1e3, -1e3f64..1e3), len)
+    compat::prop::collection::vec((-1e3f64..1e3, -1e3f64..1e3), len)
         .prop_map(|v| v.into_iter().map(|(re, im)| Complex::new(re, im)).collect())
 }
 

@@ -1,7 +1,7 @@
 //! Direct-sum reference and error norms.
 
 use crate::kernel::{Kernel, LaplaceKernel};
-use rayon::prelude::*;
+use compat::par::ParSliceExt;
 
 /// The O(N²) reference: `f(x_i) = Σ_j K(x_i, y_j) s(y_j)` with sources =
 /// targets (self-interaction excluded by the kernel's `r = 0` rule).
@@ -10,11 +10,7 @@ pub fn direct_sum(points: &[[f64; 3]], densities: &[f64]) -> Vec<f64> {
 }
 
 /// [`direct_sum`] for an arbitrary kernel.
-pub fn direct_sum_with<K: Kernel>(
-    kernel: &K,
-    points: &[[f64; 3]],
-    densities: &[f64],
-) -> Vec<f64> {
+pub fn direct_sum_with<K: Kernel>(kernel: &K, points: &[[f64; 3]], densities: &[f64]) -> Vec<f64> {
     assert_eq!(points.len(), densities.len());
     points
         .par_iter()

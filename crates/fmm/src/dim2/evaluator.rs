@@ -4,7 +4,7 @@ use crate::dim2::geometry::{InteractionLists2, QuadTree};
 use crate::dim2::operators::{
     surface_points_2d, Kernel2, Laplace2, OperatorCache2, RADIUS_INNER_2D, RADIUS_OUTER_2D,
 };
-use rayon::prelude::*;
+use compat::par::{IntoParIterExt, ParSliceExt};
 
 /// A 2D execution plan.
 pub struct FmmPlan2<K: Kernel2 = Laplace2> {
@@ -130,10 +130,8 @@ pub fn evaluate_2d<K: Kernel2>(plan: &FmmPlan2<K>) -> Vec<f64> {
                 let mut equiv = plan.ops.dc2e(node.id.level).matvec(&down_check[ni]);
                 if let Some(pi) = node.parent {
                     if !down_equiv[pi].is_empty() {
-                        let contrib = plan
-                            .ops
-                            .l2l(node.id.level, node.id.quadrant())
-                            .matvec(&down_equiv[pi]);
+                        let contrib =
+                            plan.ops.l2l(node.id.level, node.id.quadrant()).matvec(&down_equiv[pi]);
                         for (e, v) in equiv.iter_mut().zip(&contrib) {
                             *e += v;
                         }
@@ -201,8 +199,7 @@ pub fn direct_sum_2d(points: &[[f64; 2]], densities: &[f64]) -> Vec<f64> {
 mod tests {
     use super::*;
     use crate::accuracy::relative_l2_error;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use compat::rng::StdRng;
 
     fn problem(n: usize, seed: u64) -> (Vec<[f64; 2]>, Vec<f64>) {
         let mut rng = StdRng::seed_from_u64(seed);

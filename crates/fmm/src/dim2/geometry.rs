@@ -241,8 +241,7 @@ impl QuadTree {
                 if nx < 0 || ny < 0 || nx >= max || ny >= max {
                     continue;
                 }
-                if let Some(i) =
-                    self.find(&BoxId2 { level: id.level, x: nx as u32, y: ny as u32 })
+                if let Some(i) = self.find(&BoxId2 { level: id.level, x: nx as u32, y: ny as u32 })
                 {
                     out.push(i);
                 }
@@ -316,11 +315,9 @@ fn adjacent_leaves(tree: &QuadTree, ni: usize) -> Vec<usize> {
             if nx < 0 || ny < 0 || nx >= max || ny >= max {
                 continue;
             }
-            if let Some(i) = tree.find_or_ancestor(&BoxId2 {
-                level: id.level,
-                x: nx as u32,
-                y: ny as u32,
-            }) {
+            if let Some(i) =
+                tree.find_or_ancestor(&BoxId2 { level: id.level, x: nx as u32, y: ny as u32 })
+            {
                 seeds.push(i);
             }
         }
@@ -362,8 +359,7 @@ fn collect_w(tree: &QuadTree, target: usize, cand: usize, out: &mut Vec<usize>) 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use compat::rng::StdRng;
 
     fn cloud(n: usize, seed: u64) -> Vec<[f64; 2]> {
         let mut rng = StdRng::seed_from_u64(seed);
@@ -440,8 +436,7 @@ mod tests {
     fn pair_coverage_is_exactly_once() {
         // Same fundamental invariant as 3D, on a clustered 2D cloud.
         let mut rng = StdRng::seed_from_u64(9);
-        let mut pts: Vec<[f64; 2]> =
-            (0..400).map(|_| [rng.random(), rng.random()]).collect();
+        let mut pts: Vec<[f64; 2]> = (0..400).map(|_| [rng.random(), rng.random()]).collect();
         for _ in 0..400 {
             pts.push([0.3 + rng.random::<f64>() * 0.01, 0.6 + rng.random::<f64>() * 0.01]);
         }

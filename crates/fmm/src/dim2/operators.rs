@@ -228,8 +228,7 @@ impl OperatorCache2 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use compat::rng::StdRng;
 
     const P: usize = 8;
 
@@ -259,10 +258,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let src: Vec<[f64; 2]> = (0..30)
             .map(|_| {
-                [
-                    hw * (2.0 * rng.random::<f64>() - 1.0),
-                    hw * (2.0 * rng.random::<f64>() - 1.0),
-                ]
+                [hw * (2.0 * rng.random::<f64>() - 1.0), hw * (2.0 * rng.random::<f64>() - 1.0)]
             })
             .collect();
         let den: Vec<f64> = (0..30).map(|_| 2.0 * rng.random::<f64>() - 1.0).collect();
@@ -324,10 +320,7 @@ mod tests {
             let mut approx = [0.0];
             kernel.p2p(&[t], &local_pts, &local, &mut approx);
             let scale = direct[0].abs().max(0.1);
-            assert!(
-                (direct[0] - approx[0]).abs() / scale < 1e-5,
-                "2D M2L error at {t:?}"
-            );
+            assert!((direct[0] - approx[0]).abs() / scale < 1e-5, "2D M2L error at {t:?}");
         }
     }
 }

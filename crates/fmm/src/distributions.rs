@@ -13,8 +13,7 @@
 //!   profile (`ρ ∝ (1 + r²/a²)^{-5/2}`), radially heavy-tailed.
 //! * [`two_clusters`] — a bimodal merger scene.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use compat::rng::StdRng;
 
 /// Uniform points in the unit cube `[0, 1]³`.
 pub fn uniform_cube(n: usize, seed: u64) -> Vec<[f64; 3]> {

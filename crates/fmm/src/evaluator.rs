@@ -14,7 +14,7 @@ use crate::lists::InteractionLists;
 use crate::operators::OperatorCache;
 use crate::surface::{surface_point_count, surface_points, RADIUS_INNER, RADIUS_OUTER};
 use crate::tree::Octree;
-use rayon::prelude::*;
+use compat::par::{IntoParIterExt, ParSliceExt};
 
 /// How the V-list translations are evaluated.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -89,8 +89,7 @@ impl<K: Kernel> FmmPlan<K> {
         let lists = InteractionLists::build(&tree);
         // The dense M2L matrices are only built for the dense method; the
         // FFT method precomputes kernel spectra instead.
-        let ops =
-            OperatorCache::build_for_method(&kernel, &tree, p, method == M2lMethod::Dense);
+        let ops = OperatorCache::build_for_method(&kernel, &tree, p, method == M2lMethod::Dense);
         let fft = match method {
             M2lMethod::Fft => Some(FftM2l::build(&kernel, &tree, p)),
             M2lMethod::Dense => None,
@@ -295,8 +294,7 @@ impl FmmEvaluator {
                 let mut pot = vec![0.0; e - s];
                 let mut grad = if with_grad { Some(vec![[0.0; 3]; e - s]) } else { None };
                 // L2P: evaluate the local expansion.
-                let equiv_pts =
-                    surface_points(plan.p, node.center, node.half_width, RADIUS_OUTER);
+                let equiv_pts = surface_points(plan.p, node.center, node.half_width, RADIUS_OUTER);
                 plan.kernel.p2p(targets, &equiv_pts, &down_equiv[li], &mut pot);
                 if let Some(g) = grad.as_mut() {
                     plan.kernel.p2p_grad(targets, &equiv_pts, &down_equiv[li], g);
@@ -335,8 +333,7 @@ impl FmmEvaluator {
 
         // Scatter to original order.
         let mut out = vec![0.0; tree.points.len()];
-        let mut out_grad =
-            if with_grad { Some(vec![[0.0; 3]; tree.points.len()]) } else { None };
+        let mut out_grad = if with_grad { Some(vec![[0.0; 3]; tree.points.len()]) } else { None };
         for ((s, _e), pot, grad) in leaf_results {
             for (offset, v) in pot.into_iter().enumerate() {
                 out[tree.permutation[s + offset]] = v;
@@ -386,8 +383,7 @@ impl FmmEvaluator {
 mod tests {
     use super::*;
     use crate::accuracy::{direct_sum, relative_l2_error};
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use compat::rng::StdRng;
 
     fn random_problem(n: usize, seed: u64) -> (Vec<[f64; 3]>, Vec<f64>) {
         let mut rng = StdRng::seed_from_u64(seed);
@@ -419,8 +415,8 @@ mod tests {
     #[test]
     fn fft_and_dense_agree_closely() {
         let (pts, den) = random_problem(2000, 3);
-        let dense = FmmEvaluator::new()
-            .evaluate(&FmmPlan::new(&pts, &den, 50, 4, M2lMethod::Dense));
+        let dense =
+            FmmEvaluator::new().evaluate(&FmmPlan::new(&pts, &den, 50, 4, M2lMethod::Dense));
         let fft = FmmEvaluator::new().evaluate(&FmmPlan::new(&pts, &den, 50, 4, M2lMethod::Fft));
         let err = relative_l2_error(&fft, &dense);
         assert!(err < 1e-10, "two M2L paths are the same operator: {err}");
@@ -539,10 +535,7 @@ mod tests {
         let den2: Vec<f64> = den.iter().map(|d| 2.0 * d).collect();
         let plan2 = FmmPlan::new(&pts, &den2, 30, 4, M2lMethod::Fft);
         let doubled = FmmEvaluator::new().evaluate(&plan2);
-        let err = relative_l2_error(
-            &doubled,
-            &base.iter().map(|p| 2.0 * p).collect::<Vec<_>>(),
-        );
+        let err = relative_l2_error(&doubled, &base.iter().map(|p| 2.0 * p).collect::<Vec<_>>());
         assert!(err < 1e-12, "linearity: {err}");
     }
 }

@@ -66,7 +66,13 @@ impl FftM2l {
     /// The circular kernel tableau for one offset: `T[d] = K(d·s − c)`
     /// where `d` spans `[−(p−1), p−1]³`, `s` is the surface lattice
     /// spacing, and `c` is the source-box center offset.
-    fn kernel_tableau<K: Kernel>(kernel: &K, p: usize, m: usize, hw: f64, off: Offset) -> Vec<Complex> {
+    fn kernel_tableau<K: Kernel>(
+        kernel: &K,
+        p: usize,
+        m: usize,
+        hw: f64,
+        off: Offset,
+    ) -> Vec<Complex> {
         let spacing = 2.0 * RADIUS_INNER * hw / (p - 1) as f64;
         let width = 2.0 * hw;
         let c = [off.0 as f64 * width, off.1 as f64 * width, off.2 as f64 * width];
@@ -142,11 +148,7 @@ impl FftM2l {
     ///
     /// Halves the forward-transform cost of the V phase; the result is
     /// identical (to rounding) to two [`FftM2l::source_spectrum`] calls.
-    pub fn source_spectrum_pair(
-        &self,
-        d1: &[f64],
-        d2: &[f64],
-    ) -> (Vec<Complex>, Vec<Complex>) {
+    pub fn source_spectrum_pair(&self, d1: &[f64], d2: &[f64]) -> (Vec<Complex>, Vec<Complex>) {
         assert_eq!(d1.len(), self.coords.len());
         assert_eq!(d2.len(), self.coords.len());
         let m = self.m;
@@ -198,8 +200,7 @@ mod tests {
     use crate::kernel::LaplaceKernel;
     use crate::operators::OperatorCache;
     use crate::tree::Octree;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use compat::rng::StdRng;
 
     fn small_tree(seed: u64) -> Octree {
         let mut rng = StdRng::seed_from_u64(seed);

@@ -176,10 +176,7 @@ const POINT_BYTES: u64 = 32;
 const WARP: u64 = 32;
 
 /// Profiles `plan` under `cost`, producing per-phase counters.
-pub fn profile_plan<K: crate::kernel::Kernel>(
-    plan: &FmmPlan<K>,
-    cost: &CostModel,
-) -> FmmProfile {
+pub fn profile_plan<K: crate::kernel::Kernel>(plan: &FmmPlan<K>, cost: &CostModel) -> FmmProfile {
     let tree = &plan.tree;
     let ns = plan.ns() as u64;
     let depth = tree.depth() as u32;
@@ -234,7 +231,13 @@ fn point_region(tree: &Octree, ni: usize) -> (u64, usize) {
     (POINTS_BASE + s as u64 * POINT_BYTES, (e - s) * POINT_BYTES as usize)
 }
 
-fn profile_up<K: crate::kernel::Kernel>(plan: &FmmPlan<K>, cost: &CostModel, cache: &mut CacheSim, c: &CounterSet, ns: u64) {
+fn profile_up<K: crate::kernel::Kernel>(
+    plan: &FmmPlan<K>,
+    cost: &CostModel,
+    cache: &mut CacheSim,
+    c: &CounterSet,
+    ns: u64,
+) {
     let tree = &plan.tree;
     for level in (0..tree.levels.len()).rev() {
         for &ni in &tree.levels[level] {
@@ -246,7 +249,11 @@ fn profile_up<K: crate::kernel::Kernel>(plan: &FmmPlan<K>, cost: &CostModel, cac
                 let (addr, bytes) = point_region(tree, ni);
                 cache.read(addr, bytes, c);
                 charge_matvec(c, cost, ns, ns);
-                cache.read_l2_only(OPERATOR_BASE + lvl as u64 * 0x0100_0000, (ns * ns * 8) as usize, c);
+                cache.read_l2_only(
+                    OPERATOR_BASE + lvl as u64 * 0x0100_0000,
+                    (ns * ns * 8) as usize,
+                    c,
+                );
             } else {
                 for child in node.children.iter().flatten() {
                     charge_matvec(c, cost, ns, ns);
@@ -256,7 +263,11 @@ fn profile_up<K: crate::kernel::Kernel>(plan: &FmmPlan<K>, cost: &CostModel, cac
                         (ns * ns * 8) as usize,
                         c,
                     );
-                    cache.read_l2_only(UP_EQUIV_BASE + *child as u64 * ns * 8, (ns * 8) as usize, c);
+                    cache.read_l2_only(
+                        UP_EQUIV_BASE + *child as u64 * ns * 8,
+                        (ns * 8) as usize,
+                        c,
+                    );
                 }
             }
             cache.write(UP_EQUIV_BASE + ni as u64 * ns * 8, (ns * 8) as usize, c);
@@ -264,7 +275,13 @@ fn profile_up<K: crate::kernel::Kernel>(plan: &FmmPlan<K>, cost: &CostModel, cac
     }
 }
 
-fn profile_v<K: crate::kernel::Kernel>(plan: &FmmPlan<K>, cost: &CostModel, cache: &mut CacheSim, c: &CounterSet, ns: u64) {
+fn profile_v<K: crate::kernel::Kernel>(
+    plan: &FmmPlan<K>,
+    cost: &CostModel,
+    cache: &mut CacheSim,
+    c: &CounterSet,
+    ns: u64,
+) {
     let tree = &plan.tree;
     match plan.method {
         M2lMethod::Fft => {
@@ -272,7 +289,8 @@ fn profile_v<K: crate::kernel::Kernel>(plan: &FmmPlan<K>, cost: &CostModel, cach
             let grid = fft.grid_len() as u64;
             let m = fft.m as u64;
             // 3 axis passes of m² independent length-m transforms.
-            let butterflies_per_transform = 3 * m * m * (m / 2) * (64 - (m - 1).leading_zeros() as u64);
+            let butterflies_per_transform =
+                3 * m * m * (m / 2) * (64 - (m - 1).leading_zeros() as u64);
             let shared_tx_per_transform = 3 * grid * 16 / 128;
             // Forward transforms: once per box appearing as a V source.
             let mut is_source = vec![false; tree.nodes.len()];
@@ -333,7 +351,11 @@ fn profile_v<K: crate::kernel::Kernel>(plan: &FmmPlan<K>, cost: &CostModel, cach
                         );
                     }
                     for &kidx in &union_offsets {
-                        cache.read_l2_only(TABLEAU_BASE + kidx * grid * 16, (grid * 16) as usize, c);
+                        cache.read_l2_only(
+                            TABLEAU_BASE + kidx * grid * 16,
+                            (grid * 16) as usize,
+                            c,
+                        );
                     }
                     // Per-pair spectral MACs out of shared memory.
                     for child in parent.children.iter().flatten() {
@@ -345,10 +367,7 @@ fn profile_v<K: crate::kernel::Kernel>(plan: &FmmPlan<K>, cost: &CostModel, cach
                         c.add(CounterEvent::flops_dp_fma, pairs * grid * cost.fma_per_mac);
                         c.add(CounterEvent::flops_dp_add, pairs * grid * cost.add_per_mac);
                         c.add(CounterEvent::inst_integer, pairs * grid * cost.int_per_mac);
-                        c.add(
-                            CounterEvent::l1_shared_load_transactions,
-                            pairs * grid * 16 / 128,
-                        );
+                        c.add(CounterEvent::l1_shared_load_transactions, pairs * grid * 16 / 128);
                         // Inverse transform + check-surface extraction.
                         charge_fft(c, cost, butterflies_per_transform, shared_tx_per_transform);
                         cache.write(DOWN_CHECK_BASE + ti as u64 * ns * 8, (ns * 8) as usize, c);
@@ -369,7 +388,8 @@ fn profile_v<K: crate::kernel::Kernel>(plan: &FmmPlan<K>, cost: &CostModel, cach
                     // operator slot.
                     let off_key = ((sid.x as i64 - tid.x as i64 + 3)
                         + 7 * (sid.y as i64 - tid.y as i64 + 3)
-                        + 49 * (sid.z as i64 - tid.z as i64 + 3)) as u64
+                        + 49 * (sid.z as i64 - tid.z as i64 + 3))
+                        as u64
                         + 343 * tid.level as u64;
                     cache.read_l2_only(
                         OPERATOR_BASE + 0x4000_0000 + off_key * ns * ns * 8,
@@ -392,7 +412,12 @@ fn charge_fft(c: &CounterSet, cost: &CostModel, butterflies: u64, shared_tx: u64
     c.add(CounterEvent::l1_shared_store_transactions, shared_tx);
 }
 
-fn profile_u<K: crate::kernel::Kernel>(plan: &FmmPlan<K>, cost: &CostModel, cache: &mut CacheSim, c: &CounterSet) {
+fn profile_u<K: crate::kernel::Kernel>(
+    plan: &FmmPlan<K>,
+    cost: &CostModel,
+    cache: &mut CacheSim,
+    c: &CounterSet,
+) {
     let tree = &plan.tree;
     for li in tree.leaves() {
         let nt = tree.nodes[li].num_points() as u64;
@@ -415,7 +440,13 @@ fn profile_u<K: crate::kernel::Kernel>(plan: &FmmPlan<K>, cost: &CostModel, cach
     }
 }
 
-fn profile_w<K: crate::kernel::Kernel>(plan: &FmmPlan<K>, cost: &CostModel, cache: &mut CacheSim, c: &CounterSet, ns: u64) {
+fn profile_w<K: crate::kernel::Kernel>(
+    plan: &FmmPlan<K>,
+    cost: &CostModel,
+    cache: &mut CacheSim,
+    c: &CounterSet,
+    ns: u64,
+) {
     let tree = &plan.tree;
     for li in tree.leaves() {
         if plan.lists.w[li].is_empty() {
@@ -431,7 +462,13 @@ fn profile_w<K: crate::kernel::Kernel>(plan: &FmmPlan<K>, cost: &CostModel, cach
     }
 }
 
-fn profile_x<K: crate::kernel::Kernel>(plan: &FmmPlan<K>, cost: &CostModel, cache: &mut CacheSim, c: &CounterSet, ns: u64) {
+fn profile_x<K: crate::kernel::Kernel>(
+    plan: &FmmPlan<K>,
+    cost: &CostModel,
+    cache: &mut CacheSim,
+    c: &CounterSet,
+    ns: u64,
+) {
     let tree = &plan.tree;
     for (bi, xl) in plan.lists.x.iter().enumerate() {
         if xl.is_empty() {
@@ -447,7 +484,13 @@ fn profile_x<K: crate::kernel::Kernel>(plan: &FmmPlan<K>, cost: &CostModel, cach
     }
 }
 
-fn profile_down<K: crate::kernel::Kernel>(plan: &FmmPlan<K>, cost: &CostModel, cache: &mut CacheSim, c: &CounterSet, ns: u64) {
+fn profile_down<K: crate::kernel::Kernel>(
+    plan: &FmmPlan<K>,
+    cost: &CostModel,
+    cache: &mut CacheSim,
+    c: &CounterSet,
+    ns: u64,
+) {
     let tree = &plan.tree;
     for level in 0..tree.levels.len() {
         for &ni in &tree.levels[level] {
@@ -488,8 +531,7 @@ fn profile_down<K: crate::kernel::Kernel>(plan: &FmmPlan<K>, cost: &CostModel, c
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use compat::rng::StdRng;
     use tk1_sim::OpClass;
 
     fn plan(n: usize, q: usize, seed: u64) -> FmmPlan {

@@ -64,13 +64,7 @@ pub trait Kernel: Sync {
 
     /// Accumulates potentials: `out[i] += Σ_j K(targets[i], sources[j]) ·
     /// densities[j]`.
-    fn p2p(
-        &self,
-        targets: &[[f64; 3]],
-        sources: &[[f64; 3]],
-        densities: &[f64],
-        out: &mut [f64],
-    ) {
+    fn p2p(&self, targets: &[[f64; 3]], sources: &[[f64; 3]], densities: &[f64], out: &mut [f64]) {
         debug_assert_eq!(sources.len(), densities.len());
         debug_assert_eq!(targets.len(), out.len());
         for (i, &t) in targets.iter().enumerate() {

@@ -162,8 +162,7 @@ fn collect_w(tree: &Octree, target: usize, cand: usize, out: &mut Vec<usize>) {
 mod tests {
     use super::*;
     use crate::tree::Octree;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use compat::rng::StdRng;
 
     fn uniform_tree(n: usize, q: usize, seed: u64) -> Octree {
         let mut rng = StdRng::seed_from_u64(seed);
@@ -212,10 +211,7 @@ mod tests {
         let lists = InteractionLists::build(&t);
         for (ni, ul) in lists.u.iter().enumerate() {
             for &a in ul {
-                assert!(
-                    lists.u[a].contains(&ni),
-                    "U symmetry broken between {ni} and {a}"
-                );
+                assert!(lists.u[a].contains(&ni), "U symmetry broken between {ni} and {a}");
             }
         }
     }
@@ -231,10 +227,7 @@ mod tests {
                 assert_eq!(sid.level, id.level, "V is a same-level list");
                 assert!(!sid.adjacent(&id), "V members are not adjacent");
                 // But their parents are adjacent.
-                assert!(sid
-                    .parent()
-                    .unwrap()
-                    .adjacent(&id.parent().unwrap()));
+                assert!(sid.parent().unwrap().adjacent(&id.parent().unwrap()));
             }
         }
     }
@@ -291,8 +284,7 @@ mod tests {
         let t = uniform_tree(4096, 8, 11);
         // Check uniformity first (all leaves same level); if the sample
         // isn't uniform enough, skip the empty-W assertion.
-        let leaf_levels: Vec<u8> =
-            t.leaves().iter().map(|&l| t.nodes[l].id.level).collect();
+        let leaf_levels: Vec<u8> = t.leaves().iter().map(|&l| t.nodes[l].id.level).collect();
         let uniform = leaf_levels.iter().all(|&l| l == leaf_levels[0]);
         let lists = InteractionLists::build(&t);
         if uniform {

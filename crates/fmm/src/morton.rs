@@ -40,10 +40,7 @@ fn compact(v: u64) -> u32 {
 /// are validated against the level's grid.
 pub fn encode(level: u8, x: u32, y: u32, z: u32) -> u64 {
     debug_assert!(level <= MAX_LEVEL);
-    debug_assert!(
-        (x as u64) < (1 << level.max(1)) || level == 0,
-        "anchor outside level grid"
-    );
+    debug_assert!((x as u64) < (1 << level.max(1)) || level == 0, "anchor outside level grid");
     spread(x) | (spread(y) << 1) | (spread(z) << 2)
 }
 

@@ -214,8 +214,7 @@ impl OperatorCache {
 mod tests {
     use super::*;
     use crate::kernel::LaplaceKernel;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use compat::rng::StdRng;
 
     const P: usize = 6;
 

@@ -129,8 +129,7 @@ pub fn p2p_soa(targets: &[[f64; 3]], sources: &SoaSources, out: &mut [f64]) {
 mod tests {
     use super::*;
     use crate::kernel::{Kernel, LaplaceKernel};
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use compat::rng::StdRng;
 
     fn problem(nt: usize, ns: usize, seed: u64) -> (Vec<[f64; 3]>, Vec<[f64; 3]>, Vec<f64>) {
         let mut rng = StdRng::seed_from_u64(seed);
@@ -151,10 +150,7 @@ mod tests {
             let mut slow = vec![0.0; nt];
             LaplaceKernel.p2p(&t, &s, &q, &mut slow);
             for (f, n) in fast.iter().zip(&slow) {
-                assert!(
-                    (f - n).abs() <= 1e-13 * (1.0 + n.abs()),
-                    "nt={nt} ns={ns}: {f} vs {n}"
-                );
+                assert!((f - n).abs() <= 1e-13 * (1.0 + n.abs()), "nt={nt} ns={ns}: {f} vs {n}");
             }
         }
     }

@@ -85,13 +85,9 @@ impl TreeStats {
             leaves: leaves.len(),
             depth: tree.depth(),
             nodes_per_level: tree.levels.iter().map(|l| l.len()).collect(),
-            points_per_leaf: MinMeanMax::over(
-                leaves.iter().map(|&l| tree.nodes[l].num_points()),
-            ),
+            points_per_leaf: MinMeanMax::over(leaves.iter().map(|&l| tree.nodes[l].num_points())),
             u_list_len: MinMeanMax::over(leaves.iter().map(|&l| lists.u[l].len())),
-            v_list_len: MinMeanMax::over(
-                lists.v.iter().filter(|v| !v.is_empty()).map(|v| v.len()),
-            ),
+            v_list_len: MinMeanMax::over(lists.v.iter().filter(|v| !v.is_empty()).map(|v| v.len())),
             w_entries: lists.w.iter().map(|l| l.len()).sum(),
             x_entries: lists.x.iter().map(|l| l.len()).sum(),
             direct_interactions: direct,
@@ -188,8 +184,7 @@ mod tests {
         let mut manual = 0u64;
         for &li in &tree.leaves() {
             for &ai in &lists.u[li] {
-                manual +=
-                    tree.nodes[li].num_points() as u64 * tree.nodes[ai].num_points() as u64;
+                manual += tree.nodes[li].num_points() as u64 * tree.nodes[ai].num_points() as u64;
             }
         }
         assert_eq!(s.direct_interactions, manual);

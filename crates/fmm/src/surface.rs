@@ -95,11 +95,7 @@ mod tests {
         let pts = surface_points(5, [1.0, 2.0, 3.0], 0.5, RADIUS_INNER);
         let r = 0.5 * RADIUS_INNER;
         for p in &pts {
-            let d = [
-                (p[0] - 1.0).abs(),
-                (p[1] - 2.0).abs(),
-                (p[2] - 3.0).abs(),
-            ];
+            let d = [(p[0] - 1.0).abs(), (p[1] - 2.0).abs(), (p[2] - 3.0).abs()];
             let max = d.iter().cloned().fold(0.0f64, f64::max);
             assert!((max - r).abs() < 1e-12, "on the cube boundary");
             assert!(d.iter().all(|&x| x <= r + 1e-12));

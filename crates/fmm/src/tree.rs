@@ -153,8 +153,7 @@ impl Octree {
             width = width.max(hi[d] - lo[d]);
         }
         let width = if width > 0.0 { width * (1.0 + 1e-12) } else { 1.0 };
-        let root_center =
-            [lo[0] + width * 0.5, lo[1] + width * 0.5, lo[2] + width * 0.5];
+        let root_center = [lo[0] + width * 0.5, lo[1] + width * 0.5, lo[2] + width * 0.5];
 
         let mut order: Vec<usize> = (0..points.len()).collect();
         let mut nodes = Vec::new();
@@ -287,13 +286,11 @@ impl Octree {
                     if dx == 0 && dy == 0 && dz == 0 {
                         continue;
                     }
-                    let (nx, ny, nz) =
-                        (id.x as i64 + dx, id.y as i64 + dy, id.z as i64 + dz);
+                    let (nx, ny, nz) = (id.x as i64 + dx, id.y as i64 + dy, id.z as i64 + dz);
                     if nx < 0 || ny < 0 || nz < 0 || nx >= max || ny >= max || nz >= max {
                         continue;
                     }
-                    let nid =
-                        BoxId { level: id.level, x: nx as u32, y: ny as u32, z: nz as u32 };
+                    let nid = BoxId { level: id.level, x: nx as u32, y: ny as u32, z: nz as u32 };
                     if let Some(i) = self.find(&nid) {
                         out.push(i);
                     }
@@ -307,8 +304,7 @@ impl Octree {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use compat::rng::StdRng;
 
     fn random_points(n: usize, seed: u64) -> Vec<[f64; 3]> {
         let mut rng = StdRng::seed_from_u64(seed);

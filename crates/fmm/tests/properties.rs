@@ -1,15 +1,15 @@
 //! Property-based tests for the FMM's structural invariants and
 //! numerical accuracy over random particle distributions.
 
+use compat::prop::prelude::*;
 use kifmm::evaluator::{FmmPlan, M2lMethod};
 use kifmm::lists::InteractionLists;
 use kifmm::morton;
 use kifmm::tree::{BoxId, Octree};
 use kifmm::{direct_sum, relative_l2_error, FmmEvaluator};
-use proptest::prelude::*;
 
 fn points(n: std::ops::Range<usize>) -> impl Strategy<Value = Vec<[f64; 3]>> {
-    proptest::collection::vec([0.0f64..1.0, 0.0f64..1.0, 0.0f64..1.0], n)
+    compat::prop::collection::vec([0.0f64..1.0, 0.0f64..1.0, 0.0f64..1.0], n)
         .prop_map(|v| v.into_iter().map(|[x, y, z]| [x, y, z]).collect())
 }
 
@@ -19,11 +19,7 @@ fn clustered_points() -> impl Strategy<Value = Vec<[f64; 3]>> {
     (points(100..200), points(100..200), 0.05f64..0.9).prop_map(|(uniform, cluster, center)| {
         let mut all = uniform;
         for p in cluster {
-            all.push([
-                center + p[0] * 0.01,
-                center + p[1] * 0.01,
-                center + p[2] * 0.01,
-            ]);
+            all.push([center + p[0] * 0.01, center + p[1] * 0.01, center + p[2] * 0.01]);
         }
         all
     })

@@ -127,10 +127,7 @@ mod tests {
     #[test]
     fn indefinite_rejected() {
         let a = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, -1.0]]);
-        assert!(matches!(
-            Cholesky::new(&a),
-            Err(LinalgError::NotPositiveDefinite { pivot: 1 })
-        ));
+        assert!(matches!(Cholesky::new(&a), Err(LinalgError::NotPositiveDefinite { pivot: 1 })));
     }
 
     #[test]

@@ -40,11 +40,7 @@ pub const EPS: f64 = f64::EPSILON;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum LinalgError {
     /// Operand shapes are incompatible.
-    ShapeMismatch {
-        context: &'static str,
-        expected: (usize, usize),
-        found: (usize, usize),
-    },
+    ShapeMismatch { context: &'static str, expected: (usize, usize), found: (usize, usize) },
     /// The matrix is singular (or numerically so) where a full-rank matrix
     /// is required.
     Singular(&'static str),

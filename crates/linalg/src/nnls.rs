@@ -77,10 +77,9 @@ pub fn nnls(a: &Matrix, b: &[f64], options: &NnlsOptions) -> Result<NnlsSolution
         let w = a.matvec_t(&r);
         let mut best: Option<(usize, f64)> = None;
         for j in 0..n {
-            if !passive[j] && w[j] > options.tolerance
-                && best.is_none_or(|(_, bw)| w[j] > bw) {
-                    best = Some((j, w[j]));
-                }
+            if !passive[j] && w[j] > options.tolerance && best.is_none_or(|(_, bw)| w[j] > bw) {
+                best = Some((j, w[j]));
+            }
         }
         let Some((j_star, _)) = best else { break };
         if iterations >= max_iter {
@@ -206,8 +205,7 @@ mod tests {
         ]);
         let b = [1.0, 2.0, 0.1, 3.0];
         let sol = solve(&a, &b);
-        let r: Vec<f64> =
-            a.matvec(&sol.x).iter().zip(&b).map(|(ax, bi)| bi - ax).collect();
+        let r: Vec<f64> = a.matvec(&sol.x).iter().zip(&b).map(|(ax, bi)| bi - ax).collect();
         let w = a.matvec_t(&r);
         for j in 0..3 {
             if sol.x[j] > 0.0 {

@@ -1,7 +1,7 @@
 //! Property-based tests for the linear-algebra kernels.
 
+use compat::prop::prelude::*;
 use dvfs_linalg::{lstsq, nnls, pseudo_inverse, Matrix, NnlsOptions, QrFactorization, Svd};
-use proptest::prelude::*;
 
 /// Bounded, finite matrix entries keep the factorizations in a sane
 /// numeric regime.
@@ -10,7 +10,7 @@ fn entry() -> impl Strategy<Value = f64> {
 }
 
 fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
-    proptest::collection::vec(entry(), rows * cols)
+    compat::prop::collection::vec(entry(), rows * cols)
         .prop_map(move |data| Matrix::from_vec(rows, cols, data))
 }
 
@@ -32,7 +32,7 @@ proptest! {
     }
 
     #[test]
-    fn lstsq_residual_is_minimal(a in matrix(8, 3), perturb in proptest::collection::vec(-1.0f64..1.0, 3)) {
+    fn lstsq_residual_is_minimal(a in matrix(8, 3), perturb in compat::prop::collection::vec(-1.0f64..1.0, 3)) {
         // For any candidate x', ||A x' - b|| >= ||A x* - b||.
         let b: Vec<f64> = (0..8).map(|i| (i as f64).sin() * 10.0).collect();
         let x_star = match lstsq(&a, &b) {
@@ -70,7 +70,7 @@ proptest! {
 
     #[test]
     fn nnls_solves_consistent_nonnegative_systems_exactly(
-        x_true in proptest::collection::vec(0.0f64..10.0, 3),
+        x_true in compat::prop::collection::vec(0.0f64..10.0, 3),
         a in matrix(9, 3),
     ) {
         let b = a.matvec(&x_true);

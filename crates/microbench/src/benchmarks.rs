@@ -126,10 +126,9 @@ impl Microbenchmark {
                 (OpClass::Dram, 2.0 * q),
                 (OpClass::Int, q / 16.0),
             ]),
-            MicrobenchKind::Integer => OpVector::from_pairs(&[
-                (OpClass::Int, intensity * q),
-                (OpClass::Dram, q),
-            ]),
+            MicrobenchKind::Integer => {
+                OpVector::from_pairs(&[(OpClass::Int, intensity * q), (OpClass::Dram, q)])
+            }
             // The on-chip families loop over a resident tile many times
             // (ONCHIP_REPS), so even the lowest intensity point runs long
             // enough for the 1024 Hz meter to log dozens of samples.
@@ -209,10 +208,7 @@ mod tests {
         let last = MicrobenchKind::SinglePrecision.instance(*grid.last().unwrap());
         use tk1_sim::timing::BoundResource;
         assert_eq!(tm.execution_time(first.kernel(), s).bound, BoundResource::Dram);
-        assert_eq!(
-            tm.execution_time(last.kernel(), s).bound,
-            BoundResource::FloatingPoint
-        );
+        assert_eq!(tm.execution_time(last.kernel(), s).bound, BoundResource::FloatingPoint);
     }
 
     #[test]
@@ -242,9 +238,7 @@ mod tests {
         let tm = TimingModel::default();
         let s = Setting::max_performance();
         for kind in MicrobenchKind::ALL {
-            let t = tm
-                .execution_time(kind.instance(kind.intensities()[0]).kernel(), s)
-                .total_s;
+            let t = tm.execution_time(kind.instance(kind.intensities()[0]).kernel(), s).total_s;
             assert!(t > 0.005, "{kind:?}: {t} s is long enough to sample");
         }
     }

@@ -1,12 +1,12 @@
 //! The measurement dataset and the Table I training/validation split.
 
 use crate::benchmarks::MicrobenchKind;
-use serde::{Deserialize, Serialize};
+use compat::json::{FromJson, Json, JsonError, ToJson};
 use tk1_sim::{OpVector, Setting};
 
 /// Whether a DVFS setting belongs to the paper's training ("T") or
 /// validation ("V") rows of Table I.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SettingType {
     /// Used for fitting the model constants.
     Training,
@@ -53,7 +53,7 @@ pub fn table1_settings() -> Vec<(Setting, SettingType)> {
 
 /// One observed (kernel, setting) measurement: everything the
 /// experimenter can see, and nothing they can't.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Sample {
     /// Which benchmark family produced the kernel (None for applications).
     pub kind: Option<String>,
@@ -84,7 +84,7 @@ impl Sample {
 }
 
 /// A collected measurement dataset.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Dataset {
     /// All samples, in collection order.
     pub samples: Vec<Sample>,
@@ -154,6 +154,68 @@ impl Dataset {
                     .collect()
             })
             .collect()
+    }
+}
+
+impl ToJson for SettingType {
+    fn to_json(&self) -> Json {
+        Json::Str(
+            match self {
+                SettingType::Training => "training",
+                SettingType::Validation => "validation",
+            }
+            .to_string(),
+        )
+    }
+}
+
+impl FromJson for SettingType {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        match v.as_str()? {
+            "training" => Ok(SettingType::Training),
+            "validation" => Ok(SettingType::Validation),
+            other => Err(JsonError(format!("unknown setting type `{other}`"))),
+        }
+    }
+}
+
+impl ToJson for Sample {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("kind", self.kind.to_json()),
+            ("intensity", self.intensity.to_json()),
+            ("ops", self.ops.to_json()),
+            ("setting", self.setting.to_json()),
+            ("setting_type", self.setting_type.to_json()),
+            ("time_s", Json::Num(self.time_s)),
+            ("energy_j", Json::Num(self.energy_j)),
+        ])
+    }
+}
+
+impl FromJson for Sample {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(Sample {
+            kind: Option::<String>::from_json(v.field("kind")?)?,
+            intensity: Option::<f64>::from_json(v.field("intensity")?)?,
+            ops: OpVector::from_json(v.field("ops")?)?,
+            setting: Setting::from_json(v.field("setting")?)?,
+            setting_type: SettingType::from_json(v.field("setting_type")?)?,
+            time_s: v.field("time_s")?.as_f64()?,
+            energy_j: v.field("energy_j")?.as_f64()?,
+        })
+    }
+}
+
+impl ToJson for Dataset {
+    fn to_json(&self) -> Json {
+        Json::obj([("samples", self.samples.to_json())])
+    }
+}
+
+impl FromJson for Dataset {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(Dataset { samples: Vec::<Sample>::from_json(v.field("samples")?)? })
     }
 }
 
@@ -233,5 +295,41 @@ mod tests {
         assert!(ds.is_empty());
         assert!(ds.settings().is_empty());
         assert!(ds.folds_by_setting().is_empty());
+    }
+
+    #[test]
+    fn dataset_json_round_trips_bitwise() {
+        let mut ds = Dataset::new();
+        ds.push(sample_at(852.0, 924.0, SettingType::Training, 1.0 / 3.0));
+        let mut app = sample_at(396.0, 204.0, SettingType::Validation, 6.02e23);
+        app.kind = None;
+        app.intensity = None;
+        ds.push(app);
+        let back = Dataset::from_json_text(&ds.to_json_text()).unwrap();
+        assert_eq!(back.len(), ds.len());
+        for (a, b) in ds.samples.iter().zip(&back.samples) {
+            assert_eq!(a.kind, b.kind);
+            assert_eq!(a.intensity, b.intensity);
+            assert_eq!(a.setting, b.setting);
+            assert_eq!(a.setting_type, b.setting_type);
+            assert_eq!(a.time_s.to_bits(), b.time_s.to_bits());
+            assert_eq!(a.energy_j.to_bits(), b.energy_j.to_bits());
+            for (class, count) in a.ops.iter() {
+                assert_eq!(count.to_bits(), b.ops.get(class).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn sample_decode_rejects_bad_setting_type() {
+        let mut v = sample_at(852.0, 924.0, SettingType::Training, 1.0).to_json();
+        if let Json::Obj(pairs) = &mut v {
+            for (k, val) in pairs.iter_mut() {
+                if k == "setting_type" {
+                    *val = Json::Str("test".into());
+                }
+            }
+        }
+        assert!(Sample::from_json(&v).is_err());
     }
 }

@@ -21,7 +21,7 @@ pub mod dataset;
 pub mod export;
 pub mod sweep;
 
-pub use benchmarks::{Microbenchmark, MicrobenchKind};
+pub use benchmarks::{MicrobenchKind, Microbenchmark};
 pub use dataset::{Dataset, Sample, SettingType};
 pub use export::{from_csv, to_csv, CsvError};
 pub use sweep::{run_sweep, SweepConfig};

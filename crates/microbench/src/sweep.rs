@@ -8,7 +8,7 @@
 //!
 //! Each sweep owns its device and meter (seeded deterministically), so
 //! sweeps are reproducible and independent.  Settings are distributed
-//! over a crossbeam scoped-thread pool: each worker gets its *own* device
+//! over a scoped-thread pool: each worker gets its *own* device
 //! clone — the physical analogue being that measurements at different
 //! settings are separate lab sessions, so this changes nothing
 //! observable, only wall-clock time of the reproduction itself.
@@ -55,30 +55,23 @@ impl SweepConfig {
 
 /// Runs the sweep and collects the dataset.
 pub fn run_sweep(config: &SweepConfig) -> Dataset {
-    let threads = if config.threads == 0 {
-        config.settings.len().clamp(1, 8)
-    } else {
-        config.threads
-    };
+    let threads =
+        if config.threads == 0 { config.settings.len().clamp(1, 8) } else { config.threads };
     // Pre-build all benchmark instances once.
-    let instances: Vec<_> = config
-        .kinds
-        .iter()
-        .flat_map(|&k| k.instances())
-        .collect();
+    let instances: Vec<_> = config.kinds.iter().flat_map(|&k| k.instances()).collect();
 
     // Work queue over settings; each worker measures complete settings so
     // per-setting noise streams stay deterministic regardless of thread
     // interleaving.
     let jobs: Vec<(usize, (Setting, SettingType))> =
         config.settings.iter().copied().enumerate().collect();
-    let results: Vec<Vec<Sample>> = crossbeam::thread::scope(|scope| {
+    let results: Vec<Vec<Sample>> = std::thread::scope(|scope| {
         let chunks: Vec<_> = jobs.chunks(jobs.len().div_ceil(threads)).collect();
         let handles: Vec<_> = chunks
             .into_iter()
             .map(|chunk| {
                 let instances = &instances;
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let mut out = Vec::new();
                     for &(idx, (setting, ty)) in chunk {
                         out.extend(measure_setting(
@@ -95,8 +88,7 @@ pub fn run_sweep(config: &SweepConfig) -> Dataset {
             })
             .collect();
         handles.into_iter().map(|h| h.join().expect("sweep worker panicked")).collect()
-    })
-    .expect("sweep scope");
+    });
 
     let mut dataset = Dataset::new();
     for group in results {

@@ -1,7 +1,8 @@
 //! Property-based tests for the microbenchmark suite and dataset layer.
 
+use compat::json::{FromJson, ToJson};
+use compat::prop::prelude::*;
 use dvfs_microbench::{from_csv, to_csv, Dataset, MicrobenchKind, Sample, SettingType};
-use proptest::prelude::*;
 use tk1_sim::{OpClass, OpVector, Setting};
 
 fn kind() -> impl Strategy<Value = MicrobenchKind> {
@@ -16,12 +17,12 @@ fn kind() -> impl Strategy<Value = MicrobenchKind> {
 
 fn sample() -> impl Strategy<Value = Sample> {
     (
-        proptest::option::of(kind()),
-        proptest::option::of(0.01f64..1e3),
-        proptest::array::uniform7(0.0f64..1e12),
+        compat::prop::option::of(kind()),
+        compat::prop::option::of(0.01f64..1e3),
+        compat::prop::array::uniform7(0.0f64..1e12),
         0usize..15,
         0usize..7,
-        proptest::bool::ANY,
+        compat::prop::bool::ANY,
         1e-6f64..100.0,
         1e-6f64..1e3,
     )
@@ -48,7 +49,7 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
     #[test]
-    fn csv_round_trips_arbitrary_datasets(samples in proptest::collection::vec(sample(), 0..40)) {
+    fn csv_round_trips_arbitrary_datasets(samples in compat::prop::collection::vec(sample(), 0..40)) {
         let mut ds = Dataset::new();
         for s in samples {
             ds.push(s);
@@ -69,7 +70,28 @@ proptest! {
     }
 
     #[test]
-    fn folds_partition_the_dataset(samples in proptest::collection::vec(sample(), 1..60)) {
+    fn json_round_trips_arbitrary_datasets(samples in compat::prop::collection::vec(sample(), 0..30)) {
+        let mut ds = Dataset::new();
+        for s in samples {
+            ds.push(s);
+        }
+        let back = Dataset::from_json_text(&ds.to_json_text()).expect("own output parses");
+        prop_assert_eq!(back.len(), ds.len());
+        for (a, b) in ds.samples.iter().zip(&back.samples) {
+            prop_assert_eq!(&a.kind, &b.kind);
+            prop_assert_eq!(a.intensity.map(f64::to_bits), b.intensity.map(f64::to_bits));
+            prop_assert_eq!(a.setting, b.setting);
+            prop_assert_eq!(a.setting_type, b.setting_type);
+            prop_assert_eq!(a.time_s.to_bits(), b.time_s.to_bits());
+            prop_assert_eq!(a.energy_j.to_bits(), b.energy_j.to_bits());
+            for (class, count) in a.ops.iter() {
+                prop_assert_eq!(count.to_bits(), b.ops.get(class).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn folds_partition_the_dataset(samples in compat::prop::collection::vec(sample(), 1..60)) {
         let mut ds = Dataset::new();
         for s in samples {
             ds.push(s);
@@ -93,7 +115,7 @@ proptest! {
     }
 
     #[test]
-    fn training_validation_split_is_a_partition(samples in proptest::collection::vec(sample(), 0..60)) {
+    fn training_validation_split_is_a_partition(samples in compat::prop::collection::vec(sample(), 0..60)) {
         let mut ds = Dataset::new();
         for s in samples {
             ds.push(s);

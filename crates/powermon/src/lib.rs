@@ -25,7 +25,7 @@ pub mod segment;
 pub mod trace;
 
 pub use adc::AdcModel;
+pub use monitor::{MeasuredExecution, PowerMon};
 pub use planner::{measure_until, MeasurePlan, MeasuredMean};
 pub use segment::{segment_trace, Segment, SegmentConfig};
-pub use monitor::{MeasuredExecution, PowerMon};
 pub use trace::PowerTrace;

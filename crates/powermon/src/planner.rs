@@ -64,8 +64,7 @@ pub fn measure_until(
         if energies.len() >= plan.min_trials {
             let n = energies.len() as f64;
             let mean = energies.iter().sum::<f64>() / n;
-            let var =
-                energies.iter().map(|e| (e - mean) * (e - mean)).sum::<f64>() / (n - 1.0);
+            let var = energies.iter().map(|e| (e - mean) * (e - mean)).sum::<f64>() / (n - 1.0);
             achieved = 2.0 * (var / n).sqrt() / mean;
             if achieved <= plan.target_rel_ci {
                 break;

@@ -68,8 +68,7 @@ impl PowerTrace {
         let dt = 1.0 / self.sample_rate_hz;
         // Trapezoid over interior plus half-interval extensions at the ends
         // so the integral spans the full window n*dt.
-        let interior: f64 =
-            self.samples_w.windows(2).map(|w| 0.5 * (w[0] + w[1]) * dt).sum();
+        let interior: f64 = self.samples_w.windows(2).map(|w| 0.5 * (w[0] + w[1]) * dt).sum();
         interior + 0.5 * dt * (self.samples_w[0] + self.samples_w[n - 1])
     }
 
@@ -122,8 +121,9 @@ mod tests {
         let t = PowerTrace::new(rate, samples);
         // Integral of the ramp over the interior + end extensions.
         let dt = 1.0 / rate;
-        let expected: f64 = (0..n - 1).map(|i| 0.5 * (i as f64 + (i + 1) as f64) * 0.1 * dt).sum::<f64>()
-            + 0.5 * dt * (0.0 + (n - 1) as f64 * 0.1);
+        let expected: f64 =
+            (0..n - 1).map(|i| 0.5 * (i as f64 + (i + 1) as f64) * 0.1 * dt).sum::<f64>()
+                + 0.5 * dt * (0.0 + (n - 1) as f64 * 0.1);
         assert!((t.energy_j() - expected).abs() < 1e-12);
     }
 

@@ -120,10 +120,8 @@ impl Device {
             let per_kernel = 0.08 * hash_unit(&kernel.name, 0, 0);
             let per_setting =
                 0.05 * hash_unit(&kernel.name, self.setting.core_idx + 1, self.setting.mem_idx + 1);
-            (1.0 + per_kernel
-                + per_setting
-                + self.noise.normal(0.0, self.activity_noise_rel))
-            .max(0.5)
+            (1.0 + per_kernel + per_setting + self.noise.normal(0.0, self.activity_noise_rel))
+                .max(0.5)
         } else {
             1.0
         };
@@ -164,8 +162,7 @@ impl Device {
         };
         let constant_power =
             self.truth.constant_power_w(self.setting, dynamic_power) * constant_deviation;
-        let components =
-            EnergyComponents { dynamic_j, constant_j: constant_power * duration_s };
+        let components = EnergyComponents { dynamic_j, constant_j: constant_power * duration_s };
 
         Execution {
             kernel_name: kernel.name.clone(),

@@ -7,10 +7,8 @@
 //! paper's Tables I and IV; the remaining pairs interpolate monotonically,
 //! matching published Tegra K1 operating tables.
 
-use serde::{Deserialize, Serialize};
-
 /// One frequency/voltage operating point of a clock domain.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DvfsPoint {
     /// Clock frequency in MHz.
     pub freq_mhz: f64,
@@ -71,7 +69,7 @@ pub fn mem_points() -> &'static [DvfsPoint] {
 
 /// A (core, memory) DVFS setting, addressed by indices into
 /// [`core_points`] / [`mem_points`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Setting {
     /// Index into [`core_points`].
     pub core_idx: usize,
@@ -120,7 +118,7 @@ impl Setting {
 }
 
 /// A fully resolved (core, memory) frequency/voltage pair.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct OperatingPoint {
     /// GPU-core domain point.
     pub core: DvfsPoint,
@@ -152,8 +150,15 @@ mod tests {
     #[test]
     fn paper_table1_pairs_present() {
         // Every (freq, voltage) pair in the paper's Table I must exist.
-        let cores = [(852.0, 1.030), (756.0, 0.950), (648.0, 0.890), (540.0, 0.840),
-                     (396.0, 0.770), (180.0, 0.760), (72.0, 0.760)];
+        let cores = [
+            (852.0, 1.030),
+            (756.0, 0.950),
+            (648.0, 0.890),
+            (540.0, 0.840),
+            (396.0, 0.770),
+            (180.0, 0.760),
+            (72.0, 0.760),
+        ];
         for (f, v) in cores {
             let p = core_points().iter().find(|p| p.freq_mhz == f).expect("core freq missing");
             assert!((p.voltage_v - v).abs() < 1e-9, "core {f} MHz: {} != {v}", p.voltage_v);

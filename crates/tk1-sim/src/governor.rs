@@ -228,9 +228,7 @@ mod tests {
         let fast = Governor::Performance.run(&mut dev, &kernels);
         let slow = Governor::Powersave.run(&mut dev, &kernels);
         // Average power is lower...
-        assert!(
-            slow.total_energy_j / slow.total_time_s < fast.total_energy_j / fast.total_time_s
-        );
+        assert!(slow.total_energy_j / slow.total_time_s < fast.total_energy_j / fast.total_time_s);
         // ...but the 72 MHz crawl stretches constant energy so far that
         // total energy is worse.
         assert!(slow.total_energy_j > fast.total_energy_j);

@@ -9,10 +9,9 @@
 //! reproduce the "constant power dominates the FMM" observation.
 
 use crate::ops::OpVector;
-use serde::{Deserialize, Serialize};
 
 /// An executable kernel description.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct KernelProfile {
     /// Identifying name (used in traces and datasets).
     pub name: String,
@@ -65,9 +64,7 @@ mod tests {
 
     #[test]
     fn builder_overrides() {
-        let k = KernelProfile::new("k", OpVector::zero())
-            .with_utilization(0.25)
-            .with_launches(6);
+        let k = KernelProfile::new("k", OpVector::zero()).with_utilization(0.25).with_launches(6);
         assert_eq!(k.utilization, 0.25);
         assert_eq!(k.launches, 6);
     }

@@ -38,6 +38,7 @@ pub mod kernel;
 pub mod ops;
 pub mod power;
 pub mod rng;
+pub mod serial;
 pub mod timing;
 
 pub use device::{Device, Execution};

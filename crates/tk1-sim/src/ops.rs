@@ -7,10 +7,8 @@
 //! the same physical SRAM array, so L1 accesses share the SM cost — the
 //! paper's Figure 6 accordingly reports an L1 energy share.)
 
-use serde::{Deserialize, Serialize};
-
 /// One operation class of the model.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum OpClass {
     /// Single-precision floating-point instruction (FMA-equivalent).
     FlopSp,
@@ -47,8 +45,7 @@ pub const ALL_CLASSES: [OpClass; NUM_OP_CLASSES] = [
 pub const COMPUTE_CLASSES: [OpClass; 3] = [OpClass::FlopSp, OpClass::FlopDp, OpClass::Int];
 
 /// The memory (data access) classes.
-pub const MEMORY_CLASSES: [OpClass; 4] =
-    [OpClass::Shared, OpClass::L1, OpClass::L2, OpClass::Dram];
+pub const MEMORY_CLASSES: [OpClass; 4] = [OpClass::Shared, OpClass::L1, OpClass::L2, OpClass::Dram];
 
 impl OpClass {
     /// Canonical index into [`ALL_CLASSES`]-ordered arrays.
@@ -108,7 +105,7 @@ impl OpClass {
 
 /// Operation counts per class: the `(W_k, Q_l)` feature vector of the
 /// energy model.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct OpVector {
     counts: [f64; NUM_OP_CLASSES],
 }

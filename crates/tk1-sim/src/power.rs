@@ -60,13 +60,13 @@ impl Default for TruthConstants {
             // Calibrated from Table I: ε(V) = ĉ0·V², so ĉ0 = ε(1.030 V)/1.030²
             // for core-domain ops and ε(1.010 V)/1.010² for DRAM.
             c0_pj_per_v2: [
-                27.335,  // SP   -> 29.0 pJ at 1.030 V
-                131.12,  // DP   -> 139.1 pJ
-                56.56,   // INT  -> 60.0 pJ
-                33.37,   // SM   -> 35.4 pJ
-                33.37,   // L1 (same SRAM array as SM on Kepler)
-                85.02,   // L2   -> 90.2 pJ
-                369.57,  // DRAM -> 377.0 pJ at 1.010 V
+                27.335, // SP   -> 29.0 pJ at 1.030 V
+                131.12, // DP   -> 139.1 pJ
+                56.56,  // INT  -> 60.0 pJ
+                33.37,  // SM   -> 35.4 pJ
+                33.37,  // L1 (same SRAM array as SM on Kepler)
+                85.02,  // L2   -> 90.2 pJ
+                369.57, // DRAM -> 377.0 pJ at 1.010 V
             ],
             c1_proc_w_per_v: 2.69,
             c1_mem_w_per_v: 3.85,
@@ -128,17 +128,15 @@ impl TruthConstants {
         for _ in 0..8 {
             let total = dynamic_power_w + leak + self.p_misc_w;
             let theta = self.ambient_c + self.thermal_resistance_k_per_w * total;
-            leak = nominal_leak * (1.0 + self.thermal_kappa_per_k * (theta - self.reference_temp_c));
+            leak =
+                nominal_leak * (1.0 + self.thermal_kappa_per_k * (theta - self.reference_temp_c));
         }
         leak + self.p_misc_w
     }
 
     /// True dynamic energy of a whole op vector at `setting`, J.
     pub fn dynamic_energy_j(&self, ops: &OpVector, setting: Setting) -> f64 {
-        ALL_CLASSES
-            .iter()
-            .map(|&c| ops.get(c) * self.energy_per_op_j(c, setting))
-            .sum()
+        ALL_CLASSES.iter().map(|&c| ops.get(c) * self.energy_per_op_j(c, setting)).sum()
     }
 }
 
@@ -284,7 +282,8 @@ mod tests {
 
     #[test]
     fn components_partition_total() {
-        let c = EnergyComponents { dynamic_j: [1.0, 2.0, 3.0, 0.5, 0.25, 0.5, 4.0], constant_j: 10.0 };
+        let c =
+            EnergyComponents { dynamic_j: [1.0, 2.0, 3.0, 0.5, 0.25, 0.5, 4.0], constant_j: 10.0 };
         assert_eq!(c.total_j(), 21.25);
         assert_eq!(c.computation_j(), 6.0);
         assert_eq!(c.data_j(), 5.25);

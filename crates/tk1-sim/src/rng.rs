@@ -4,8 +4,7 @@
 //! in-house with the Box–Muller transform (keeping the dependency set to
 //! the approved list — see DESIGN.md).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use compat::rng::StdRng;
 
 /// A seeded Gaussian noise source.
 #[derive(Debug, Clone)]
@@ -81,8 +80,8 @@ mod tests {
         let mut n = Noise::new(7);
         let samples: Vec<f64> = (0..200_000).map(|_| n.standard_normal()).collect();
         let mean = samples.iter().sum::<f64>() / samples.len() as f64;
-        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>()
-            / samples.len() as f64;
+        let var =
+            samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / samples.len() as f64;
         assert!(mean.abs() < 0.01, "mean {mean}");
         assert!((var - 1.0).abs() < 0.02, "var {var}");
     }

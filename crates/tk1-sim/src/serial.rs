@@ -1,0 +1,189 @@
+//! JSON encode/decode for the platform's data types.
+//!
+//! Replaces the former `serde` derives with explicit
+//! [`ToJson`]/[`FromJson`] impls over `compat::json`.  Every impl is a
+//! lossless round trip: floats use shortest round-trip formatting, so
+//! `decode(encode(x)) == x` holds bitwise — the property the snapshot
+//! tests rely on.
+
+use crate::dvfs::{DvfsPoint, OperatingPoint, Setting};
+use crate::kernel::KernelProfile;
+use crate::ops::{OpClass, OpVector, ALL_CLASSES};
+use compat::json::{FromJson, Json, JsonError, ToJson};
+
+impl ToJson for DvfsPoint {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("freq_mhz", Json::Num(self.freq_mhz)),
+            ("voltage_v", Json::Num(self.voltage_v)),
+        ])
+    }
+}
+
+impl FromJson for DvfsPoint {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(DvfsPoint {
+            freq_mhz: v.field("freq_mhz")?.as_f64()?,
+            voltage_v: v.field("voltage_v")?.as_f64()?,
+        })
+    }
+}
+
+impl ToJson for Setting {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("core_idx", Json::Num(self.core_idx as f64)),
+            ("mem_idx", Json::Num(self.mem_idx as f64)),
+        ])
+    }
+}
+
+impl FromJson for Setting {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        // Goes through the validating constructor so a corrupted
+        // snapshot cannot produce an out-of-range setting.
+        let core_idx = v.field("core_idx")?.as_usize()?;
+        let mem_idx = v.field("mem_idx")?.as_usize()?;
+        if core_idx >= crate::dvfs::core_points().len() {
+            return Err(JsonError(format!("core_idx {core_idx} out of range")));
+        }
+        if mem_idx >= crate::dvfs::mem_points().len() {
+            return Err(JsonError(format!("mem_idx {mem_idx} out of range")));
+        }
+        Ok(Setting::new(core_idx, mem_idx))
+    }
+}
+
+impl ToJson for OperatingPoint {
+    fn to_json(&self) -> Json {
+        Json::obj([("core", self.core.to_json()), ("mem", self.mem.to_json())])
+    }
+}
+
+impl FromJson for OperatingPoint {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(OperatingPoint {
+            core: DvfsPoint::from_json(v.field("core")?)?,
+            mem: DvfsPoint::from_json(v.field("mem")?)?,
+        })
+    }
+}
+
+impl ToJson for OpClass {
+    fn to_json(&self) -> Json {
+        Json::Str(self.name().to_string())
+    }
+}
+
+impl FromJson for OpClass {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let name = v.as_str()?;
+        ALL_CLASSES
+            .into_iter()
+            .find(|c| c.name() == name)
+            .ok_or_else(|| JsonError(format!("unknown op class `{name}`")))
+    }
+}
+
+impl ToJson for OpVector {
+    fn to_json(&self) -> Json {
+        Json::Obj(
+            self.iter()
+                .map(|(class, count)| (class.name().to_string(), Json::Num(count)))
+                .collect(),
+        )
+    }
+}
+
+impl FromJson for OpVector {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let mut out = OpVector::zero();
+        match v {
+            Json::Obj(pairs) => {
+                for (name, count) in pairs {
+                    let class = OpClass::from_json(&Json::Str(name.clone()))?;
+                    out.set(class, count.as_f64()?);
+                }
+                Ok(out)
+            }
+            other => Err(JsonError(format!("expected op-vector object, got {other:?}"))),
+        }
+    }
+}
+
+impl ToJson for KernelProfile {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("name", Json::Str(self.name.clone())),
+            ("ops", self.ops.to_json()),
+            ("utilization", Json::Num(self.utilization)),
+            ("launches", Json::Num(self.launches as f64)),
+        ])
+    }
+}
+
+impl FromJson for KernelProfile {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let launches = v.field("launches")?.as_usize()?;
+        Ok(KernelProfile {
+            name: v.field("name")?.as_str()?.to_string(),
+            ops: OpVector::from_json(v.field("ops")?)?,
+            utilization: v.field("utilization")?.as_f64()?,
+            launches: u32::try_from(launches)
+                .map_err(|_| JsonError(format!("launches {launches} out of range")))?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dvfs_types_round_trip() {
+        let op = OperatingPoint {
+            core: DvfsPoint { freq_mhz: 852.0, voltage_v: 1.05 },
+            mem: DvfsPoint { freq_mhz: 924.0, voltage_v: 1.1 },
+        };
+        let back = OperatingPoint::from_json_text(&op.to_json_text()).unwrap();
+        assert_eq!(back.core.freq_mhz.to_bits(), op.core.freq_mhz.to_bits());
+        assert_eq!(back.mem.voltage_v.to_bits(), op.mem.voltage_v.to_bits());
+
+        let s = Setting::new(11, 3);
+        assert_eq!(Setting::from_json_text(&s.to_json_text()).unwrap(), s);
+    }
+
+    #[test]
+    fn setting_decode_validates_ranges() {
+        assert!(Setting::from_json_text(r#"{"core_idx": 99, "mem_idx": 0}"#).is_err());
+        assert!(Setting::from_json_text(r#"{"core_idx": -1, "mem_idx": 0}"#).is_err());
+    }
+
+    #[test]
+    fn op_vector_round_trips_bitwise() {
+        let v = OpVector::from_pairs(&[
+            (OpClass::FlopSp, 1.0 / 3.0),
+            (OpClass::Dram, 6.02e23),
+            (OpClass::L2, 1e-300),
+        ]);
+        let back = OpVector::from_json_text(&v.to_json_text()).unwrap();
+        for (class, count) in v.iter() {
+            assert_eq!(back.get(class).to_bits(), count.to_bits(), "{class:?}");
+        }
+    }
+
+    #[test]
+    fn kernel_profile_round_trips() {
+        let k = KernelProfile::new("p2p", OpVector::from_pairs(&[(OpClass::FlopSp, 27.0)]));
+        let back = KernelProfile::from_json_text(&k.to_json_text()).unwrap();
+        assert_eq!(back.name, k.name);
+        assert_eq!(back.utilization, k.utilization);
+        assert_eq!(back.launches, k.launches);
+        assert_eq!(back.ops, k.ops);
+    }
+
+    #[test]
+    fn unknown_op_class_rejected() {
+        assert!(OpVector::from_json_text(r#"{"warp": 1.0}"#).is_err());
+    }
+}

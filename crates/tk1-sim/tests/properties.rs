@@ -3,7 +3,7 @@
 //! workload the way the underlying physics says they must, for *every*
 //! workload and setting.
 
-use proptest::prelude::*;
+use compat::prop::prelude::*;
 use tk1_sim::{Device, KernelProfile, OpClass, OpVector, Setting, TimingModel};
 
 fn op_vector() -> impl Strategy<Value = OpVector> {

@@ -15,10 +15,7 @@ fn main() {
     let model = fit_model(dataset.training()).model;
 
     println!("\nautotuning each benchmark family over all 105 DVFS settings:");
-    println!(
-        "{:<16} {:>22} {:>22}",
-        "benchmark", "model mispredictions", "oracle mispredictions"
-    );
+    println!("{:<16} {:>22} {:>22}", "benchmark", "model mispredictions", "oracle mispredictions");
     let outcomes = autotune_microbenchmarks(
         &model,
         &[
@@ -62,11 +59,10 @@ fn main() {
         let best = (0..settings.len())
             .min_by(|&a, &b| energies[a].partial_cmp(&energies[b]).unwrap())
             .unwrap();
-        let fastest = (0..settings.len())
-            .min_by(|&a, &b| times[a].partial_cmp(&times[b]).unwrap())
-            .unwrap();
-        let share = BreakdownReport::new(&model, &kernel.ops, settings[best], times[best])
-            .constant_share();
+        let fastest =
+            (0..settings.len()).min_by(|&a, &b| times[a].partial_cmp(&times[b]).unwrap()).unwrap();
+        let share =
+            BreakdownReport::new(&model, &kernel.ops, settings[best], times[best]).constant_share();
         println!(
             "{util:>12.2} {:>15.1}% {:>17.1}%",
             share * 100.0,

@@ -8,10 +8,9 @@
 //!
 //! Run with: `cargo run --release --example energy_breakdown`
 
+use compat::rng::StdRng;
 use fmm_energy::model::experiments::SYSTEM_SETTINGS;
 use fmm_energy::prelude::*;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 fn main() {
     println!("fitting the model ...");

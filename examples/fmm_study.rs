@@ -9,9 +9,8 @@
 //!
 //! Run with: `cargo run --release --example fmm_study`
 
+use compat::rng::StdRng;
 use fmm_energy::prelude::*;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 fn main() {
     let n = 8192;
@@ -31,10 +30,10 @@ fn main() {
     }
 
     // --- The two M2L paths agree. --------------------------------------
-    let dense = FmmEvaluator::new()
-        .evaluate(&FmmPlan::new(&points, &densities, 64, 4, M2lMethod::Dense));
-    let fft = FmmEvaluator::new()
-        .evaluate(&FmmPlan::new(&points, &densities, 64, 4, M2lMethod::Fft));
+    let dense =
+        FmmEvaluator::new().evaluate(&FmmPlan::new(&points, &densities, 64, 4, M2lMethod::Dense));
+    let fft =
+        FmmEvaluator::new().evaluate(&FmmPlan::new(&points, &densities, 64, 4, M2lMethod::Fft));
     println!(
         "dense vs FFT M2L discrepancy: {:.2e} (same operator, different evaluation)",
         relative_l2_error(&fft, &dense)

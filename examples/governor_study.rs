@@ -8,11 +8,10 @@
 //!
 //! Run with: `cargo run --release --example governor_study`
 
+use compat::rng::StdRng;
 use fmm_energy::model::roofline::EnergyRoofline;
 use fmm_energy::platform::{EnergyEstimates, Governor};
 use fmm_energy::prelude::*;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 fn main() {
     // Fit the model (its estimates drive the model-based governor).
@@ -29,8 +28,7 @@ fn main() {
     // Profile the FMM's phases into executable kernels.
     let n = 32_768;
     let mut rng = StdRng::seed_from_u64(7);
-    let pts: Vec<[f64; 3]> =
-        (0..n).map(|_| [rng.random(), rng.random(), rng.random()]).collect();
+    let pts: Vec<[f64; 3]> = (0..n).map(|_| [rng.random(), rng.random(), rng.random()]).collect();
     let den: Vec<f64> = (0..n).map(|_| rng.random::<f64>() - 0.5).collect();
     let plan = FmmPlan::new(&pts, &den, 128, 4, M2lMethod::Fft);
     let kernels = profile_plan(&plan, &CostModel::default()).kernels();
@@ -58,10 +56,11 @@ fn main() {
 
     // Why: the energy roofline per setting.
     println!("\n{}", EnergyRoofline::new(&model).render(Setting::max_performance(), 44));
-    println!("{}", EnergyRoofline::new(&model).render(
-        Setting::from_frequencies(396.0, 204.0).expect("valid setting"),
-        44,
-    ));
+    println!(
+        "{}",
+        EnergyRoofline::new(&model)
+            .render(Setting::from_frequencies(396.0, 204.0).expect("valid setting"), 44,)
+    );
     println!("the FMM's effective intensity sits left of the energy balance at every");
     println!("setting, so constant power dominates and the fastest clocks win — while a");
     println!("saturating high-intensity kernel sits right of it and profits from slowing down.");

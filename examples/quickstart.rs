@@ -13,7 +13,10 @@ use fmm_energy::prelude::*;
 fn main() {
     // 1. Measure.  The default config is the paper's: all five benchmark
     //    families at 103 intensity points across the 16 Table I settings.
-    println!("sweeping microbenchmarks over {} settings ...", SweepConfig::default().settings.len());
+    println!(
+        "sweeping microbenchmarks over {} settings ...",
+        SweepConfig::default().settings.len()
+    );
     let dataset = run_sweep(&SweepConfig::default());
     println!("collected {} samples", dataset.len());
 
@@ -41,11 +44,7 @@ fn main() {
     //    pick the most efficient one.
     let kernel = KernelProfile::new(
         "user-kernel",
-        OpVector::from_pairs(&[
-            (OpClass::FlopSp, 5e9),
-            (OpClass::Int, 1e9),
-            (OpClass::Dram, 5e7),
-        ]),
+        OpVector::from_pairs(&[(OpClass::FlopSp, 5e9), (OpClass::Int, 1e9), (OpClass::Dram, 5e7)]),
     );
     let mut device = Device::new(42);
     let mut best: Option<(f64, Setting)> = None;
@@ -58,11 +57,7 @@ fn main() {
         }
     }
     let (joules, setting) = best.expect("105 settings scanned");
-    println!(
-        "predicted best setting for the kernel: {} ({:.3} J)",
-        setting.label(),
-        joules
-    );
+    println!("predicted best setting for the kernel: {} ({:.3} J)", setting.label(), joules);
     let max_op = Setting::max_performance();
     device.set_operating_point(max_op);
     let t = device.execute(&kernel).duration_s;

@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Hermetic CI for the fmm-energy workspace.
+#
+# The build is zero-dependency by policy (see DESIGN.md): everything
+# must compile and test with --offline, touching no registry, no
+# vendored sources and no [patch] tables.  This script is the contract.
+#
+# Usage: scripts/ci.sh [--with-benches]
+#   --with-benches   also smoke-run every bench target via --quick
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+WITH_BENCHES=0
+for arg in "$@"; do
+    case "$arg" in
+        --with-benches) WITH_BENCHES=1 ;;
+        *) echo "unknown argument: $arg" >&2; exit 2 ;;
+    esac
+done
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo build --release --offline"
+cargo build --release --offline --workspace
+
+echo "==> cargo test -q --offline"
+cargo test -q --offline --workspace
+
+if [[ "$WITH_BENCHES" == 1 ]]; then
+    for bench in numerics model fmm_phases; do
+        echo "==> cargo bench --bench $bench -- --quick"
+        cargo bench --offline -p dvfs-bench --bench "$bench" -- --quick
+    done
+fi
+
+echo "==> OK"

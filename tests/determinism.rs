@@ -1,0 +1,121 @@
+//! Bitwise-determinism guarantees of the reproduction pipeline.
+//!
+//! Every stage of the pipeline is seeded, and the in-tree thread pool
+//! concatenates chunk results in submission order, so the *entire*
+//! pipeline must be a pure function of its seeds: identical bits across
+//! repeated runs and across worker-thread counts.  These tests pin that
+//! contract — a regression here silently invalidates every golden value
+//! and every published number.
+
+use compat::rng::StdRng;
+use dvfs_energy_model::fit_model;
+use dvfs_microbench::{run_sweep, MicrobenchKind, SweepConfig};
+use kifmm::evaluator::{FmmPlan, M2lMethod};
+use kifmm::{profile_plan, CostModel, FmmEvaluator};
+
+fn small_sweep(threads: usize) -> SweepConfig {
+    SweepConfig {
+        kinds: vec![MicrobenchKind::SinglePrecision, MicrobenchKind::L2],
+        trials: 1,
+        seed: 0xD5EED,
+        threads,
+        ..SweepConfig::default()
+    }
+}
+
+#[test]
+fn sweep_samples_are_bitwise_identical_across_runs() {
+    let cfg = small_sweep(0);
+    let a = run_sweep(&cfg);
+    let b = run_sweep(&cfg);
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.samples.iter().zip(&b.samples) {
+        assert_eq!(x.time_s.to_bits(), y.time_s.to_bits());
+        assert_eq!(x.energy_j.to_bits(), y.energy_j.to_bits());
+        assert_eq!(x.setting, y.setting);
+        assert_eq!(x.kind, y.kind);
+    }
+}
+
+#[test]
+fn sweep_samples_are_bitwise_identical_across_thread_counts() {
+    // Workers own whole settings and results are concatenated in chunk
+    // order, so even the *order* must match between thread layouts.
+    let a = run_sweep(&small_sweep(1));
+    for threads in [2, 3, 8] {
+        let b = run_sweep(&small_sweep(threads));
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.samples.iter().zip(&b.samples) {
+            assert_eq!(x.setting, y.setting, "order changed at {threads} threads");
+            assert_eq!(x.time_s.to_bits(), y.time_s.to_bits());
+            assert_eq!(x.energy_j.to_bits(), y.energy_j.to_bits());
+        }
+    }
+}
+
+#[test]
+fn nnls_fit_is_bitwise_reproducible() {
+    let dataset = run_sweep(&small_sweep(0));
+    let a = fit_model(dataset.training());
+    let b = fit_model(dataset.training());
+    for i in 0..a.model.c0_pj_per_v2.len() {
+        assert_eq!(a.model.c0_pj_per_v2[i].to_bits(), b.model.c0_pj_per_v2[i].to_bits());
+    }
+    assert_eq!(a.model.c1_proc_w_per_v.to_bits(), b.model.c1_proc_w_per_v.to_bits());
+    assert_eq!(a.model.c1_mem_w_per_v.to_bits(), b.model.c1_mem_w_per_v.to_bits());
+    assert_eq!(a.model.p_misc_w.to_bits(), b.model.p_misc_w.to_bits());
+    assert_eq!(a.residual_norm_j.to_bits(), b.residual_norm_j.to_bits());
+
+    // A regenerated (identical-seed) dataset must fit to the same bits.
+    let again = run_sweep(&small_sweep(0));
+    let c = fit_model(again.training());
+    assert_eq!(a.model.p_misc_w.to_bits(), c.model.p_misc_w.to_bits());
+    assert_eq!(a.model.c0_pj_per_v2[0].to_bits(), c.model.c0_pj_per_v2[0].to_bits());
+}
+
+fn seeded_cloud(n: usize, seed: u64) -> (Vec<[f64; 3]>, Vec<f64>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let pts: Vec<[f64; 3]> = (0..n).map(|_| [rng.random(), rng.random(), rng.random()]).collect();
+    let den: Vec<f64> = (0..n).map(|_| 2.0 * rng.random::<f64>() - 1.0).collect();
+    (pts, den)
+}
+
+#[test]
+fn fmm_phase_counters_are_identical_across_runs() {
+    let (pts, den) = seeded_cloud(3000, 42);
+    let plan = FmmPlan::new(&pts, &den, 32, 4, M2lMethod::Fft);
+    let a = profile_plan(&plan, &CostModel::default());
+    let b = profile_plan(&plan, &CostModel::default());
+    assert_eq!(a.phases.len(), b.phases.len());
+    for (pa, pb) in a.phases.iter().zip(&b.phases) {
+        assert_eq!(pa.phase, pb.phase);
+        assert_eq!(pa.counters.snapshot(), pb.counters.snapshot(), "{:?}", pa.phase);
+        assert_eq!(pa.launches, pb.launches);
+    }
+}
+
+#[test]
+fn fmm_evaluation_and_counters_are_identical_across_thread_counts() {
+    // This test owns the global thread-count override for its whole
+    // body; it is the only test in this binary that touches it.
+    let (pts, den) = seeded_cloud(2500, 7);
+    let plan = FmmPlan::new(&pts, &den, 32, 4, M2lMethod::Fft);
+
+    compat::par::set_thread_count(Some(1));
+    let base_potentials = FmmEvaluator::new().evaluate(&plan);
+    let base_profile = profile_plan(&plan, &CostModel::default());
+
+    for threads in [2, 4] {
+        compat::par::set_thread_count(Some(threads));
+        let potentials = FmmEvaluator::new().evaluate(&plan);
+        assert_eq!(potentials.len(), base_potentials.len());
+        for (i, (x, y)) in potentials.iter().zip(&base_potentials).enumerate() {
+            assert_eq!(x.to_bits(), y.to_bits(), "potential {i} differs at {threads} threads");
+        }
+        let profile = profile_plan(&plan, &CostModel::default());
+        for (pa, pb) in profile.phases.iter().zip(&base_profile.phases) {
+            assert_eq!(pa.counters.snapshot(), pb.counters.snapshot(), "{:?}", pa.phase);
+        }
+    }
+    compat::par::set_thread_count(None);
+}

@@ -63,8 +63,7 @@ fn fitted_constants_recover_table1_scale() {
 fn fmm_energy_prediction_matches_measurement() {
     let (model, _) = fitted();
     // Profile a scaled-down F7 (N = 16384, Q = 128).
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use compat::rng::StdRng;
     let n = 16_384;
     let mut rng = StdRng::seed_from_u64(8);
     let pts: Vec<[f64; 3]> = (0..n).map(|_| [rng.random(), rng.random(), rng.random()]).collect();
@@ -98,8 +97,7 @@ fn fmm_energy_prediction_matches_measurement() {
 #[test]
 fn fmm_constant_power_dominates_and_microbench_does_not() {
     let (model, _) = fitted();
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use compat::rng::StdRng;
     let n = 8192;
     let mut rng = StdRng::seed_from_u64(13);
     let pts: Vec<[f64; 3]> = (0..n).map(|_| [rng.random(), rng.random(), rng.random()]).collect();
@@ -110,8 +108,8 @@ fn fmm_constant_power_dominates_and_microbench_does_not() {
     let mut device = Device::new(17);
     device.set_operating_point(setting);
     let fmm_time: f64 = profile.kernels().iter().map(|k| device.execute(k).duration_s).sum();
-    let fmm_share = BreakdownReport::new(&model, &profile.total_ops(), setting, fmm_time)
-        .constant_share();
+    let fmm_share =
+        BreakdownReport::new(&model, &profile.total_ops(), setting, fmm_time).constant_share();
 
     let top_sp = MicrobenchKind::SinglePrecision.instance(256.0);
     let micro_time = device.execute(top_sp.kernel()).duration_s;

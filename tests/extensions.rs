@@ -104,15 +104,9 @@ fn model_ablation_orders_by_expressiveness() {
 fn trace_segmentation_recovers_phase_energy() {
     let mut device = Device::new(12);
     let mut meter = PowerMon::new(13);
-    let hot = KernelProfile::new(
-        "hot",
-        OpVector::from_pairs(&[(OpClass::FlopSp, 5e10)]),
-    );
-    let cold = KernelProfile::new(
-        "cold",
-        OpVector::from_pairs(&[(OpClass::Dram, 4e8)]),
-    )
-    .with_utilization(0.4);
+    let hot = KernelProfile::new("hot", OpVector::from_pairs(&[(OpClass::FlopSp, 5e10)]));
+    let cold = KernelProfile::new("cold", OpVector::from_pairs(&[(OpClass::Dram, 4e8)]))
+        .with_utilization(0.4);
     let a = meter.measure(&mut device, &hot);
     let b = meter.measure(&mut device, &cold);
     let mut samples = a.trace.samples().to_vec();
