@@ -66,6 +66,36 @@ fn bench_full_evaluation(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_phase_timings(c: &mut Criterion) {
+    // Per-phase wall-time split via the engine's own instrumentation
+    // (`evaluate_timed`).  The criterion number tracks the timed
+    // evaluate as a whole; the phase split for each size is printed
+    // once so a bench log shows where the time goes (the committable
+    // artifact form of the same data is `scripts/bench_snapshot.sh`).
+    let mut group = c.benchmark_group("phases");
+    group.sample_size(10);
+    for &n in &[8192usize, 32768] {
+        let (pts, den) = cloud(n, 3);
+        let plan = FmmPlan::new(&pts, &den, 64, 4, M2lMethod::Fft);
+        let eval = FmmEvaluator::new();
+        let _ = eval.evaluate(&plan); // warm pool + arenas
+        let (_, t) = eval.evaluate_timed(&plan);
+        eprintln!(
+            "phases/{n}: up={:.3}ms v={:.3}ms x={:.3}ms down={:.3}ms near={:.3}ms total={:.3}ms",
+            t.up_s * 1e3,
+            t.v_s * 1e3,
+            t.x_s * 1e3,
+            t.down_s * 1e3,
+            t.near_s * 1e3,
+            t.total_s * 1e3,
+        );
+        group.bench_with_input(BenchmarkId::new("evaluate_timed", n), &n, |b, _| {
+            b.iter(|| eval.evaluate_timed(black_box(&plan)))
+        });
+    }
+    group.finish();
+}
+
 fn bench_profiling(c: &mut Criterion) {
     // The nvprof-style instrumentation pass at a paper-scale input.
     let (pts, den) = cloud(65536, 4);
@@ -81,6 +111,7 @@ criterion_group!(
     bench_tree_and_lists,
     bench_m2l_methods,
     bench_full_evaluation,
+    bench_phase_timings,
     bench_profiling
 );
 criterion_main!(benches);

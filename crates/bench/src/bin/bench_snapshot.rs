@@ -1,0 +1,158 @@
+//! Phase-timing snapshot for the FMM evaluation engine.
+//!
+//! Runs the standard uniform-cube problem (q = 64, p = 4, FFT M2L) at a
+//! couple of sizes, measures per-phase and total wall time with
+//! [`FmmEvaluator::evaluate_timed`], and writes the medians as JSON —
+//! the artifact `scripts/bench_snapshot.sh` commits as `BENCH_fmm.json`.
+//!
+//! Usage: `bench_snapshot [--out FILE] [--reps K] [--sizes N1,N2,...]`
+//!
+//! `bench_snapshot --check FILE` instead validates that `FILE` parses
+//! with the in-tree JSON reader and has the expected shape — the CI
+//! mode used by `scripts/ci.sh --with-snapshot`.
+
+use compat::json::Json;
+use compat::rng::StdRng;
+use kifmm::evaluator::{FmmPlan, M2lMethod};
+use kifmm::{FmmEvaluator, PhaseTimings};
+
+fn cloud(n: usize, seed: u64) -> (Vec<[f64; 3]>, Vec<f64>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let pts = (0..n).map(|_| [rng.random(), rng.random(), rng.random()]).collect();
+    let den = (0..n).map(|_| 2.0 * rng.random::<f64>() - 1.0).collect();
+    (pts, den)
+}
+
+fn median(xs: &mut [f64]) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    let n = xs.len();
+    if n % 2 == 1 {
+        xs[n / 2]
+    } else {
+        0.5 * (xs[n / 2 - 1] + xs[n / 2])
+    }
+}
+
+fn snapshot_size(n: usize, reps: usize) -> Json {
+    let (pts, den) = cloud(n, 3);
+    let plan = FmmPlan::new(&pts, &den, 64, 4, M2lMethod::Fft);
+    let eval = FmmEvaluator::new();
+    // Warm-up: populates the thread pool and touches the arenas once.
+    let _ = eval.evaluate(&plan);
+    let mut runs: Vec<PhaseTimings> = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let (_, t) = eval.evaluate_timed(&plan);
+        runs.push(t);
+    }
+    let med = |f: fn(&PhaseTimings) -> f64| {
+        let mut xs: Vec<f64> = runs.iter().map(f).collect();
+        median(&mut xs)
+    };
+    Json::obj([
+        ("n", Json::Num(n as f64)),
+        ("q", Json::Num(64.0)),
+        ("p", Json::Num(4.0)),
+        ("m2l", Json::Str("fft".to_string())),
+        ("reps", Json::Num(reps as f64)),
+        (
+            "phase_medians_s",
+            Json::obj([
+                ("up", Json::Num(med(|t| t.up_s))),
+                ("v", Json::Num(med(|t| t.v_s))),
+                ("x", Json::Num(med(|t| t.x_s))),
+                ("down", Json::Num(med(|t| t.down_s))),
+                ("near", Json::Num(med(|t| t.near_s))),
+            ]),
+        ),
+        ("evaluate_median_s", Json::Num(med(|t| t.total_s))),
+    ])
+}
+
+/// Parses a snapshot file with the in-tree JSON reader and checks its
+/// shape; exits non-zero on any mismatch.
+fn check(path: &str) {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("bench_snapshot --check: cannot read {path}: {e}");
+        std::process::exit(1);
+    });
+    let doc = Json::parse(&text).unwrap_or_else(|e| {
+        eprintln!("bench_snapshot --check: {path} is not valid JSON: {e:?}");
+        std::process::exit(1);
+    });
+    let Json::Obj(fields) = &doc else {
+        eprintln!("bench_snapshot --check: top level must be an object");
+        std::process::exit(1);
+    };
+    let get = |key: &str| fields.iter().find(|(k, _)| k == key).map(|(_, v)| v);
+    match get("benchmark") {
+        Some(Json::Str(s)) if s == "fmm_evaluate_phases" => {}
+        other => {
+            eprintln!("bench_snapshot --check: bad benchmark field: {other:?}");
+            std::process::exit(1);
+        }
+    }
+    let Some(Json::Arr(cases)) = get("cases") else {
+        eprintln!("bench_snapshot --check: missing cases array");
+        std::process::exit(1);
+    };
+    for case in cases {
+        let Json::Obj(cf) = case else {
+            eprintln!("bench_snapshot --check: case is not an object");
+            std::process::exit(1);
+        };
+        for key in ["n", "evaluate_median_s", "phase_medians_s"] {
+            if !cf.iter().any(|(k, _)| k == key) {
+                eprintln!("bench_snapshot --check: case missing {key}");
+                std::process::exit(1);
+            }
+        }
+    }
+    println!("bench_snapshot --check: {path} OK ({} cases)", cases.len());
+}
+
+fn main() {
+    let mut out_path = "BENCH_fmm.json".to_string();
+    let mut reps = 7usize;
+    let mut sizes = vec![8192usize, 32768];
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--check" => {
+                let path = args.next().expect("--check needs a path");
+                check(&path);
+                return;
+            }
+            "--out" => out_path = args.next().expect("--out needs a path"),
+            "--reps" => {
+                reps = args.next().and_then(|v| v.parse().ok()).expect("--reps needs a number")
+            }
+            "--sizes" => {
+                let list = args.next().expect("--sizes needs a list");
+                sizes = list
+                    .split(',')
+                    .map(|s| s.trim().parse().expect("size must be an integer"))
+                    .collect();
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let cases: Vec<Json> = sizes
+        .iter()
+        .map(|&n| {
+            eprintln!("bench_snapshot: n = {n} ({reps} reps)...");
+            snapshot_size(n, reps)
+        })
+        .collect();
+    let doc = Json::obj([
+        ("benchmark", Json::Str("fmm_evaluate_phases".to_string())),
+        ("threads", Json::Num(compat::par::num_threads() as f64)),
+        ("cases", Json::Arr(cases)),
+    ]);
+    let text = doc.to_text();
+    std::fs::write(&out_path, format!("{text}\n")).expect("write snapshot");
+    println!("{text}");
+    eprintln!("bench_snapshot: wrote {out_path}");
+}

@@ -1,4 +1,5 @@
-//! Data parallelism over scoped threads with a fixed reduction order.
+//! Data parallelism on a persistent worker pool with a fixed reduction
+//! order.
 //!
 //! Replaces the workspace's `rayon` usage.  The API mirrors the three
 //! call-site shapes the FMM evaluator and direct-sum reference use:
@@ -14,20 +15,62 @@
 //! assert_eq!(odd, vec![1, 3, 5, 7]);
 //! ```
 //!
-//! Determinism: items are split into contiguous chunks, each chunk is
-//! mapped on its own scoped thread, and chunk results are concatenated
-//! in chunk order.  The output order therefore equals sequential order
-//! *regardless of the thread count or scheduling*, so any caller that
-//! reduces the collected vector sequentially is bitwise reproducible
-//! across thread counts — the property the determinism test suite
-//! locks in.
+//! # Execution model
+//!
+//! Workers are spawned lazily on first use and then live for the rest of
+//! the process — a call never pays thread spawn/join latency, which
+//! matters to the FMM evaluator: it issues one parallel region per tree
+//! level per phase, and with scoped threads each of those regions paid a
+//! full spawn/join round trip.  Each parallel call splits its items into
+//! contiguous chunks, runs the first chunk on the calling thread, queues
+//! the rest for the workers, and waits on a completion latch.  While
+//! waiting, the caller executes queued chunks itself ("help-first"
+//! waiting), so nested parallel calls cannot deadlock and no core idles.
+//!
+//! # Determinism
+//!
+//! Items are split into contiguous chunks and chunk results are
+//! concatenated in chunk order.  The output order therefore equals
+//! sequential order *regardless of the thread count or scheduling*, so
+//! any caller that reduces the collected vector sequentially is bitwise
+//! reproducible across thread counts — the property the determinism test
+//! suite locks in.  [`par_for_each_init`] extends the same contract to
+//! in-place writers: each item must write only locations it owns, making
+//! the result independent of which worker (or chunk) processed it.
+//!
+//! # Thread-count resolution
+//!
+//! [`num_threads`] resolves the parallelism width in this order:
+//!
+//! 1. the [`set_thread_count`] override (tests pin this);
+//! 2. the `FMM_ENERGY_THREADS` environment variable (any positive
+//!    integer; values above [`MAX_POOL_WORKERS`] are honored for chunk
+//!    *splitting* but executed by at most that many workers);
+//! 3. `std::thread::available_parallelism()`, capped at
+//!    [`DEFAULT_THREAD_CAP`] — the map regions here saturate memory
+//!    bandwidth well before high core counts, so the *default* stays
+//!    modest; the env var overrides the cap explicitly.
 
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::Duration;
+
+/// Default cap applied to `available_parallelism()` when neither the
+/// [`set_thread_count`] override nor `FMM_ENERGY_THREADS` is set.
+pub const DEFAULT_THREAD_CAP: usize = 8;
+
+/// Hard ceiling on pool workers, whatever the requested width.  Wider
+/// requests still split into that many chunks (chunk-ordered results are
+/// identical either way); they just share these workers.
+pub const MAX_POOL_WORKERS: usize = 64;
 
 /// Global thread-count override (0 = automatic).
 static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
 
-/// Forces the pool to `n` threads (`None` restores automatic sizing).
+/// Forces parallel calls to split into `n` chunks (`None` restores
+/// automatic sizing).
 ///
 /// Intended for determinism tests that compare runs across thread
 /// counts; the computed results are identical either way.
@@ -35,12 +78,11 @@ pub fn set_thread_count(n: Option<usize>) {
     THREAD_OVERRIDE.store(n.unwrap_or(0), Ordering::Relaxed);
 }
 
-/// The worker count used for parallel maps.
+/// The parallelism width used for parallel maps.
 ///
-/// Resolution order: [`set_thread_count`] override, then the
-/// `FMM_ENERGY_THREADS` environment variable, then
-/// `std::thread::available_parallelism()` (capped at 8 — the map
-/// regions here saturate memory bandwidth well before core count).
+/// See the module docs for the resolution order: override, then
+/// `FMM_ENERGY_THREADS`, then `available_parallelism()` capped at
+/// [`DEFAULT_THREAD_CAP`].
 pub fn num_threads() -> usize {
     let forced = THREAD_OVERRIDE.load(Ordering::Relaxed);
     if forced > 0 {
@@ -53,10 +95,220 @@ pub fn num_threads() -> usize {
             }
         }
     }
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(8)
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(DEFAULT_THREAD_CAP)
 }
 
-/// Maps `f` over `items` on scoped threads, preserving input order.
+// ---------------------------------------------------------------------
+// The persistent pool.
+// ---------------------------------------------------------------------
+
+/// A queued chunk of work: the lifetime-erased closure plus the latch of
+/// the parallel region it belongs to.  The submitting call keeps every
+/// borrow in `run` alive until its latch opens, which is what makes the
+/// erasure sound.
+struct Job {
+    run: Box<dyn FnOnce() + Send + 'static>,
+    latch: Arc<Latch>,
+}
+
+/// Completion latch for one parallel region.
+struct Latch {
+    state: Mutex<LatchState>,
+    done: Condvar,
+}
+
+struct LatchState {
+    remaining: usize,
+    panic: Option<Box<dyn std::any::Any + Send>>,
+}
+
+impl Latch {
+    fn new(remaining: usize) -> Self {
+        Latch { state: Mutex::new(LatchState { remaining, panic: None }), done: Condvar::new() }
+    }
+
+    /// Marks one job finished, recording the first panic payload.
+    fn complete(&self, panic: Option<Box<dyn std::any::Any + Send>>) {
+        let mut st = self.state.lock().expect("latch lock");
+        st.remaining -= 1;
+        if st.panic.is_none() {
+            st.panic = panic;
+        }
+        if st.remaining == 0 {
+            self.done.notify_all();
+        }
+    }
+
+    fn is_open(&self) -> bool {
+        self.state.lock().expect("latch lock").remaining == 0
+    }
+
+    fn take_panic(&self) -> Option<Box<dyn std::any::Any + Send>> {
+        self.state.lock().expect("latch lock").panic.take()
+    }
+}
+
+struct Pool {
+    queue: Mutex<VecDeque<Job>>,
+    job_ready: Condvar,
+    spawned: AtomicUsize,
+}
+
+impl Pool {
+    /// Pops and runs one queued job, if any.  Any thread may execute any
+    /// job — ownership of output locations lives in the closures.
+    fn try_run_one(&self) -> bool {
+        let job = self.queue.lock().expect("pool lock").pop_front();
+        match job {
+            Some(job) => {
+                run_job(job);
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+fn run_job(job: Job) {
+    let result = catch_unwind(AssertUnwindSafe(job.run));
+    job.latch.complete(result.err());
+}
+
+fn pool() -> &'static Pool {
+    static POOL: OnceLock<Pool> = OnceLock::new();
+    POOL.get_or_init(|| Pool {
+        queue: Mutex::new(VecDeque::new()),
+        job_ready: Condvar::new(),
+        spawned: AtomicUsize::new(0),
+    })
+}
+
+/// Number of live pool workers (they persist for the process lifetime).
+///
+/// Exposed so tests can assert that repeated parallel calls *reuse*
+/// workers instead of leaking one set per call.
+pub fn pool_workers() -> usize {
+    pool().spawned.load(Ordering::Acquire)
+}
+
+/// Spawns workers until at least `wanted` exist (capped at
+/// [`MAX_POOL_WORKERS`]).  Serialized by the queue mutex so concurrent
+/// callers never over-spawn.
+fn ensure_workers(pool: &'static Pool, wanted: usize) {
+    let wanted = wanted.min(MAX_POOL_WORKERS);
+    if pool.spawned.load(Ordering::Acquire) >= wanted {
+        return;
+    }
+    let _guard = pool.queue.lock().expect("pool lock");
+    let mut have = pool.spawned.load(Ordering::Acquire);
+    while have < wanted {
+        std::thread::Builder::new()
+            .name(format!("compat-par-{have}"))
+            .spawn(move || worker_loop(pool))
+            .expect("spawn pool worker");
+        have += 1;
+    }
+    pool.spawned.store(have, Ordering::Release);
+}
+
+fn worker_loop(pool: &'static Pool) {
+    loop {
+        let job = {
+            let mut q = pool.queue.lock().expect("pool lock");
+            loop {
+                if let Some(job) = q.pop_front() {
+                    break job;
+                }
+                q = pool.job_ready.wait(q).expect("pool wait");
+            }
+        };
+        run_job(job);
+    }
+}
+
+/// Waits for `latch` on drop, helping with queued jobs meanwhile.  Being
+/// a drop guard makes the wait run even when the caller's own chunk
+/// panics — the queued jobs borrow the caller's stack, so unwinding past
+/// them before they finish would be unsound.
+struct WaitGuard<'a> {
+    latch: &'a Latch,
+    pool: &'static Pool,
+}
+
+impl Drop for WaitGuard<'_> {
+    fn drop(&mut self) {
+        loop {
+            if self.latch.is_open() {
+                return;
+            }
+            if self.pool.try_run_one() {
+                continue;
+            }
+            let st = self.latch.state.lock().expect("latch lock");
+            if st.remaining == 0 {
+                return;
+            }
+            // Re-check the queue periodically: a job enqueued by a
+            // *nested* parallel region inside one of our chunks must be
+            // picked up even though it signals a different latch.
+            let _ = self.latch.done.wait_timeout(st, Duration::from_micros(200));
+        }
+    }
+}
+
+/// Runs every task to completion: the first inline on the caller, the
+/// rest on the pool.  Panics from any task are propagated after all
+/// tasks finish.
+fn run_scope<'scope>(tasks: Vec<Box<dyn FnOnce() + Send + 'scope>>) {
+    let mut iter = tasks.into_iter();
+    let Some(first) = iter.next() else { return };
+    let rest: Vec<_> = iter.collect();
+    if rest.is_empty() {
+        first();
+        return;
+    }
+    let pool = pool();
+    ensure_workers(pool, rest.len());
+    let latch = Arc::new(Latch::new(rest.len()));
+    {
+        let mut q = pool.queue.lock().expect("pool lock");
+        for task in rest {
+            // SAFETY: the latch (waited on by `WaitGuard`, even during
+            // unwinding) guarantees every queued closure finishes before
+            // this stack frame is left, so extending the borrow lifetime
+            // to 'static never outlives the borrowed data.
+            let run: Box<dyn FnOnce() + Send + 'static> = unsafe { std::mem::transmute(task) };
+            q.push_back(Job { run, latch: Arc::clone(&latch) });
+        }
+    }
+    pool.job_ready.notify_all();
+    let guard = WaitGuard { latch: &latch, pool };
+    let own = catch_unwind(AssertUnwindSafe(first));
+    drop(guard); // waits for the queued chunks (and helps run them)
+    if let Err(payload) = own {
+        resume_unwind(payload);
+    }
+    if let Some(payload) = latch.take_panic() {
+        resume_unwind(payload);
+    }
+}
+
+/// Splits `items` into at most `threads` contiguous chunks.
+fn make_chunks<I>(items: Vec<I>, threads: usize) -> Vec<Vec<I>> {
+    let chunk_len = items.len().div_ceil(threads);
+    let mut chunks: Vec<Vec<I>> = Vec::with_capacity(threads);
+    let mut it = items.into_iter();
+    loop {
+        let chunk: Vec<I> = it.by_ref().take(chunk_len).collect();
+        if chunk.is_empty() {
+            break;
+        }
+        chunks.push(chunk);
+    }
+    chunks
+}
+
+/// Maps `f` over `items` on the pool, preserving input order.
 pub fn par_map_vec<I, U, F>(items: Vec<I>, f: &F) -> Vec<U>
 where
     I: Send,
@@ -68,28 +320,120 @@ where
     if threads <= 1 || n < 2 {
         return items.into_iter().map(f).collect();
     }
-    let chunk_len = n.div_ceil(threads);
-    let mut chunks: Vec<Vec<I>> = Vec::with_capacity(threads);
-    let mut it = items.into_iter();
-    loop {
-        let chunk: Vec<I> = it.by_ref().take(chunk_len).collect();
-        if chunk.is_empty() {
-            break;
-        }
-        chunks.push(chunk);
-    }
-    let results: Vec<Vec<U>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = chunks
-            .into_iter()
-            .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<U>>()))
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("compat::par worker panicked")).collect()
-    });
+    let chunks = make_chunks(items, threads);
+    let k = chunks.len();
+    let mut slots: Vec<Option<Vec<U>>> = Vec::with_capacity(k);
+    slots.resize_with(k, || None);
+    let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = slots
+        .iter_mut()
+        .zip(chunks)
+        .map(|(slot, chunk)| {
+            let task: Box<dyn FnOnce() + Send + '_> =
+                Box::new(move || *slot = Some(chunk.into_iter().map(f).collect::<Vec<U>>()));
+            task
+        })
+        .collect();
+    run_scope(tasks);
     let mut out = Vec::with_capacity(n);
-    for r in results {
-        out.extend(r);
+    for slot in slots {
+        out.extend(slot.expect("chunk completed"));
     }
     out
+}
+
+/// Runs `f` over `items` on the pool for effect, with one scratch state
+/// per chunk.
+///
+/// `init` builds the chunk-local scratch (reused across the items of the
+/// chunk — the flat-arena evaluator hoists its per-node buffers here),
+/// and `f` consumes one item with that scratch.  Since chunk boundaries
+/// move with the thread count, determinism requires `f` to (a) write
+/// only locations owned by its item and (b) produce values independent
+/// of residual scratch contents.
+pub fn par_for_each_init<I, S, G, F>(items: Vec<I>, init: G, f: F)
+where
+    I: Send,
+    G: Fn() -> S + Sync,
+    F: Fn(&mut S, I) + Sync,
+{
+    let n = items.len();
+    let threads = num_threads().min(n);
+    if threads <= 1 || n < 2 {
+        if n == 0 {
+            return;
+        }
+        let mut scratch = init();
+        for item in items {
+            f(&mut scratch, item);
+        }
+        return;
+    }
+    let init = &init;
+    let f = &f;
+    let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = make_chunks(items, threads)
+        .into_iter()
+        .map(|chunk| {
+            let task: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+                let mut scratch = init();
+                for item in chunk {
+                    f(&mut scratch, item);
+                }
+            });
+            task
+        })
+        .collect();
+    run_scope(tasks);
+}
+
+/// A raw pointer that asserts `Send + Sync`, for parallel tasks writing
+/// *disjoint* regions of one allocation (arena phases of the FMM
+/// evaluator).
+///
+/// Safety is the caller's: tasks must never write overlapping locations
+/// or read a location another task may write.
+#[derive(Debug)]
+pub struct SendPtr<T>(*mut T);
+
+unsafe impl<T> Send for SendPtr<T> {}
+unsafe impl<T> Sync for SendPtr<T> {}
+
+impl<T> Clone for SendPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for SendPtr<T> {}
+
+impl<T> SendPtr<T> {
+    /// Wraps a mutable base pointer (typically `vec.as_mut_ptr()`).
+    pub fn new(ptr: *mut T) -> Self {
+        SendPtr(ptr)
+    }
+
+    /// The raw base pointer.
+    pub fn get(self) -> *mut T {
+        self.0
+    }
+
+    /// A mutable slice at `offset` of length `len`.
+    ///
+    /// # Safety
+    ///
+    /// `offset..offset + len` must be in bounds of the allocation and no
+    /// other live reference (in any thread) may overlap it.
+    pub unsafe fn slice_mut<'a>(self, offset: usize, len: usize) -> &'a mut [T] {
+        std::slice::from_raw_parts_mut(self.0.add(offset), len)
+    }
+
+    /// A shared slice at `offset` of length `len`.
+    ///
+    /// # Safety
+    ///
+    /// `offset..offset + len` must be in bounds and no thread may write
+    /// it while the returned borrow is live.
+    pub unsafe fn slice<'a>(self, offset: usize, len: usize) -> &'a [T] {
+        std::slice::from_raw_parts(self.0.add(offset), len)
+    }
 }
 
 /// A materialized parallel iterator (order-preserving).
@@ -219,5 +563,69 @@ mod tests {
         assert!(empty.is_empty());
         let one: Vec<u8> = vec![9u8].into_par_iter().map(|x| x + 1).collect();
         assert_eq!(one, vec![10]);
+    }
+
+    #[test]
+    fn pool_workers_are_reused_not_leaked() {
+        set_thread_count(Some(4));
+        let _: Vec<usize> = (0..64usize).into_par_iter().map(|i| i).collect();
+        assert!(pool_workers() >= 1, "first parallel call spawns workers");
+        for _ in 0..50 {
+            let _: Vec<usize> = (0..64usize).into_par_iter().map(|i| i + 1).collect();
+        }
+        // Other tests in this binary share the pool and may request up
+        // to 8-way splits concurrently, so the bound is "no growth with
+        // call count", not an exact figure: 51 scoped-thread calls would
+        // have created ~150 threads.
+        assert!(pool_workers() <= 7, "workers leaked: {}", pool_workers());
+        set_thread_count(None);
+    }
+
+    #[test]
+    fn worker_panic_propagates_and_pool_survives() {
+        set_thread_count(Some(4));
+        let attempt = std::panic::catch_unwind(|| {
+            let _: Vec<usize> = (0..64usize)
+                .into_par_iter()
+                .map(|i| if i == 63 { panic!("boom {i}") } else { i })
+                .collect();
+        });
+        assert!(attempt.is_err(), "panic must cross the parallel region");
+        // The pool keeps working afterwards.
+        let out: Vec<usize> = (0..8usize).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(out, vec![0, 2, 4, 6, 8, 10, 12, 14]);
+        set_thread_count(None);
+    }
+
+    #[test]
+    fn for_each_init_writes_disjoint_slots() {
+        set_thread_count(Some(3));
+        let mut out = vec![0u64; 100];
+        let base = SendPtr::new(out.as_mut_ptr());
+        par_for_each_init(
+            (0..100usize).collect(),
+            || 0u64, // per-chunk scratch: a running count of items seen
+            |seen, i| {
+                *seen += 1;
+                unsafe { base.slice_mut(i, 1)[0] = (i as u64) * 7 };
+            },
+        );
+        assert_eq!(out, (0..100).map(|i| i * 7).collect::<Vec<u64>>());
+        set_thread_count(None);
+    }
+
+    #[test]
+    fn nested_parallel_regions_complete() {
+        set_thread_count(Some(4));
+        let out: Vec<u64> = (0..8usize)
+            .into_par_iter()
+            .map(|i| {
+                let inner: Vec<u64> = (0..16u64).into_par_iter().map(|j| j + i as u64).collect();
+                inner.iter().sum()
+            })
+            .collect();
+        let expect: Vec<u64> = (0..8).map(|i| (0..16u64).map(|j| j + i as u64).sum()).collect();
+        assert_eq!(out, expect);
+        set_thread_count(None);
     }
 }

@@ -27,6 +27,9 @@ pub struct FftPlan {
     /// Twiddles for the forward transform, grouped per stage: for stage
     /// with half-block size `len/2`, entries `w^j = e^{-2πi j/len}`.
     twiddles: Vec<Complex>,
+    /// Conjugated twiddles for the inverse transform, same grouping —
+    /// precomputed so the butterfly inner loop is branch-free.
+    inv_twiddles: Vec<Complex>,
     /// Start offset of each stage's twiddle group in `twiddles`.
     stage_offsets: Vec<usize>,
 }
@@ -54,7 +57,8 @@ impl FftPlan {
             }
             len <<= 1;
         }
-        Ok(FftPlan { n, rev, twiddles, stage_offsets })
+        let inv_twiddles = twiddles.iter().map(|w| w.conj()).collect();
+        Ok(FftPlan { n, rev, twiddles, inv_twiddles, stage_offsets })
     }
 
     /// Transform length.
@@ -107,22 +111,150 @@ impl FftPlan {
     }
 
     fn butterflies(&self, data: &mut [Complex], inverse: bool) {
+        let twiddles = if inverse { &self.inv_twiddles } else { &self.twiddles };
         let mut len = 2;
         let mut stage = 0;
         while len <= self.n {
             let half = len / 2;
-            let tw = &self.twiddles[self.stage_offsets[stage]..self.stage_offsets[stage] + half];
+            let tw = &twiddles[self.stage_offsets[stage]..self.stage_offsets[stage] + half];
             for start in (0..self.n).step_by(len) {
                 for j in 0..half {
-                    let w = if inverse { tw[j].conj() } else { tw[j] };
                     let a = data[start + j];
-                    let b = data[start + j + half] * w;
+                    let b = data[start + j + half] * tw[j];
                     data[start + j] = a + b;
                     data[start + j + half] = a - b;
                 }
             }
             len <<= 1;
             stage += 1;
+        }
+    }
+
+    /// Transforms one line of a strided batch without length re-checks:
+    /// the line's elements are `data[base + k*stride]` for `k in 0..n`.
+    /// The permutation and butterflies index through the stride, so no
+    /// gather/scatter copies are needed.  Used by the 3-D cube
+    /// transforms, which call this `3n²` times per cube.
+    ///
+    /// Performs the same operations in the same order as
+    /// [`FftPlan::forward`]/[`FftPlan::inverse`] (the size-8 fast path is
+    /// a pure unrolling using the plan's own twiddle values), so results
+    /// are bitwise identical to the buffered form.
+    #[inline]
+    pub(crate) fn line_strided(
+        &self,
+        data: &mut [Complex],
+        base: usize,
+        stride: usize,
+        inverse: bool,
+    ) {
+        let n = self.n;
+        assert!(base + (n - 1) * stride < data.len(), "line exceeds buffer");
+        if n == 8 {
+            self.line8_strided(data, base, stride, inverse);
+            return;
+        }
+        // Bit-reversal permutation through the stride.
+        for i in 0..n {
+            let j = self.rev[i] as usize;
+            if i < j {
+                data.swap(base + i * stride, base + j * stride);
+            }
+        }
+        let twiddles = if inverse { &self.inv_twiddles } else { &self.twiddles };
+        let mut len = 2;
+        let mut stage = 0;
+        while len <= n {
+            let half = len / 2;
+            let tw = &twiddles[self.stage_offsets[stage]..self.stage_offsets[stage] + half];
+            for start in (0..n).step_by(len) {
+                for (j, &w) in tw.iter().enumerate() {
+                    let ia = base + (start + j) * stride;
+                    let ib = base + (start + j + half) * stride;
+                    // SAFETY: ia, ib < base + n*stride <= data.len(),
+                    // checked by the assert above.
+                    unsafe {
+                        let a = *data.get_unchecked(ia);
+                        let b = *data.get_unchecked(ib) * w;
+                        *data.get_unchecked_mut(ia) = a + b;
+                        *data.get_unchecked_mut(ib) = a - b;
+                    }
+                }
+            }
+            len <<= 1;
+            stage += 1;
+        }
+        if inverse {
+            let scale = 1.0 / n as f64;
+            for k in 0..n {
+                let i = base + k * stride;
+                data[i] = data[i].scale(scale);
+            }
+        }
+    }
+
+    /// Fully unrolled size-8 line transform (`m = 2p` with `p = 4`, the
+    /// default surface order, makes this the hot size).  Loads the line
+    /// into registers in bit-reversed order, runs the 12 butterflies with
+    /// the plan's stored twiddles, and stores back — identical arithmetic
+    /// to the generic path, none of its loop and index overhead.
+    #[inline]
+    fn line8_strided(&self, data: &mut [Complex], base: usize, stride: usize, inverse: bool) {
+        debug_assert_eq!(self.n, 8);
+        let twiddles = if inverse { &self.inv_twiddles } else { &self.twiddles };
+        // stage_offsets for n = 8 are [0, 1, 3]: one len-2 twiddle, two
+        // len-4 twiddles, four len-8 twiddles.
+        let w2 = twiddles[0];
+        let (w4a, w4b) = (twiddles[1], twiddles[2]);
+        let (w8a, w8b, w8c, w8d) = (twiddles[3], twiddles[4], twiddles[5], twiddles[6]);
+        // SAFETY: base + 7*stride < data.len(), checked by the caller's
+        // assert in `line_strided`.
+        unsafe {
+            let at = |k: usize| -> Complex { *data.get_unchecked(base + k * stride) };
+            // Bit-reversed load: rev(8) = [0, 4, 2, 6, 1, 5, 3, 7].
+            let (mut t0, mut t1, mut t2, mut t3) = (at(0), at(4), at(2), at(6));
+            let (mut t4, mut t5, mut t6, mut t7) = (at(1), at(5), at(3), at(7));
+            // Stage 1 (len 2).
+            let b = t1 * w2;
+            (t0, t1) = (t0 + b, t0 - b);
+            let b = t3 * w2;
+            (t2, t3) = (t2 + b, t2 - b);
+            let b = t5 * w2;
+            (t4, t5) = (t4 + b, t4 - b);
+            let b = t7 * w2;
+            (t6, t7) = (t6 + b, t6 - b);
+            // Stage 2 (len 4).
+            let b = t2 * w4a;
+            (t0, t2) = (t0 + b, t0 - b);
+            let b = t3 * w4b;
+            (t1, t3) = (t1 + b, t1 - b);
+            let b = t6 * w4a;
+            (t4, t6) = (t4 + b, t4 - b);
+            let b = t7 * w4b;
+            (t5, t7) = (t5 + b, t5 - b);
+            // Stage 3 (len 8).
+            let b = t4 * w8a;
+            (t0, t4) = (t0 + b, t0 - b);
+            let b = t5 * w8b;
+            (t1, t5) = (t1 + b, t1 - b);
+            let b = t6 * w8c;
+            (t2, t6) = (t2 + b, t2 - b);
+            let b = t7 * w8d;
+            (t3, t7) = (t3 + b, t3 - b);
+            if inverse {
+                let s = 1.0 / 8.0;
+                (t0, t1, t2, t3) = (t0.scale(s), t1.scale(s), t2.scale(s), t3.scale(s));
+                (t4, t5, t6, t7) = (t4.scale(s), t5.scale(s), t6.scale(s), t7.scale(s));
+            }
+            let out = data.as_mut_ptr();
+            *out.add(base) = t0;
+            *out.add(base + stride) = t1;
+            *out.add(base + 2 * stride) = t2;
+            *out.add(base + 3 * stride) = t3;
+            *out.add(base + 4 * stride) = t4;
+            *out.add(base + 5 * stride) = t5;
+            *out.add(base + 6 * stride) = t6;
+            *out.add(base + 7 * stride) = t7;
         }
     }
 }
@@ -162,6 +294,38 @@ mod tests {
         let mut d = vec![Complex::ZERO; 4];
         assert!(plan.forward(&mut d).is_err());
         assert!(plan.inverse(&mut d).is_err());
+    }
+
+    #[test]
+    fn strided_line_matches_buffered_transform_bitwise() {
+        // The 3-D cube driver relies on line_strided (including the
+        // unrolled size-8 fast path) producing exactly the buffered
+        // transform's bits.
+        for n in [2usize, 4, 8, 16] {
+            let plan = FftPlan::new(n).unwrap();
+            for inverse in [false, true] {
+                // Embed the line with stride 3 inside a larger buffer.
+                let stride = 3;
+                let mut strided = vec![Complex::new(9.0, -9.0); n * stride + 1];
+                let mut packed = Vec::with_capacity(n);
+                for k in 0..n {
+                    let v = Complex::new((k as f64 * 0.37).sin(), (k as f64 * 1.3).cos());
+                    strided[1 + k * stride] = v;
+                    packed.push(v);
+                }
+                plan.line_strided(&mut strided, 1, stride, inverse);
+                if inverse {
+                    plan.inverse(&mut packed).unwrap();
+                } else {
+                    plan.forward(&mut packed).unwrap();
+                }
+                for k in 0..n {
+                    let got = strided[1 + k * stride];
+                    assert_eq!(got.re.to_bits(), packed[k].re.to_bits());
+                    assert_eq!(got.im.to_bits(), packed[k].im.to_bits());
+                }
+            }
+        }
     }
 
     #[test]

@@ -42,45 +42,24 @@ fn fft3_with_plan(data: &mut [Complex], n: usize, plan: &FftPlan, inverse: bool)
     if plan.len() != n {
         return Err(crate::FftError::LengthMismatch { expected: n, found: plan.len() });
     }
-    let mut line = vec![Complex::ZERO; n];
-    let run = |line: &mut Vec<Complex>, plan: &FftPlan| -> Result<()> {
-        if inverse {
-            plan.inverse(line)
-        } else {
-            plan.forward(line)
-        }
-    };
+    // Each pass transforms n² lines in place through their stride — no
+    // per-line gather/scatter buffers, no per-line length checks.
     // Along z (contiguous).
     for x in 0..n {
         for y in 0..n {
-            let base = x * n * n + y * n;
-            line.copy_from_slice(&data[base..base + n]);
-            run(&mut line, plan)?;
-            data[base..base + n].copy_from_slice(&line);
+            plan.line_strided(data, x * n * n + y * n, 1, inverse);
         }
     }
     // Along y.
     for x in 0..n {
         for z in 0..n {
-            for y in 0..n {
-                line[y] = data[x * n * n + y * n + z];
-            }
-            run(&mut line, plan)?;
-            for y in 0..n {
-                data[x * n * n + y * n + z] = line[y];
-            }
+            plan.line_strided(data, x * n * n + z, n, inverse);
         }
     }
     // Along x.
     for y in 0..n {
         for z in 0..n {
-            for x in 0..n {
-                line[x] = data[x * n * n + y * n + z];
-            }
-            run(&mut line, plan)?;
-            for x in 0..n {
-                data[x * n * n + y * n + z] = line[x];
-            }
+            plan.line_strided(data, y * n + z, n * n, inverse);
         }
     }
     Ok(())

@@ -1,10 +1,21 @@
 //! The 2D six-phase evaluation engine (dense M2L).
+//!
+//! Runs on the same execution machinery as the 3D engine
+//! ([`crate::evaluator`]): flat per-phase arenas (`node * ns` slices of
+//! one contiguous allocation), the persistent worker pool via
+//! [`par_for_each_init`] with per-chunk scratch, disjoint [`SendPtr`]
+//! slice writes, and cached surface templates
+//! ([`crate::dim2::operators::SurfaceTemplate2`]) instead of per-box
+//! lattice rebuilds.  The same determinism contract holds: every
+//! node-level value is a pure function of finalized inputs, inner loops
+//! run in fixed list order, so results are bitwise identical across
+//! thread counts and repeated evaluations.
 
 use crate::dim2::geometry::{InteractionLists2, QuadTree};
 use crate::dim2::operators::{
-    surface_points_2d, Kernel2, Laplace2, OperatorCache2, RADIUS_INNER_2D, RADIUS_OUTER_2D,
+    Kernel2, Laplace2, OperatorCache2, SurfaceTemplate2, RADIUS_INNER_2D, RADIUS_OUTER_2D,
 };
-use compat::par::{IntoParIterExt, ParSliceExt};
+use compat::par::{par_for_each_init, ParSliceExt, SendPtr};
 
 /// A 2D execution plan.
 pub struct FmmPlan2<K: Kernel2 = Laplace2> {
@@ -18,6 +29,10 @@ pub struct FmmPlan2<K: Kernel2 = Laplace2> {
     pub ops: OperatorCache2,
     /// Surface order.
     pub p: usize,
+    /// Cached unit inner surface (scaled per box by the evaluator).
+    pub tpl_inner: SurfaceTemplate2,
+    /// Cached unit outer surface.
+    pub tpl_outer: SurfaceTemplate2,
 }
 
 impl FmmPlan2<Laplace2> {
@@ -39,7 +54,9 @@ impl<K: Kernel2> FmmPlan2<K> {
         let tree = QuadTree::build(points, densities, q);
         let lists = InteractionLists2::build(&tree);
         let ops = OperatorCache2::build(&kernel, &tree, p);
-        FmmPlan2 { kernel, tree, lists, ops, p }
+        let tpl_inner = SurfaceTemplate2::new(p, RADIUS_INNER_2D);
+        let tpl_outer = SurfaceTemplate2::new(p, RADIUS_OUTER_2D);
+        FmmPlan2 { kernel, tree, lists, ops, p, tpl_inner, tpl_outer }
     }
 
     fn ns(&self) -> usize {
@@ -53,129 +70,149 @@ pub fn evaluate_2d<K: Kernel2>(plan: &FmmPlan2<K>) -> Vec<f64> {
     let ns = plan.ns();
     let n_nodes = tree.nodes.len();
 
-    // UP.
-    let mut up_equiv: Vec<Vec<f64>> = vec![Vec::new(); n_nodes];
+    // UP: bottom-up into a flat equivalent-density arena.
+    struct UpScratch2 {
+        surf: Vec<[f64; 2]>,
+        check: Vec<f64>,
+    }
+    let mut up_equiv = vec![0.0f64; n_nodes * ns];
     for level in (0..tree.levels.len()).rev() {
-        let computed: Vec<(usize, Vec<f64>)> = tree.levels[level]
-            .par_iter()
-            .map(|&ni| {
+        let base = SendPtr::new(up_equiv.as_mut_ptr());
+        par_for_each_init(
+            tree.levels[level].clone(),
+            || UpScratch2 { surf: Vec::new(), check: vec![0.0; ns] },
+            |scr, ni| {
                 let node = &tree.nodes[ni];
-                let equiv = if node.is_leaf() {
-                    let check =
-                        surface_points_2d(plan.p, node.center, node.half_width, RADIUS_OUTER_2D);
+                // SAFETY: every node within a level owns its own slice.
+                let slot = unsafe { base.slice_mut(ni * ns, ns) };
+                if node.is_leaf() {
+                    plan.tpl_outer.scale_into(node.center, node.half_width, &mut scr.surf);
+                    scr.check.fill(0.0);
                     let (s, e) = node.point_range;
-                    let mut pot = vec![0.0; check.len()];
-                    plan.kernel.p2p(&check, &tree.points[s..e], &tree.densities[s..e], &mut pot);
-                    plan.ops.uc2e(node.id.level).matvec(&pot)
+                    plan.kernel.p2p(
+                        &scr.surf,
+                        &tree.points[s..e],
+                        &tree.densities[s..e],
+                        &mut scr.check,
+                    );
+                    plan.ops.uc2e(node.id.level).matvec_into(&scr.check, slot);
                 } else {
-                    let mut acc = vec![0.0; ns];
+                    slot.fill(0.0);
                     for child in node.children.iter().flatten() {
                         let c = &tree.nodes[*child];
-                        let contrib =
-                            plan.ops.m2m(c.id.level, c.id.quadrant()).matvec(&up_equiv[*child]);
-                        for (a, v) in acc.iter_mut().zip(&contrib) {
-                            *a += v;
-                        }
+                        // SAFETY: children live one level deeper and were
+                        // finalized by the previous pass (read-only here).
+                        let cequiv = unsafe { base.slice(*child * ns, ns) };
+                        plan.ops.m2m(c.id.level, c.id.quadrant()).matvec_acc(cequiv, slot);
                     }
-                    acc
-                };
-                (ni, equiv)
-            })
-            .collect();
-        for (ni, equiv) in computed {
-            up_equiv[ni] = equiv;
-        }
+                }
+            },
+        );
     }
 
-    // V (dense) + X into downward-check accumulators.
-    let mut down_check: Vec<Vec<f64>> = vec![vec![0.0; ns]; n_nodes];
-    let v_results: Vec<(usize, Vec<f64>)> = (0..n_nodes)
-        .into_par_iter()
-        .filter(|&ni| !plan.lists.v[ni].is_empty() || !plan.lists.x[ni].is_empty())
-        .map(|ni| {
+    // V (dense M2L) + X, accumulated straight into the down-check arena.
+    let mut down_check = vec![0.0f64; n_nodes * ns];
+    {
+        let targets: Vec<usize> = (0..n_nodes)
+            .filter(|&ni| !plan.lists.v[ni].is_empty() || !plan.lists.x[ni].is_empty())
+            .collect();
+        let base = SendPtr::new(down_check.as_mut_ptr());
+        par_for_each_init(targets, Vec::new, |surf: &mut Vec<[f64; 2]>, ni| {
             let node = &tree.nodes[ni];
             let tid = node.id;
-            let mut acc = vec![0.0; ns];
+            // SAFETY: each target owns its node's slice.
+            let slot = unsafe { base.slice_mut(ni * ns, ns) };
             for &si in &plan.lists.v[ni] {
                 let sid = tree.nodes[si].id;
                 let off = (sid.x as i32 - tid.x as i32, sid.y as i32 - tid.y as i32);
                 let m2l = plan.ops.m2l(tid.level, off).expect("2d m2l cached");
-                let contrib = m2l.matvec(&up_equiv[si]);
-                for (a, v) in acc.iter_mut().zip(&contrib) {
-                    *a += v;
-                }
+                m2l.matvec_acc(&up_equiv[si * ns..(si + 1) * ns], slot);
             }
             if !plan.lists.x[ni].is_empty() {
-                let check =
-                    surface_points_2d(plan.p, node.center, node.half_width, RADIUS_INNER_2D);
+                plan.tpl_inner.scale_into(node.center, node.half_width, surf);
                 for &ci in &plan.lists.x[ni] {
                     let (s, e) = tree.nodes[ci].point_range;
-                    plan.kernel.p2p(&check, &tree.points[s..e], &tree.densities[s..e], &mut acc);
+                    plan.kernel.p2p(surf, &tree.points[s..e], &tree.densities[s..e], slot);
                 }
             }
-            (ni, acc)
-        })
-        .collect();
-    for (ni, acc) in v_results {
-        down_check[ni] = acc;
+        });
     }
 
-    // DOWN: L2L top-down.
-    let mut down_equiv: Vec<Vec<f64>> = vec![Vec::new(); n_nodes];
+    // DOWN: L2L top-down through a flat local-expansion arena.
+    let mut down_equiv = vec![0.0f64; n_nodes * ns];
     for level in 0..tree.levels.len() {
-        let computed: Vec<(usize, Vec<f64>)> = tree.levels[level]
-            .par_iter()
-            .map(|&ni| {
+        let base = SendPtr::new(down_equiv.as_mut_ptr());
+        par_for_each_init(
+            tree.levels[level].clone(),
+            || (),
+            |_, ni| {
                 let node = &tree.nodes[ni];
-                let mut equiv = plan.ops.dc2e(node.id.level).matvec(&down_check[ni]);
+                // SAFETY: every node within a level owns its own slice.
+                let slot = unsafe { base.slice_mut(ni * ns, ns) };
+                plan.ops.dc2e(node.id.level).matvec_into(&down_check[ni * ns..(ni + 1) * ns], slot);
                 if let Some(pi) = node.parent {
-                    if !down_equiv[pi].is_empty() {
-                        let contrib =
-                            plan.ops.l2l(node.id.level, node.id.quadrant()).matvec(&down_equiv[pi]);
-                        for (e, v) in equiv.iter_mut().zip(&contrib) {
-                            *e += v;
-                        }
+                    // SAFETY: the parent was finalized by the previous
+                    // (coarser) pass; read-only here.
+                    let pequiv = unsafe { base.slice(pi * ns, ns) };
+                    plan.ops.l2l(node.id.level, node.id.quadrant()).matvec_acc(pequiv, slot);
+                }
+            },
+        );
+    }
+
+    // Leaf phases: L2P + W + U, scattered straight to the output through
+    // the tree permutation (a bijection; leaf point ranges are disjoint).
+    struct LeafScratch2 {
+        surf: Vec<[f64; 2]>,
+        pot: Vec<f64>,
+    }
+    let mut out = vec![0.0f64; tree.points.len()];
+    {
+        let out_base = SendPtr::new(out.as_mut_ptr());
+        par_for_each_init(
+            tree.leaves(),
+            || LeafScratch2 { surf: Vec::new(), pot: Vec::new() },
+            |scr, li| {
+                let node = &tree.nodes[li];
+                let (s, e) = node.point_range;
+                let targets = &tree.points[s..e];
+                scr.pot.clear();
+                scr.pot.resize(e - s, 0.0);
+                plan.tpl_outer.scale_into(node.center, node.half_width, &mut scr.surf);
+                plan.kernel.p2p(
+                    targets,
+                    &scr.surf,
+                    &down_equiv[li * ns..(li + 1) * ns],
+                    &mut scr.pot,
+                );
+                for &wi in &plan.lists.w[li] {
+                    let wnode = &tree.nodes[wi];
+                    plan.tpl_inner.scale_into(wnode.center, wnode.half_width, &mut scr.surf);
+                    plan.kernel.p2p(
+                        targets,
+                        &scr.surf,
+                        &up_equiv[wi * ns..(wi + 1) * ns],
+                        &mut scr.pot,
+                    );
+                }
+                for &ui in &plan.lists.u[li] {
+                    let (us, ue) = tree.nodes[ui].point_range;
+                    plan.kernel.p2p(
+                        targets,
+                        &tree.points[us..ue],
+                        &tree.densities[us..ue],
+                        &mut scr.pot,
+                    );
+                }
+                for (offset, &v) in scr.pot.iter().enumerate() {
+                    // SAFETY: the permutation is a bijection and leaf
+                    // point ranges partition it — writes are disjoint.
+                    unsafe {
+                        *out_base.get().add(tree.permutation[s + offset]) = v;
                     }
                 }
-                (ni, equiv)
-            })
-            .collect();
-        for (ni, equiv) in computed {
-            down_equiv[ni] = equiv;
-        }
-    }
-
-    // Leaf phases: L2P + W + U.
-    let leaf_results: Vec<((usize, usize), Vec<f64>)> = tree
-        .leaves()
-        .par_iter()
-        .map(|&li| {
-            let node = &tree.nodes[li];
-            let (s, e) = node.point_range;
-            let targets = &tree.points[s..e];
-            let mut pot = vec![0.0; e - s];
-            let equiv_pts =
-                surface_points_2d(plan.p, node.center, node.half_width, RADIUS_OUTER_2D);
-            plan.kernel.p2p(targets, &equiv_pts, &down_equiv[li], &mut pot);
-            for &wi in &plan.lists.w[li] {
-                let wnode = &tree.nodes[wi];
-                let wpts =
-                    surface_points_2d(plan.p, wnode.center, wnode.half_width, RADIUS_INNER_2D);
-                plan.kernel.p2p(targets, &wpts, &up_equiv[wi], &mut pot);
-            }
-            for &ui in &plan.lists.u[li] {
-                let (us, ue) = tree.nodes[ui].point_range;
-                plan.kernel.p2p(targets, &tree.points[us..ue], &tree.densities[us..ue], &mut pot);
-            }
-            ((s, e), pot)
-        })
-        .collect();
-
-    let mut out = vec![0.0; tree.points.len()];
-    for ((s, _), pot) in leaf_results {
-        for (offset, v) in pot.into_iter().enumerate() {
-            out[tree.permutation[s + offset]] = v;
-        }
+            },
+        );
     }
     out
 }

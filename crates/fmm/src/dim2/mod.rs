@@ -21,4 +21,4 @@ pub mod operators;
 
 pub use evaluator::{direct_sum_2d, evaluate_2d, FmmPlan2};
 pub use geometry::{BoxId2, InteractionLists2, Node2, QuadTree};
-pub use operators::{surface_points_2d, Kernel2, Laplace2};
+pub use operators::{surface_points_2d, Kernel2, Laplace2, SurfaceTemplate2};

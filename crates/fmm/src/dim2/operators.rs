@@ -83,6 +83,56 @@ pub fn surface_points_2d(
     out
 }
 
+/// A cached unit surface lattice for one `(p, radius_factor)` pair —
+/// the 2D twin of [`crate::surface::SurfaceTemplate`].  Scaling replaces
+/// the per-box trigonometry-free but allocation-heavy
+/// [`surface_points_2d`] calls in the evaluator's hot loops.
+pub struct SurfaceTemplate2 {
+    p: usize,
+    radius_factor: f64,
+    unit: Vec<[f64; 2]>,
+}
+
+impl SurfaceTemplate2 {
+    /// Builds the unit template (`center = 0`, `half_width = 1`).
+    pub fn new(p: usize, radius_factor: f64) -> Self {
+        SurfaceTemplate2 {
+            p,
+            radius_factor,
+            unit: surface_points_2d(p, [0.0; 2], 1.0, radius_factor),
+        }
+    }
+
+    /// Number of surface points (`4p − 4`).
+    pub fn len(&self) -> usize {
+        self.unit.len()
+    }
+
+    /// True for the degenerate empty template.
+    pub fn is_empty(&self) -> bool {
+        self.unit.is_empty()
+    }
+
+    /// Surface order.
+    pub fn order(&self) -> usize {
+        self.p
+    }
+
+    /// Radius factor.
+    pub fn radius_factor(&self) -> f64 {
+        self.radius_factor
+    }
+
+    /// Writes the template scaled to a concrete box into `out`.
+    pub fn scale_into(&self, center: [f64; 2], half_width: f64, out: &mut Vec<[f64; 2]>) {
+        out.clear();
+        out.reserve(self.unit.len());
+        for u in &self.unit {
+            out.push([center[0] + half_width * u[0], center[1] + half_width * u[1]]);
+        }
+    }
+}
+
 /// Relative offset at a common level, in box widths.
 pub type Offset2 = (i32, i32);
 
@@ -245,6 +295,24 @@ mod tests {
     fn surface_count_is_4p_minus_4() {
         for p in 2..9 {
             assert_eq!(surface_points_2d(p, [0.0; 2], 1.0, 1.0).len(), 4 * p - 4);
+        }
+    }
+
+    #[test]
+    fn surface_template_2d_matches_lattice() {
+        let tpl = SurfaceTemplate2::new(6, RADIUS_INNER_2D);
+        assert_eq!(tpl.len(), 4 * 6 - 4);
+        assert_eq!(tpl.order(), 6);
+        assert_eq!(tpl.radius_factor(), RADIUS_INNER_2D);
+        assert!(!tpl.is_empty());
+        let mut scaled = Vec::new();
+        tpl.scale_into([0.3, -0.7], 0.25, &mut scaled);
+        let direct = surface_points_2d(6, [0.3, -0.7], 0.25, RADIUS_INNER_2D);
+        assert_eq!(scaled.len(), direct.len());
+        for (a, b) in scaled.iter().zip(&direct) {
+            for d in 0..2 {
+                assert!((a[d] - b[d]).abs() < 1e-12, "{a:?} vs {b:?}");
+            }
         }
     }
 

@@ -1,20 +1,58 @@
 //! The six-phase FMM evaluation engine.
 //!
 //! Phases run in the paper's order — UP (P2M + M2M), V (M2L), U (P2P),
-//! W, X, DOWN (L2L + L2P) — with rayon data parallelism inside each
-//! phase: over same-level boxes for the tree passes and over leaves for
-//! the list passes.  Writes are race-free by construction: each parallel
-//! task owns a disjoint target (its box's expansion or its leaf's
-//! contiguous potential range), and all reads are to data finalized in an
-//! earlier level or phase.
+//! W, X, DOWN (L2L + L2P) — with pooled data parallelism (see
+//! [`compat::par`]) inside each phase: over same-level boxes for the
+//! tree passes and over leaves for the list passes.
+//!
+//! # Execution engine
+//!
+//! The engine is allocation-free in steady state:
+//!
+//! * **Flat arenas.** Per-node expansion data (`up_equiv`,
+//!   `down_check`, `down_equiv`) lives in three contiguous `Vec<f64>`
+//!   arenas indexed by `node * ns` rather than per-node boxed vectors.
+//!   Phases write straight into their disjoint arena slices through
+//!   [`SendPtr`] — no collect-then-scatter round trips.
+//! * **Per-chunk scratch.** Each parallel worker chunk carries reusable
+//!   scratch buffers ([`compat::par::par_for_each_init`]): scaled
+//!   surface points, check potentials, FFT grids and SoA staging are
+//!   allocated once per chunk, not once per node.
+//! * **Surface templates.** The unit surface lattice is computed once
+//!   per `(p, radius)` ([`SurfaceTemplate`]) and scaled per box with a
+//!   streaming multiply-add.
+//! * **SoA near field.** The permuted tree points are mirrored once
+//!   into a structure-of-arrays ([`SoaSources`]) inside the plan; the
+//!   U list, P2M and X source loops read per-box
+//!   [`crate::p2p_opt::SoaView`] ranges and
+//!   run the kernel's vectorized [`Kernel::p2p_soa`] /
+//!   [`Kernel::p2p_grad_soa`] fast paths.
+//!
+//! Writes are race-free by construction: each parallel task owns a
+//! disjoint target (its box's arena slice or its leaf's scattered
+//! potential slots), and all reads are to data finalized in an earlier
+//! level or phase.
+//!
+//! # Determinism
+//!
+//! Results are bitwise identical across thread counts and repeated
+//! evaluations: every per-node value is a pure function of inputs
+//! finalized before its phase, inner accumulation loops run in fixed
+//! list order, and the V-phase two-for-one FFT pairing is by fixed
+//! source index — never by chunk boundary.  `evaluate` and
+//! [`FmmEvaluator::evaluate_with_gradient`] share the same potential
+//! arithmetic, so their potentials are bitwise equal too.
 
 use crate::fft_m2l::FftM2l;
 use crate::kernel::{Kernel, LaplaceKernel};
 use crate::lists::InteractionLists;
 use crate::operators::OperatorCache;
-use crate::surface::{surface_point_count, surface_points, RADIUS_INNER, RADIUS_OUTER};
+use crate::p2p_opt::SoaSources;
+use crate::surface::{surface_point_count, SurfaceTemplate, RADIUS_INNER, RADIUS_OUTER};
 use crate::tree::Octree;
-use compat::par::{IntoParIterExt, ParSliceExt};
+use compat::par::{par_for_each_init, SendPtr};
+use dvfs_fft::Complex;
+use std::time::Instant;
 
 /// How the V-list translations are evaluated.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -23,6 +61,28 @@ pub enum M2lMethod {
     Dense,
     /// FFT convolution (the paper's configuration).
     Fft,
+}
+
+/// Wall-clock seconds spent in each evaluation phase.
+///
+/// `near_s` covers the fused leaf pass — L2P, the W list and the U list
+/// all stream over each leaf's targets in one sweep, so they share one
+/// timer.  The phases sum to slightly less than `total_s` (arena
+/// allocation and the output scatter are outside the phase timers).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PhaseTimings {
+    /// UP: P2M at leaves + M2M up the tree.
+    pub up_s: f64,
+    /// V: M2L (FFT or dense) into the downward-check arena.
+    pub v_s: f64,
+    /// X: source points onto downward-check surfaces.
+    pub x_s: f64,
+    /// DOWN: L2L top-down.
+    pub down_s: f64,
+    /// Fused leaf pass: L2P + W + U (+ gradient twins when requested).
+    pub near_s: f64,
+    /// Whole evaluation, including arena setup and the output scatter.
+    pub total_s: f64,
 }
 
 /// An execution plan: tree, lists, and precomputed operators.
@@ -58,6 +118,14 @@ pub struct FmmPlan<K: Kernel = LaplaceKernel> {
     pub p: usize,
     /// V-list evaluation method.
     pub method: M2lMethod,
+    /// The tree's permuted points + densities in SoA layout; each box's
+    /// sources are the contiguous range `soa.range(s, e)` of its
+    /// `point_range`.
+    pub soa: SoaSources,
+    /// Unit surface template at [`RADIUS_INNER`].
+    pub tpl_inner: SurfaceTemplate,
+    /// Unit surface template at [`RADIUS_OUTER`].
+    pub tpl_outer: SurfaceTemplate,
 }
 
 impl FmmPlan<LaplaceKernel> {
@@ -94,13 +162,30 @@ impl<K: Kernel> FmmPlan<K> {
             M2lMethod::Fft => Some(FftM2l::build(&kernel, &tree, p)),
             M2lMethod::Dense => None,
         };
-        FmmPlan { kernel, tree, lists, ops, fft, p, method }
+        let soa = SoaSources::from_points(&tree.points, &tree.densities);
+        let tpl_inner = SurfaceTemplate::new(p, RADIUS_INNER);
+        let tpl_outer = SurfaceTemplate::new(p, RADIUS_OUTER);
+        FmmPlan { kernel, tree, lists, ops, fft, p, method, soa, tpl_inner, tpl_outer }
     }
 
     /// Surface points per box.
     pub fn ns(&self) -> usize {
         surface_point_count(self.p)
     }
+}
+
+/// Per-chunk scratch for the upward pass.
+struct UpScratch {
+    surf: Vec<[f64; 3]>,
+    check: Vec<f64>,
+}
+
+/// Per-chunk scratch for the fused leaf pass.
+struct LeafScratch {
+    surf: Vec<[f64; 3]>,
+    soa: SoaSources,
+    pot: Vec<f64>,
+    grad: Vec<[f64; 3]>,
 }
 
 /// The evaluator.  Stateless; the kernel lives in the plan.
@@ -118,6 +203,14 @@ impl FmmEvaluator {
         self.evaluate_impl(plan, false).0
     }
 
+    /// Like [`FmmEvaluator::evaluate`], additionally reporting wall-clock
+    /// time per phase — the measurement hook the phase benchmarks and
+    /// `scripts/bench_snapshot.sh` build on.
+    pub fn evaluate_timed<K: Kernel>(&self, plan: &FmmPlan<K>) -> (Vec<f64>, PhaseTimings) {
+        let (pot, _, timings) = self.evaluate_impl(plan, false);
+        (pot, timings)
+    }
+
     /// Computes potentials *and* their gradients `∇f(x_i)` (for the
     /// Laplace kernel, `−∇f` is the field — the force per unit charge),
     /// both in the ORIGINAL point order.
@@ -131,7 +224,7 @@ impl FmmEvaluator {
         &self,
         plan: &FmmPlan<K>,
     ) -> (Vec<f64>, Vec<[f64; 3]>) {
-        let (pot, grad) = self.evaluate_impl(plan, true);
+        let (pot, grad, _) = self.evaluate_impl(plan, true);
         (pot, grad.expect("gradient requested"))
     }
 
@@ -139,79 +232,185 @@ impl FmmEvaluator {
         &self,
         plan: &FmmPlan<K>,
         with_grad: bool,
-    ) -> (Vec<f64>, Option<Vec<[f64; 3]>>) {
+    ) -> (Vec<f64>, Option<Vec<[f64; 3]>>, PhaseTimings) {
         let tree = &plan.tree;
         let ns = plan.ns();
         let n_nodes = tree.nodes.len();
+        let mut timings = PhaseTimings::default();
+        let t_total = Instant::now();
 
         // ---- UP: P2M at leaves, M2M bottom-up. ----------------------
-        let mut up_equiv: Vec<Vec<f64>> = vec![Vec::new(); n_nodes];
-        for level in (0..tree.levels.len()).rev() {
-            let computed: Vec<(usize, Vec<f64>)> = tree.levels[level]
-                .par_iter()
-                .map(|&ni| (ni, self.upward_for_node(plan, ni, &up_equiv)))
-                .collect();
-            for (ni, equiv) in computed {
-                up_equiv[ni] = equiv;
+        let t = Instant::now();
+        let mut up_equiv = vec![0.0f64; n_nodes * ns];
+        {
+            let base = SendPtr::new(up_equiv.as_mut_ptr());
+            for level in (0..tree.levels.len()).rev() {
+                par_for_each_init(
+                    tree.levels[level].clone(),
+                    || UpScratch { surf: Vec::new(), check: vec![0.0; ns] },
+                    |scr, ni| {
+                        let node = &tree.nodes[ni];
+                        // SAFETY: each task writes only its own node's
+                        // slice; child reads touch slices finalized in
+                        // the previous (deeper) level iteration.
+                        let slot = unsafe { base.slice_mut(ni * ns, ns) };
+                        if node.is_leaf() {
+                            plan.tpl_outer.scale_into(node.center, node.half_width, &mut scr.surf);
+                            scr.check.fill(0.0);
+                            let (s, e) = node.point_range;
+                            plan.kernel.p2p_soa(&scr.surf, plan.soa.range(s, e), &mut scr.check);
+                            plan.ops.uc2e(node.id.level).matvec_into(&scr.check, slot);
+                        } else {
+                            slot.fill(0.0);
+                            for child in node.children.iter().flatten() {
+                                let cnode = &tree.nodes[*child];
+                                let cequiv = unsafe { base.slice(*child * ns, ns) };
+                                plan.ops
+                                    .m2m(cnode.id.level, cnode.id.octant())
+                                    .matvec_acc(cequiv, slot);
+                            }
+                        }
+                    },
+                );
             }
         }
+        timings.up_s = t.elapsed().as_secs_f64();
 
-        // ---- V: M2L into downward-check accumulators. ---------------
-        let mut down_check: Vec<Vec<f64>> = vec![vec![0.0; ns]; n_nodes];
+        // ---- V: M2L into the downward-check arena. ------------------
+        let t = Instant::now();
+        let mut down_check = vec![0.0f64; n_nodes * ns];
         match plan.method {
             M2lMethod::Fft => {
                 let fft = plan.fft.as_ref().expect("fft plan built");
-                // Forward transforms for every box that appears as a V
-                // source.
-                let mut is_source = vec![false; n_nodes];
+                let glen = fft.grid_len();
+                let hlen = fft.half_len();
+                // Dense slot assignment for every box appearing as a V
+                // source, in node-index order.
+                let mut spec_slot = vec![usize::MAX; n_nodes];
                 for vl in &plan.lists.v {
                     for &s in vl {
-                        is_source[s] = true;
+                        spec_slot[s] = 0;
                     }
                 }
-                let spectra: Vec<Option<Vec<dvfs_fft::Complex>>> = (0..n_nodes)
-                    .into_par_iter()
-                    .map(|ni| {
-                        if is_source[ni] {
-                            Some(fft.source_spectrum(&up_equiv[ni]))
-                        } else {
-                            None
-                        }
-                    })
-                    .collect();
-                let results: Vec<(usize, Vec<f64>)> = (0..n_nodes)
-                    .into_par_iter()
-                    .filter(|&ni| !plan.lists.v[ni].is_empty())
-                    .map(|ni| {
-                        let tid = tree.nodes[ni].id;
-                        let mut acc = fft.new_accumulator();
-                        for &si in &plan.lists.v[ni] {
-                            let sid = tree.nodes[si].id;
-                            let off = (
-                                sid.x as i32 - tid.x as i32,
-                                sid.y as i32 - tid.y as i32,
-                                sid.z as i32 - tid.z as i32,
+                let sources: Vec<usize> =
+                    (0..n_nodes).filter(|&ni| spec_slot[ni] != usize::MAX).collect();
+                for (slot, &s) in sources.iter().enumerate() {
+                    spec_slot[s] = slot;
+                }
+                // Forward transforms, two source boxes per complex FFT,
+                // stored as split re/im Hermitian half-grids for the
+                // multiply-add hot loop.  Pairing is by fixed slot index
+                // (2i, 2i+1), so the spectra — and hence all downstream
+                // bits — do not depend on the thread count.
+                let mut spec_re = vec![0.0f64; sources.len() * hlen];
+                let mut spec_im = vec![0.0f64; sources.len() * hlen];
+                {
+                    let base_re = SendPtr::new(spec_re.as_mut_ptr());
+                    let base_im = SendPtr::new(spec_im.as_mut_ptr());
+                    let pairs: Vec<usize> = (0..sources.len().div_ceil(2)).collect();
+                    par_for_each_init(
+                        pairs,
+                        || vec![Complex::ZERO; glen],
+                        |grid, pi| {
+                            let a = 2 * pi;
+                            let b = a + 1;
+                            let da = &up_equiv[sources[a] * ns..(sources[a] + 1) * ns];
+                            // SAFETY: pair `pi` owns exactly the spectrum
+                            // slots `2pi` and `2pi + 1`.
+                            let (ra, ia) = unsafe {
+                                (
+                                    base_re.slice_mut(a * hlen, hlen),
+                                    base_im.slice_mut(a * hlen, hlen),
+                                )
+                            };
+                            if b < sources.len() {
+                                let db = &up_equiv[sources[b] * ns..(sources[b] + 1) * ns];
+                                let (rb, ib) = unsafe {
+                                    (
+                                        base_re.slice_mut(b * hlen, hlen),
+                                        base_im.slice_mut(b * hlen, hlen),
+                                    )
+                                };
+                                fft.source_spectrum_half_pair_into(da, db, grid, ra, ia, rb, ib);
+                            } else {
+                                fft.source_spectrum_half_into(da, grid, ra, ia);
+                            }
+                        },
+                    );
+                }
+                // Per-target frequency-domain accumulation, finished
+                // straight into the down-check arena.  Targets are
+                // processed in fixed-index pairs (2i, 2i+1) so two
+                // accumulators share one packed inverse transform —
+                // pairing by slot keeps the (rounding-level) cross-talk
+                // of the packed inverse independent of the thread count.
+                let targets: Vec<usize> =
+                    (0..n_nodes).filter(|&ni| !plan.lists.v[ni].is_empty()).collect();
+                let base = SendPtr::new(down_check.as_mut_ptr());
+                let accumulate_target = |ni: usize, acc_re: &mut [f64], acc_im: &mut [f64]| {
+                    let tid = tree.nodes[ni].id;
+                    acc_re.fill(0.0);
+                    acc_im.fill(0.0);
+                    for &si in &plan.lists.v[ni] {
+                        let sid = tree.nodes[si].id;
+                        let off = (
+                            sid.x as i32 - tid.x as i32,
+                            sid.y as i32 - tid.y as i32,
+                            sid.z as i32 - tid.z as i32,
+                        );
+                        let slot_i = spec_slot[si] * hlen;
+                        let ok = fft.accumulate_split(
+                            tid.level,
+                            off,
+                            &spec_re[slot_i..slot_i + hlen],
+                            &spec_im[slot_i..slot_i + hlen],
+                            acc_re,
+                            acc_im,
+                        );
+                        debug_assert!(ok, "spectrum for every realized offset");
+                    }
+                };
+                let tpairs: Vec<usize> = (0..targets.len().div_ceil(2)).collect();
+                par_for_each_init(
+                    tpairs,
+                    || {
+                        (
+                            vec![0.0f64; hlen],
+                            vec![0.0f64; hlen],
+                            vec![0.0f64; hlen],
+                            vec![0.0f64; hlen],
+                            vec![Complex::ZERO; glen],
+                        )
+                    },
+                    |(a_re, a_im, b_re, b_im, cgrid), pi| {
+                        let na = targets[2 * pi];
+                        accumulate_target(na, a_re, a_im);
+                        // SAFETY: each V target owns its node's slice,
+                        // and each pair owns two distinct targets.
+                        let slot_a = unsafe { base.slice_mut(na * ns, ns) };
+                        if let Some(&nb) = targets.get(2 * pi + 1) {
+                            accumulate_target(nb, b_re, b_im);
+                            let slot_b = unsafe { base.slice_mut(nb * ns, ns) };
+                            fft.finish_split_acc_pair_into(
+                                a_re, a_im, b_re, b_im, cgrid, slot_a, slot_b,
                             );
-                            let spec = spectra[si].as_ref().expect("source spectrum");
-                            let ok = fft.accumulate(tid.level, off, spec, &mut acc);
-                            debug_assert!(ok, "spectrum for every realized offset");
+                        } else {
+                            fft.finish_split_acc_into(a_re, a_im, cgrid, slot_a);
                         }
-                        (ni, fft.finish(acc))
-                    })
-                    .collect();
-                for (ni, pot) in results {
-                    for (d, p) in down_check[ni].iter_mut().zip(&pot) {
-                        *d += p;
-                    }
-                }
+                    },
+                );
             }
             M2lMethod::Dense => {
-                let results: Vec<(usize, Vec<f64>)> = (0..n_nodes)
-                    .into_par_iter()
-                    .filter(|&ni| !plan.lists.v[ni].is_empty())
-                    .map(|ni| {
+                let targets: Vec<usize> =
+                    (0..n_nodes).filter(|&ni| !plan.lists.v[ni].is_empty()).collect();
+                let base = SendPtr::new(down_check.as_mut_ptr());
+                par_for_each_init(
+                    targets,
+                    || (),
+                    |_, ni| {
                         let tid = tree.nodes[ni].id;
-                        let mut acc = vec![0.0; ns];
+                        // SAFETY: each V target owns its node's slice.
+                        let slot = unsafe { base.slice_mut(ni * ns, ns) };
                         for &si in &plan.lists.v[ni] {
                             let sid = tree.nodes[si].id;
                             let off = (
@@ -220,162 +419,140 @@ impl FmmEvaluator {
                                 sid.z as i32 - tid.z as i32,
                             );
                             let m2l = plan.ops.m2l(tid.level, off).expect("operator cached");
-                            let contrib = m2l.matvec(&up_equiv[si]);
-                            for (a, c) in acc.iter_mut().zip(&contrib) {
-                                *a += c;
-                            }
+                            m2l.matvec_acc(&up_equiv[si * ns..(si + 1) * ns], slot);
                         }
-                        (ni, acc)
-                    })
-                    .collect();
-                for (ni, pot) in results {
-                    for (d, p) in down_check[ni].iter_mut().zip(&pot) {
-                        *d += p;
-                    }
-                }
+                    },
+                );
             }
         }
+        timings.v_s = t.elapsed().as_secs_f64();
 
         // ---- X: source points onto downward-check surfaces. ---------
-        let x_results: Vec<(usize, Vec<f64>)> = (0..n_nodes)
-            .into_par_iter()
-            .filter(|&ni| !plan.lists.x[ni].is_empty())
-            .map(|ni| {
+        let t = Instant::now();
+        {
+            let targets: Vec<usize> =
+                (0..n_nodes).filter(|&ni| !plan.lists.x[ni].is_empty()).collect();
+            let base = SendPtr::new(down_check.as_mut_ptr());
+            par_for_each_init(targets, Vec::new, |surf: &mut Vec<[f64; 3]>, ni| {
                 let node = &tree.nodes[ni];
-                let check = surface_points(plan.p, node.center, node.half_width, RADIUS_INNER);
-                let mut acc = vec![0.0; ns];
+                plan.tpl_inner.scale_into(node.center, node.half_width, surf);
+                // SAFETY: each X target owns its node's slice.
+                let slot = unsafe { base.slice_mut(ni * ns, ns) };
                 for &ci in &plan.lists.x[ni] {
                     let (s, e) = tree.nodes[ci].point_range;
-                    plan.kernel.p2p(&check, &tree.points[s..e], &tree.densities[s..e], &mut acc);
+                    plan.kernel.p2p_soa(surf, plan.soa.range(s, e), slot);
                 }
-                (ni, acc)
-            })
-            .collect();
-        for (ni, pot) in x_results {
-            for (d, p) in down_check[ni].iter_mut().zip(&pot) {
-                *d += p;
+            });
+        }
+        timings.x_s = t.elapsed().as_secs_f64();
+
+        // ---- DOWN: L2L top-down. -------------------------------------
+        let t = Instant::now();
+        let mut down_equiv = vec![0.0f64; n_nodes * ns];
+        {
+            let base = SendPtr::new(down_equiv.as_mut_ptr());
+            for level in 0..tree.levels.len() {
+                par_for_each_init(
+                    tree.levels[level].clone(),
+                    || (),
+                    |_, ni| {
+                        let node = &tree.nodes[ni];
+                        // SAFETY: each task writes only its own node's
+                        // slice; the parent read touches a slice finalized
+                        // in the previous (shallower) level iteration.
+                        let slot = unsafe { base.slice_mut(ni * ns, ns) };
+                        plan.ops
+                            .dc2e(node.id.level)
+                            .matvec_into(&down_check[ni * ns..(ni + 1) * ns], slot);
+                        if let Some(pi) = node.parent {
+                            let pequiv = unsafe { base.slice(pi * ns, ns) };
+                            plan.ops.l2l(node.id.level, node.id.octant()).matvec_acc(pequiv, slot);
+                        }
+                    },
+                );
             }
         }
+        timings.down_s = t.elapsed().as_secs_f64();
 
-        // ---- DOWN (part 1): L2L top-down. ----------------------------
-        let mut down_equiv: Vec<Vec<f64>> = vec![Vec::new(); n_nodes];
-        for level in 0..tree.levels.len() {
-            let computed: Vec<(usize, Vec<f64>)> = tree.levels[level]
-                .par_iter()
-                .map(|&ni| {
-                    let node = &tree.nodes[ni];
-                    let mut equiv = plan.ops.dc2e(node.id.level).matvec(&down_check[ni]);
-                    if let Some(pi) = node.parent {
-                        if !down_equiv[pi].is_empty() {
-                            let l2l = plan.ops.l2l(node.id.level, node.id.octant());
-                            let from_parent = l2l.matvec(&down_equiv[pi]);
-                            for (e, f) in equiv.iter_mut().zip(&from_parent) {
-                                *e += f;
-                            }
+        // ---- Fused leaf pass: L2P + W + U, scattered in place. -------
+        let t = Instant::now();
+        let n_points = tree.points.len();
+        let mut out = vec![0.0f64; n_points];
+        let mut out_grad = if with_grad { Some(vec![[0.0f64; 3]; n_points]) } else { None };
+        {
+            let out_base = SendPtr::new(out.as_mut_ptr());
+            let grad_base = out_grad.as_mut().map(|g| SendPtr::new(g.as_mut_ptr()));
+            par_for_each_init(
+                tree.leaves(),
+                || LeafScratch {
+                    surf: Vec::new(),
+                    soa: SoaSources::with_capacity(ns),
+                    pot: Vec::new(),
+                    grad: Vec::new(),
+                },
+                |scr, li| {
+                    let node = &tree.nodes[li];
+                    let (s, e) = node.point_range;
+                    let targets = &tree.points[s..e];
+                    scr.pot.clear();
+                    scr.pot.resize(e - s, 0.0);
+                    if with_grad {
+                        scr.grad.clear();
+                        scr.grad.resize(e - s, [0.0; 3]);
+                    }
+                    // L2P: evaluate the local expansion.
+                    let stage = |scr: &mut LeafScratch, equiv: &[f64]| {
+                        scr.soa.clear();
+                        for (pt, &q) in scr.surf.iter().zip(equiv) {
+                            scr.soa.push(*pt, q);
+                        }
+                    };
+                    plan.tpl_outer.scale_into(node.center, node.half_width, &mut scr.surf);
+                    stage(scr, &down_equiv[li * ns..(li + 1) * ns]);
+                    plan.kernel.p2p_soa(targets, scr.soa.view(), &mut scr.pot);
+                    if with_grad {
+                        plan.kernel.p2p_grad_soa(targets, scr.soa.view(), &mut scr.grad);
+                    }
+                    // W: multipoles of W-list boxes evaluated directly.
+                    for &wi in &plan.lists.w[li] {
+                        let wnode = &tree.nodes[wi];
+                        plan.tpl_inner.scale_into(wnode.center, wnode.half_width, &mut scr.surf);
+                        stage(scr, &up_equiv[wi * ns..(wi + 1) * ns]);
+                        plan.kernel.p2p_soa(targets, scr.soa.view(), &mut scr.pot);
+                        if with_grad {
+                            plan.kernel.p2p_grad_soa(targets, scr.soa.view(), &mut scr.grad);
                         }
                     }
-                    (ni, equiv)
-                })
-                .collect();
-            for (ni, equiv) in computed {
-                down_equiv[ni] = equiv;
-            }
-        }
-
-        // ---- Leaf phases: L2P + W + U, writing disjoint ranges. ------
-        type LeafResult = ((usize, usize), Vec<f64>, Option<Vec<[f64; 3]>>);
-        let leaves = tree.leaves();
-        let leaf_results: Vec<LeafResult> = leaves
-            .par_iter()
-            .map(|&li| {
-                let node = &tree.nodes[li];
-                let (s, e) = node.point_range;
-                let targets = &tree.points[s..e];
-                let mut pot = vec![0.0; e - s];
-                let mut grad = if with_grad { Some(vec![[0.0; 3]; e - s]) } else { None };
-                // L2P: evaluate the local expansion.
-                let equiv_pts = surface_points(plan.p, node.center, node.half_width, RADIUS_OUTER);
-                plan.kernel.p2p(targets, &equiv_pts, &down_equiv[li], &mut pot);
-                if let Some(g) = grad.as_mut() {
-                    plan.kernel.p2p_grad(targets, &equiv_pts, &down_equiv[li], g);
-                }
-                // W: multipoles of W-list boxes evaluated directly.
-                for &wi in &plan.lists.w[li] {
-                    let wnode = &tree.nodes[wi];
-                    let wequiv_pts =
-                        surface_points(plan.p, wnode.center, wnode.half_width, RADIUS_INNER);
-                    plan.kernel.p2p(targets, &wequiv_pts, &up_equiv[wi], &mut pot);
-                    if let Some(g) = grad.as_mut() {
-                        plan.kernel.p2p_grad(targets, &wequiv_pts, &up_equiv[wi], g);
+                    // U: direct near-field over SoA source ranges.
+                    for &ui in &plan.lists.u[li] {
+                        let (us, ue) = tree.nodes[ui].point_range;
+                        plan.kernel.p2p_soa(targets, plan.soa.range(us, ue), &mut scr.pot);
+                        if with_grad {
+                            plan.kernel.p2p_grad_soa(
+                                targets,
+                                plan.soa.range(us, ue),
+                                &mut scr.grad,
+                            );
+                        }
                     }
-                }
-                // U: direct near-field.
-                for &ui in &plan.lists.u[li] {
-                    let (us, ue) = tree.nodes[ui].point_range;
-                    plan.kernel.p2p(
-                        targets,
-                        &tree.points[us..ue],
-                        &tree.densities[us..ue],
-                        &mut pot,
-                    );
-                    if let Some(g) = grad.as_mut() {
-                        plan.kernel.p2p_grad(
-                            targets,
-                            &tree.points[us..ue],
-                            &tree.densities[us..ue],
-                            g,
-                        );
+                    // Scatter straight to original point order.
+                    // SAFETY: the permutation is a bijection and leaf
+                    // point ranges are disjoint, so no two leaves write
+                    // the same output slot.
+                    for (offset, &v) in scr.pot.iter().enumerate() {
+                        unsafe { *out_base.get().add(tree.permutation[s + offset]) = v };
                     }
-                }
-                ((s, e), pot, grad)
-            })
-            .collect();
-
-        // Scatter to original order.
-        let mut out = vec![0.0; tree.points.len()];
-        let mut out_grad = if with_grad { Some(vec![[0.0; 3]; tree.points.len()]) } else { None };
-        for ((s, _e), pot, grad) in leaf_results {
-            for (offset, v) in pot.into_iter().enumerate() {
-                out[tree.permutation[s + offset]] = v;
-            }
-            if let (Some(og), Some(g)) = (out_grad.as_mut(), grad) {
-                for (offset, v) in g.into_iter().enumerate() {
-                    og[tree.permutation[s + offset]] = v;
-                }
-            }
+                    if let Some(gb) = grad_base {
+                        for (offset, &v) in scr.grad.iter().enumerate() {
+                            unsafe { *gb.get().add(tree.permutation[s + offset]) = v };
+                        }
+                    }
+                },
+            );
         }
-        (out, out_grad)
-    }
-
-    /// P2M for leaves, M2M for internal nodes.
-    fn upward_for_node<K: Kernel>(
-        &self,
-        plan: &FmmPlan<K>,
-        ni: usize,
-        up_equiv: &[Vec<f64>],
-    ) -> Vec<f64> {
-        let tree = &plan.tree;
-        let node = &tree.nodes[ni];
-        let level = node.id.level;
-        if node.is_leaf() {
-            let check = surface_points(plan.p, node.center, node.half_width, RADIUS_OUTER);
-            let mut check_pot = vec![0.0; check.len()];
-            let (s, e) = node.point_range;
-            plan.kernel.p2p(&check, &tree.points[s..e], &tree.densities[s..e], &mut check_pot);
-            plan.ops.uc2e(level).matvec(&check_pot)
-        } else {
-            let ns = plan.ns();
-            let mut equiv = vec![0.0; ns];
-            for child in node.children.iter().flatten() {
-                let cnode = &tree.nodes[*child];
-                let m2m = plan.ops.m2m(cnode.id.level, cnode.id.octant());
-                let contrib = m2m.matvec(&up_equiv[*child]);
-                for (a, c) in equiv.iter_mut().zip(&contrib) {
-                    *a += c;
-                }
-            }
-            equiv
-        }
+        timings.near_s = t.elapsed().as_secs_f64();
+        timings.total_s = t_total.elapsed().as_secs_f64();
+        (out, out_grad, timings)
     }
 }
 
@@ -537,5 +714,38 @@ mod tests {
         let doubled = FmmEvaluator::new().evaluate(&plan2);
         let err = relative_l2_error(&doubled, &base.iter().map(|p| 2.0 * p).collect::<Vec<_>>());
         assert!(err < 1e-12, "linearity: {err}");
+    }
+
+    #[test]
+    fn repeated_evaluations_on_warm_pool_are_bitwise_stable() {
+        // One plan evaluated many times: results must be bitwise
+        // identical run to run, and the persistent pool must not grow a
+        // fresh set of workers per call (pre-pool, 6 evaluations × every
+        // parallel region would each have spawned their own threads).
+        let (pts, den) = random_problem(900, 33);
+        let plan = FmmPlan::new(&pts, &den, 32, 4, M2lMethod::Fft);
+        let ev = FmmEvaluator::new();
+        let first = ev.evaluate(&plan);
+        for _ in 0..5 {
+            assert_eq!(ev.evaluate(&plan), first);
+        }
+        assert!(
+            compat::par::pool_workers() <= compat::par::MAX_POOL_WORKERS,
+            "worker count is bounded by the pool cap, not by call count"
+        );
+    }
+
+    #[test]
+    fn evaluate_timed_reports_coherent_phase_times() {
+        let (pts, den) = random_problem(1200, 41);
+        let plan = FmmPlan::new(&pts, &den, 40, 4, M2lMethod::Fft);
+        let (pot, t) = FmmEvaluator::new().evaluate_timed(&plan);
+        assert_eq!(pot, FmmEvaluator::new().evaluate(&plan), "timing changes nothing");
+        assert!(t.total_s > 0.0);
+        for phase in [t.up_s, t.v_s, t.x_s, t.down_s, t.near_s] {
+            assert!(phase >= 0.0 && phase <= t.total_s);
+        }
+        let sum = t.up_s + t.v_s + t.x_s + t.down_s + t.near_s;
+        assert!(sum <= t.total_s * 1.01, "phases nest inside the total: {sum} vs {}", t.total_s);
     }
 }

@@ -6,6 +6,7 @@
 //! only requires the ability to *evaluate* the kernel, which is the trait
 //! boundary here.
 
+use crate::p2p_opt::{p2p_soa_grad_view, p2p_soa_view, SoaView};
 use dvfs_linalg::Matrix;
 
 /// A translation-invariant interaction kernel.
@@ -75,6 +76,47 @@ pub trait Kernel: Sync {
             out[i] += acc;
         }
     }
+
+    /// [`Kernel::p2p`] over a structure-of-arrays source range — the
+    /// evaluator's near-field fast path.
+    ///
+    /// The default walks `eval` in the same order as `p2p`, so a kernel
+    /// that overrides neither gets bit-identical results from both entry
+    /// points; kernels with a tuned SoA inner loop (Laplace) override
+    /// this with the vectorized form.
+    fn p2p_soa(&self, targets: &[[f64; 3]], sources: SoaView<'_>, out: &mut [f64]) {
+        debug_assert_eq!(targets.len(), out.len());
+        for (i, &t) in targets.iter().enumerate() {
+            let mut acc = 0.0;
+            for j in 0..sources.len() {
+                let s = [sources.x[j], sources.y[j], sources.z[j]];
+                acc += self.eval(t, s) * sources.q[j];
+            }
+            out[i] += acc;
+        }
+    }
+
+    /// [`Kernel::p2p_grad`] over a structure-of-arrays source range.
+    ///
+    /// Same contract as [`Kernel::p2p_soa`]: the default matches the
+    /// naive gradient loop exactly; Laplace overrides with the unrolled
+    /// branch-free kernel.
+    fn p2p_grad_soa(&self, targets: &[[f64; 3]], sources: SoaView<'_>, out: &mut [[f64; 3]]) {
+        debug_assert_eq!(targets.len(), out.len());
+        for (i, &t) in targets.iter().enumerate() {
+            let mut acc = [0.0; 3];
+            for j in 0..sources.len() {
+                let s = [sources.x[j], sources.y[j], sources.z[j]];
+                let g = self.eval_grad(t, s);
+                acc[0] += g[0] * sources.q[j];
+                acc[1] += g[1] * sources.q[j];
+                acc[2] += g[2] * sources.q[j];
+            }
+            out[i][0] += acc[0];
+            out[i][1] += acc[1];
+            out[i][2] += acc[2];
+        }
+    }
 }
 
 /// The single-layer Laplace kernel `1/(4π r)`, with the self-interaction
@@ -108,6 +150,14 @@ impl Kernel for LaplaceKernel {
         }
         let inv = -1.0 / (4.0 * std::f64::consts::PI * r2 * r2.sqrt());
         [dx * inv, dy * inv, dz * inv]
+    }
+
+    fn p2p_soa(&self, targets: &[[f64; 3]], sources: SoaView<'_>, out: &mut [f64]) {
+        p2p_soa_view(targets, sources, out);
+    }
+
+    fn p2p_grad_soa(&self, targets: &[[f64; 3]], sources: SoaView<'_>, out: &mut [[f64; 3]]) {
+        p2p_soa_grad_view(targets, sources, out);
     }
 }
 
@@ -221,6 +271,28 @@ mod tests {
     #[should_panic(expected = "screening")]
     fn negative_screening_rejected() {
         let _ = YukawaKernel::new(-1.0);
+    }
+
+    #[test]
+    fn default_soa_entry_point_matches_p2p_bitwise() {
+        // A kernel that overrides neither path (Yukawa) must agree with
+        // itself exactly, whichever entry point the evaluator uses.
+        use crate::p2p_opt::SoaSources;
+        let k = YukawaKernel::new(1.5);
+        let t = [[0.1, 0.2, 0.3], [0.9, 0.8, 0.7], [0.5, 0.1, 0.6]];
+        let s = [[0.3, 0.3, 0.3], [0.1, 0.2, 0.3], [0.7, 0.2, 0.9], [0.4, 0.6, 0.1]];
+        let q = [1.0, -0.5, 0.25, 2.0];
+        let soa = SoaSources::from_points(&s, &q);
+        let mut aos = vec![0.0; 3];
+        k.p2p(&t, &s, &q, &mut aos);
+        let mut via_soa = vec![0.0; 3];
+        k.p2p_soa(&t, soa.view(), &mut via_soa);
+        assert_eq!(aos, via_soa);
+        let mut aos_g = vec![[0.0; 3]; 3];
+        k.p2p_grad(&t, &s, &q, &mut aos_g);
+        let mut soa_g = vec![[0.0; 3]; 3];
+        k.p2p_grad_soa(&t, soa.view(), &mut soa_g);
+        assert_eq!(aos_g, soa_g);
     }
 
     #[test]

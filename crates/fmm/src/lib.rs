@@ -25,7 +25,8 @@
 //!   makes the V list memory-bandwidth-bound (low arithmetic intensity),
 //!   in contrast to the compute-bound U list — the intensity dichotomy
 //!   the paper's energy analysis revolves around.
-//! * [`evaluator`] — the rayon-parallel six-phase evaluation engine.
+//! * [`evaluator`] — the pool-parallel, flat-arena six-phase evaluation
+//!   engine (persistent workers, SoA near field; see its module docs).
 //! * [`instrument`] — nvprof-style profiling: analytic instruction
 //!   counts plus the cache-hierarchy simulator produce the Table III
 //!   counters for each phase.
@@ -47,12 +48,13 @@ pub mod surface;
 pub mod tree;
 
 pub use accuracy::{direct_sum, direct_sum_with, relative_l2_error};
-pub use evaluator::{FmmEvaluator, FmmPlan};
+pub use evaluator::{FmmEvaluator, FmmPlan, PhaseTimings};
 pub use instrument::{profile_plan, CostModel, FmmProfile, PhaseProfile};
 pub use kernel::{Kernel, LaplaceKernel, YukawaKernel};
 pub use lists::InteractionLists;
-pub use p2p_opt::{p2p_soa, SoaSources};
+pub use p2p_opt::{p2p_soa, p2p_soa_grad, SoaSources, SoaView};
 pub use stats::TreeStats;
+pub use surface::SurfaceTemplate;
 pub use tree::{BoxId, Node, Octree};
 
 /// The evaluation phases of the FMM, in execution order.

@@ -1,4 +1,4 @@
-//! An optimized direct-interaction (P2P) kernel.
+//! Optimized direct-interaction (P2P) kernels.
 //!
 //! The paper's U-list phase is the compute-bound heart of the FMM, and
 //! its implementation quality decides whether the phase sits near the
@@ -13,11 +13,15 @@
 //! * 4-way manual unrolling of the target loop to expose independent
 //!   accumulator chains.
 //!
-//! `p2p_soa` computes exactly what the naive kernel computes (tests
-//! enforce bitwise-tolerance agreement), and the `numerics` criterion
-//! bench measures the speedup.
+//! [`SoaSources`] holds one SoA copy of an entire (permuted) point set;
+//! [`SoaView`] borrows the contiguous range a tree box owns, so the
+//! evaluator converts the points *once per plan* instead of once per
+//! interaction.  `p2p_soa` computes exactly what the naive kernel
+//! computes (tests enforce bitwise-tolerance agreement) and
+//! [`p2p_soa_grad`] does the same for the gradient kernel; the
+//! `numerics` criterion bench measures the speedup.
 
-/// A structure-of-arrays copy of a source box.
+/// A structure-of-arrays copy of a source point set.
 #[derive(Debug, Clone, Default)]
 pub struct SoaSources {
     /// x coordinates.
@@ -49,6 +53,69 @@ impl SoaSources {
         s
     }
 
+    /// An empty buffer with room for `cap` sources (scratch reuse).
+    pub fn with_capacity(cap: usize) -> Self {
+        SoaSources {
+            x: Vec::with_capacity(cap),
+            y: Vec::with_capacity(cap),
+            z: Vec::with_capacity(cap),
+            q: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Clears the buffer, keeping its allocations.
+    pub fn clear(&mut self) {
+        self.x.clear();
+        self.y.clear();
+        self.z.clear();
+        self.q.clear();
+    }
+
+    /// Appends one source.
+    #[inline]
+    pub fn push(&mut self, p: [f64; 3], q: f64) {
+        self.x.push(p[0]);
+        self.y.push(p[1]);
+        self.z.push(p[2]);
+        self.q.push(q);
+    }
+
+    /// Number of sources.
+    pub fn len(&self) -> usize {
+        self.x.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.x.is_empty()
+    }
+
+    /// Borrows the whole set as a view.
+    pub fn view(&self) -> SoaView<'_> {
+        self.range(0, self.len())
+    }
+
+    /// Borrows the contiguous source range `[s, e)` — for the permuted
+    /// tree layout this is exactly the points one box owns.
+    pub fn range(&self, s: usize, e: usize) -> SoaView<'_> {
+        SoaView { x: &self.x[s..e], y: &self.y[s..e], z: &self.z[s..e], q: &self.q[s..e] }
+    }
+}
+
+/// A borrowed SoA source range (see [`SoaSources::range`]).
+#[derive(Debug, Clone, Copy)]
+pub struct SoaView<'a> {
+    /// x coordinates.
+    pub x: &'a [f64],
+    /// y coordinates.
+    pub y: &'a [f64],
+    /// z coordinates.
+    pub z: &'a [f64],
+    /// densities.
+    pub q: &'a [f64],
+}
+
+impl SoaView<'_> {
     /// Number of sources.
     pub fn len(&self) -> usize {
         self.x.len()
@@ -64,7 +131,7 @@ const INV_4PI: f64 = 1.0 / (4.0 * std::f64::consts::PI);
 
 /// Laplace potential of `sources` at one target, vectorizable form.
 #[inline]
-fn potential_at(tx: f64, ty: f64, tz: f64, s: &SoaSources) -> f64 {
+fn potential_at(tx: f64, ty: f64, tz: f64, s: SoaView<'_>) -> f64 {
     let mut acc = 0.0;
     for j in 0..s.len() {
         let dx = tx - s.x[j];
@@ -83,6 +150,11 @@ fn potential_at(tx: f64, ty: f64, tz: f64, s: &SoaSources) -> f64 {
 ///
 /// Targets are processed in blocks of four with independent accumulators.
 pub fn p2p_soa(targets: &[[f64; 3]], sources: &SoaSources, out: &mut [f64]) {
+    p2p_soa_view(targets, sources.view(), out);
+}
+
+/// [`p2p_soa`] over a borrowed source range.
+pub fn p2p_soa_view(targets: &[[f64; 3]], sources: SoaView<'_>, out: &mut [f64]) {
     assert_eq!(targets.len(), out.len());
     let chunks = targets.len() / 4 * 4;
     let mut i = 0;
@@ -125,6 +197,84 @@ pub fn p2p_soa(targets: &[[f64; 3]], sources: &SoaSources, out: &mut [f64]) {
     }
 }
 
+/// Laplace gradient of `sources` at one target, vectorizable form:
+/// `∇ₓ 1/(4π|x−y|) = −(x−y)/(4π|x−y|³)`, zero at `r = 0`.
+#[inline]
+fn gradient_at(tx: f64, ty: f64, tz: f64, s: SoaView<'_>) -> [f64; 3] {
+    let mut gx = 0.0;
+    let mut gy = 0.0;
+    let mut gz = 0.0;
+    for j in 0..s.len() {
+        let dx = tx - s.x[j];
+        let dy = ty - s.y[j];
+        let dz = tz - s.z[j];
+        let r2 = dx * dx + dy * dy + dz * dz;
+        let mask = if r2 > 0.0 { 1.0 } else { 0.0 };
+        let safe = r2 + (1.0 - mask);
+        // −q/r³ = −q / (r² · r); the mask zeroes the whole contribution.
+        let w = -mask * s.q[j] / (safe * safe.sqrt());
+        gx += dx * w;
+        gy += dy * w;
+        gz += dz * w;
+    }
+    [gx * INV_4PI, gy * INV_4PI, gz * INV_4PI]
+}
+
+/// Optimized Laplace gradient P2P:
+/// `out[i] += Σ_j ∇ₓK(targets[i], sources_j) q_j`, the vectorized
+/// counterpart of [`crate::kernel::Kernel::p2p_grad`] for the Laplace
+/// kernel (tests enforce bitwise-tolerance agreement with the naive
+/// form).
+pub fn p2p_soa_grad(targets: &[[f64; 3]], sources: &SoaSources, out: &mut [[f64; 3]]) {
+    p2p_soa_grad_view(targets, sources.view(), out);
+}
+
+/// [`p2p_soa_grad`] over a borrowed source range.
+pub fn p2p_soa_grad_view(targets: &[[f64; 3]], sources: SoaView<'_>, out: &mut [[f64; 3]]) {
+    assert_eq!(targets.len(), out.len());
+    let pairs = targets.len() / 2 * 2;
+    let mut i = 0;
+    // 2-way unroll: the gradient keeps three accumulators per target, so
+    // two targets already fill the independent-chain budget.
+    while i < pairs {
+        let t0 = targets[i];
+        let t1 = targets[i + 1];
+        let mut g0 = [0.0f64; 3];
+        let mut g1 = [0.0f64; 3];
+        for j in 0..sources.len() {
+            let sx = sources.x[j];
+            let sy = sources.y[j];
+            let sz = sources.z[j];
+            let qj = sources.q[j];
+            let contrib = |t: [f64; 3], g: &mut [f64; 3]| {
+                let dx = t[0] - sx;
+                let dy = t[1] - sy;
+                let dz = t[2] - sz;
+                let r2 = dx * dx + dy * dy + dz * dz;
+                let mask = if r2 > 0.0 { 1.0 } else { 0.0 };
+                let safe = r2 + (1.0 - mask);
+                let w = -mask * qj / (safe * safe.sqrt());
+                g[0] += dx * w;
+                g[1] += dy * w;
+                g[2] += dz * w;
+            };
+            contrib(t0, &mut g0);
+            contrib(t1, &mut g1);
+        }
+        for d in 0..3 {
+            out[i][d] += g0[d] * INV_4PI;
+            out[i + 1][d] += g1[d] * INV_4PI;
+        }
+        i += 2;
+    }
+    for (k, t) in targets.iter().enumerate().skip(pairs) {
+        let g = gradient_at(t[0], t[1], t[2], sources);
+        out[k][0] += g[0];
+        out[k][1] += g[1];
+        out[k][2] += g[2];
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -153,6 +303,57 @@ mod tests {
                 assert!((f - n).abs() <= 1e-13 * (1.0 + n.abs()), "nt={nt} ns={ns}: {f} vs {n}");
             }
         }
+    }
+
+    #[test]
+    fn grad_matches_naive_kernel_exactly() {
+        for (nt, ns) in [(1usize, 1usize), (2, 5), (63, 64), (130, 200)] {
+            let (t, s, q) = problem(nt, ns, nt as u64 * 97 + ns as u64 + 1);
+            let soa = SoaSources::from_points(&s, &q);
+            let mut fast = vec![[0.0; 3]; nt];
+            p2p_soa_grad(&t, &soa, &mut fast);
+            let mut slow = vec![[0.0; 3]; nt];
+            LaplaceKernel.p2p_grad(&t, &s, &q, &mut slow);
+            for (i, (f, n)) in fast.iter().zip(&slow).enumerate() {
+                for d in 0..3 {
+                    assert!(
+                        (f[d] - n[d]).abs() <= 1e-12 * (1.0 + n[d].abs()),
+                        "nt={nt} ns={ns} target {i} component {d}: {} vs {}",
+                        f[d],
+                        n[d]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn grad_masks_self_interaction() {
+        let pts = [[0.3, 0.3, 0.3], [0.7, 0.7, 0.7], [0.1, 0.9, 0.4]];
+        let soa = SoaSources::from_points(&pts, &[5.0, 3.0, -2.0]);
+        let mut out = vec![[0.0; 3]; 3];
+        p2p_soa_grad(&pts, &soa, &mut out);
+        assert!(out.iter().flatten().all(|v| v.is_finite()));
+        let mut reference = vec![[0.0; 3]; 3];
+        LaplaceKernel.p2p_grad(&pts, &pts, &[5.0, 3.0, -2.0], &mut reference);
+        for (a, b) in out.iter().zip(&reference) {
+            for d in 0..3 {
+                assert!((a[d] - b[d]).abs() < 1e-13);
+            }
+        }
+    }
+
+    #[test]
+    fn view_range_equals_subslice_conversion() {
+        let (_, s, q) = problem(0, 40, 9);
+        let soa = SoaSources::from_points(&s, &q);
+        let t = [[0.25, 0.5, 0.75], [0.9, 0.1, 0.2], [0.4, 0.4, 0.6]];
+        let mut via_range = vec![0.0; 3];
+        p2p_soa_view(&t, soa.range(10, 30), &mut via_range);
+        let sub = SoaSources::from_points(&s[10..30], &q[10..30]);
+        let mut via_copy = vec![0.0; 3];
+        p2p_soa(&t, &sub, &mut via_copy);
+        assert_eq!(via_range, via_copy, "a range view is the subset, bit for bit");
     }
 
     #[test]
@@ -189,6 +390,9 @@ mod tests {
         let mut out = vec![7.0];
         p2p_soa(&t, &soa, &mut out);
         assert_eq!(out[0], 7.0);
+        let mut grad = vec![[1.0; 3]];
+        p2p_soa_grad(&t, &soa, &mut grad);
+        assert_eq!(grad[0], [1.0; 3]);
     }
 
     #[test]
@@ -200,5 +404,18 @@ mod tests {
         assert_eq!(soa.y, vec![2.0, 5.0]);
         assert_eq!(soa.z, vec![3.0, 6.0]);
         assert_eq!(soa.q, vec![0.5, 0.25]);
+    }
+
+    #[test]
+    fn push_and_clear_reuse_scratch() {
+        let mut soa = SoaSources::with_capacity(4);
+        soa.push([1.0, 2.0, 3.0], 0.5);
+        soa.push([4.0, 5.0, 6.0], 0.25);
+        assert_eq!(soa.len(), 2);
+        let from = SoaSources::from_points(&[[1.0, 2.0, 3.0], [4.0, 5.0, 6.0]], &[0.5, 0.25]);
+        assert_eq!(soa.x, from.x);
+        assert_eq!(soa.q, from.q);
+        soa.clear();
+        assert!(soa.is_empty());
     }
 }

@@ -60,6 +60,67 @@ pub fn surface_points(
     out
 }
 
+/// A unit surface-point template, cached once per `(p, radius_factor)`
+/// and scaled per box.
+///
+/// [`surface_points`] re-derives the full lattice geometry (three nested
+/// loops plus a boundary test per lattice cell) on every call; the
+/// evaluator used to pay that per node per phase.  The template stores
+/// the surface points of the *unit* box (`center = 0`,
+/// `half_width = 1`) once, after which a box's surface is the affine map
+/// `center + half_width · unit` — a streaming multiply-add over exactly
+/// `ns` points.
+#[derive(Debug, Clone)]
+pub struct SurfaceTemplate {
+    /// Surface order.
+    p: usize,
+    /// Radius factor baked into the unit points.
+    radius_factor: f64,
+    /// Surface points of the unit box.
+    unit: Vec<[f64; 3]>,
+}
+
+impl SurfaceTemplate {
+    /// Builds the template for surface order `p` and `radius_factor`.
+    pub fn new(p: usize, radius_factor: f64) -> Self {
+        SurfaceTemplate { p, radius_factor, unit: surface_points(p, [0.0; 3], 1.0, radius_factor) }
+    }
+
+    /// Number of surface points.
+    pub fn len(&self) -> usize {
+        self.unit.len()
+    }
+
+    /// True when the template is empty (never for `p >= 2`).
+    pub fn is_empty(&self) -> bool {
+        self.unit.is_empty()
+    }
+
+    /// The surface order this template was built for.
+    pub fn order(&self) -> usize {
+        self.p
+    }
+
+    /// The radius factor this template was built for.
+    pub fn radius_factor(&self) -> f64 {
+        self.radius_factor
+    }
+
+    /// Writes the surface points of the box `(center, half_width)` into
+    /// `out` (cleared first, allocation reused).
+    pub fn scale_into(&self, center: [f64; 3], half_width: f64, out: &mut Vec<[f64; 3]>) {
+        out.clear();
+        out.reserve(self.unit.len());
+        for u in &self.unit {
+            out.push([
+                center[0] + half_width * u[0],
+                center[1] + half_width * u[1],
+                center[2] + half_width * u[2],
+            ]);
+        }
+    }
+}
+
 /// Lattice coordinates `(i, j, k)` of each surface point, in the same
 /// order as [`surface_points`].
 pub fn surface_lattice_coords(p: usize) -> Vec<(usize, usize, usize)> {

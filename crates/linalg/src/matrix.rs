@@ -148,6 +148,27 @@ impl Matrix {
         y
     }
 
+    /// Matrix–vector product `A x` written into a caller-owned buffer
+    /// (overwriting) — the allocation-free form hot loops use.  Same
+    /// reduction order as [`Matrix::matvec`], so the results are
+    /// bit-identical.
+    pub fn matvec_into(&self, x: &[f64], out: &mut [f64]) {
+        assert_eq!(x.len(), self.cols, "matvec dimension mismatch");
+        assert_eq!(out.len(), self.rows, "matvec output length mismatch");
+        for (i, yi) in out.iter_mut().enumerate() {
+            *yi = crate::dot(self.row(i), x);
+        }
+    }
+
+    /// Matrix–vector product accumulated onto `out`: `out += A x`.
+    pub fn matvec_acc(&self, x: &[f64], out: &mut [f64]) {
+        assert_eq!(x.len(), self.cols, "matvec dimension mismatch");
+        assert_eq!(out.len(), self.rows, "matvec output length mismatch");
+        for (i, yi) in out.iter_mut().enumerate() {
+            *yi += crate::dot(self.row(i), x);
+        }
+    }
+
     /// Transposed matrix–vector product `Aᵀ x`.
     pub fn matvec_t(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.rows, "matvec_t dimension mismatch");
@@ -342,6 +363,19 @@ mod tests {
         let m = sample();
         assert_eq!(m.matvec(&[1.0, 1.0, 1.0]), vec![6.0, 15.0]);
         assert_eq!(m.matvec_t(&[1.0, 1.0]), vec![5.0, 7.0, 9.0]);
+    }
+
+    #[test]
+    fn matvec_into_and_acc_match_allocating_form() {
+        let m = sample();
+        let x = [0.5, -1.0, 2.0];
+        let alloc = m.matvec(&x);
+        let mut into = vec![9.0; 2]; // overwritten
+        m.matvec_into(&x, &mut into);
+        assert_eq!(into, alloc);
+        let mut acc = vec![1.0; 2];
+        m.matvec_acc(&x, &mut acc);
+        assert_eq!(acc, vec![1.0 + alloc[0], 1.0 + alloc[1]]);
     }
 
     #[test]

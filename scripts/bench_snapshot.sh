@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Phase-timing snapshot of the FMM evaluation engine.
+#
+# Builds the release `bench_snapshot` binary and writes `BENCH_fmm.json`:
+# per-phase wall-time medians plus the total `FmmEvaluator::evaluate`
+# time for the standard uniform-cube problem (q = 64, p = 4, FFT M2L).
+# Commit the refreshed JSON alongside performance changes so the
+# engine's cost split is tracked in-repo.
+#
+# Usage: scripts/bench_snapshot.sh [--out FILE] [--reps K] [--sizes N1,N2]
+#   defaults: --out BENCH_fmm.json --reps 7 --sizes 8192,32768
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo run --offline --release -p dvfs-bench --bin bench_snapshot -- "$@"

@@ -5,16 +5,21 @@
 # must compile and test with --offline, touching no registry, no
 # vendored sources and no [patch] tables.  This script is the contract.
 #
-# Usage: scripts/ci.sh [--with-benches]
-#   --with-benches   also smoke-run every bench target via --quick
+# Usage: scripts/ci.sh [--with-benches] [--with-snapshot]
+#   --with-benches    also smoke-run every bench target via --quick
+#   --with-snapshot   also run scripts/bench_snapshot.sh (3 reps, small
+#                     sizes) and validate the JSON with the in-tree
+#                     compat::json parser
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 WITH_BENCHES=0
+WITH_SNAPSHOT=0
 for arg in "$@"; do
     case "$arg" in
         --with-benches) WITH_BENCHES=1 ;;
+        --with-snapshot) WITH_SNAPSHOT=1 ;;
         *) echo "unknown argument: $arg" >&2; exit 2 ;;
     esac
 done
@@ -33,6 +38,13 @@ if [[ "$WITH_BENCHES" == 1 ]]; then
         echo "==> cargo bench --bench $bench -- --quick"
         cargo bench --offline -p dvfs-bench --bench "$bench" -- --quick
     done
+fi
+
+if [[ "$WITH_SNAPSHOT" == 1 ]]; then
+    echo "==> scripts/bench_snapshot.sh (CI shape check)"
+    scripts/bench_snapshot.sh --out target/BENCH_ci.json --reps 3 --sizes 4096
+    cargo run --offline --release -p dvfs-bench --bin bench_snapshot -- \
+        --check target/BENCH_ci.json
 fi
 
 echo "==> OK"

@@ -98,19 +98,39 @@ fn fmm_phase_counters_are_identical_across_runs() {
 fn fmm_evaluation_and_counters_are_identical_across_thread_counts() {
     // This test owns the global thread-count override for its whole
     // body; it is the only test in this binary that touches it.
+    //
+    // Two contracts are pinned per thread count: bitwise identity with
+    // the single-thread baseline, and bitwise repeatability of back-to-
+    // back evaluations on the *same* evaluator — i.e. on the warm
+    // persistent pool, with all arenas re-derived from the plan.
     let (pts, den) = seeded_cloud(2500, 7);
     let plan = FmmPlan::new(&pts, &den, 32, 4, M2lMethod::Fft);
 
     compat::par::set_thread_count(Some(1));
-    let base_potentials = FmmEvaluator::new().evaluate(&plan);
+    let serial_eval = FmmEvaluator::new();
+    let base_potentials = serial_eval.evaluate(&plan);
+    let serial_again = serial_eval.evaluate(&plan);
+    for (x, y) in serial_again.iter().zip(&base_potentials) {
+        assert_eq!(x.to_bits(), y.to_bits(), "serial warm-pool repeat differs");
+    }
     let base_profile = profile_plan(&plan, &CostModel::default());
 
-    for threads in [2, 4] {
+    for threads in [2, 4, 8] {
         compat::par::set_thread_count(Some(threads));
-        let potentials = FmmEvaluator::new().evaluate(&plan);
+        let eval = FmmEvaluator::new();
+        let potentials = eval.evaluate(&plan);
         assert_eq!(potentials.len(), base_potentials.len());
         for (i, (x, y)) in potentials.iter().zip(&base_potentials).enumerate() {
             assert_eq!(x.to_bits(), y.to_bits(), "potential {i} differs at {threads} threads");
+        }
+        // Repeated evaluation on the now-warm pool: same bits again.
+        let again = eval.evaluate(&plan);
+        for (i, (x, y)) in again.iter().zip(&potentials).enumerate() {
+            assert_eq!(
+                x.to_bits(),
+                y.to_bits(),
+                "warm-pool repeat of potential {i} differs at {threads} threads"
+            );
         }
         let profile = profile_plan(&plan, &CostModel::default());
         for (pa, pb) in profile.phases.iter().zip(&base_profile.phases) {
