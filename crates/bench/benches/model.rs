@@ -12,7 +12,8 @@ use tk1_sim::{OpClass, OpVector, Setting};
 
 fn bench_sweep(c: &mut Criterion) {
     // Table I's data collection: 16 settings x 103 intensity points.
-    let config = SweepConfig::default();
+    // Pinned fault-free: benches measure the clean-path cost.
+    let config = SweepConfig { faults: None, ..SweepConfig::default() };
     let mut group = c.benchmark_group("sweep");
     group.sample_size(10);
     group.bench_function("table1-dataset", |b| b.iter(|| run_sweep(black_box(&config))));
@@ -20,7 +21,7 @@ fn bench_sweep(c: &mut Criterion) {
 }
 
 fn bench_fit_and_predict(c: &mut Criterion) {
-    let dataset = run_sweep(&SweepConfig::default());
+    let dataset = run_sweep(&SweepConfig { faults: None, ..SweepConfig::default() });
     c.bench_function("fit/nnls-824x9", |b| b.iter(|| fit_model(black_box(dataset.training()))));
     let model = fit_model(dataset.training()).model;
     let ops = OpVector::from_pairs(&[

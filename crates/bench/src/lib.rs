@@ -12,6 +12,7 @@ pub mod report;
 
 pub use pipeline::{
     fig4_breakdown, fig5_validation, fig6_energy_breakdown, fig7_buckets, fitted_model,
-    fmm_profiles, observations, prefetch_scan, table1_rows, table2_outcomes, utilization_ablation,
-    CaseResult, Fig7Row, MicrobenchAblationPoint, ObservationSummary, Table1Row,
+    fmm_profiles, observations, prefetch_scan, table1_rows, table2_outcomes, try_fitted_model,
+    utilization_ablation, CaseResult, Fig7Row, MicrobenchAblationPoint, ObservationSummary,
+    PipelineFit, Table1Row,
 };

@@ -1,0 +1,123 @@
+//! The workspace-wide pipeline error type.
+//!
+//! Every fallible stage of the measurement-to-fit chain — sweep
+//! measurement gates, DVFS latch verification, NNLS fitting, parallel
+//! job execution, snapshot parsing — reports through this one enum so
+//! `bench::pipeline` can propagate a structured `Result` instead of
+//! panicking mid-campaign.  It lives in `compat` (the workspace's
+//! bottom crate) so every layer can name it; `From` impls for
+//! crate-local error types live next to those types.
+
+use crate::json::JsonError;
+
+/// A structured failure anywhere in the measurement-to-fit pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PipelineError {
+    /// A measurement failed its sanity gates even after bounded retry
+    /// with cooldown.
+    RetryExhausted {
+        /// What was being measured (kernel/setting label).
+        context: String,
+        /// Attempts made, including the first.
+        attempts: usize,
+        /// The gate that rejected the final attempt.
+        last_fault: String,
+    },
+    /// A requested DVFS setting never latched, even after retries.
+    SettingNotApplied {
+        /// The setting the driver asked for.
+        requested: String,
+        /// The setting the hardware reported after the last attempt.
+        applied: String,
+        /// Latch attempts made.
+        attempts: usize,
+    },
+    /// Not enough usable data for a fit or validation.
+    InsufficientData {
+        /// Minimum required.
+        needed: usize,
+        /// What was available.
+        got: usize,
+        /// Which consumer was starved.
+        context: String,
+    },
+    /// A numeric routine failed and every fallback in the degradation
+    /// ladder was exhausted.
+    Numeric {
+        /// The routine (e.g. `nnls`, `qr`).
+        routine: String,
+        /// Human-readable detail.
+        detail: String,
+    },
+    /// A parallel job panicked, and its one resubmission panicked too.
+    WorkerPanic {
+        /// Which job (chunk label or index).
+        job: String,
+        /// Total attempts, including the resubmission.
+        attempts: usize,
+    },
+    /// A snapshot or dataset failed to parse or decode.
+    Json(JsonError),
+}
+
+/// Workspace-wide result alias for pipeline stages.
+pub type PipelineResult<T> = std::result::Result<T, PipelineError>;
+
+impl std::fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PipelineError::RetryExhausted { context, attempts, last_fault } => {
+                write!(f, "{context}: measurement rejected after {attempts} attempts ({last_fault})")
+            }
+            PipelineError::SettingNotApplied { requested, applied, attempts } => write!(
+                f,
+                "DVFS setting {requested} not applied after {attempts} attempts (device reports {applied})"
+            ),
+            PipelineError::InsufficientData { needed, got, context } => {
+                write!(f, "{context}: need at least {needed} samples, got {got}")
+            }
+            PipelineError::Numeric { routine, detail } => write!(f, "{routine}: {detail}"),
+            PipelineError::WorkerPanic { job, attempts } => {
+                write!(f, "parallel job {job} panicked on all {attempts} attempts")
+            }
+            PipelineError::Json(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+impl From<JsonError> for PipelineError {
+    fn from(e: JsonError) -> Self {
+        PipelineError::Json(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_failure() {
+        let e = PipelineError::RetryExhausted {
+            context: "Single@852/924".into(),
+            attempts: 3,
+            last_fault: "power out of range".into(),
+        };
+        assert!(e.to_string().contains("3 attempts"));
+        assert!(e.to_string().contains("power out of range"));
+
+        let e = PipelineError::SettingNotApplied {
+            requested: "852/924".into(),
+            applied: "852/528".into(),
+            attempts: 4,
+        };
+        assert!(e.to_string().contains("852/528"));
+    }
+
+    #[test]
+    fn json_errors_convert() {
+        let e: PipelineError = JsonError::at(3, 7, "`,` or `]`").into();
+        assert!(e.to_string().contains("line 3, column 7"));
+    }
+}

@@ -26,20 +26,68 @@ pub enum Json {
     Obj(Vec<(String, Json)>),
 }
 
-/// A parse or conversion error with a human-readable message.
+/// A parse or conversion error.
+///
+/// Parse errors carry the 1-based `line`/`col` of the offending byte so
+/// a corrupted snapshot reports *where* it broke; conversion errors
+/// (wrong type, missing field) have no source location and use 0/0.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct JsonError(pub String);
+pub struct JsonError {
+    /// 1-based source line of the failure; 0 when no location is known.
+    pub line: usize,
+    /// 1-based source column of the failure; 0 when no location is known.
+    pub col: usize,
+    /// What was expected (or what went wrong), human-readable.
+    pub expected: String,
+}
+
+impl JsonError {
+    /// A location-free error (type mismatches, missing fields).
+    pub fn msg(expected: impl Into<String>) -> JsonError {
+        JsonError { line: 0, col: 0, expected: expected.into() }
+    }
+
+    /// An error anchored at a source position.
+    pub fn at(line: usize, col: usize, expected: impl Into<String>) -> JsonError {
+        JsonError { line, col, expected: expected.into() }
+    }
+
+    /// True when the error carries a source location.
+    pub fn has_location(&self) -> bool {
+        self.line > 0
+    }
+}
 
 impl std::fmt::Display for JsonError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "json error: {}", self.0)
+        if self.has_location() {
+            write!(f, "json error at line {}, column {}: {}", self.line, self.col, self.expected)
+        } else {
+            write!(f, "json error: {}", self.expected)
+        }
     }
 }
 
 impl std::error::Error for JsonError {}
 
 fn err<T>(msg: impl Into<String>) -> Result<T, JsonError> {
-    Err(JsonError(msg.into()))
+    Err(JsonError::msg(msg))
+}
+
+/// Translates a byte offset into 1-based (line, column).
+fn locate(bytes: &[u8], pos: usize) -> (usize, usize) {
+    let pos = pos.min(bytes.len());
+    let mut line = 1;
+    let mut col = 1;
+    for &b in &bytes[..pos] {
+        if b == b'\n' {
+            line += 1;
+            col = 1;
+        } else {
+            col += 1;
+        }
+    }
+    (line, col)
 }
 
 impl Json {
@@ -58,7 +106,7 @@ impl Json {
 
     /// Looks up `key`, erroring with the key name when absent.
     pub fn field(&self, key: &str) -> Result<&Json, JsonError> {
-        self.get(key).ok_or_else(|| JsonError(format!("missing field `{key}`")))
+        self.get(key).ok_or_else(|| JsonError::msg(format!("missing field `{key}`")))
     }
 
     /// The numeric value, if this is a number.
@@ -158,7 +206,7 @@ impl Json {
         let v = p.value()?;
         p.skip_ws();
         if p.pos != p.bytes.len() {
-            return err(format!("trailing garbage at byte {}", p.pos));
+            return p.fail("end of input");
         }
         Ok(v)
     }
@@ -188,6 +236,17 @@ struct Parser<'a> {
 }
 
 impl<'a> Parser<'a> {
+    /// A parse error at the current position, with line/column resolved.
+    fn fail<T>(&self, expected: impl Into<String>) -> Result<T, JsonError> {
+        self.fail_at(self.pos, expected)
+    }
+
+    /// A parse error at an explicit byte offset.
+    fn fail_at<T>(&self, pos: usize, expected: impl Into<String>) -> Result<T, JsonError> {
+        let (line, col) = locate(self.bytes, pos);
+        Err(JsonError::at(line, col, expected))
+    }
+
     fn skip_ws(&mut self) {
         while let Some(&b) = self.bytes.get(self.pos) {
             if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
@@ -207,7 +266,7 @@ impl<'a> Parser<'a> {
             self.pos += 1;
             Ok(())
         } else {
-            err(format!("expected `{}` at byte {}", b as char, self.pos))
+            self.fail(format!("`{}`", b as char))
         }
     }
 
@@ -216,7 +275,7 @@ impl<'a> Parser<'a> {
             self.pos += word.len();
             Ok(value)
         } else {
-            err(format!("invalid literal at byte {}", self.pos))
+            self.fail(format!("literal `{word}`"))
         }
     }
 
@@ -229,8 +288,8 @@ impl<'a> Parser<'a> {
             Some(b'[') => self.array(),
             Some(b'{') => self.object(),
             Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
-            Some(b) => err(format!("unexpected `{}` at byte {}", b as char, self.pos)),
-            None => err("unexpected end of input"),
+            Some(b) => self.fail(format!("a value, got `{}`", b as char)),
+            None => self.fail("a value, got end of input"),
         }
     }
 
@@ -243,11 +302,13 @@ impl<'a> Parser<'a> {
                 break;
             }
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos])
-            .map_err(|_| JsonError("non-utf8 number".into()))?;
+        let text = match std::str::from_utf8(&self.bytes[start..self.pos]) {
+            Ok(t) => t,
+            Err(_) => return self.fail_at(start, "a utf-8 number"),
+        };
         match text.parse::<f64>() {
             Ok(x) if x.is_finite() => Ok(Json::Num(x)),
-            _ => err(format!("invalid number `{text}` at byte {start}")),
+            _ => self.fail_at(start, format!("a finite number, got `{text}`")),
         }
     }
 
@@ -256,11 +317,12 @@ impl<'a> Parser<'a> {
         let mut out = String::new();
         loop {
             let rest = &self.bytes[self.pos..];
-            let mut chars = std::str::from_utf8(rest)
-                .map_err(|_| JsonError("invalid utf-8 in string".into()))?
-                .chars();
+            let mut chars = match std::str::from_utf8(rest) {
+                Ok(t) => t.chars(),
+                Err(_) => return self.fail("valid utf-8 in string"),
+            };
             match chars.next() {
-                None => return err("unterminated string"),
+                None => return self.fail("closing `\"`, got end of input"),
                 Some('"') => {
                     self.pos += 1;
                     return Ok(out);
@@ -277,24 +339,27 @@ impl<'a> Parser<'a> {
                         Some(b'b') => out.push('\u{8}'),
                         Some(b'f') => out.push('\u{c}'),
                         Some(b'u') => {
-                            let hex = self
-                                .bytes
-                                .get(self.pos + 1..self.pos + 5)
-                                .ok_or_else(|| JsonError("truncated \\u escape".into()))?;
-                            let code = u32::from_str_radix(
-                                std::str::from_utf8(hex)
-                                    .map_err(|_| JsonError("bad \\u escape".into()))?,
-                                16,
-                            )
-                            .map_err(|_| JsonError("bad \\u escape".into()))?;
+                            let hex = match self.bytes.get(self.pos + 1..self.pos + 5) {
+                                Some(h) => h,
+                                None => return self.fail("four hex digits after \\u"),
+                            };
+                            let code = std::str::from_utf8(hex)
+                                .ok()
+                                .and_then(|h| u32::from_str_radix(h, 16).ok());
+                            let code = match code {
+                                Some(c) => c,
+                                None => return self.fail("four hex digits after \\u"),
+                            };
                             // Surrogate pairs are not needed by any
                             // workspace type; reject them explicitly.
-                            let c = char::from_u32(code)
-                                .ok_or_else(|| JsonError("surrogate \\u escape".into()))?;
+                            let c = match char::from_u32(code) {
+                                Some(c) => c,
+                                None => return self.fail("a non-surrogate \\u escape"),
+                            };
                             out.push(c);
                             self.pos += 4;
                         }
-                        _ => return err("bad escape"),
+                        _ => return self.fail("a valid escape character"),
                     }
                     self.pos += 1;
                 }
@@ -324,7 +389,7 @@ impl<'a> Parser<'a> {
                     self.pos += 1;
                     return Ok(Json::Arr(items));
                 }
-                _ => return err(format!("expected `,` or `]` at byte {}", self.pos)),
+                _ => return self.fail("`,` or `]`"),
             }
         }
     }
@@ -352,7 +417,7 @@ impl<'a> Parser<'a> {
                     self.pos += 1;
                     return Ok(Json::Obj(pairs));
                 }
-                _ => return err(format!("expected `,` or `}}` at byte {}", self.pos)),
+                _ => return self.fail("`,` or `}`"),
             }
         }
     }
@@ -510,6 +575,33 @@ mod tests {
         for text in ["", "{", "[1,", "tru", "\"unterminated", "1 2", "{\"a\" 1}", "nan"] {
             assert!(Json::parse(text).is_err(), "{text:?} should not parse");
         }
+    }
+
+    #[test]
+    fn parse_errors_carry_line_and_column() {
+        // The `2` on line 3, column 6 is missing its separator.
+        let text = "{\n  \"a\": [1\n     2]\n}";
+        let e = Json::parse(text).unwrap_err();
+        assert!(e.has_location());
+        assert_eq!((e.line, e.col), (3, 6), "{e}");
+        assert!(e.expected.contains("`,` or `]`"), "{e}");
+        assert!(e.to_string().contains("line 3, column 6"), "{e}");
+    }
+
+    #[test]
+    fn conversion_errors_have_no_location() {
+        let v = Json::parse("{\"a\": 1}").unwrap();
+        let e = v.field("b").unwrap_err();
+        assert!(!e.has_location());
+        assert!(e.to_string().starts_with("json error: missing field"));
+        let e = v.field("a").unwrap().as_str().unwrap_err();
+        assert!(e.expected.contains("expected string"), "{e}");
+    }
+
+    #[test]
+    fn error_location_is_one_based() {
+        let e = Json::parse("x").unwrap_err();
+        assert_eq!((e.line, e.col), (1, 1), "{e}");
     }
 
     #[test]

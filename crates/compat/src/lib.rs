@@ -24,7 +24,12 @@
 //!   criterion-compatible macro surface and a `--quick` smoke mode
 //!   (replaces `criterion`).
 
+//! * [`error`] — the workspace-wide [`error::PipelineError`] enum used by
+//!   the hardened measurement-to-fit pipeline (not a shim; it lives here
+//!   because `compat` is the one crate every layer can name).
+
 pub mod bench;
+pub mod error;
 pub mod json;
 pub mod par;
 pub mod prop;

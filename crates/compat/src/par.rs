@@ -54,8 +54,20 @@
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
 use std::time::Duration;
+
+/// Locks a mutex, shrugging off poisoning.
+///
+/// The pool's invariants never depend on the guarded data being
+/// mid-update (queue pushes/pops and latch counters are single
+/// statements), so a panic that poisoned the mutex left it in a
+/// consistent state.  Honoring the poison flag instead would let one
+/// panicking job kill every condvar-parked worker the moment it wakes —
+/// the "wedged warm pool" failure this module must never exhibit.
+fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
 
 /// Default cap applied to `available_parallelism()` when neither the
 /// [`set_thread_count`] override nor `FMM_ENERGY_THREADS` is set.
@@ -129,7 +141,7 @@ impl Latch {
 
     /// Marks one job finished, recording the first panic payload.
     fn complete(&self, panic: Option<Box<dyn std::any::Any + Send>>) {
-        let mut st = self.state.lock().expect("latch lock");
+        let mut st = lock_unpoisoned(&self.state);
         st.remaining -= 1;
         if st.panic.is_none() {
             st.panic = panic;
@@ -140,11 +152,11 @@ impl Latch {
     }
 
     fn is_open(&self) -> bool {
-        self.state.lock().expect("latch lock").remaining == 0
+        lock_unpoisoned(&self.state).remaining == 0
     }
 
     fn take_panic(&self) -> Option<Box<dyn std::any::Any + Send>> {
-        self.state.lock().expect("latch lock").panic.take()
+        lock_unpoisoned(&self.state).panic.take()
     }
 }
 
@@ -158,7 +170,7 @@ impl Pool {
     /// Pops and runs one queued job, if any.  Any thread may execute any
     /// job — ownership of output locations lives in the closures.
     fn try_run_one(&self) -> bool {
-        let job = self.queue.lock().expect("pool lock").pop_front();
+        let job = lock_unpoisoned(&self.queue).pop_front();
         match job {
             Some(job) => {
                 run_job(job);
@@ -199,7 +211,7 @@ fn ensure_workers(pool: &'static Pool, wanted: usize) {
     if pool.spawned.load(Ordering::Acquire) >= wanted {
         return;
     }
-    let _guard = pool.queue.lock().expect("pool lock");
+    let _guard = lock_unpoisoned(&pool.queue);
     let mut have = pool.spawned.load(Ordering::Acquire);
     while have < wanted {
         std::thread::Builder::new()
@@ -214,12 +226,12 @@ fn ensure_workers(pool: &'static Pool, wanted: usize) {
 fn worker_loop(pool: &'static Pool) {
     loop {
         let job = {
-            let mut q = pool.queue.lock().expect("pool lock");
+            let mut q = lock_unpoisoned(&pool.queue);
             loop {
                 if let Some(job) = q.pop_front() {
                     break job;
                 }
-                q = pool.job_ready.wait(q).expect("pool wait");
+                q = pool.job_ready.wait(q).unwrap_or_else(|e| e.into_inner());
             }
         };
         run_job(job);
@@ -244,7 +256,7 @@ impl Drop for WaitGuard<'_> {
             if self.pool.try_run_one() {
                 continue;
             }
-            let st = self.latch.state.lock().expect("latch lock");
+            let st = lock_unpoisoned(&self.latch.state);
             if st.remaining == 0 {
                 return;
             }
@@ -271,7 +283,7 @@ fn run_scope<'scope>(tasks: Vec<Box<dyn FnOnce() + Send + 'scope>>) {
     ensure_workers(pool, rest.len());
     let latch = Arc::new(Latch::new(rest.len()));
     {
-        let mut q = pool.queue.lock().expect("pool lock");
+        let mut q = lock_unpoisoned(&pool.queue);
         for task in rest {
             // SAFETY: the latch (waited on by `WaitGuard`, even during
             // unwinding) guarantees every queued closure finishes before
@@ -339,6 +351,81 @@ where
         out.extend(slot.expect("chunk completed"));
     }
     out
+}
+
+/// A parallel job failure surfaced by [`try_par_map_vec`]: one chunk
+/// panicked on its first run *and* on its single resubmission.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobError {
+    /// Index of the failed chunk (chunks are contiguous, in item order).
+    pub chunk: usize,
+    /// Attempts made (always 2: the original run plus one resubmission).
+    pub attempts: usize,
+    /// The panic message, when the payload was a string.
+    pub detail: String,
+}
+
+impl std::fmt::Display for JobError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "parallel chunk {} panicked on all {} attempts: {}",
+            self.chunk, self.attempts, self.detail
+        )
+    }
+}
+
+impl std::error::Error for JobError {}
+
+/// Extracts a human-readable message from a panic payload.
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Maps `f` over `items` in parallel with panic isolation: a chunk whose
+/// closure panics is resubmitted once (on the calling thread, after the
+/// parallel region drains), and a chunk that panics twice surfaces a
+/// structured [`JobError`] instead of unwinding through the caller.
+///
+/// Results are concatenated in chunk order, so output order (and hence
+/// bitwise determinism across thread counts) matches [`par_map_vec`].
+/// Items must be `Clone` so the failed chunk can be replayed.
+pub fn try_par_map_vec<I, U, F>(items: Vec<I>, f: &F) -> Result<Vec<U>, JobError>
+where
+    I: Send + Clone,
+    U: Send,
+    F: Fn(I) -> U + Sync,
+{
+    let n = items.len();
+    let threads = num_threads().min(n.max(1));
+    let run_chunk = |chunk: Vec<I>| -> Result<Vec<U>, String> {
+        catch_unwind(AssertUnwindSafe(|| chunk.into_iter().map(f).collect::<Vec<U>>()))
+            .map_err(|p| panic_message(p.as_ref()))
+    };
+    if threads <= 1 || n < 2 {
+        return run_chunk(items.clone()).or_else(|_| run_chunk(items)).map_err(|detail| JobError {
+            chunk: 0,
+            attempts: 2,
+            detail,
+        });
+    }
+    let chunks = make_chunks(items, threads);
+    let replay = chunks.clone();
+    let results = par_map_vec(chunks, &run_chunk);
+    let mut out = Vec::with_capacity(n);
+    for (idx, (result, spare)) in results.into_iter().zip(replay).enumerate() {
+        match result.or_else(|_| run_chunk(spare)) {
+            Ok(part) => out.extend(part),
+            Err(detail) => return Err(JobError { chunk: idx, attempts: 2, detail }),
+        }
+    }
+    Ok(out)
 }
 
 /// Runs `f` over `items` on the pool for effect, with one scratch state
@@ -594,6 +681,61 @@ mod tests {
         // The pool keeps working afterwards.
         let out: Vec<usize> = (0..8usize).into_par_iter().map(|i| i * 2).collect();
         assert_eq!(out, vec![0, 2, 4, 6, 8, 10, 12, 14]);
+        set_thread_count(None);
+    }
+
+    #[test]
+    fn panicking_job_does_not_wedge_parked_workers() {
+        // Regression: a panic that poisons the pool's mutexes (here,
+        // provoked with the queue lock held, the worst case) must not
+        // leave condvar-parked workers wedged — job N panics, job N+1
+        // still completes on the warm pool.
+        set_thread_count(Some(4));
+        let _: Vec<usize> = (0..64usize).into_par_iter().map(|i| i).collect();
+        assert!(pool_workers() >= 1);
+        let poison = std::panic::catch_unwind(|| {
+            let _guard = pool().queue.lock().unwrap();
+            panic!("poison the pool queue");
+        });
+        assert!(poison.is_err());
+        assert!(pool().queue.is_poisoned(), "the mutex must actually be poisoned");
+        let out: Vec<usize> = (0..64usize).into_par_iter().map(|i| i + 1).collect();
+        assert_eq!(out, (1..65).collect::<Vec<_>>());
+        set_thread_count(None);
+    }
+
+    #[test]
+    fn try_map_retries_failed_chunk_once() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        set_thread_count(Some(4));
+        let attempts = AtomicUsize::new(0);
+        let out = try_par_map_vec((0..64usize).collect(), &|i| {
+            // Item 17 panics on its first execution only.
+            if i == 17 && attempts.fetch_add(1, Ordering::SeqCst) == 0 {
+                panic!("transient failure at {i}");
+            }
+            i * 2
+        });
+        assert_eq!(out.unwrap(), (0..64).map(|i| i * 2).collect::<Vec<usize>>());
+        assert_eq!(attempts.load(Ordering::SeqCst), 2, "one retry of the failed chunk");
+        set_thread_count(None);
+    }
+
+    #[test]
+    fn try_map_surfaces_structured_error_after_retry() {
+        set_thread_count(Some(4));
+        let out: Result<Vec<usize>, JobError> = try_par_map_vec((0..64usize).collect(), &|i| {
+            if i == 40 {
+                panic!("persistent failure at {i}");
+            }
+            i
+        });
+        let err = out.unwrap_err();
+        assert_eq!(err.attempts, 2);
+        assert!(err.detail.contains("persistent failure at 40"), "{err}");
+        // The pool stays usable afterwards.
+        let ok: Vec<usize> = (0..8usize).into_par_iter().map(|i| i).collect();
+        assert_eq!(ok.len(), 8);
         set_thread_count(None);
     }
 

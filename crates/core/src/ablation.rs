@@ -164,7 +164,7 @@ mod tests {
     use dvfs_microbench::{run_sweep, SweepConfig};
 
     fn dataset() -> Dataset {
-        run_sweep(&SweepConfig { seed: 0xAB1A, ..SweepConfig::default() })
+        run_sweep(&SweepConfig { seed: 0xAB1A, faults: None, ..SweepConfig::default() })
     }
 
     #[test]

@@ -79,12 +79,10 @@ pub struct CaseMeasurements {
 
 impl CaseMeasurements {
     fn argmin(values: &[f64]) -> usize {
-        values
-            .iter()
-            .enumerate()
-            .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
-            .expect("non-empty")
-            .0
+        // `total_cmp` keeps the comparison total even if a degraded fit
+        // ever produces a NaN prediction (NaN sorts last, so it can
+        // never be selected over a finite minimum).
+        values.iter().enumerate().min_by(|a, b| a.1.total_cmp(b.1)).expect("non-empty").0
     }
 
     /// Index of the measured-energy optimum.
@@ -200,7 +198,9 @@ mod tests {
     use dvfs_microbench::{run_sweep, SweepConfig};
 
     fn fitted_model() -> EnergyModel {
-        let ds = run_sweep(&SweepConfig::default());
+        // Pinned fault-free: these paper-band assertions must stay
+        // deterministic even when the suite runs under FMM_ENERGY_FAULTS.
+        let ds = run_sweep(&SweepConfig { faults: None, ..SweepConfig::default() });
         fit_model(ds.training()).model
     }
 

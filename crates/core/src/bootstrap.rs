@@ -172,7 +172,7 @@ mod tests {
     use dvfs_microbench::{run_sweep, SweepConfig};
 
     fn report(replicates: usize) -> (BootstrapReport, EnergyModel) {
-        let ds = run_sweep(&SweepConfig { seed: 404, ..SweepConfig::default() });
+        let ds = run_sweep(&SweepConfig { seed: 404, faults: None, ..SweepConfig::default() });
         let model = fit_model(ds.training()).model;
         (bootstrap_fit(&ds, replicates, 99), model)
     }
@@ -228,6 +228,7 @@ mod tests {
     fn too_few_replicates_rejected() {
         let ds = run_sweep(&SweepConfig {
             kinds: vec![dvfs_microbench::MicrobenchKind::L2],
+            faults: None,
             ..SweepConfig::default()
         });
         let _ = bootstrap_fit(&ds, 2, 1);

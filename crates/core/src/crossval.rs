@@ -10,9 +10,10 @@
 //!   held-out setting's samples.  The paper reports mean 6.56%
 //!   (σ 3.80, range 1.60–15.22%).
 
-use crate::fit::{fit_model, predict};
+use crate::fit::{predict, try_fit_model_with, FitDiagnostics, FitOptions};
 use crate::model::EnergyModel;
 use crate::stats::{relative_error, ErrorStats};
+use compat::error::{PipelineError, PipelineResult};
 use dvfs_microbench::Dataset;
 
 /// Result of a validation protocol.
@@ -26,20 +27,31 @@ pub struct ValidationReport {
     /// The model fitted on the full training split (holdout) or on the
     /// full dataset (k-fold; refit per fold internally).
     pub model: EnergyModel,
+    /// Degradation diagnostics of the reference-model fit.
+    pub fit_diagnostics: FitDiagnostics,
 }
 
 /// 2-fold holdout validation: train on the "T" split, validate on "V".
 pub fn holdout_validation(dataset: &Dataset) -> ValidationReport {
-    let report = fit_model(dataset.training());
+    try_holdout_validation(dataset, &FitOptions::default()).expect("holdout fit")
+}
+
+/// Fallible 2-fold holdout validation under explicit fit options.
+pub fn try_holdout_validation(
+    dataset: &Dataset,
+    options: &FitOptions,
+) -> PipelineResult<ValidationReport> {
+    let report = try_fit_model_with(dataset.training(), options)?;
     let errors: Vec<f64> = dataset
         .validation()
         .map(|s| relative_error(predict(&report.model, s), s.energy_j))
         .collect();
-    ValidationReport {
+    Ok(ValidationReport {
         stats: ErrorStats::from_relative_errors(&errors),
         errors,
         model: report.model,
-    }
+        fit_diagnostics: report.diagnostics,
+    })
 }
 
 /// Leave-one-setting-out cross-validation over every distinct setting in
@@ -47,6 +59,24 @@ pub fn holdout_validation(dataset: &Dataset) -> ValidationReport {
 pub fn leave_one_setting_out(dataset: &Dataset) -> ValidationReport {
     let folds = dataset.folds_by_setting();
     assert!(folds.len() >= 2, "need at least two settings to cross-validate");
+    try_leave_one_setting_out(dataset, &FitOptions::default()).expect("k-fold fit")
+}
+
+/// Fallible leave-one-setting-out cross-validation under explicit fit
+/// options.  Fails with [`PipelineError::InsufficientData`] when fewer
+/// than two distinct settings are present.
+pub fn try_leave_one_setting_out(
+    dataset: &Dataset,
+    options: &FitOptions,
+) -> PipelineResult<ValidationReport> {
+    let folds = dataset.folds_by_setting();
+    if folds.len() < 2 {
+        return Err(PipelineError::InsufficientData {
+            needed: 2,
+            got: folds.len(),
+            context: "distinct settings for leave-one-setting-out".to_string(),
+        });
+    }
     let mut errors = Vec::new();
     for fold in &folds {
         let held: std::collections::HashSet<usize> = fold.iter().copied().collect();
@@ -57,15 +87,20 @@ pub fn leave_one_setting_out(dataset: &Dataset) -> ValidationReport {
             .filter(|(i, _)| !held.contains(i))
             .map(|(_, s)| s)
             .collect();
-        let report = fit_model(train);
+        let report = try_fit_model_with(train, options)?;
         for &i in fold {
             let s = &dataset.samples[i];
             errors.push(relative_error(predict(&report.model, s), s.energy_j));
         }
     }
     // Also fit on everything for the returned reference model.
-    let full = fit_model(dataset.samples.iter());
-    ValidationReport { stats: ErrorStats::from_relative_errors(&errors), errors, model: full.model }
+    let full = try_fit_model_with(dataset.samples.iter(), options)?;
+    Ok(ValidationReport {
+        stats: ErrorStats::from_relative_errors(&errors),
+        errors,
+        model: full.model,
+        fit_diagnostics: full.diagnostics,
+    })
 }
 
 #[cfg(test)]
@@ -74,7 +109,7 @@ mod tests {
     use dvfs_microbench::{run_sweep, SweepConfig};
 
     fn dataset() -> Dataset {
-        run_sweep(&SweepConfig { seed: 99, ..SweepConfig::default() })
+        run_sweep(&SweepConfig { seed: 99, faults: None, ..SweepConfig::default() })
     }
 
     #[test]
@@ -141,6 +176,7 @@ mod tests {
     #[should_panic(expected = "at least two settings")]
     fn kfold_requires_multiple_settings() {
         let mut cfg = SweepConfig::default();
+        cfg.faults = None;
         cfg.settings.truncate(1);
         let ds = run_sweep(&cfg);
         let _ = leave_one_setting_out(&ds);

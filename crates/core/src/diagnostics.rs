@@ -179,7 +179,7 @@ mod tests {
     use dvfs_microbench::{run_sweep, SweepConfig};
 
     fn fitted() -> (EnergyModel, Dataset) {
-        let ds = run_sweep(&SweepConfig { seed: 77, ..SweepConfig::default() });
+        let ds = run_sweep(&SweepConfig { seed: 77, faults: None, ..SweepConfig::default() });
         (fit_model(ds.training()).model, ds)
     }
 

@@ -19,13 +19,77 @@
 //! physically meaningless.
 
 use crate::model::EnergyModel;
-use dvfs_linalg::{nnls, Matrix, NnlsOptions};
+use compat::error::{PipelineError, PipelineResult};
+use dvfs_linalg::{nnls, nnls_ridge, Matrix, NnlsOptions, QrFactorization};
 use dvfs_microbench::Sample;
 use tk1_sim::{OpClass, Setting};
 
 /// Number of fitted coefficients: 6 op columns (SM+L1 merged), 2 leakage
 /// terms, and `P_misc`.
 pub const NUM_COLUMNS: usize = 9;
+
+/// Human-readable names of the fitted terms, aligned with the design
+/// columns (used in [`FitDiagnostics`]).
+pub const COLUMN_NAMES: [&str; NUM_COLUMNS] =
+    ["c0_sp", "c0_dp", "c0_int", "c0_sm_l1", "c0_l2", "c0_dram", "c1_proc", "c1_mem", "p_misc"];
+
+/// Tuning of the hardened fit ladder.
+#[derive(Debug, Clone)]
+pub struct FitOptions {
+    /// When true, samples whose relative residual lies far outside the
+    /// robust (median/MAD) band are rejected and the model refitted once
+    /// without them.  Off by default so fault-free fits are bitwise
+    /// identical to the unhardened estimator.
+    pub reject_row_outliers: bool,
+    /// MAD multiples beyond which a row counts as an outlier.
+    pub outlier_cutoff: f64,
+    /// Condition-estimate threshold above which (near-)collinear columns
+    /// are dropped before the NNLS solve.
+    pub condition_limit: f64,
+    /// Tikhonov parameter of the ridge fallback used when the plain
+    /// solve still fails (applied to the column-scaled design).
+    pub ridge_lambda: f64,
+}
+
+impl Default for FitOptions {
+    fn default() -> Self {
+        FitOptions {
+            reject_row_outliers: false,
+            outlier_cutoff: 6.0,
+            condition_limit: 1e10,
+            ridge_lambda: 1e-8,
+        }
+    }
+}
+
+/// What the graceful-degradation ladder actually did during a fit.
+#[derive(Debug, Clone, Default)]
+pub struct FitDiagnostics {
+    /// Condition estimate of the column-scaled design matrix.
+    pub condition_estimate: f64,
+    /// Design columns excluded from the solve (zero excitation or
+    /// near-collinear); their coefficients are reported as zero.
+    pub dropped_columns: Vec<usize>,
+    /// Ridge parameter of the fallback solve, if it was needed.
+    pub ridge_lambda: Option<f64>,
+    /// Fitted terms that hit their physical-range clamp.
+    pub clamped_terms: Vec<&'static str>,
+    /// Rows rejected by the robust residual screen.
+    pub rows_rejected: usize,
+    /// Free-form notes describing each degradation step taken.
+    pub notes: Vec<String>,
+}
+
+impl FitDiagnostics {
+    /// True when any rung of the degradation ladder fired — the fit is
+    /// usable but should be reported alongside these diagnostics.
+    pub fn degraded(&self) -> bool {
+        !self.dropped_columns.is_empty()
+            || self.ridge_lambda.is_some()
+            || !self.clamped_terms.is_empty()
+            || self.rows_rejected > 0
+    }
+}
 
 /// Outcome of a model fit.
 #[derive(Debug, Clone)]
@@ -38,6 +102,8 @@ pub struct FitReport {
     pub samples: usize,
     /// Root-mean-square relative training error (fraction).
     pub train_rms_rel: f64,
+    /// Degradation-ladder bookkeeping for this fit.
+    pub diagnostics: FitDiagnostics,
 }
 
 /// Builds the design row for one sample (exposed for tests and for the
@@ -82,29 +148,96 @@ pub fn fit_model<'a>(samples: impl IntoIterator<Item = &'a Sample>) -> FitReport
         "need at least {NUM_COLUMNS} samples to identify the model, got {}",
         samples.len()
     );
+    try_fit_model_with(samples, &FitOptions::default()).expect("NNLS on full-rank design")
+}
 
-    let mut data = Vec::with_capacity(samples.len() * NUM_COLUMNS);
-    let mut b = Vec::with_capacity(samples.len());
-    for s in &samples {
-        data.extend_from_slice(&design_row(s));
-        b.push(s.energy_j);
-    }
-    let a = Matrix::from_vec(samples.len(), NUM_COLUMNS, data);
+/// Fallible fit with default options; see [`try_fit_model_with`].
+pub fn try_fit_model<'a>(
+    samples: impl IntoIterator<Item = &'a Sample>,
+) -> PipelineResult<FitReport> {
+    try_fit_model_with(samples, &FitOptions::default())
+}
 
-    // Column scaling: op-count columns are ~1e9 while time columns are
-    // ~1e-1; normalizing each to unit max keeps the QR inside NNLS well
-    // conditioned.  Positive scaling preserves the non-negativity
-    // constraint and is undone on the way out.
-    let mut scales = [0.0f64; NUM_COLUMNS];
-    for j in 0..NUM_COLUMNS {
-        let mx = (0..a.rows()).map(|i| a[(i, j)].abs()).fold(0.0f64, f64::max);
-        scales[j] = if mx > 0.0 { mx } else { 1.0 };
+/// Fits the model through the graceful-degradation ladder.
+///
+/// The rungs, in order, with every step recorded in
+/// [`FitReport::diagnostics`]:
+///
+/// 1. **Identifiability** — fewer than [`NUM_COLUMNS`] samples is an
+///    immediate [`PipelineError::InsufficientData`].
+/// 2. **Column screen** — a QR condition estimate of the column-scaled
+///    design; above `condition_limit` the (near-)collinear columns are
+///    dropped and reported with zero coefficients.
+/// 3. **NNLS** — the plain Lawson–Hanson solve.
+/// 4. **Ridge fallback** — if the plain solve still fails (singular or
+///    non-convergent), retry with Tikhonov regularization.
+/// 5. **Physical clamps** — fitted terms beyond physically possible
+///    magnitudes are clamped and flagged.
+///
+/// With `reject_row_outliers` set, a robust median/MAD screen on the
+/// relative residuals runs after the first solve and the model is
+/// refitted once without the flagged rows — the defense against
+/// corrupted measurements that slipped past the sweep's gates.
+pub fn try_fit_model_with<'a>(
+    samples: impl IntoIterator<Item = &'a Sample>,
+    options: &FitOptions,
+) -> PipelineResult<FitReport> {
+    let samples: Vec<&Sample> = samples.into_iter().collect();
+    if samples.len() < NUM_COLUMNS {
+        return Err(PipelineError::InsufficientData {
+            needed: NUM_COLUMNS,
+            got: samples.len(),
+            context: "fit_model design matrix".to_string(),
+        });
     }
-    let scaled = Matrix::from_fn(a.rows(), NUM_COLUMNS, |i, j| a[(i, j)] / scales[j]);
-    let sol = nnls(&scaled, &b, &NnlsOptions::default()).expect("NNLS on full-rank design");
-    let mut x = [0.0f64; NUM_COLUMNS];
+
+    let (mut x, mut residual_norm, mut diagnostics) = solve_rows(&samples, options)?;
+
+    if options.reject_row_outliers {
+        // Robust residual screen: relative residuals of the first fit,
+        // median/MAD-banded.  The 5% floor keeps the screen from firing
+        // on the ordinary noise of a clean sweep.
+        let rels: Vec<f64> = samples
+            .iter()
+            .map(|s| {
+                let pred = dvfs_linalg::dot(&design_row(s), &x);
+                (pred - s.energy_j) / s.energy_j
+            })
+            .collect();
+        let med = median(&rels);
+        let mad = median(&rels.iter().map(|r| (r - med).abs()).collect::<Vec<_>>());
+        let width = (options.outlier_cutoff * 1.4826 * mad).max(0.05);
+        let keep: Vec<&Sample> = samples
+            .iter()
+            .zip(&rels)
+            .filter(|(_, &r)| (r - med).abs() <= width)
+            .map(|(&s, _)| s)
+            .collect();
+        let rejected = samples.len() - keep.len();
+        if rejected > 0 && keep.len() >= NUM_COLUMNS {
+            let (x2, r2, mut d2) = solve_rows(&keep, options)?;
+            d2.rows_rejected = rejected;
+            d2.notes.push(format!(
+                "rejected {rejected} of {} rows beyond {:.1}% of the median residual",
+                samples.len(),
+                width * 100.0
+            ));
+            x = x2;
+            residual_norm = r2;
+            diagnostics = d2;
+        }
+    }
+
+    // Physical-range clamps: per-op energies are at most ~10 nJ on this
+    // class of hardware and no leakage/constant term can exceed the
+    // board's power envelope.  A clean fit sits orders of magnitude
+    // inside these caps; only a degenerate solve can reach them.
+    const CAPS: [f64; NUM_COLUMNS] = [1e-8, 1e-8, 1e-8, 1e-8, 1e-8, 1e-8, 20.0, 20.0, 20.0];
     for j in 0..NUM_COLUMNS {
-        x[j] = sol.x[j] / scales[j];
+        if x[j] > CAPS[j] {
+            x[j] = CAPS[j];
+            diagnostics.clamped_terms.push(COLUMN_NAMES[j]);
+        }
     }
 
     // Assemble the model; the merged SM/L1 coefficient feeds both classes.
@@ -123,7 +256,9 @@ pub fn fit_model<'a>(samples: impl IntoIterator<Item = &'a Sample>) -> FitReport
         p_misc_w: x[8],
     };
 
-    // Training-set relative error.
+    // Training-set relative error, over every supplied sample (including
+    // any the robust screen excluded from the solve — the report stays
+    // honest about the data it was handed).
     let mut sq = 0.0;
     for s in &samples {
         let pred = model.predict_energy_j(&s.ops, s.setting, s.time_s);
@@ -132,7 +267,102 @@ pub fn fit_model<'a>(samples: impl IntoIterator<Item = &'a Sample>) -> FitReport
     }
     let train_rms_rel = (sq / samples.len() as f64).sqrt();
 
-    FitReport { model, residual_norm_j: sol.residual_norm, samples: samples.len(), train_rms_rel }
+    Ok(FitReport {
+        model,
+        residual_norm_j: residual_norm,
+        samples: samples.len(),
+        train_rms_rel,
+        diagnostics,
+    })
+}
+
+/// One pass of the column-screened, ridge-backed NNLS solve.  Returns
+/// the unscaled coefficient vector (zeros in dropped columns), the
+/// residual norm, and the diagnostics accumulated so far.
+fn solve_rows(
+    samples: &[&Sample],
+    options: &FitOptions,
+) -> PipelineResult<([f64; NUM_COLUMNS], f64, FitDiagnostics)> {
+    let mut data = Vec::with_capacity(samples.len() * NUM_COLUMNS);
+    let mut b = Vec::with_capacity(samples.len());
+    for s in samples {
+        data.extend_from_slice(&design_row(s));
+        b.push(s.energy_j);
+    }
+    let a = Matrix::from_vec(samples.len(), NUM_COLUMNS, data);
+
+    // Column scaling: op-count columns are ~1e9 while time columns are
+    // ~1e-1; normalizing each to unit max keeps the QR inside NNLS well
+    // conditioned.  Positive scaling preserves the non-negativity
+    // constraint and is undone on the way out.
+    let mut scales = [0.0f64; NUM_COLUMNS];
+    for j in 0..NUM_COLUMNS {
+        let mx = (0..a.rows()).map(|i| a[(i, j)].abs()).fold(0.0f64, f64::max);
+        scales[j] = if mx > 0.0 { mx } else { 1.0 };
+    }
+    let scaled = Matrix::from_fn(a.rows(), NUM_COLUMNS, |i, j| a[(i, j)] / scales[j]);
+
+    let mut diagnostics = FitDiagnostics::default();
+    let qr = QrFactorization::new(&scaled)?;
+    diagnostics.condition_estimate = qr.condition_estimate();
+    if diagnostics.condition_estimate > options.condition_limit {
+        diagnostics.dropped_columns = qr.small_diagonal_columns(1.0 / options.condition_limit);
+        if !diagnostics.dropped_columns.is_empty() {
+            let names: Vec<&str> =
+                diagnostics.dropped_columns.iter().map(|&j| COLUMN_NAMES[j]).collect();
+            diagnostics.notes.push(format!(
+                "condition estimate {:.2e} exceeds limit; dropped columns {:?}",
+                diagnostics.condition_estimate, names
+            ));
+        }
+    }
+    let kept: Vec<usize> =
+        (0..NUM_COLUMNS).filter(|j| !diagnostics.dropped_columns.contains(j)).collect();
+    if kept.is_empty() {
+        return Err(PipelineError::Numeric {
+            routine: "fit_model".to_string(),
+            detail: "every design column was dropped as degenerate".to_string(),
+        });
+    }
+    let work =
+        if diagnostics.dropped_columns.is_empty() { scaled } else { scaled.select_columns(&kept) };
+
+    let sol = match nnls(&work, &b, &NnlsOptions::default()) {
+        Ok(sol) => sol,
+        Err(
+            e @ (dvfs_linalg::LinalgError::Singular(_)
+            | dvfs_linalg::LinalgError::NoConvergence { .. }),
+        ) => {
+            diagnostics.ridge_lambda = Some(options.ridge_lambda);
+            diagnostics.notes.push(format!(
+                "plain NNLS failed ({e}); fell back to ridge λ={:.1e}",
+                options.ridge_lambda
+            ));
+            nnls_ridge(&work, &b, options.ridge_lambda, &NnlsOptions::default())?
+        }
+        Err(e) => return Err(e.into()),
+    };
+
+    let mut x = [0.0f64; NUM_COLUMNS];
+    for (k, &j) in kept.iter().enumerate() {
+        x[j] = sol.x[k] / scales[j];
+    }
+    Ok((x, sol.residual_norm, diagnostics))
+}
+
+/// Median of a slice (NaN-free input assumed); 0 for an empty slice.
+fn median(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut v = xs.to_vec();
+    v.sort_by(f64::total_cmp);
+    let mid = v.len() / 2;
+    if v.len() % 2 == 1 {
+        v[mid]
+    } else {
+        0.5 * (v[mid - 1] + v[mid])
+    }
 }
 
 /// Convenience: predicted energy for an arbitrary (ops, setting, time)
@@ -159,7 +389,7 @@ mod tests {
     use dvfs_microbench::{run_sweep, MicrobenchKind, SweepConfig};
 
     fn sweep(trials: usize) -> dvfs_microbench::Dataset {
-        run_sweep(&SweepConfig { trials, ..SweepConfig::default() })
+        run_sweep(&SweepConfig { trials, faults: None, ..SweepConfig::default() })
     }
 
     #[test]
@@ -245,5 +475,110 @@ mod tests {
     fn too_few_samples_rejected() {
         let ds = dvfs_microbench::Dataset::new();
         let _ = fit_model(ds.training());
+    }
+
+    #[test]
+    fn too_few_samples_is_an_error_on_the_fallible_path() {
+        let ds = dvfs_microbench::Dataset::new();
+        match try_fit_model(ds.training()) {
+            Err(compat::error::PipelineError::InsufficientData { needed, got, .. }) => {
+                assert_eq!(needed, NUM_COLUMNS);
+                assert_eq!(got, 0);
+            }
+            other => panic!("expected InsufficientData, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn clean_fit_is_bitwise_unchanged_by_the_ladder() {
+        let ds = sweep(1);
+        let plain = fit_model(ds.training());
+        let laddered = try_fit_model_with(ds.training(), &FitOptions::default()).unwrap();
+        assert!(!laddered.diagnostics.degraded(), "{:?}", laddered.diagnostics);
+        for k in 0..tk1_sim::NUM_OP_CLASSES {
+            assert_eq!(
+                plain.model.c0_pj_per_v2[k].to_bits(),
+                laddered.model.c0_pj_per_v2[k].to_bits()
+            );
+        }
+        assert_eq!(plain.model.p_misc_w.to_bits(), laddered.model.p_misc_w.to_bits());
+        assert_eq!(plain.train_rms_rel.to_bits(), laddered.train_rms_rel.to_bits());
+    }
+
+    #[test]
+    fn unexcited_columns_are_dropped_and_reported() {
+        // A single-family sweep excites only the L2 and time columns;
+        // the ladder must drop the rest, report them, and still fit.
+        let ds = run_sweep(&SweepConfig {
+            kinds: vec![MicrobenchKind::L2],
+            faults: None,
+            ..SweepConfig::default()
+        });
+        let report = try_fit_model(ds.training()).unwrap();
+        assert!(report.diagnostics.degraded());
+        assert!(report.diagnostics.condition_estimate > 1e10);
+        assert!(!report.diagnostics.dropped_columns.is_empty());
+        for &j in &report.diagnostics.dropped_columns {
+            assert!(j != 4 && j != 8, "excited columns must survive: dropped {j}");
+        }
+        // Dropped columns must be reported with zero coefficients.
+        for &j in &report.diagnostics.dropped_columns {
+            if j < 6 {
+                let class_coeffs = &report.model.c0_pj_per_v2;
+                let val = match j {
+                    0 => class_coeffs[OpClass::FlopSp.index()],
+                    1 => class_coeffs[OpClass::FlopDp.index()],
+                    2 => class_coeffs[OpClass::Int.index()],
+                    3 => class_coeffs[OpClass::Shared.index()],
+                    5 => class_coeffs[OpClass::Dram.index()],
+                    _ => 0.0,
+                };
+                assert_eq!(val, 0.0, "dropped column {j} must fit to zero");
+            }
+        }
+        assert!(report.train_rms_rel < 0.10, "rms {:.4}", report.train_rms_rel);
+    }
+
+    #[test]
+    fn row_outlier_rejection_recovers_a_corrupted_training_set() {
+        let ds = sweep(1);
+        let mut corrupted: Vec<dvfs_microbench::Sample> = ds.training().cloned().collect();
+        // Corrupt ~8% of rows with gross energy errors (spikes a gated
+        // sweep could only partially absorb).
+        let mut n_corrupted = 0;
+        for (i, s) in corrupted.iter_mut().enumerate() {
+            if i % 13 == 5 {
+                s.energy_j *= 4.0;
+                n_corrupted += 1;
+            }
+        }
+        let naive = try_fit_model(corrupted.iter()).unwrap();
+        let robust = try_fit_model_with(
+            corrupted.iter(),
+            &FitOptions { reject_row_outliers: true, ..FitOptions::default() },
+        )
+        .unwrap();
+        // The screen must find (at least) the corrupted rows, and not
+        // reject wholesale.
+        assert!(robust.diagnostics.rows_rejected >= n_corrupted, "{:?}", robust.diagnostics);
+        assert!(robust.diagnostics.rows_rejected < corrupted.len() / 4);
+        // The meaningful comparison: held-out prediction quality on the
+        // *clean* validation split.
+        let holdout_err = |m: &crate::model::EnergyModel| {
+            let errs: Vec<f64> = ds
+                .validation()
+                .map(|s| crate::stats::relative_error(predict(m, s), s.energy_j))
+                .collect();
+            errs.iter().sum::<f64>() / errs.len() as f64
+        };
+        let naive_err = holdout_err(&naive.model);
+        let robust_err = holdout_err(&robust.model);
+        assert!(
+            robust_err < naive_err,
+            "robust holdout {:.4} must beat naive {:.4}",
+            robust_err,
+            naive_err
+        );
+        assert!(robust_err < 0.08, "robust holdout error {:.4}", robust_err);
     }
 }

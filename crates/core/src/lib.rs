@@ -53,7 +53,9 @@ pub use bootstrap::{bootstrap_fit, BootstrapReport, Interval};
 pub use breakdown::{BreakdownReport, EnergyShare};
 pub use crossval::{holdout_validation, leave_one_setting_out, ValidationReport};
 pub use diagnostics::{mean_abs_error, DiagnosticReport};
-pub use fit::{fit_model, FitReport};
+pub use fit::{
+    fit_model, try_fit_model, try_fit_model_with, FitDiagnostics, FitOptions, FitReport,
+};
 pub use model::{EnergyModel, ModelBreakdown};
 pub use pareto::{OperatingPointMeasure, TradeoffAnalysis};
 pub use roofline::EnergyRoofline;

@@ -27,7 +27,7 @@ pub mod svd;
 
 pub use cholesky::Cholesky;
 pub use matrix::Matrix;
-pub use nnls::{nnls, NnlsOptions, NnlsSolution};
+pub use nnls::{nnls, nnls_ridge, NnlsOptions, NnlsSolution};
 pub use pinv::{pseudo_inverse, regularized_pseudo_inverse};
 pub use qr::{lstsq, QrFactorization};
 pub use svd::{singular_values, Svd};
@@ -70,6 +70,21 @@ impl std::fmt::Display for LinalgError {
 }
 
 impl std::error::Error for LinalgError {}
+
+impl From<LinalgError> for compat::error::PipelineError {
+    fn from(e: LinalgError) -> Self {
+        let routine = match &e {
+            LinalgError::ShapeMismatch { context, .. } => *context,
+            LinalgError::Singular(ctx) => *ctx,
+            LinalgError::NotPositiveDefinite { .. } => "cholesky",
+            LinalgError::NoConvergence { routine, .. } => *routine,
+        };
+        compat::error::PipelineError::Numeric {
+            routine: routine.to_string(),
+            detail: e.to_string(),
+        }
+    }
+}
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, LinalgError>;

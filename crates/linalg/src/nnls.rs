@@ -157,6 +157,51 @@ pub fn nnls(a: &Matrix, b: &[f64], options: &NnlsOptions) -> Result<NnlsSolution
     Ok(NnlsSolution { residual_norm: crate::norm2(&r), x, passive_set, iterations })
 }
 
+/// Ridge-regularized NNLS: solves `min ||A x - b||₂² + λ ||x||₂² s.t. x >= 0`
+/// by augmenting the design matrix with `√λ · I` and the right-hand side
+/// with zeros, then running plain Lawson–Hanson on the stacked system.
+///
+/// The augmentation makes every column linearly independent, so the solve
+/// succeeds even when `A` is rank-deficient — this is the degradation
+/// rung the fitting pipeline falls back to when a corrupted sweep leaves
+/// the design matrix ill-conditioned.  `lambda` must be positive.
+pub fn nnls_ridge(
+    a: &Matrix,
+    b: &[f64],
+    lambda: f64,
+    options: &NnlsOptions,
+) -> Result<NnlsSolution> {
+    assert!(lambda > 0.0, "ridge parameter must be positive, got {lambda}");
+    let (m, n) = a.shape();
+    if b.len() != m {
+        return Err(LinalgError::ShapeMismatch {
+            context: "nnls_ridge",
+            expected: (m, 1),
+            found: (b.len(), 1),
+        });
+    }
+    let sqrt_lambda = lambda.sqrt();
+    let mut data = Vec::with_capacity((m + n) * n);
+    for i in 0..m {
+        for j in 0..n {
+            data.push(a[(i, j)]);
+        }
+    }
+    for i in 0..n {
+        for j in 0..n {
+            data.push(if i == j { sqrt_lambda } else { 0.0 });
+        }
+    }
+    let stacked = Matrix::from_vec(m + n, n, data);
+    let mut rhs = b.to_vec();
+    rhs.extend(std::iter::repeat(0.0).take(n));
+    let mut sol = nnls(&stacked, &rhs, options)?;
+    // Report the residual of the *original* system, not the stacked one.
+    let r: Vec<f64> = a.matvec(&sol.x).iter().zip(b).map(|(ax, bi)| bi - ax).collect();
+    sol.residual_norm = crate::norm2(&r);
+    Ok(sol)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -249,6 +294,39 @@ mod tests {
     fn rhs_length_mismatch_rejected() {
         let a = Matrix::zeros(3, 2);
         assert!(nnls(&a, &[1.0], &NnlsOptions::default()).is_err());
+    }
+
+    #[test]
+    fn ridge_solves_rank_deficient_system() {
+        // Two identical columns: plain QR-based lstsq inside NNLS drops
+        // one, but the ridge-augmented system is full rank and splits the
+        // weight; the fitted values still reproduce b.
+        let a = Matrix::from_rows(&[&[1.0, 1.0], &[2.0, 2.0], &[3.0, 3.0]]);
+        let b = [2.0, 4.0, 6.0];
+        let sol = nnls_ridge(&a, &b, 1e-8, &NnlsOptions::default()).unwrap();
+        assert!(sol.x.iter().all(|&v| v >= 0.0));
+        assert!(sol.residual_norm < 1e-3, "residual {}", sol.residual_norm);
+        assert!((sol.x[0] + sol.x[1] - 2.0).abs() < 1e-3, "{:?}", sol.x);
+    }
+
+    #[test]
+    fn ridge_residual_is_of_the_original_system() {
+        let a = Matrix::from_rows(&[&[1.0], &[1.0], &[1.0]]);
+        let b = [1.0, 2.0, 6.0];
+        let sol = nnls_ridge(&a, &b, 1e-10, &NnlsOptions::default()).unwrap();
+        let r: Vec<f64> = a.matvec(&sol.x).iter().zip(&b).map(|(ax, bi)| bi - ax).collect();
+        assert!((sol.residual_norm - crate::norm2(&r)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn small_ridge_barely_perturbs_a_well_posed_fit() {
+        let a = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0]]);
+        let b = a.matvec(&[2.0, 3.0]);
+        let plain = solve(&a, &b);
+        let ridged = nnls_ridge(&a, &b, 1e-12, &NnlsOptions::default()).unwrap();
+        for k in 0..2 {
+            assert!((plain.x[k] - ridged.x[k]).abs() < 1e-6);
+        }
     }
 
     #[test]

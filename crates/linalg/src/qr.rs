@@ -169,6 +169,40 @@ impl QrFactorization {
         self.apply_qt(&mut y);
         crate::norm2(&y[n..])
     }
+
+    /// Cheap condition estimate: the ratio of the largest to the smallest
+    /// absolute diagonal entry of `R`.  A lower bound on the true 2-norm
+    /// condition number — already infinite for an exactly rank-deficient
+    /// matrix, and large enough to flag the near-collinear design matrices
+    /// a corrupted sweep produces.
+    pub fn condition_estimate(&self) -> f64 {
+        let n = self.cols();
+        if n == 0 {
+            return 1.0;
+        }
+        let mut max = 0.0f64;
+        let mut min = f64::INFINITY;
+        for i in 0..n {
+            let d = self.qr[(i, i)].abs();
+            max = max.max(d);
+            min = min.min(d);
+        }
+        if min == 0.0 {
+            f64::INFINITY
+        } else {
+            max / min
+        }
+    }
+
+    /// Column indices whose `R` diagonal is below `rel_tol` times the
+    /// largest diagonal — the (numerically) dependent columns that make a
+    /// plain `solve` fail with [`LinalgError::Singular`].
+    pub fn small_diagonal_columns(&self, rel_tol: f64) -> Vec<usize> {
+        let n = self.cols();
+        let max = (0..n).map(|i| self.qr[(i, i)].abs()).fold(0.0f64, f64::max);
+        let cutoff = max * rel_tol;
+        (0..n).filter(|&i| self.qr[(i, i)].abs() <= cutoff).collect()
+    }
 }
 
 /// One-shot least squares: solves `min ||A x - b||₂` via Householder QR.
@@ -249,6 +283,30 @@ mod tests {
         let mut y = b.clone();
         f.apply_qt(&mut y);
         assert!((crate::norm2(&y) - crate::norm2(&b)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn condition_estimate_flags_near_collinear_columns() {
+        let (a, _) = overdetermined();
+        let good = QrFactorization::new(&a).unwrap();
+        assert!(good.condition_estimate() < 100.0);
+        assert!(good.small_diagonal_columns(1e-8).is_empty());
+
+        // Second column is the first plus a tiny perturbation.
+        let bad = Matrix::from_rows(&[&[1.0, 1.0 + 1e-11], &[2.0, 2.0], &[3.0, 3.0 - 1e-11]]);
+        let f = QrFactorization::new(&bad).unwrap();
+        assert!(f.condition_estimate() > 1e8, "cond {}", f.condition_estimate());
+        assert_eq!(f.small_diagonal_columns(1e-6), vec![1]);
+    }
+
+    #[test]
+    fn exactly_singular_matrix_has_huge_condition() {
+        // Floating-point rounding may leave a subnormal-sized diagonal
+        // instead of an exact zero; either way the estimate is enormous.
+        let a = Matrix::from_rows(&[&[1.0, 1.0], &[2.0, 2.0], &[3.0, 3.0]]);
+        let f = QrFactorization::new(&a).unwrap();
+        assert!(f.condition_estimate() > 1e12, "cond {}", f.condition_estimate());
+        assert_eq!(f.small_diagonal_columns(1e-10), vec![1]);
     }
 
     #[test]

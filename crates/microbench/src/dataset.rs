@@ -41,8 +41,9 @@ pub const VALIDATION_SETTINGS: [(f64, f64); 8] = [
 /// Resolves the Table I settings, training first then validation.
 pub fn table1_settings() -> Vec<(Setting, SettingType)> {
     let resolve = |(c, m): (f64, f64)| {
-        Setting::from_frequencies(c, m)
-            .unwrap_or_else(|| panic!("Table I setting {c}/{m} missing from DVFS tables"))
+        // The tables above are written against the fixed DVFS tables of
+        // the same workspace; a miss is a programming error, not data.
+        Setting::from_frequencies(c, m).expect("Table I setting missing from DVFS tables")
     };
     TRAINING_SETTINGS
         .iter()
@@ -174,7 +175,7 @@ impl FromJson for SettingType {
         match v.as_str()? {
             "training" => Ok(SettingType::Training),
             "validation" => Ok(SettingType::Validation),
-            other => Err(JsonError(format!("unknown setting type `{other}`"))),
+            other => Err(JsonError::msg(format!("unknown setting type `{other}`"))),
         }
     }
 }

@@ -135,6 +135,7 @@ mod tests {
         run_sweep(&SweepConfig {
             kinds: vec![MicrobenchKind::L2],
             settings: crate::dataset::table1_settings().into_iter().take(2).collect(),
+            faults: None,
             ..SweepConfig::default()
         })
     }

@@ -24,4 +24,4 @@ pub mod sweep;
 pub use benchmarks::{MicrobenchKind, Microbenchmark};
 pub use dataset::{Dataset, Sample, SettingType};
 pub use export::{from_csv, to_csv, CsvError};
-pub use sweep::{run_sweep, SweepConfig};
+pub use sweep::{run_sweep, try_run_sweep, SweepConfig, SweepRun, SweepStats};

@@ -8,15 +8,54 @@
 //!
 //! Each sweep owns its device and meter (seeded deterministically), so
 //! sweeps are reproducible and independent.  Settings are distributed
-//! over a scoped-thread pool: each worker gets its *own* device
+//! over the workspace thread pool: each worker gets its *own* device
 //! clone — the physical analogue being that measurements at different
 //! settings are separate lab sessions, so this changes nothing
 //! observable, only wall-clock time of the reproduction itself.
+//!
+//! # Hardened collection
+//!
+//! Real measurement campaigns lose runs: the DVFS write fails to latch,
+//! a thermal episode stretches a run, the logger drops samples.  With a
+//! [`FaultConfig`] attached (explicitly, or via the `FMM_ENERGY_FAULTS`
+//! environment variable through [`SweepConfig::default`]), the sweep
+//! verifies each measurement against per-run sanity gates and retries
+//! with an exponential cooldown before accepting it:
+//!
+//! * **latch gate** — the applied operating point is read back after
+//!   every DVFS write and the write re-issued until it matches;
+//! * **time gate** — the host-timed duration must sit within a band of
+//!   the roofline prediction (catches thermal-throttle episodes);
+//! * **power gate** — mean measured power must be physically plausible;
+//! * **trace gate** — at most half the log's samples may be dropped.
+//!
+//! A run that still fails after the retry budget keeps its last
+//! measurement (so sample counts stay stable for downstream consumers)
+//! and is counted in [`SweepStats::suspect_kept`].  Without a fault
+//! config the gates are skipped entirely and the sweep is bitwise
+//! identical to the unhardened driver.
 
-use crate::benchmarks::MicrobenchKind;
+use crate::benchmarks::{MicrobenchKind, Microbenchmark};
 use crate::dataset::{table1_settings, Dataset, Sample, SettingType};
-use powermon_sim::PowerMon;
-use tk1_sim::{Device, Setting};
+use compat::error::{PipelineError, PipelineResult};
+use powermon_sim::{MeasuredExecution, PowerMon};
+use tk1_sim::{Device, FaultConfig, Setting};
+
+/// DVFS write re-issues before the sweep gives up on a setting.
+const MAX_LATCH_ATTEMPTS: usize = 6;
+/// Measurements per (instance, trial) before the last one is kept as-is.
+const MAX_MEASURE_ATTEMPTS: usize = 4;
+/// First simulated cooldown, seconds; doubles on every retry.
+const COOLDOWN_BASE_S: f64 = 0.01;
+/// Accepted band of host-timed duration around the roofline prediction.
+/// The clean run-to-run jitter is σ ≈ 0.3%, while the shortest thermal
+/// throttle episode stretches a run by ≥ 24%, so the band separates the
+/// two populations by a wide margin.
+const TIME_GATE_BAND: (f64, f64) = (0.85, 1.15);
+/// Physically plausible mean board power, W.
+const POWER_GATE_W: (f64, f64) = (1.0, 20.0);
+/// Maximum tolerated fraction of dropped trace samples.
+const MAX_DROPPED_FRACTION: f64 = 0.5;
 
 /// Configuration of a measurement sweep.
 #[derive(Debug, Clone)]
@@ -29,8 +68,15 @@ pub struct SweepConfig {
     pub trials: usize,
     /// Master seed for device and meter noise.
     pub seed: u64,
-    /// Number of worker threads (0 = one per setting, capped at 8).
+    /// Advisory worker count, kept for configuration compatibility; the
+    /// sweep now runs on the persistent workspace pool, whose size is
+    /// fixed at startup.  Results are independent of parallelism either
+    /// way (per-setting seeding).
     pub threads: usize,
+    /// Fault-injection campaign, if any.  `None` (the fault-free
+    /// default when `FMM_ENERGY_FAULTS` is unset) reproduces the
+    /// unhardened sweep bit for bit.
+    pub faults: Option<FaultConfig>,
 }
 
 impl Default for SweepConfig {
@@ -41,6 +87,7 @@ impl Default for SweepConfig {
             trials: 1,
             seed: 0xA11C_E5ED,
             threads: 0,
+            faults: FaultConfig::from_env(),
         }
     }
 }
@@ -53,82 +100,200 @@ impl SweepConfig {
     }
 }
 
-/// Runs the sweep and collects the dataset.
-pub fn run_sweep(config: &SweepConfig) -> Dataset {
-    let threads =
-        if config.threads == 0 { config.settings.len().clamp(1, 8) } else { config.threads };
+/// Bookkeeping of the hardened collection loop: how often the gates
+/// tripped and how much (simulated) cooldown time the retries cost.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SweepStats {
+    /// DVFS writes that had to be re-issued because the read-back did
+    /// not match the request.
+    pub latch_retries: usize,
+    /// Measurements re-taken because a sanity gate tripped.
+    pub measurement_retries: usize,
+    /// Runs that exhausted the retry budget; their last measurement was
+    /// kept so downstream sample counts stay stable.
+    pub suspect_kept: usize,
+    /// Total simulated cooldown the retries would have cost, seconds.
+    pub cooldown_s: f64,
+}
+
+impl SweepStats {
+    fn absorb(&mut self, other: &SweepStats) {
+        self.latch_retries += other.latch_retries;
+        self.measurement_retries += other.measurement_retries;
+        self.suspect_kept += other.suspect_kept;
+        self.cooldown_s += other.cooldown_s;
+    }
+
+    /// Total number of retried operations of any kind.
+    pub fn total_retries(&self) -> usize {
+        self.latch_retries + self.measurement_retries
+    }
+}
+
+/// A completed sweep: the dataset plus the collection bookkeeping.
+#[derive(Debug, Clone)]
+pub struct SweepRun {
+    /// The collected samples.
+    pub dataset: Dataset,
+    /// Retry/gate statistics of the collection loop.
+    pub stats: SweepStats,
+}
+
+/// Runs the sweep and collects the dataset, surfacing collection
+/// failures as [`PipelineError`] instead of panicking.
+pub fn try_run_sweep(config: &SweepConfig) -> PipelineResult<SweepRun> {
     // Pre-build all benchmark instances once.
     let instances: Vec<_> = config.kinds.iter().flat_map(|&k| k.instances()).collect();
 
-    // Work queue over settings; each worker measures complete settings so
-    // per-setting noise streams stay deterministic regardless of thread
-    // interleaving.
+    // Work items are whole settings: each worker measures complete
+    // settings so per-setting noise streams stay deterministic
+    // regardless of thread interleaving; a panicking worker is caught
+    // by the pool and its chunk resubmitted once before erroring.
     let jobs: Vec<(usize, (Setting, SettingType))> =
         config.settings.iter().copied().enumerate().collect();
-    let results: Vec<Vec<Sample>> = std::thread::scope(|scope| {
-        let chunks: Vec<_> = jobs.chunks(jobs.len().div_ceil(threads)).collect();
-        let handles: Vec<_> = chunks
-            .into_iter()
-            .map(|chunk| {
-                let instances = &instances;
-                scope.spawn(move || {
-                    let mut out = Vec::new();
-                    for &(idx, (setting, ty)) in chunk {
-                        out.extend(measure_setting(
-                            config.seed,
-                            idx as u64,
-                            setting,
-                            ty,
-                            instances,
-                            config.trials,
-                        ));
-                    }
-                    out
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("sweep worker panicked")).collect()
-    });
+    let results = compat::par::try_par_map_vec(jobs, &|(idx, (setting, ty))| {
+        try_measure_setting(config, idx as u64, setting, ty, &instances)
+    })
+    .map_err(|e| PipelineError::WorkerPanic {
+        job: format!("sweep settings chunk {}: {}", e.chunk, e.detail),
+        attempts: e.attempts,
+    })?;
 
     let mut dataset = Dataset::new();
-    for group in results {
-        for s in group {
+    let mut stats = SweepStats::default();
+    for result in results {
+        let (samples, setting_stats) = result?;
+        stats.absorb(&setting_stats);
+        for s in samples {
             dataset.push(s);
         }
     }
-    dataset
+    Ok(SweepRun { dataset, stats })
 }
 
-fn measure_setting(
-    seed: u64,
+/// Runs the sweep and collects the dataset.
+///
+/// Infallible wrapper over [`try_run_sweep`] for callers that predate
+/// the hardened pipeline; a collection error here means the fault rates
+/// were set beyond what the retry budget can absorb.
+pub fn run_sweep(config: &SweepConfig) -> Dataset {
+    try_run_sweep(config).expect("sweep collection failed").dataset
+}
+
+fn try_measure_setting(
+    config: &SweepConfig,
     setting_index: u64,
     setting: Setting,
     ty: SettingType,
-    instances: &[crate::benchmarks::Microbenchmark],
-    trials: usize,
-) -> Vec<Sample> {
-    let mut device = Device::new(seed.wrapping_add(setting_index.wrapping_mul(0x9E37_79B9)));
+    instances: &[Microbenchmark],
+) -> PipelineResult<(Vec<Sample>, SweepStats)> {
+    let mut device = Device::new(config.seed.wrapping_add(setting_index.wrapping_mul(0x9E37_79B9)));
     // One physical meter serves the whole sweep (the paper's setup), so
     // the calibration seed is shared; only the white-noise stream is
     // per-setting.
-    let mut meter = PowerMon::with_session(seed, seed ^ setting_index.rotate_left(17));
-    device.set_operating_point(setting);
-    let mut out = Vec::with_capacity(instances.len() * trials);
+    let mut meter =
+        PowerMon::with_session(config.seed, config.seed ^ setting_index.rotate_left(17));
+    if let Some(faults) = &config.faults {
+        // Distinct injector streams for the device (latch/throttle) and
+        // the meter (acquisition) so their draws never correlate.
+        device.set_fault_injector(Some(faults.injector(setting_index.wrapping_mul(2))));
+        meter.set_fault_injector(Some(
+            faults.injector(setting_index.wrapping_mul(2).wrapping_add(1)),
+        ));
+    }
+    let mut stats = SweepStats::default();
+    apply_setting(&mut device, setting, &mut stats)?;
+
+    let gated = config.faults.is_some();
+    let mut out = Vec::with_capacity(instances.len() * config.trials);
     for mb in instances {
-        for _ in 0..trials {
-            let m = meter.measure(&mut device, mb.kernel());
+        for _ in 0..config.trials {
+            let m = if gated {
+                measure_with_retry(&mut device, &mut meter, mb, setting, &mut stats)?
+            } else {
+                meter.measure(&mut device, mb.kernel())
+            };
             out.push(Sample {
                 kind: Some(mb.kind.name().to_string()),
                 intensity: Some(mb.intensity),
                 ops: mb.kernel().ops,
                 setting,
                 setting_type: ty,
-                time_s: m.execution.duration_s,
+                time_s: m.measured_duration_s,
                 energy_j: m.measured_energy_j,
             });
         }
     }
-    out
+    Ok((out, stats))
+}
+
+/// Programs `requested` and verifies the read-back, re-issuing the write
+/// (with exponential cooldown) until the latch takes.
+fn apply_setting(
+    device: &mut Device,
+    requested: Setting,
+    stats: &mut SweepStats,
+) -> PipelineResult<()> {
+    for attempt in 0..MAX_LATCH_ATTEMPTS {
+        device.set_operating_point(requested);
+        if device.operating_point() == requested {
+            return Ok(());
+        }
+        stats.latch_retries += 1;
+        stats.cooldown_s += COOLDOWN_BASE_S * (1u64 << attempt) as f64;
+    }
+    let applied = device.operating_point();
+    Err(PipelineError::SettingNotApplied {
+        requested: format!("core[{}]/mem[{}]", requested.core_idx, requested.mem_idx),
+        applied: format!("core[{}]/mem[{}]", applied.core_idx, applied.mem_idx),
+        attempts: MAX_LATCH_ATTEMPTS,
+    })
+}
+
+/// Measures one run, re-taking it (with exponential cooldown) while any
+/// sanity gate trips.  On budget exhaustion the last measurement is
+/// kept and counted as suspect — downstream robust fitting handles it.
+fn measure_with_retry(
+    device: &mut Device,
+    meter: &mut PowerMon,
+    mb: &Microbenchmark,
+    requested: Setting,
+    stats: &mut SweepStats,
+) -> PipelineResult<MeasuredExecution> {
+    let nominal_s = device.timing_model().execution_time(mb.kernel(), requested).total_s;
+    let mut last: Option<MeasuredExecution> = None;
+    for attempt in 0..MAX_MEASURE_ATTEMPTS {
+        let m = meter.measure(device, mb.kernel());
+        if gates_pass(&m, nominal_s) {
+            return Ok(m);
+        }
+        stats.measurement_retries += 1;
+        stats.cooldown_s += COOLDOWN_BASE_S * (1u64 << attempt) as f64;
+        last = Some(m);
+    }
+    stats.suspect_kept += 1;
+    last.ok_or_else(|| PipelineError::RetryExhausted {
+        context: format!("measurement of {}", mb.kernel().name),
+        attempts: MAX_MEASURE_ATTEMPTS,
+        last_fault: "no measurement completed".to_string(),
+    })
+}
+
+fn gates_pass(m: &MeasuredExecution, nominal_s: f64) -> bool {
+    // Time gate: the host-timed duration against the roofline prediction.
+    if nominal_s > 0.0 {
+        let ratio = m.measured_duration_s / nominal_s;
+        if !(TIME_GATE_BAND.0..=TIME_GATE_BAND.1).contains(&ratio) {
+            return false;
+        }
+    }
+    // Power gate: physically plausible board power.
+    let power = m.measured_power_w();
+    if !power.is_finite() || power <= POWER_GATE_W.0 || power >= POWER_GATE_W.1 {
+        return false;
+    }
+    // Trace gate: enough of the log survived to trust the statistics.
+    m.trace.dropped_fraction() <= MAX_DROPPED_FRACTION
 }
 
 #[cfg(test)]
@@ -142,7 +307,12 @@ mod tests {
             trials: 1,
             seed: 7,
             threads: 2,
+            faults: None,
         }
+    }
+
+    fn faulted_config() -> SweepConfig {
+        SweepConfig { faults: Some(FaultConfig::default_campaign()), ..small_config() }
     }
 
     #[test]
@@ -203,6 +373,63 @@ mod tests {
             assert!(s.time_s > 0.0);
             assert!(s.energy_j > 0.0);
             assert!(s.power_w() > 1.0 && s.power_w() < 20.0);
+        }
+    }
+
+    #[test]
+    fn faulted_sweep_completes_with_full_sample_count() {
+        let cfg = faulted_config();
+        let run = try_run_sweep(&cfg).expect("default fault rates must be survivable");
+        assert_eq!(run.dataset.len(), cfg.sample_count(), "retries must not drop samples");
+        assert!(
+            run.stats.total_retries() > 0,
+            "default rates must trip some gate: {:?}",
+            run.stats
+        );
+        assert!(run.stats.cooldown_s > 0.0);
+        for s in &run.dataset.samples {
+            assert!(s.time_s > 0.0 && s.energy_j > 0.0, "no corrupted sample escapes: {s:?}");
+        }
+    }
+
+    #[test]
+    fn faulted_sweep_is_deterministic_including_stats() {
+        let cfg = faulted_config();
+        let a = try_run_sweep(&cfg).expect("sweep a");
+        let b = try_run_sweep(&cfg).expect("sweep b");
+        assert_eq!(a.stats, b.stats, "retry counts are part of the deterministic contract");
+        for (x, y) in a.dataset.samples.iter().zip(&b.dataset.samples) {
+            assert_eq!(x.energy_j.to_bits(), y.energy_j.to_bits());
+            assert_eq!(x.time_s.to_bits(), y.time_s.to_bits());
+        }
+    }
+
+    #[test]
+    fn fault_free_config_matches_legacy_sweep_bitwise() {
+        // `faults: None` must reproduce the unhardened driver exactly;
+        // golden values depend on it.
+        let clean = run_sweep(&small_config());
+        let hardened = try_run_sweep(&small_config()).expect("clean sweep");
+        assert_eq!(hardened.stats, SweepStats::default());
+        for (x, y) in clean.samples.iter().zip(&hardened.dataset.samples) {
+            assert_eq!(x.energy_j.to_bits(), y.energy_j.to_bits());
+            assert_eq!(x.time_s.to_bits(), y.time_s.to_bits());
+        }
+    }
+
+    #[test]
+    fn unsurvivable_latch_rates_error_instead_of_panicking() {
+        use tk1_sim::FaultRates;
+        let mut cfg = small_config();
+        cfg.faults = Some(FaultConfig {
+            seed: 1,
+            rates: FaultRates { latch_fail: 1.0, latch_neighbor: 1.0, ..FaultRates::off() },
+        });
+        match try_run_sweep(&cfg) {
+            Err(PipelineError::SettingNotApplied { attempts, .. }) => {
+                assert_eq!(attempts, MAX_LATCH_ATTEMPTS);
+            }
+            other => panic!("expected SettingNotApplied, got {other:?}"),
         }
     }
 }

@@ -3,7 +3,7 @@
 use crate::adc::AdcModel;
 use crate::trace::PowerTrace;
 use tk1_sim::rng::Noise;
-use tk1_sim::{Device, Execution, KernelProfile};
+use tk1_sim::{Device, Execution, FaultInjector, KernelProfile};
 
 /// Maximum sample rate of PowerMon 2, Hz.
 pub const MAX_SAMPLE_RATE_HZ: f64 = 1024.0;
@@ -30,6 +30,13 @@ pub struct PowerMon {
     sample_rate_hz: f64,
     adc: AdcModel,
     noise: Noise,
+    /// Optional fault injector corrupting the acquisition path (dropped
+    /// samples, clips, spikes, host-timer jitter).  `None` leaves the
+    /// meter bitwise identical to the fault-free build.
+    injector: Option<FaultInjector>,
+    /// Count of completed `measure` calls; keys the injector's draws so
+    /// faults are deterministic per measurement, not per wall-clock.
+    measurements: u64,
 }
 
 impl PowerMon {
@@ -74,7 +81,21 @@ impl PowerMon {
             sample_rate_hz > 0.0 && sample_rate_hz <= MAX_SAMPLE_RATE_HZ,
             "PowerMon 2 samples at up to {MAX_SAMPLE_RATE_HZ} Hz, got {sample_rate_hz}"
         );
-        PowerMon { sample_rate_hz, adc, noise: Noise::new(seed ^ 0x504d_4f4e) }
+        PowerMon {
+            sample_rate_hz,
+            adc,
+            noise: Noise::new(seed ^ 0x504d_4f4e),
+            injector: None,
+            measurements: 0,
+        }
+    }
+
+    /// Attaches (or detaches, with `None`) a fault injector to the
+    /// acquisition path.  Faults corrupt readings *after* ADC conversion,
+    /// so the white-noise stream is consumed identically with and without
+    /// faults and a clean run stays bitwise reproducible.
+    pub fn set_fault_injector(&mut self, injector: Option<FaultInjector>) {
+        self.injector = injector;
     }
 
     /// An error-free meter (ideal ADC) for pipeline sanity tests.
@@ -89,15 +110,28 @@ impl PowerMon {
 
     /// Samples the instantaneous power of `execution` over its duration.
     pub fn sample(&mut self, execution: &Execution) -> PowerTrace {
+        let meas_idx = self.measurements;
+        self.sample_indexed(execution, meas_idx)
+    }
+
+    fn sample_indexed(&mut self, execution: &Execution, meas_idx: u64) -> PowerTrace {
         let dt = 1.0 / self.sample_rate_hz;
         // At least one sample is always logged, even for very short runs
         // (short kernels are why the paper repeats launches inside one
         // measurement window).
         let n = ((execution.duration_s / dt).floor() as usize).max(1);
+        let full_scale_w = self.adc.full_scale_w;
         let samples: Vec<f64> = (0..n)
             .map(|i| {
                 let t = (i as f64 + 0.5) * dt;
-                self.adc.convert(execution.instantaneous_power_w(t), &mut self.noise)
+                let converted =
+                    self.adc.convert(execution.instantaneous_power_w(t), &mut self.noise);
+                match self.injector {
+                    None => converted,
+                    Some(inj) => inj
+                        .corrupt_sample(meas_idx, i as u64, converted, full_scale_w)
+                        .unwrap_or(f64::NAN),
+                }
             })
             .collect();
         PowerTrace::new(self.sample_rate_hz, samples)
@@ -106,13 +140,26 @@ impl PowerMon {
     /// Runs `kernel` on `device` and measures it: the full
     /// execute-and-log-power loop of the paper's experimental setup.
     pub fn measure(&mut self, device: &mut Device, kernel: &KernelProfile) -> MeasuredExecution {
+        let meas_idx = self.measurements;
+        self.measurements += 1;
         let execution = device.execute(kernel);
-        let trace = self.sample(&execution);
+        let trace = self.sample_indexed(&execution, meas_idx);
         // The measured duration comes from the host-side timer, which on
-        // the real setup is far more precise than the power log; use the
-        // execution's realized duration directly.
-        let measured_energy_j = trace.mean_power_w() * execution.duration_s;
-        MeasuredExecution { execution, trace, measured_energy_j }
+        // the real setup is far more precise than the power log; with a
+        // fault injector attached the timer read can land late or early.
+        let measured_duration_s = match &self.injector {
+            None => execution.duration_s,
+            Some(inj) => execution.duration_s * inj.timestamp_jitter(meas_idx),
+        };
+        // Against a corrupted trace the robust (gap-skipping, MAD-gated)
+        // mean is used; the clean path keeps the plain mean so fault-free
+        // measurements stay bitwise identical across builds.
+        let mean_power = match self.injector {
+            None => trace.mean_power_w(),
+            Some(_) => trace.robust_mean_power_w(),
+        };
+        let measured_energy_j = mean_power * measured_duration_s;
+        MeasuredExecution { execution, trace, measured_duration_s, measured_energy_j }
     }
 }
 
@@ -123,6 +170,9 @@ pub struct MeasuredExecution {
     pub execution: Execution,
     /// The sampled power trace.
     pub trace: PowerTrace,
+    /// Duration as reported by the host-side timer, s.  Equals
+    /// `execution.duration_s` unless a fault injector jittered the read.
+    pub measured_duration_s: f64,
     /// Energy as the experimenter computes it: mean measured power times
     /// the host-timed duration, J.
     pub measured_energy_j: f64,
@@ -131,7 +181,11 @@ pub struct MeasuredExecution {
 impl MeasuredExecution {
     /// Measured average power, W.
     pub fn measured_power_w(&self) -> f64 {
-        self.trace.mean_power_w()
+        if self.measured_duration_s > 0.0 {
+            self.measured_energy_j / self.measured_duration_s
+        } else {
+            self.trace.mean_power_w()
+        }
     }
 
     /// Relative error of the measured energy against the hidden truth
@@ -245,5 +299,61 @@ mod tests {
     #[should_panic(expected = "1024")]
     fn oversampling_rejected() {
         let _ = PowerMon::with_config(2048.0, AdcModel::default(), 1);
+    }
+
+    #[test]
+    fn fault_injector_corrupts_but_measurement_survives() {
+        use tk1_sim::FaultConfig;
+        let mut dev = Device::new(30);
+        let mut pm = PowerMon::new(31);
+        pm.set_fault_injector(Some(FaultConfig::default_campaign().injector(7)));
+        let m = pm.measure(&mut dev, &long_kernel());
+        assert!(m.trace.dropped_count() > 0, "default dropout rate must hit a long trace");
+        assert!(m.measured_energy_j.is_finite() && m.measured_energy_j > 0.0);
+        // Robust statistics keep the corrupted measurement close to truth.
+        assert!(
+            m.measurement_error_rel() < 0.2,
+            "corrupted but robust: err {:.3}",
+            m.measurement_error_rel()
+        );
+    }
+
+    #[test]
+    fn faulted_measurements_are_deterministic() {
+        use tk1_sim::FaultConfig;
+        let run = || {
+            let mut dev = Device::new(30);
+            let mut pm = PowerMon::new(31);
+            pm.set_fault_injector(Some(FaultConfig::default_campaign().injector(7)));
+            let m = pm.measure(&mut dev, &long_kernel());
+            (m.trace.samples().to_vec(), m.measured_duration_s, m.measured_energy_j)
+        };
+        let (s1, d1, e1) = run();
+        let (s2, d2, e2) = run();
+        assert_eq!(d1.to_bits(), d2.to_bits());
+        assert_eq!(e1.to_bits(), e2.to_bits());
+        assert_eq!(s1.len(), s2.len());
+        for (a, b) in s1.iter().zip(&s2) {
+            assert_eq!(a.to_bits(), b.to_bits(), "corrupted traces must be bitwise equal");
+        }
+    }
+
+    #[test]
+    fn detached_injector_restores_clean_bitwise_path() {
+        use tk1_sim::FaultConfig;
+        let clean = {
+            let mut dev = Device::new(40);
+            let mut pm = PowerMon::new(41);
+            pm.measure(&mut dev, &long_kernel())
+        };
+        let cycled = {
+            let mut dev = Device::new(40);
+            let mut pm = PowerMon::new(41);
+            pm.set_fault_injector(Some(FaultConfig::default_campaign().injector(1)));
+            pm.set_fault_injector(None);
+            pm.measure(&mut dev, &long_kernel())
+        };
+        assert_eq!(clean.measured_energy_j.to_bits(), cycled.measured_energy_j.to_bits());
+        assert_eq!(clean.measured_duration_s.to_bits(), cycled.measured_duration_s.to_bits());
     }
 }

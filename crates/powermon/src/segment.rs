@@ -64,16 +64,26 @@ pub fn segment_trace(trace: &PowerTrace, config: &SegmentConfig) -> Vec<Segment>
     if samples.is_empty() {
         return Vec::new();
     }
-    // Prefix sums for O(1) segment cost queries.
+    // Prefix sums for O(1) segment cost queries.  Dropped (`NaN`)
+    // samples contribute nothing and are excluded from the counts, so
+    // all statistics are over the valid samples of each window; for a
+    // gap-free trace `count[b] - count[a] == b - a` and the arithmetic
+    // is identical to the original.
     let mut sum = vec![0.0f64; samples.len() + 1];
     let mut sum2 = vec![0.0f64; samples.len() + 1];
+    let mut count = vec![0usize; samples.len() + 1];
     for (i, &p) in samples.iter().enumerate() {
-        sum[i + 1] = sum[i] + p;
-        sum2[i + 1] = sum2[i] + p * p;
+        let (v, c) = if p.is_nan() { (0.0, 0) } else { (p, 1) };
+        sum[i + 1] = sum[i] + v;
+        sum2[i + 1] = sum2[i] + v * v;
+        count[i + 1] = count[i] + c;
     }
     // Sum of squared deviations from the segment mean over [a, b).
     let sse = |a: usize, b: usize| -> f64 {
-        let n = (b - a) as f64;
+        let n = (count[b] - count[a]) as f64;
+        if n == 0.0 {
+            return 0.0;
+        }
         let s = sum[b] - sum[a];
         (sum2[b] - sum2[a]) - s * s / n
     };
@@ -110,7 +120,8 @@ pub fn segment_trace(trace: &PowerTrace, config: &SegmentConfig) -> Vec<Segment>
         .windows(2)
         .map(|w| {
             let (a, b) = (w[0], w[1]);
-            let mean = (sum[b] - sum[a]) / (b - a) as f64;
+            let n_valid = count[b] - count[a];
+            let mean = if n_valid == 0 { 0.0 } else { (sum[b] - sum[a]) / n_valid as f64 };
             Segment { start: a, end: b, mean_power_w: mean, energy_j: mean * (b - a) as f64 * dt }
         })
         .collect()
@@ -203,6 +214,26 @@ mod tests {
         let t = PowerTrace::new(100.0, samples);
         let segs = segment_trace(&t, &SegmentConfig::default());
         assert_eq!(segs.len(), 1, "pure noise must not split: {segs:?}");
+    }
+
+    #[test]
+    fn dropped_samples_do_not_bias_segment_means() {
+        // A two-level trace with NaN dropouts sprinkled into both phases:
+        // the segmenter must still find the step and report the clean
+        // per-phase means (dropouts excluded, not counted as zeros).
+        let mut samples = Vec::new();
+        for i in 0..100 {
+            samples.push(if i % 9 == 3 { f64::NAN } else { 5.0 });
+        }
+        for i in 0..150 {
+            samples.push(if i % 11 == 7 { f64::NAN } else { 9.0 });
+        }
+        let t = PowerTrace::new(100.0, samples);
+        let segs = segment_trace(&t, &SegmentConfig::default());
+        assert_eq!(segs.len(), 2, "{segs:?}");
+        assert_eq!(segs[0].end, 100, "cut at the power step");
+        assert!((segs[0].mean_power_w - 5.0).abs() < 1e-12);
+        assert!((segs[1].mean_power_w - 9.0).abs() < 1e-12);
     }
 
     #[test]

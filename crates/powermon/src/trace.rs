@@ -1,4 +1,14 @@
 //! Sampled power traces and their statistics.
+//!
+//! # Gaps and outliers
+//!
+//! A dropped ADC sample is recorded as `NaN` and treated as *missing*:
+//! [`PowerTrace::mean_power_w`] and [`PowerTrace::energy_j`] skip gaps
+//! (bridging them by trapezoid between the neighboring valid samples),
+//! and [`PowerTrace::robust_mean_power_w`] additionally rejects
+//! outliers (spikes, saturated samples) by the median-absolute-deviation
+//! rule before averaging.  Traces without gaps take the exact original
+//! code paths, so clean-measurement results are bitwise unchanged.
 
 /// A fixed-rate sequence of power samples from one measurement window.
 #[derive(Debug, Clone)]
@@ -6,6 +16,16 @@ pub struct PowerTrace {
     sample_rate_hz: f64,
     samples_w: Vec<f64>,
 }
+
+/// MAD cutoff for [`PowerTrace::robust_mean_power_w`]: samples farther
+/// than this many scaled MADs from the median are rejected.  6σ-ish —
+/// wide enough that clean Gaussian noise (plus the 1% supply ripple) is
+/// essentially never rejected, tight enough to kill saturation clips
+/// and transient spikes.
+const MAD_CUTOFF: f64 = 6.0;
+
+/// Converts a MAD to a Gaussian-consistent σ estimate.
+const MAD_TO_SIGMA: f64 = 1.4826;
 
 impl PowerTrace {
     /// Wraps a sample vector taken at `sample_rate_hz`.
@@ -39,12 +59,78 @@ impl PowerTrace {
         self.samples_w.len() as f64 / self.sample_rate_hz
     }
 
-    /// Mean power over the trace, W.
+    /// Number of valid (non-dropped) samples.
+    pub fn valid_count(&self) -> usize {
+        self.samples_w.iter().filter(|p| !p.is_nan()).count()
+    }
+
+    /// Number of dropped (`NaN`) samples.
+    pub fn dropped_count(&self) -> usize {
+        self.samples_w.len() - self.valid_count()
+    }
+
+    /// Fraction of samples dropped (0 for an empty trace).
+    pub fn dropped_fraction(&self) -> f64 {
+        if self.samples_w.is_empty() {
+            return 0.0;
+        }
+        self.dropped_count() as f64 / self.samples_w.len() as f64
+    }
+
+    /// True when the trace contains dropped samples.
+    pub fn has_gaps(&self) -> bool {
+        self.samples_w.iter().any(|p| p.is_nan())
+    }
+
+    /// Mean power over the valid samples, W.
     pub fn mean_power_w(&self) -> f64 {
         if self.samples_w.is_empty() {
             return 0.0;
         }
-        self.samples_w.iter().sum::<f64>() / self.samples_w.len() as f64
+        if !self.has_gaps() {
+            return self.samples_w.iter().sum::<f64>() / self.samples_w.len() as f64;
+        }
+        let (sum, n) = self
+            .samples_w
+            .iter()
+            .filter(|p| !p.is_nan())
+            .fold((0.0f64, 0usize), |(s, n), &p| (s + p, n + 1));
+        if n == 0 {
+            0.0
+        } else {
+            sum / n as f64
+        }
+    }
+
+    /// Mean power with MAD-based outlier rejection, W.
+    ///
+    /// Computes the median and the median absolute deviation of the
+    /// valid samples, rejects samples beyond `6·(1.4826·MAD)` of the
+    /// median (saturation clips, transient spikes), and averages the
+    /// survivors in sample order.  Falls back to the plain valid mean
+    /// when fewer than 8 samples survive — too short a trace to
+    /// estimate a spread from.
+    pub fn robust_mean_power_w(&self) -> f64 {
+        let valid: Vec<f64> = self.samples_w.iter().copied().filter(|p| !p.is_nan()).collect();
+        if valid.len() < 8 {
+            return self.mean_power_w();
+        }
+        let med = median(&valid);
+        let deviations: Vec<f64> = valid.iter().map(|p| (p - med).abs()).collect();
+        let mad = median(&deviations);
+        // A zero MAD (more than half the samples identical) still needs
+        // a nonzero band, or clean constant traces would reject the
+        // supply-ripple samples; fall back to a small relative width.
+        let width = (MAD_CUTOFF * MAD_TO_SIGMA * mad).max(1e-6 * med.abs()).max(1e-12);
+        let (sum, n) = valid
+            .iter()
+            .filter(|p| (**p - med).abs() <= width)
+            .fold((0.0f64, 0usize), |(s, n), &p| (s + p, n + 1));
+        if n < 8 {
+            self.mean_power_w()
+        } else {
+            sum / n as f64
+        }
     }
 
     /// Peak sample, W.
@@ -62,6 +148,9 @@ impl PowerTrace {
         if n == 0 {
             return 0.0;
         }
+        if self.has_gaps() {
+            return self.energy_j_gap_aware();
+        }
         if n == 1 {
             return self.samples_w[0] * self.duration_s();
         }
@@ -72,15 +161,69 @@ impl PowerTrace {
         interior + 0.5 * dt * (self.samples_w[0] + self.samples_w[n - 1])
     }
 
-    /// Standard deviation of the samples, W.
-    pub fn std_dev_w(&self) -> f64 {
+    /// Gap-aware trapezoid: dropped samples are bridged by a straight
+    /// line between their valid neighbors, and leading/trailing gaps are
+    /// extended from the nearest valid sample, so the integral still
+    /// spans the full `n·dt` window.
+    fn energy_j_gap_aware(&self) -> f64 {
+        let dt = 1.0 / self.sample_rate_hz;
+        let valid: Vec<(usize, f64)> = self
+            .samples_w
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| !p.is_nan())
+            .map(|(i, &p)| (i, p))
+            .collect();
         let n = self.samples_w.len();
-        if n < 2 {
+        let Some(&(first_i, first_p)) = valid.first() else { return 0.0 };
+        let &(last_i, last_p) = valid.last().expect("nonempty");
+        let interior: f64 = valid
+            .windows(2)
+            .map(|w| {
+                let ((i, a), (j, b)) = (w[0], w[1]);
+                0.5 * (a + b) * ((j - i) as f64 * dt)
+            })
+            .sum();
+        // End extensions: half a period past each end sample, plus any
+        // leading/trailing gap held at that sample's level.
+        let lead = (first_i as f64 + 0.5) * dt * first_p;
+        let tail = ((n - 1 - last_i) as f64 + 0.5) * dt * last_p;
+        interior + lead + tail
+    }
+
+    /// Standard deviation of the valid samples, W.
+    pub fn std_dev_w(&self) -> f64 {
+        if !self.has_gaps() {
+            let n = self.samples_w.len();
+            if n < 2 {
+                return 0.0;
+            }
+            let mean = self.mean_power_w();
+            return (self.samples_w.iter().map(|p| (p - mean) * (p - mean)).sum::<f64>()
+                / (n - 1) as f64)
+                .sqrt();
+        }
+        let valid: Vec<f64> = self.samples_w.iter().copied().filter(|p| !p.is_nan()).collect();
+        if valid.len() < 2 {
             return 0.0;
         }
-        let mean = self.mean_power_w();
-        (self.samples_w.iter().map(|p| (p - mean) * (p - mean)).sum::<f64>() / (n - 1) as f64)
+        let mean = valid.iter().sum::<f64>() / valid.len() as f64;
+        (valid.iter().map(|p| (p - mean) * (p - mean)).sum::<f64>() / (valid.len() - 1) as f64)
             .sqrt()
+    }
+}
+
+/// Median of a nonempty slice (averages the middle pair for even
+/// lengths).  Sorting is total-order based, so the result is
+/// deterministic for any input.
+fn median(xs: &[f64]) -> f64 {
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let n = sorted.len();
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        0.5 * (sorted[n / 2 - 1] + sorted[n / 2])
     }
 }
 
@@ -138,5 +281,77 @@ mod tests {
     #[should_panic(expected = "sample rate")]
     fn zero_rate_rejected() {
         let _ = PowerTrace::new(0.0, vec![]);
+    }
+
+    #[test]
+    fn gaps_are_bridged_by_trapezoid() {
+        // A flat 5 W signal with holes must still integrate to 5 W × T.
+        let mut samples = vec![5.0; 1000];
+        for i in [0, 1, 17, 500, 501, 502, 998, 999] {
+            samples[i] = f64::NAN;
+        }
+        let t = PowerTrace::new(1000.0, samples);
+        assert_eq!(t.dropped_count(), 8);
+        assert_eq!(t.valid_count(), 992);
+        assert!((t.dropped_fraction() - 0.008).abs() < 1e-12);
+        assert!((t.energy_j() - 5.0).abs() < 1e-9, "{}", t.energy_j());
+        assert_eq!(t.mean_power_w(), 5.0);
+        assert_eq!(t.std_dev_w(), 0.0);
+    }
+
+    #[test]
+    fn gap_aware_ramp_stays_exact() {
+        // Trapezoid across a gap is exact for linear signals, so the
+        // integral must not move when interior samples are dropped.
+        let n = 101;
+        let make = |holes: &[usize]| {
+            let mut samples: Vec<f64> = (0..n).map(|i| i as f64 * 0.1).collect();
+            for &h in holes {
+                samples[h] = f64::NAN;
+            }
+            PowerTrace::new(100.0, samples)
+        };
+        let clean = make(&[]).energy_j();
+        let holey = make(&[3, 4, 5, 50, 77]).energy_j();
+        assert!((clean - holey).abs() < 1e-12, "{clean} vs {holey}");
+    }
+
+    #[test]
+    fn all_nan_trace_is_zero_energy() {
+        let t = PowerTrace::new(100.0, vec![f64::NAN; 16]);
+        assert_eq!(t.energy_j(), 0.0);
+        assert_eq!(t.mean_power_w(), 0.0);
+        assert_eq!(t.valid_count(), 0);
+    }
+
+    #[test]
+    fn robust_mean_rejects_spikes_and_clips() {
+        let mut samples = vec![8.0; 500];
+        // 2% corrupted: saturation clips at 15 W and a few big spikes.
+        for i in 0..5 {
+            samples[i * 100 + 3] = 15.0;
+        }
+        for i in 0..5 {
+            samples[i * 100 + 7] = 16.0 + i as f64;
+        }
+        let t = PowerTrace::new(1024.0, samples);
+        assert!(t.mean_power_w() > 8.05, "plain mean is pulled up");
+        assert_eq!(t.robust_mean_power_w(), 8.0, "robust mean is not");
+    }
+
+    #[test]
+    fn robust_mean_keeps_clean_gaussian_traces() {
+        use tk1_sim::rng::Noise;
+        let mut noise = Noise::new(3);
+        let samples: Vec<f64> = (0..2000).map(|_| 8.0 + noise.normal(0.0, 0.05)).collect();
+        let t = PowerTrace::new(1024.0, samples);
+        let rel = (t.robust_mean_power_w() - t.mean_power_w()).abs() / t.mean_power_w();
+        assert!(rel < 2e-4, "clean traces barely move: {rel}");
+    }
+
+    #[test]
+    fn robust_mean_of_short_trace_falls_back() {
+        let t = PowerTrace::new(10.0, vec![4.0, 4.0, 400.0]);
+        assert_eq!(t.robust_mean_power_w(), t.mean_power_w());
     }
 }

@@ -8,6 +8,7 @@
 //! PowerMon 2 device sitting between the supply and the board.
 
 use crate::dvfs::Setting;
+use crate::faults::{FaultInjector, LatchOutcome};
 use crate::kernel::KernelProfile;
 use crate::ops::ALL_CLASSES;
 use crate::power::{EnergyComponents, TruthConstants};
@@ -41,6 +42,14 @@ pub struct Device {
     /// switching-activity variation the model cannot see.
     activity_noise_rel: f64,
     executions: u64,
+    /// Seeded fault source (DVFS latch failures, throttle episodes).
+    injector: Option<FaultInjector>,
+    /// The setting the driver last *asked* for (may differ from the
+    /// applied one under latch faults).
+    requested: Setting,
+    /// DVFS write attempts so far; keys the latch-fault draws so a
+    /// retried write can deterministically succeed.
+    latch_attempts: u64,
 }
 
 impl Device {
@@ -59,6 +68,9 @@ impl Device {
             time_jitter_rel: 3e-3,
             activity_noise_rel: 0.04,
             executions: 0,
+            injector: None,
+            requested: Setting::max_performance(),
+            latch_attempts: 0,
         }
     }
 
@@ -70,15 +82,47 @@ impl Device {
         d
     }
 
-    /// Selects a DVFS operating point (the equivalent of writing the
-    /// sysfs frequency knobs on the real board).
-    pub fn set_operating_point(&mut self, setting: Setting) {
-        self.setting = setting;
+    /// Attaches (or removes) a fault injector.  With one attached, DVFS
+    /// writes can fail to latch and executions can hit throttle
+    /// episodes; without one, behavior is bitwise-identical to before.
+    pub fn set_fault_injector(&mut self, injector: Option<FaultInjector>) {
+        self.injector = injector;
     }
 
-    /// The current operating point.
+    /// Selects a DVFS operating point (the equivalent of writing the
+    /// sysfs frequency knobs on the real board).
+    ///
+    /// Under an attached fault injector the write may be lost or latch
+    /// to a neighboring table entry; [`Device::operating_point`] reports
+    /// what actually applied (the sysfs read-back), so callers that
+    /// verify-and-retry observe the fault and can re-issue the write.
+    pub fn set_operating_point(&mut self, setting: Setting) {
+        self.requested = setting;
+        let outcome = match &self.injector {
+            Some(inj) => {
+                self.latch_attempts += 1;
+                inj.latch_outcome(self.latch_attempts, setting)
+            }
+            None => LatchOutcome::Applied,
+        };
+        match outcome {
+            LatchOutcome::Applied => self.setting = setting,
+            LatchOutcome::Stuck => {}
+            LatchOutcome::Neighbor(s) => self.setting = s,
+        }
+    }
+
+    /// The *applied* operating point (what reading the sysfs frequency
+    /// knobs back would report) — equals the requested one except when a
+    /// latch fault intervened.
     pub fn operating_point(&self) -> Setting {
         self.setting
+    }
+
+    /// The operating point last requested via
+    /// [`Device::set_operating_point`].
+    pub fn requested_operating_point(&self) -> Setting {
+        self.requested
     }
 
     /// The timing model (shared with analysis code that needs to *predict*
@@ -107,7 +151,17 @@ impl Device {
         } else {
             1.0
         };
-        let duration_s = breakdown.total_s * jitter;
+        // A thermal-throttle episode stretches the realized duration: the
+        // clocks degrade mid-run, the work still completes.  Dynamic
+        // energy is unchanged (same switched capacitance) while constant
+        // energy grows with the longer residency — which is exactly why
+        // the sweep's time gate must catch and retry these runs.
+        let throttle = self
+            .injector
+            .as_ref()
+            .and_then(|inj| inj.throttle_episode(self.executions))
+            .unwrap_or(1.0);
+        let duration_s = breakdown.total_s * jitter * throttle;
 
         // True energy decomposition at this setting.  The activity factor
         // (the `A` of P = C·V²·A·f, which the model must assume constant)
@@ -343,6 +397,70 @@ mod tests {
             (0..n).map(|i| e.instantaneous_power_w((i as f64 + 0.5) * dt) * dt).sum();
         let rel = (integral - e.true_energy_j()).abs() / e.true_energy_j();
         assert!(rel < 0.02, "ripple truncation only: {rel}");
+    }
+
+    #[test]
+    fn latch_faults_are_visible_and_recoverable_by_retry() {
+        use crate::faults::{FaultConfig, FaultRates};
+        let mut d = Device::new(1);
+        d.set_fault_injector(Some(
+            FaultConfig {
+                seed: 42,
+                rates: FaultRates { latch_fail: 0.3, latch_neighbor: 0.2, ..FaultRates::off() },
+            }
+            .injector(0),
+        ));
+        let target = Setting::from_frequencies(612.0, 528.0).unwrap();
+        let mut faulted = 0;
+        for _ in 0..200 {
+            d.set_operating_point(target);
+            let mut retries = 0;
+            while d.operating_point() != target {
+                faulted += 1;
+                retries += 1;
+                assert!(retries < 50, "retry must converge");
+                d.set_operating_point(target);
+            }
+            assert_eq!(d.requested_operating_point(), target);
+        }
+        assert!(faulted > 20, "latch faults must actually fire: {faulted}");
+    }
+
+    #[test]
+    fn throttle_episodes_stretch_duration_only_with_injector() {
+        use crate::faults::{FaultConfig, FaultRates};
+        let baseline = Device::ideal(1).execute(&kernel()).duration_s;
+        let mut d = Device::ideal(1);
+        d.set_fault_injector(Some(
+            FaultConfig {
+                seed: 7,
+                rates: FaultRates { throttle: 1.0, throttle_stretch: 0.8, ..FaultRates::off() },
+            }
+            .injector(0),
+        ));
+        let throttled = d.execute(&kernel());
+        assert!(
+            throttled.duration_s > baseline * 1.2,
+            "throttled {} vs {baseline}",
+            throttled.duration_s
+        );
+        // Energy bookkeeping stays self-consistent.
+        let err = (throttled.avg_power_w * throttled.duration_s - throttled.true_energy_j()).abs();
+        assert!(err < 1e-9);
+    }
+
+    #[test]
+    fn no_injector_means_no_behavior_change() {
+        let mut plain = Device::new(9);
+        let mut hooked = Device::new(9);
+        hooked.set_fault_injector(None);
+        let target = Setting::from_frequencies(396.0, 204.0).unwrap();
+        plain.set_operating_point(target);
+        hooked.set_operating_point(target);
+        let a = plain.execute(&kernel());
+        let b = hooked.execute(&kernel());
+        assert_eq!(a.duration_s.to_bits(), b.duration_s.to_bits());
+        assert_eq!(a.true_energy_j().to_bits(), b.true_energy_j().to_bits());
     }
 
     #[test]

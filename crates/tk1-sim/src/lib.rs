@@ -33,6 +33,7 @@
 
 pub mod device;
 pub mod dvfs;
+pub mod faults;
 pub mod governor;
 pub mod kernel;
 pub mod ops;
@@ -43,6 +44,7 @@ pub mod timing;
 
 pub use device::{Device, Execution};
 pub use dvfs::{core_points, mem_points, DvfsPoint, OperatingPoint, Setting};
+pub use faults::{FaultConfig, FaultInjector, FaultRates, LatchOutcome};
 pub use governor::{EnergyEstimates, Governor, GovernorRun};
 pub use kernel::KernelProfile;
 pub use ops::{OpClass, OpVector, ALL_CLASSES, COMPUTE_CLASSES, MEMORY_CLASSES, NUM_OP_CLASSES};

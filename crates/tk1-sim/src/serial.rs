@@ -45,10 +45,10 @@ impl FromJson for Setting {
         let core_idx = v.field("core_idx")?.as_usize()?;
         let mem_idx = v.field("mem_idx")?.as_usize()?;
         if core_idx >= crate::dvfs::core_points().len() {
-            return Err(JsonError(format!("core_idx {core_idx} out of range")));
+            return Err(JsonError::msg(format!("core_idx {core_idx} out of range")));
         }
         if mem_idx >= crate::dvfs::mem_points().len() {
-            return Err(JsonError(format!("mem_idx {mem_idx} out of range")));
+            return Err(JsonError::msg(format!("mem_idx {mem_idx} out of range")));
         }
         Ok(Setting::new(core_idx, mem_idx))
     }
@@ -81,7 +81,7 @@ impl FromJson for OpClass {
         ALL_CLASSES
             .into_iter()
             .find(|c| c.name() == name)
-            .ok_or_else(|| JsonError(format!("unknown op class `{name}`")))
+            .ok_or_else(|| JsonError::msg(format!("unknown op class `{name}`")))
     }
 }
 
@@ -106,7 +106,7 @@ impl FromJson for OpVector {
                 }
                 Ok(out)
             }
-            other => Err(JsonError(format!("expected op-vector object, got {other:?}"))),
+            other => Err(JsonError::msg(format!("expected op-vector object, got {other:?}"))),
         }
     }
 }
@@ -130,7 +130,7 @@ impl FromJson for KernelProfile {
             ops: OpVector::from_json(v.field("ops")?)?,
             utilization: v.field("utilization")?.as_f64()?,
             launches: u32::try_from(launches)
-                .map_err(|_| JsonError(format!("launches {launches} out of range")))?,
+                .map_err(|_| JsonError::msg(format!("launches {launches} out of range")))?,
         })
     }
 }

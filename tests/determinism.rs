@@ -19,6 +19,7 @@ fn small_sweep(threads: usize) -> SweepConfig {
         trials: 1,
         seed: 0xD5EED,
         threads,
+        faults: None,
         ..SweepConfig::default()
     }
 }

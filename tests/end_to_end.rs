@@ -8,7 +8,7 @@ use fmm_energy::prelude::*;
 
 /// Fit once for the whole file (the sweep is the expensive step).
 fn fitted() -> (EnergyModel, Dataset) {
-    let dataset = run_sweep(&SweepConfig { seed: 2016, ..SweepConfig::default() });
+    let dataset = run_sweep(&SweepConfig { seed: 2016, faults: None, ..SweepConfig::default() });
     let model = fit_model(dataset.training()).model;
     (model, dataset)
 }

@@ -9,7 +9,7 @@ use fmm_energy::powermon::{segment_trace, PowerTrace, SegmentConfig};
 use fmm_energy::prelude::*;
 
 fn fitted() -> (EnergyModel, Dataset) {
-    let dataset = run_sweep(&SweepConfig { seed: 0xE57, ..SweepConfig::default() });
+    let dataset = run_sweep(&SweepConfig { seed: 0xE57, faults: None, ..SweepConfig::default() });
     (fit_model(dataset.training()).model, dataset)
 }
 

@@ -1,0 +1,85 @@
+//! Faulted end-to-end acceptance tests: with the documented default
+//! fault rates, the *entire* pipeline — sweep, NNLS fit, cross-
+//! validation, autotuning, FMM validation — must complete without a
+//! panic, every injected fault must be either retried away or reported
+//! in the diagnostics, and the cross-validated accuracy must stay
+//! within 2x of the clean run at the same master seed.
+
+use dvfs_bench::pipeline::{fig5_validation, fmm_profiles, try_fitted_model};
+use dvfs_energy_model::crossval::{try_holdout_validation, try_leave_one_setting_out};
+use dvfs_energy_model::{autotune_microbenchmarks, FitOptions};
+use dvfs_microbench::{MicrobenchKind, SweepConfig};
+use tk1_sim::faults::{FaultConfig, FaultRates};
+
+const SEED: u64 = 0xFA57;
+
+fn config(faults: Option<FaultConfig>) -> SweepConfig {
+    SweepConfig { seed: SEED, faults, ..SweepConfig::default() }
+}
+
+#[test]
+fn faulted_pipeline_completes_and_stays_within_2x_of_clean_accuracy() {
+    // Clean reference at the same master seed.
+    let clean = try_fitted_model(&config(None)).expect("clean pipeline");
+    let clean_cv =
+        try_holdout_validation(&clean.dataset, &FitOptions::default()).expect("clean holdout");
+    assert_eq!(clean.sweep_stats.total_retries(), 0, "fault-free runs must never retry");
+
+    // The same campaign under the documented default fault rates.
+    let faulted = try_fitted_model(&config(Some(FaultConfig::default_campaign())))
+        .expect("default fault rates must be survivable end to end");
+    assert_eq!(faulted.dataset.len(), clean.dataset.len(), "retries must not drop samples");
+
+    // Every injected fault is accounted for: either a gate tripped and
+    // the measurement was retried, or the suspect sample was kept and
+    // flagged, or the fit reported a degradation.
+    let accounted = faulted.sweep_stats.total_retries() > 0
+        || faulted.sweep_stats.suspect_kept > 0
+        || faulted.fit_diagnostics.degraded();
+    assert!(accounted, "faults left no trace in stats or diagnostics: {:?}", faulted.sweep_stats);
+    assert!(faulted.sweep_stats.total_retries() > 0, "default rates must trip some gate");
+
+    // Acceptance bound: cross-validated mean error within 2x of the
+    // clean run's error on the same seed.
+    let robust = FitOptions { reject_row_outliers: true, ..FitOptions::default() };
+    let faulted_cv = try_holdout_validation(&faulted.dataset, &robust).expect("faulted holdout");
+    assert!(
+        faulted_cv.stats.mean_pct <= clean_cv.stats.mean_pct * 2.0,
+        "faulted holdout mean {:.2}% vs clean {:.2}%",
+        faulted_cv.stats.mean_pct,
+        clean_cv.stats.mean_pct
+    );
+
+    let clean_kfold =
+        try_leave_one_setting_out(&clean.dataset, &FitOptions::default()).expect("clean k-fold");
+    let faulted_kfold =
+        try_leave_one_setting_out(&faulted.dataset, &robust).expect("faulted k-fold");
+    assert!(
+        faulted_kfold.stats.mean_pct <= clean_kfold.stats.mean_pct * 2.0,
+        "faulted k-fold mean {:.2}% vs clean {:.2}%",
+        faulted_kfold.stats.mean_pct,
+        clean_kfold.stats.mean_pct
+    );
+
+    // The downstream consumers run on the faulted model without panics
+    // and produce sane numbers.
+    let outcomes = autotune_microbenchmarks(&faulted.model, &[MicrobenchKind::L2], SEED);
+    assert_eq!(outcomes[0].cases, 9);
+    let profiles = fmm_profiles(5, SEED);
+    let (cases, stats) = fig5_validation(&faulted.model, &profiles, SEED);
+    assert_eq!(cases.len(), 64);
+    assert!(stats.mean_pct.is_finite());
+    assert!(stats.mean_pct < 25.0, "faulted-model FMM error {:.2}%", stats.mean_pct);
+}
+
+#[test]
+fn unsurvivable_fault_rates_error_instead_of_panicking() {
+    let rates = FaultRates { latch_fail: 1.0, latch_neighbor: 0.0, ..FaultRates::off() };
+    let cfg = config(Some(FaultConfig { seed: 1, rates }));
+    let err = try_fitted_model(&cfg).expect_err("a permanently stuck latch is not survivable");
+    let msg = format!("{err}");
+    assert!(
+        msg.contains("applied") || msg.contains("retry") || msg.contains("attempts"),
+        "error should describe the exhausted retries: {msg}"
+    );
+}

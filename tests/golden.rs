@@ -49,6 +49,7 @@ fn golden_run() -> &'static GoldenRun {
     RUN.get_or_init(|| {
         let dataset = dvfs_microbench::run_sweep(&dvfs_microbench::SweepConfig {
             seed: GOLDEN_SEED,
+            faults: None,
             ..dvfs_microbench::SweepConfig::default()
         });
         let report = dvfs_energy_model::fit_model(dataset.training());
