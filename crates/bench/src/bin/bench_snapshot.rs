@@ -10,6 +10,12 @@
 //! `bench_snapshot --check FILE` instead validates that `FILE` parses
 //! with the in-tree JSON reader and has the expected shape — the CI
 //! mode used by `scripts/ci.sh --with-snapshot`.
+//!
+//! `bench_snapshot --governor FILE [--scale-shift K] [--seed S]` runs
+//! the phase-aware governor comparison (fitted model, 8 inputs × 8
+//! settings, every policy) and writes per-policy energy/time as JSON —
+//! the artifact committed as `BENCH_governor.json`.
+//! `--check-governor FILE` validates that artifact's shape.
 
 use compat::json::Json;
 use compat::rng::StdRng;
@@ -110,10 +116,120 @@ fn check(path: &str) {
     println!("bench_snapshot --check: {path} OK ({} cases)", cases.len());
 }
 
+/// Runs the governor policy comparison and writes the JSON artifact.
+fn governor_snapshot(out_path: &str, scale_shift: u32, seed: u64) {
+    use dvfs_bench::{governor_comparison, pipeline};
+    use dvfs_governor::GovernorConfig;
+    use tk1_sim::FaultConfig;
+    eprintln!("bench_snapshot: fitting the energy model ...");
+    let (model, _) = pipeline::fitted_model(seed);
+    eprintln!("bench_snapshot: profiling FMM inputs (scale shift {scale_shift}) ...");
+    let profiles = pipeline::fmm_profiles(scale_shift, seed);
+    let cfg = GovernorConfig::from_env();
+    let faults = FaultConfig::from_env();
+    let cases = governor_comparison(&model, &profiles, &cfg, seed, faults.as_ref());
+    let case_docs: Vec<Json> = cases
+        .iter()
+        .map(|c| {
+            let outcomes: Vec<Json> = c
+                .outcomes
+                .iter()
+                .map(|o| {
+                    Json::obj([
+                        ("policy", Json::Str(o.policy.to_string())),
+                        ("energy_j", Json::Num(o.energy_j)),
+                        ("time_s", Json::Num(o.time_s)),
+                        ("transition_energy_j", Json::Num(o.transition_energy_j)),
+                        ("switches", Json::Num(o.switches as f64)),
+                        ("latch_retries", Json::Num(o.latch_retries as f64)),
+                    ])
+                })
+                .collect();
+            Json::obj([
+                ("input", Json::Str(c.input.id.to_string())),
+                ("best_static", Json::Str(c.best_static_id.to_string())),
+                ("best_static_j", Json::Num(c.best_static_j)),
+                ("policies", Json::Arr(outcomes)),
+            ])
+        })
+        .collect();
+    let doc = Json::obj([
+        ("benchmark", Json::Str("governor_policies".to_string())),
+        ("scale_shift", Json::Num(scale_shift as f64)),
+        ("rounds", Json::Num(cfg.rounds as f64)),
+        ("threads", Json::Num(compat::par::num_threads() as f64)),
+        ("cases", Json::Arr(case_docs)),
+    ]);
+    let text = doc.to_text();
+    std::fs::write(out_path, format!("{text}\n")).expect("write governor snapshot");
+    println!("{text}");
+    eprintln!("bench_snapshot: wrote {out_path}");
+}
+
+/// Shape-checks a `--governor` artifact; exits non-zero on mismatch.
+fn check_governor(path: &str) {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("bench_snapshot --check-governor: cannot read {path}: {e}");
+        std::process::exit(1);
+    });
+    let doc = Json::parse(&text).unwrap_or_else(|e| {
+        eprintln!("bench_snapshot --check-governor: {path} is not valid JSON: {e:?}");
+        std::process::exit(1);
+    });
+    let Json::Obj(fields) = &doc else {
+        eprintln!("bench_snapshot --check-governor: top level must be an object");
+        std::process::exit(1);
+    };
+    let get = |key: &str| fields.iter().find(|(k, _)| k == key).map(|(_, v)| v);
+    match get("benchmark") {
+        Some(Json::Str(s)) if s == "governor_policies" => {}
+        other => {
+            eprintln!("bench_snapshot --check-governor: bad benchmark field: {other:?}");
+            std::process::exit(1);
+        }
+    }
+    let Some(Json::Arr(cases)) = get("cases") else {
+        eprintln!("bench_snapshot --check-governor: missing cases array");
+        std::process::exit(1);
+    };
+    for case in cases {
+        let Json::Obj(cf) = case else {
+            eprintln!("bench_snapshot --check-governor: case is not an object");
+            std::process::exit(1);
+        };
+        for key in ["input", "best_static_j", "policies"] {
+            if !cf.iter().any(|(k, _)| k == key) {
+                eprintln!("bench_snapshot --check-governor: case missing {key}");
+                std::process::exit(1);
+            }
+        }
+        let Some((_, Json::Arr(policies))) = cf.iter().find(|(k, _)| k == "policies") else {
+            eprintln!("bench_snapshot --check-governor: policies is not an array");
+            std::process::exit(1);
+        };
+        for p in policies {
+            let Json::Obj(pf) = p else {
+                eprintln!("bench_snapshot --check-governor: policy is not an object");
+                std::process::exit(1);
+            };
+            for key in ["policy", "energy_j", "time_s"] {
+                if !pf.iter().any(|(k, _)| k == key) {
+                    eprintln!("bench_snapshot --check-governor: policy missing {key}");
+                    std::process::exit(1);
+                }
+            }
+        }
+    }
+    println!("bench_snapshot --check-governor: {path} OK ({} cases)", cases.len());
+}
+
 fn main() {
     let mut out_path = "BENCH_fmm.json".to_string();
     let mut reps = 7usize;
     let mut sizes = vec![8192usize, 32768];
+    let mut governor_out: Option<String> = None;
+    let mut scale_shift = 6u32;
+    let mut seed = 0xC0FFEEu64;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -121,6 +237,21 @@ fn main() {
                 let path = args.next().expect("--check needs a path");
                 check(&path);
                 return;
+            }
+            "--check-governor" => {
+                let path = args.next().expect("--check-governor needs a path");
+                check_governor(&path);
+                return;
+            }
+            "--governor" => {
+                governor_out = Some(args.next().expect("--governor needs a path"));
+            }
+            "--scale-shift" => {
+                scale_shift =
+                    args.next().and_then(|v| v.parse().ok()).expect("--scale-shift needs a number")
+            }
+            "--seed" => {
+                seed = args.next().and_then(|v| v.parse().ok()).expect("--seed needs a number")
             }
             "--out" => out_path = args.next().expect("--out needs a path"),
             "--reps" => {
@@ -138,6 +269,10 @@ fn main() {
                 std::process::exit(2);
             }
         }
+    }
+    if let Some(out) = governor_out {
+        governor_snapshot(&out, scale_shift, seed);
+        return;
     }
     let cases: Vec<Json> = sizes
         .iter()

@@ -19,6 +19,7 @@
 //!   ablation-model nested predictor comparison (A4)
 //!   roofline      energy rooflines and balances per setting
 //!   governors     DVFS governors racing on the FMM phase sequence
+//!   governor      phase-aware governor policies vs the best static setting
 //!   bootstrap     confidence intervals for the fitted constants
 //!   csv-export    write the measurement dataset to dataset.csv
 //!   all           everything above, in order
@@ -55,6 +56,7 @@ artifacts:
   ablation-model nested predictor comparison (A4)
   roofline      energy rooflines and balances per setting
   governors     DVFS governors racing on the FMM phase sequence
+  governor      phase-aware governor policies vs the best static setting
   bootstrap     confidence intervals for the fitted constants
   csv-export    write the measurement dataset to dataset.csv
   all           everything above (except csv-export), in order
@@ -133,6 +135,10 @@ fn main() {
     }
     if want("governors") {
         governors(&mut ctx);
+        ran = true;
+    }
+    if want("governor") {
+        governor(&mut ctx);
         ran = true;
     }
     if want("ablation-model") {
@@ -287,11 +293,7 @@ fn table2(ctx: &mut Context) {
                     result.mispredictions, o.cases, paper_row.2, paper_row.3
                 ),
                 format!("{:.2} ({:.2})", result.mean_lost_pct(), paper_row.4),
-                format!(
-                    "{:.2} ({:.2})",
-                    if result.losses.is_empty() { 0.0 } else { result.min_lost_pct() },
-                    paper_row.5
-                ),
+                format!("{:.2} ({:.2})", result.min_lost_pct(), paper_row.5),
                 format!("{:.2} ({:.2})", result.max_lost_pct(), paper_row.6),
             ]);
         }
@@ -576,6 +578,53 @@ fn governors(ctx: &mut Context) {
     }
     println!("== DVFS governors on the FMM (F1) phase sequence ==");
     println!("{}", table(&["Governor", "Time s", "Energy J"], &body));
+}
+
+fn governor(ctx: &mut Context) {
+    use dvfs_governor::GovernorConfig;
+    use tk1_sim::FaultConfig;
+    let model = ctx.model();
+    let seed = ctx.seed;
+    let cfg = GovernorConfig::from_env();
+    let faults = FaultConfig::from_env();
+    let profiles = ctx.profiles();
+    eprintln!("[repro] running governor policy comparison ({} rounds/input) ...", cfg.rounds);
+    let cases = dvfs_bench::governor_comparison(&model, profiles, &cfg, seed, faults.as_ref());
+    let mut body = Vec::new();
+    for c in &cases {
+        body.push(vec![
+            c.input.id.to_string(),
+            format!("static {}", c.best_static_id),
+            joules(c.best_static_j),
+            "—".to_string(),
+            "—".to_string(),
+            "—".to_string(),
+            "—".to_string(),
+        ]);
+        for o in &c.outcomes {
+            let delta = (o.energy_j / c.best_static_j - 1.0) * 100.0;
+            body.push(vec![
+                String::new(),
+                o.policy.to_string(),
+                joules(o.energy_j),
+                format!("{delta:+.2}%"),
+                format!("{:.3}", o.time_s),
+                format!("{}", o.switches),
+                format!("{}", o.latch_retries),
+            ]);
+        }
+    }
+    println!("== Governor: per-phase DVFS policies vs best static setting ==");
+    println!(
+        "{}",
+        table(&["F", "Policy", "Energy", "Δ vs static", "Time s", "Switches", "Retries"], &body)
+    );
+    let wins =
+        cases.iter().filter(|c| c.outcome("per-phase-model").energy_j <= c.best_static_j).count();
+    println!(
+        "per-phase-model matches or beats the best static setting on {wins}/{} inputs\n",
+        cases.len()
+    );
 }
 
 fn ablation_model(ctx: &mut Context) {

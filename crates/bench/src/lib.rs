@@ -6,10 +6,12 @@
 //! the integration tests assert on.  Paper reference values live in
 //! [`paper`] so every report can show *paper vs. measured* side by side.
 
+pub mod governor;
 pub mod paper;
 pub mod pipeline;
 pub mod report;
 
+pub use governor::{governor_comparison, GovernorCase, PolicyOutcome};
 pub use pipeline::{
     fig4_breakdown, fig5_validation, fig6_energy_breakdown, fig7_buckets, fitted_model,
     fmm_profiles, observations, prefetch_scan, table1_rows, table2_outcomes, try_fitted_model,

@@ -27,8 +27,12 @@
 //! * [`error`] — the workspace-wide [`error::PipelineError`] enum used by
 //!   the hardened measurement-to-fit pipeline (not a shim; it lives here
 //!   because `compat` is the one crate every layer can name).
+//! * [`env`] — typed accessors for the `FMM_ENERGY_*` environment
+//!   variables (not a shim; it lives here for the same reason as
+//!   [`error`] — every layer that reads a knob can name `compat`).
 
 pub mod bench;
+pub mod env;
 pub mod error;
 pub mod json;
 pub mod par;

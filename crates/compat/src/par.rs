@@ -100,12 +100,8 @@ pub fn num_threads() -> usize {
     if forced > 0 {
         return forced;
     }
-    if let Ok(v) = std::env::var("FMM_ENERGY_THREADS") {
-        if let Ok(n) = v.trim().parse::<usize>() {
-            if n > 0 {
-                return n;
-            }
-        }
+    if let Some(n) = crate::env::positive_usize("FMM_ENERGY_THREADS") {
+        return n;
     }
     std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(DEFAULT_THREAD_CAP)
 }

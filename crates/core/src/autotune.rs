@@ -40,9 +40,12 @@ impl StrategyResult {
         self.losses.iter().sum::<f64>() / self.losses.len() as f64 * 100.0
     }
 
-    /// Minimum extra energy over mispredicted cases, percent.
+    /// Minimum extra energy over mispredicted cases, percent (0 if none).
     pub fn min_lost_pct(&self) -> f64 {
-        self.losses.iter().copied().fold(f64::INFINITY, f64::min).min(f64::INFINITY) * 100.0
+        if self.losses.is_empty() {
+            return 0.0;
+        }
+        self.losses.iter().copied().fold(f64::INFINITY, f64::min) * 100.0
     }
 
     /// Maximum extra energy over mispredicted cases, percent.
@@ -213,6 +216,31 @@ mod tests {
         let empty = StrategyResult { mispredictions: 0, losses: vec![] };
         assert_eq!(empty.mean_lost_pct(), 0.0);
         assert_eq!(empty.max_lost_pct(), 0.0);
+        // Regression: a perfect strategy (no mispredictions) used to
+        // report `inf` here because the min-fold seeded with INFINITY.
+        assert_eq!(empty.min_lost_pct(), 0.0);
+    }
+
+    #[test]
+    fn equal_predictions_tie_break_to_lowest_setting_index() {
+        // When two settings predict exactly equal energy the pick must be
+        // deterministic: the lowest index in candidate order.  Pinned
+        // across thread counts because `Setting::all()` order and
+        // `min_by` ("first wins" on ties) are scheduling-independent —
+        // the assertion would catch any future parallel argmin that
+        // breaks first-wins.
+        let c = CaseMeasurements {
+            settings: vec![Setting::new(0, 0), Setting::new(1, 0), Setting::new(2, 0)],
+            time_s: vec![2.0, 2.0, 3.0],
+            energy_j: vec![4.0, 4.0, 5.0],
+            predicted_j: vec![6.0, 6.0, 7.0],
+        };
+        for threads in [1usize, 2, 4, 8] {
+            compat::par::set_thread_count(Some(threads));
+            assert_eq!(c.model_pick(), 0, "threads={threads}");
+            assert_eq!(c.best_measured(), 0, "threads={threads}");
+        }
+        compat::par::set_thread_count(None);
     }
 
     #[test]

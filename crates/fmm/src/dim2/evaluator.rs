@@ -15,7 +15,9 @@ use crate::dim2::geometry::{InteractionLists2, QuadTree};
 use crate::dim2::operators::{
     Kernel2, Laplace2, OperatorCache2, SurfaceTemplate2, RADIUS_INNER_2D, RADIUS_OUTER_2D,
 };
+use crate::evaluator::{phase_end, phase_start, EnginePhase, PhaseObserver};
 use compat::par::{par_for_each_init, ParSliceExt, SendPtr};
+use std::time::Instant;
 
 /// A 2D execution plan.
 pub struct FmmPlan2<K: Kernel2 = Laplace2> {
@@ -66,11 +68,34 @@ impl<K: Kernel2> FmmPlan2<K> {
 
 /// Evaluates all potentials for a 2D plan, in original point order.
 pub fn evaluate_2d<K: Kernel2>(plan: &FmmPlan2<K>) -> Vec<f64> {
+    evaluate_2d_impl(plan, None)
+}
+
+/// Like [`evaluate_2d`], invoking `observer` at every phase boundary.
+///
+/// The 2D engine runs four execution sections, so the observer sees
+/// [`EnginePhase::Up`], [`EnginePhase::V`] (which covers the fused
+/// V + X accumulation — there is no separate X boundary here),
+/// [`EnginePhase::Down`] and [`EnginePhase::Near`].  Potentials are
+/// bitwise identical to [`evaluate_2d`].
+pub fn evaluate_2d_observed<K: Kernel2>(
+    plan: &FmmPlan2<K>,
+    observer: &mut dyn PhaseObserver,
+) -> Vec<f64> {
+    evaluate_2d_impl(plan, Some(observer))
+}
+
+fn evaluate_2d_impl<K: Kernel2>(
+    plan: &FmmPlan2<K>,
+    mut obs: Option<&mut dyn PhaseObserver>,
+) -> Vec<f64> {
     let tree = &plan.tree;
     let ns = plan.ns();
     let n_nodes = tree.nodes.len();
 
     // UP: bottom-up into a flat equivalent-density arena.
+    phase_start(&mut obs, EnginePhase::Up);
+    let t = Instant::now();
     struct UpScratch2 {
         surf: Vec<[f64; 2]>,
         check: Vec<f64>,
@@ -110,7 +135,11 @@ pub fn evaluate_2d<K: Kernel2>(plan: &FmmPlan2<K>) -> Vec<f64> {
         );
     }
 
+    phase_end(&mut obs, EnginePhase::Up, t.elapsed().as_secs_f64());
+
     // V (dense M2L) + X, accumulated straight into the down-check arena.
+    phase_start(&mut obs, EnginePhase::V);
+    let t = Instant::now();
     let mut down_check = vec![0.0f64; n_nodes * ns];
     {
         let targets: Vec<usize> = (0..n_nodes)
@@ -138,7 +167,11 @@ pub fn evaluate_2d<K: Kernel2>(plan: &FmmPlan2<K>) -> Vec<f64> {
         });
     }
 
+    phase_end(&mut obs, EnginePhase::V, t.elapsed().as_secs_f64());
+
     // DOWN: L2L top-down through a flat local-expansion arena.
+    phase_start(&mut obs, EnginePhase::Down);
+    let t = Instant::now();
     let mut down_equiv = vec![0.0f64; n_nodes * ns];
     for level in 0..tree.levels.len() {
         let base = SendPtr::new(down_equiv.as_mut_ptr());
@@ -160,8 +193,12 @@ pub fn evaluate_2d<K: Kernel2>(plan: &FmmPlan2<K>) -> Vec<f64> {
         );
     }
 
+    phase_end(&mut obs, EnginePhase::Down, t.elapsed().as_secs_f64());
+
     // Leaf phases: L2P + W + U, scattered straight to the output through
     // the tree permutation (a bijection; leaf point ranges are disjoint).
+    phase_start(&mut obs, EnginePhase::Near);
+    let t = Instant::now();
     struct LeafScratch2 {
         surf: Vec<[f64; 2]>,
         pot: Vec<f64>,
@@ -214,6 +251,7 @@ pub fn evaluate_2d<K: Kernel2>(plan: &FmmPlan2<K>) -> Vec<f64> {
             },
         );
     }
+    phase_end(&mut obs, EnginePhase::Near, t.elapsed().as_secs_f64());
     out
 }
 
@@ -288,6 +326,27 @@ mod tests {
         let fmm = evaluate_2d(&plan);
         let direct = direct_sum_2d(&pts, &den);
         assert!(relative_l2_error(&fmm, &direct) < 1e-14);
+    }
+
+    #[test]
+    fn observed_2d_evaluation_matches_and_sees_four_phases() {
+        struct Recorder(Vec<EnginePhase>);
+        impl PhaseObserver for Recorder {
+            fn on_phase_start(&mut self, phase: EnginePhase) {
+                self.0.push(phase);
+            }
+            fn on_phase_end(&mut self, _phase: EnginePhase, _elapsed_s: f64) {}
+        }
+        let (pts, den) = problem(1200, 6);
+        let plan = FmmPlan2::new(&pts, &den, 30, 8);
+        let mut rec = Recorder(Vec::new());
+        let observed = evaluate_2d_observed(&plan, &mut rec);
+        assert_eq!(observed, evaluate_2d(&plan), "observer changes nothing");
+        // The 2D engine fuses V + X, so there is no X boundary.
+        assert_eq!(
+            rec.0,
+            vec![EnginePhase::Up, EnginePhase::V, EnginePhase::Down, EnginePhase::Near]
+        );
     }
 
     #[test]

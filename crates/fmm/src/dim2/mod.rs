@@ -19,6 +19,6 @@ pub mod evaluator;
 pub mod geometry;
 pub mod operators;
 
-pub use evaluator::{direct_sum_2d, evaluate_2d, FmmPlan2};
+pub use evaluator::{direct_sum_2d, evaluate_2d, evaluate_2d_observed, FmmPlan2};
 pub use geometry::{BoxId2, InteractionLists2, Node2, QuadTree};
 pub use operators::{surface_points_2d, Kernel2, Laplace2, SurfaceTemplate2};

@@ -54,6 +54,76 @@ use compat::par::{par_for_each_init, SendPtr};
 use dvfs_fft::Complex;
 use std::time::Instant;
 
+/// A coarse engine phase, as seen by a [`PhaseObserver`].
+///
+/// These are the five *execution* sections of the engine, not the six
+/// instrumentation phases of [`crate::Phase`]: the leaf pass fuses L2P,
+/// the W list and the U list into one sweep, so they surface here as a
+/// single [`EnginePhase::Near`] boundary (the same fusion
+/// [`PhaseTimings::near_s`] reports).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EnginePhase {
+    /// P2M at leaves + M2M up the tree.
+    Up,
+    /// M2L (FFT or dense) into the downward-check arena.
+    V,
+    /// Source points onto downward-check surfaces.
+    X,
+    /// L2L top-down.
+    Down,
+    /// Fused leaf pass: L2P + W + U.
+    Near,
+}
+
+impl EnginePhase {
+    /// The phases in execution order.
+    pub const ALL: [EnginePhase; 5] =
+        [EnginePhase::Up, EnginePhase::V, EnginePhase::X, EnginePhase::Down, EnginePhase::Near];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            EnginePhase::Up => "UP",
+            EnginePhase::V => "V",
+            EnginePhase::X => "X",
+            EnginePhase::Down => "DOWN",
+            EnginePhase::Near => "NEAR",
+        }
+    }
+}
+
+/// Phase-boundary hook for [`FmmEvaluator::evaluate_observed`].
+///
+/// The engine calls `on_phase_start` immediately before entering each
+/// [`EnginePhase`] and `on_phase_end` (with the phase's wall-clock
+/// seconds) immediately after — this is the seam an online DVFS governor
+/// latches per-phase operating points through (see `dvfs-governor`).
+/// The observer runs on the calling thread, strictly between phases;
+/// it cannot perturb the numerics, so observed evaluations return
+/// bitwise-identical potentials to unobserved ones.
+pub trait PhaseObserver {
+    /// Called before the phase's first parallel region starts.
+    fn on_phase_start(&mut self, phase: EnginePhase);
+    /// Called after the phase's last write, with its wall-clock time.
+    fn on_phase_end(&mut self, phase: EnginePhase, elapsed_s: f64);
+}
+
+pub(crate) fn phase_start(obs: &mut Option<&mut dyn PhaseObserver>, phase: EnginePhase) {
+    if let Some(o) = obs.as_deref_mut() {
+        o.on_phase_start(phase);
+    }
+}
+
+pub(crate) fn phase_end(
+    obs: &mut Option<&mut dyn PhaseObserver>,
+    phase: EnginePhase,
+    elapsed_s: f64,
+) {
+    if let Some(o) = obs.as_deref_mut() {
+        o.on_phase_end(phase, elapsed_s);
+    }
+}
+
 /// How the V-list translations are evaluated.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum M2lMethod {
@@ -200,14 +270,26 @@ impl FmmEvaluator {
 
     /// Computes all `N` potentials, returned in the ORIGINAL point order.
     pub fn evaluate<K: Kernel>(&self, plan: &FmmPlan<K>) -> Vec<f64> {
-        self.evaluate_impl(plan, false).0
+        self.evaluate_impl(plan, false, None).0
     }
 
     /// Like [`FmmEvaluator::evaluate`], additionally reporting wall-clock
     /// time per phase — the measurement hook the phase benchmarks and
     /// `scripts/bench_snapshot.sh` build on.
     pub fn evaluate_timed<K: Kernel>(&self, plan: &FmmPlan<K>) -> (Vec<f64>, PhaseTimings) {
-        let (pot, _, timings) = self.evaluate_impl(plan, false);
+        let (pot, _, timings) = self.evaluate_impl(plan, false, None);
+        (pot, timings)
+    }
+
+    /// Like [`FmmEvaluator::evaluate_timed`], invoking `observer` at every
+    /// phase boundary (see [`PhaseObserver`]).  Potentials are bitwise
+    /// identical to the unobserved paths.
+    pub fn evaluate_observed<K: Kernel>(
+        &self,
+        plan: &FmmPlan<K>,
+        observer: &mut dyn PhaseObserver,
+    ) -> (Vec<f64>, PhaseTimings) {
+        let (pot, _, timings) = self.evaluate_impl(plan, false, Some(observer));
         (pot, timings)
     }
 
@@ -224,7 +306,7 @@ impl FmmEvaluator {
         &self,
         plan: &FmmPlan<K>,
     ) -> (Vec<f64>, Vec<[f64; 3]>) {
-        let (pot, grad, _) = self.evaluate_impl(plan, true);
+        let (pot, grad, _) = self.evaluate_impl(plan, true, None);
         (pot, grad.expect("gradient requested"))
     }
 
@@ -232,6 +314,7 @@ impl FmmEvaluator {
         &self,
         plan: &FmmPlan<K>,
         with_grad: bool,
+        mut obs: Option<&mut dyn PhaseObserver>,
     ) -> (Vec<f64>, Option<Vec<[f64; 3]>>, PhaseTimings) {
         let tree = &plan.tree;
         let ns = plan.ns();
@@ -240,6 +323,7 @@ impl FmmEvaluator {
         let t_total = Instant::now();
 
         // ---- UP: P2M at leaves, M2M bottom-up. ----------------------
+        phase_start(&mut obs, EnginePhase::Up);
         let t = Instant::now();
         let mut up_equiv = vec![0.0f64; n_nodes * ns];
         {
@@ -275,8 +359,10 @@ impl FmmEvaluator {
             }
         }
         timings.up_s = t.elapsed().as_secs_f64();
+        phase_end(&mut obs, EnginePhase::Up, timings.up_s);
 
         // ---- V: M2L into the downward-check arena. ------------------
+        phase_start(&mut obs, EnginePhase::V);
         let t = Instant::now();
         let mut down_check = vec![0.0f64; n_nodes * ns];
         match plan.method {
@@ -426,8 +512,10 @@ impl FmmEvaluator {
             }
         }
         timings.v_s = t.elapsed().as_secs_f64();
+        phase_end(&mut obs, EnginePhase::V, timings.v_s);
 
         // ---- X: source points onto downward-check surfaces. ---------
+        phase_start(&mut obs, EnginePhase::X);
         let t = Instant::now();
         {
             let targets: Vec<usize> =
@@ -445,8 +533,10 @@ impl FmmEvaluator {
             });
         }
         timings.x_s = t.elapsed().as_secs_f64();
+        phase_end(&mut obs, EnginePhase::X, timings.x_s);
 
         // ---- DOWN: L2L top-down. -------------------------------------
+        phase_start(&mut obs, EnginePhase::Down);
         let t = Instant::now();
         let mut down_equiv = vec![0.0f64; n_nodes * ns];
         {
@@ -473,8 +563,10 @@ impl FmmEvaluator {
             }
         }
         timings.down_s = t.elapsed().as_secs_f64();
+        phase_end(&mut obs, EnginePhase::Down, timings.down_s);
 
         // ---- Fused leaf pass: L2P + W + U, scattered in place. -------
+        phase_start(&mut obs, EnginePhase::Near);
         let t = Instant::now();
         let n_points = tree.points.len();
         let mut out = vec![0.0f64; n_points];
@@ -551,6 +643,7 @@ impl FmmEvaluator {
             );
         }
         timings.near_s = t.elapsed().as_secs_f64();
+        phase_end(&mut obs, EnginePhase::Near, timings.near_s);
         timings.total_s = t_total.elapsed().as_secs_f64();
         (out, out_grad, timings)
     }
@@ -733,6 +826,30 @@ mod tests {
             compat::par::pool_workers() <= compat::par::MAX_POOL_WORKERS,
             "worker count is bounded by the pool cap, not by call count"
         );
+    }
+
+    #[test]
+    fn observed_evaluation_is_bitwise_identical_and_ordered() {
+        struct Recorder {
+            events: Vec<(EnginePhase, bool)>,
+        }
+        impl PhaseObserver for Recorder {
+            fn on_phase_start(&mut self, phase: EnginePhase) {
+                self.events.push((phase, true));
+            }
+            fn on_phase_end(&mut self, phase: EnginePhase, elapsed_s: f64) {
+                assert!(elapsed_s >= 0.0);
+                self.events.push((phase, false));
+            }
+        }
+        let (pts, den) = random_problem(1100, 55);
+        let plan = FmmPlan::new(&pts, &den, 32, 4, M2lMethod::Fft);
+        let mut rec = Recorder { events: Vec::new() };
+        let (pot, _) = FmmEvaluator::new().evaluate_observed(&plan, &mut rec);
+        assert_eq!(pot, FmmEvaluator::new().evaluate(&plan), "observer changes nothing");
+        let expected: Vec<(EnginePhase, bool)> =
+            EnginePhase::ALL.iter().flat_map(|&p| [(p, true), (p, false)]).collect();
+        assert_eq!(rec.events, expected, "start/end for each phase, in execution order");
     }
 
     #[test]

@@ -48,7 +48,7 @@ pub mod surface;
 pub mod tree;
 
 pub use accuracy::{direct_sum, direct_sum_with, relative_l2_error};
-pub use evaluator::{FmmEvaluator, FmmPlan, PhaseTimings};
+pub use evaluator::{EnginePhase, FmmEvaluator, FmmPlan, PhaseObserver, PhaseTimings};
 pub use instrument::{profile_plan, CostModel, FmmProfile, PhaseProfile};
 pub use kernel::{Kernel, LaplaceKernel, YukawaKernel};
 pub use lists::InteractionLists;

@@ -1,0 +1,136 @@
+//! Driving the governor from a live FMM evaluation.
+//!
+//! [`PhasedDriver`] implements [`kifmm::PhaseObserver`]: at each engine
+//! phase boundary it consults the policy and latches the phase's
+//! operating point (`on_phase_start`), then executes and measures the
+//! phase's profiled kernel on the simulated device and feeds the
+//! measurement back (`on_phase_end`).  The numeric evaluation itself is
+//! untouched — the observer runs strictly between phases — so governed
+//! potentials are bitwise identical to ungoverned ones.
+//!
+//! The engine exposes five execution sections ([`EnginePhase`]) while
+//! the instrumentation profile has six phases: the engine's fused leaf
+//! pass ([`EnginePhase::Near`]) maps to the U and W profiles merged
+//! into one kernel descriptor.
+
+use crate::policy::Policy;
+use crate::runtime::{GovernorReport, GovernorRuntime, PendingPhase, PhaseTask};
+use kifmm::evaluator::{EnginePhase, PhaseObserver};
+use kifmm::{FmmProfile, Phase};
+use tk1_sim::KernelProfile;
+
+/// Index of each engine phase in the driver's task table.
+fn task_index(phase: EnginePhase) -> usize {
+    match phase {
+        EnginePhase::Up => 0,
+        EnginePhase::V => 1,
+        EnginePhase::X => 2,
+        EnginePhase::Down => 3,
+        EnginePhase::Near => 4,
+    }
+}
+
+/// Merges the U and W phase profiles into the engine's fused leaf-pass
+/// kernel: ops and launches add; utilization is the op-weighted mean.
+fn near_task(profile: &FmmProfile, tag: &str) -> PhaseTask {
+    let u = profile.phase(Phase::U);
+    let w = profile.phase(Phase::W);
+    let mut ops = u.ops();
+    ops.accumulate(&w.ops());
+    let weight = |p: &kifmm::PhaseProfile| {
+        let o = p.ops();
+        o.total_compute() + o.total_memory_ops()
+    };
+    let (wu, ww) = (weight(u), weight(w));
+    let utilization = if wu + ww > 0.0 {
+        (u.utilization * wu + w.utilization * ww) / (wu + ww)
+    } else {
+        u.utilization
+    };
+    let kernel = KernelProfile::new(format!("fmm-NEAR-{tag}"), ops)
+        .with_utilization(utilization)
+        .with_launches(u.launches + w.launches);
+    PhaseTask { phase: Phase::U, kernel }
+}
+
+/// A [`PhaseObserver`] that runs the governor loop at the FMM engine's
+/// phase boundaries.
+pub struct PhasedDriver<'a> {
+    runtime: &'a mut GovernorRuntime,
+    policy: &'a mut dyn Policy,
+    tasks: Vec<PhaseTask>,
+    pending: Option<(usize, PendingPhase)>,
+    report: GovernorReport,
+    round: usize,
+}
+
+impl<'a> PhasedDriver<'a> {
+    /// Builds a driver for `rounds` planned evaluations of the problem
+    /// `profile` describes (each [`kifmm::FmmEvaluator::evaluate_observed`]
+    /// call advances one round).
+    pub fn new(
+        runtime: &'a mut GovernorRuntime,
+        policy: &'a mut dyn Policy,
+        profile: &FmmProfile,
+        rounds: usize,
+    ) -> Self {
+        let tag = format!("N{}-Q{}", profile.n, profile.q);
+        let tasks = vec![
+            PhaseTask { phase: Phase::Up, kernel: profile.phase(Phase::Up).kernel_profile(&tag) },
+            PhaseTask { phase: Phase::V, kernel: profile.phase(Phase::V).kernel_profile(&tag) },
+            PhaseTask { phase: Phase::X, kernel: profile.phase(Phase::X).kernel_profile(&tag) },
+            PhaseTask {
+                phase: Phase::Down,
+                kernel: profile.phase(Phase::Down).kernel_profile(&tag),
+            },
+            near_task(profile, &tag),
+        ];
+        let report = runtime.start_run(&tasks, rounds, policy);
+        PhasedDriver { runtime, policy, tasks, pending: None, report, round: 0 }
+    }
+
+    /// Finishes the drive and returns the accumulated report.
+    pub fn into_report(self) -> GovernorReport {
+        self.report
+    }
+}
+
+impl PhaseObserver for PhasedDriver<'_> {
+    fn on_phase_start(&mut self, phase: EnginePhase) {
+        let idx = task_index(phase);
+        let pending =
+            self.runtime.begin_phase(&self.tasks[idx], self.round, idx, &mut *self.policy);
+        self.pending = Some((idx, pending));
+    }
+
+    fn on_phase_end(&mut self, phase: EnginePhase, _elapsed_s: f64) {
+        if let Some((idx, pending)) = self.pending.take() {
+            debug_assert_eq!(idx, task_index(phase), "start/end pairs nest");
+            self.runtime.finish_phase(
+                &self.tasks[idx],
+                self.round,
+                idx,
+                pending,
+                &mut *self.policy,
+                &mut self.report,
+            );
+        }
+        if matches!(phase, EnginePhase::Near) {
+            self.round += 1;
+        }
+    }
+}
+
+/// Evaluates `plan` with the governor latching per-phase operating
+/// points at the engine's phase boundaries; returns the (bitwise
+/// ungoverned-identical) potentials and the governor's accounting.
+pub fn governed_evaluate<K: kifmm::Kernel>(
+    plan: &kifmm::FmmPlan<K>,
+    profile: &FmmProfile,
+    runtime: &mut GovernorRuntime,
+    policy: &mut dyn Policy,
+) -> (Vec<f64>, GovernorReport) {
+    let mut driver = PhasedDriver::new(runtime, policy, profile, 1);
+    let (potentials, _timings) = kifmm::FmmEvaluator::new().evaluate_observed(plan, &mut driver);
+    (potentials, driver.into_report())
+}

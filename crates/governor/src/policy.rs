@@ -1,0 +1,483 @@
+//! The pluggable per-phase DVFS policies.
+//!
+//! A [`Policy`] is consulted once per phase with a [`PhaseContext`]
+//! (the phase's kernel descriptor, the currently-latched setting, the
+//! candidate settings, and a [`Predictor`] over the fitted model) and
+//! answers with the [`Setting`] to latch for that phase.  After the
+//! phase executes, the runtime reports what actually happened through
+//! [`Policy::observe`] — the feedback loop [`PerPhaseAdaptive`] closes.
+//!
+//! All policies are deterministic: scans run in candidate order and
+//! ties resolve strictly to the first (lowest-index) minimum, so a
+//! policy's decisions are a pure function of its inputs.
+
+use crate::runtime::PhaseTask;
+use crate::transition::TransitionModel;
+use dvfs_energy_model::EnergyModel;
+use kifmm::Phase;
+use tk1_sim::timing::TimingModel;
+use tk1_sim::{Device, KernelProfile, Setting, TruthConstants};
+
+/// Model-side scoring used by planning policies: predicted phase time
+/// from the roofline timing model, predicted phase energy from the
+/// fitted [`EnergyModel`], and transition costs from the calibrated
+/// [`TransitionModel`].
+#[derive(Debug, Clone, Copy)]
+pub struct Predictor<'a> {
+    /// The fitted energy model.
+    pub model: &'a EnergyModel,
+    /// The roofline timing model (how phase time scales with clocks).
+    pub timing: &'a TimingModel,
+    /// The calibrated transition-cost model.
+    pub transitions: &'a TransitionModel,
+}
+
+impl Predictor<'_> {
+    /// Predicted execution time of `kernel` at `setting`, s.
+    pub fn phase_time_s(&self, kernel: &KernelProfile, setting: Setting) -> f64 {
+        self.timing.execution_time(kernel, setting).total_s
+    }
+
+    /// Model-predicted energy of `kernel` at `setting`, J.
+    pub fn phase_energy_j(&self, kernel: &KernelProfile, setting: Setting) -> f64 {
+        let t = self.phase_time_s(kernel, setting);
+        self.model.predict_energy_j(&kernel.ops, setting, t)
+    }
+
+    /// Energy of switching `from → to`, J (0 for the identity).
+    pub fn switch_energy_j(&self, from: Setting, to: Setting) -> f64 {
+        self.transitions.cost(from, to).energy_j
+    }
+}
+
+/// Whole-run context handed to [`Policy::begin`] before the first phase.
+pub struct RunContext<'a> {
+    /// The phase sequence of one round.
+    pub tasks: &'a [PhaseTask],
+    /// How many rounds the run repeats.
+    pub rounds: usize,
+    /// The candidate settings policies may choose from.
+    pub candidates: &'a [Setting],
+    /// The operating point latched when the run starts (the first
+    /// phase's transition is paid from here).
+    pub start: Setting,
+    /// Model-side scoring.
+    pub predictor: Predictor<'a>,
+}
+
+/// Per-phase context handed to [`Policy::select`].
+pub struct PhaseContext<'a> {
+    /// The phase about to run.
+    pub phase: Phase,
+    /// Index of the phase within the round (stable across rounds — the
+    /// key adaptive per-phase state is held under).
+    pub phase_idx: usize,
+    /// The current round.
+    pub round: usize,
+    /// The phase's kernel descriptor.
+    pub kernel: &'a KernelProfile,
+    /// The operating point latched right now (staying costs nothing).
+    pub current: Setting,
+    /// The candidate settings.
+    pub candidates: &'a [Setting],
+    /// Model-side scoring.
+    pub predictor: Predictor<'a>,
+}
+
+/// What actually happened to a phase, handed to [`Policy::observe`].
+#[derive(Debug, Clone, Copy)]
+pub struct PhaseFeedback {
+    /// Index of the phase within the round.
+    pub phase_idx: usize,
+    /// The setting the policy asked for.
+    pub requested: Setting,
+    /// The setting that actually latched (≠ `requested` only when the
+    /// bounded retry gave up during a latch-failure episode).
+    pub applied: Setting,
+    /// Model-predicted energy at the *applied* setting, J.
+    pub predicted_j: f64,
+    /// `powermon`-measured energy, J.
+    pub measured_j: f64,
+    /// Measured duration, s.
+    pub measured_s: f64,
+}
+
+/// A per-phase DVFS selection policy.
+pub trait Policy {
+    /// Short identifier used in reports.
+    fn name(&self) -> &'static str;
+    /// Called once before the first phase of a run.
+    fn begin(&mut self, _run: &RunContext<'_>) {}
+    /// Picks the setting to latch for the phase.
+    fn select(&mut self, ctx: &PhaseContext<'_>) -> Setting;
+    /// Receives the phase's measurement after it executed.
+    fn observe(&mut self, _fb: &PhaseFeedback) {}
+}
+
+/// Pins one setting for the whole run (the measurement baseline the
+/// per-input "best static" ground truth is built from).
+#[derive(Debug, Clone, Copy)]
+pub struct FixedSetting(pub Setting);
+
+impl Policy for FixedSetting {
+    fn name(&self) -> &'static str {
+        "fixed"
+    }
+    fn select(&mut self, _ctx: &PhaseContext<'_>) -> Setting {
+        self.0
+    }
+}
+
+/// The paper's Table II strategy: one static setting for the whole run,
+/// chosen up front as the candidate minimizing the model-predicted
+/// energy of the full phase sequence.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StaticBest {
+    choice: Option<Setting>,
+}
+
+impl StaticBest {
+    /// Creates the policy (the pick happens in [`Policy::begin`]).
+    pub fn new() -> Self {
+        StaticBest::default()
+    }
+}
+
+impl Policy for StaticBest {
+    fn name(&self) -> &'static str {
+        "static-best"
+    }
+    fn begin(&mut self, run: &RunContext<'_>) {
+        let mut best: Option<(f64, Setting)> = None;
+        for &s in run.candidates {
+            let e: f64 = run.tasks.iter().map(|t| run.predictor.phase_energy_j(&t.kernel, s)).sum();
+            // Strict `<`: equal predictions keep the earlier candidate,
+            // so ties break deterministically to the lowest index.
+            if best.map_or(true, |(be, _)| e < be) {
+                best = Some((e, s));
+            }
+        }
+        self.choice = best.map(|(_, s)| s);
+    }
+    fn select(&mut self, ctx: &PhaseContext<'_>) -> Setting {
+        self.choice.unwrap_or(ctx.current)
+    }
+}
+
+/// Race-to-halt doctrine: always the highest clocks on offer.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RaceToHalt;
+
+impl Policy for RaceToHalt {
+    fn name(&self) -> &'static str {
+        "race-to-halt"
+    }
+    fn select(&mut self, ctx: &PhaseContext<'_>) -> Setting {
+        ctx.candidates
+            .iter()
+            .copied()
+            .max_by_key(|s| (s.core_idx, s.mem_idx))
+            .unwrap_or_else(Setting::max_performance)
+    }
+}
+
+/// Scores `s` for one phase: predicted phase energy plus the energy of
+/// switching there from `current`.  Staying put is always a candidate
+/// (its transition is free), so a switch only happens when the model
+/// says the phase's savings beat the latch cost.
+fn model_score(ctx: &PhaseContext<'_>, bias: f64, s: Setting) -> f64 {
+    bias * ctx.predictor.phase_energy_j(ctx.kernel, s)
+        + ctx.predictor.switch_energy_j(ctx.current, s)
+}
+
+/// Minimum-total-energy plan over a stage sequence: a Viterbi pass over
+/// (stage × candidate) states whose edges pay the calibrated transition
+/// energy, with `cost(stage, setting)` as the per-stage energy under
+/// the caller's beliefs.  Returns one candidate index per stage plus
+/// the plan's total.
+///
+/// Planning over the *whole* sequence is what lets a switch amortize:
+/// a greedy per-phase argmin charges the full latch cost against a
+/// single phase and locks into its first choice, while the DP pays it
+/// once against every remaining repetition.  A constant path is always
+/// feasible, so the plan is never predicted-worse than the best static
+/// setting.  Relaxations use strict `<` in candidate order and the
+/// identity transition is free, so ties resolve deterministically to
+/// the lowest candidate index.
+fn plan_stages(
+    predictor: &Predictor<'_>,
+    candidates: &[Setting],
+    start: Setting,
+    stages: usize,
+    mut cost: impl FnMut(usize, Setting) -> f64,
+) -> (Vec<usize>, f64) {
+    let n = candidates.len();
+    if n == 0 || stages == 0 {
+        return (Vec::new(), 0.0);
+    }
+    let mut dp: Vec<f64> =
+        candidates.iter().map(|&s| predictor.switch_energy_j(start, s) + cost(0, s)).collect();
+    let mut back: Vec<Vec<usize>> = Vec::with_capacity(stages.saturating_sub(1));
+    for t in 1..stages {
+        let mut next = vec![f64::INFINITY; n];
+        let mut prev = vec![0usize; n];
+        for (j, &to) in candidates.iter().enumerate() {
+            let mut best = f64::INFINITY;
+            let mut best_i = 0usize;
+            for (i, &from) in candidates.iter().enumerate() {
+                let through = dp[i] + predictor.switch_energy_j(from, to);
+                if through < best {
+                    best = through;
+                    best_i = i;
+                }
+            }
+            next[j] = best + cost(t, to);
+            prev[j] = best_i;
+        }
+        dp = next;
+        back.push(prev);
+    }
+    let mut end = 0usize;
+    for (i, &v) in dp.iter().enumerate().skip(1) {
+        if v < dp[end] {
+            end = i;
+        }
+    }
+    let total = dp[end];
+    let mut plan = vec![0usize; stages];
+    let mut j = end;
+    for t in (0..stages).rev() {
+        plan[t] = j;
+        if t > 0 {
+            j = back[t - 1][j];
+        }
+    }
+    (plan, total)
+}
+
+/// Picks the argmin of `score` over `current ∪ candidates`, first-wins.
+fn argmin_setting(ctx: &PhaseContext<'_>, mut score: impl FnMut(Setting) -> f64) -> Setting {
+    let mut best = ctx.current;
+    let mut best_score = score(ctx.current);
+    for &s in ctx.candidates {
+        let sc = score(s);
+        if sc < best_score {
+            best = s;
+            best_score = sc;
+        }
+    }
+    best
+}
+
+/// The fitted model applied per phase instead of per run: one Viterbi
+/// plan over the whole phase sequence ([`plan_stages`]), minimizing
+/// total predicted energy with transition costs on every edge.
+#[derive(Debug, Clone, Default)]
+pub struct PerPhaseModel {
+    plan: Vec<Setting>,
+    stride: usize,
+}
+
+impl PerPhaseModel {
+    /// Creates the policy (the plan is laid in [`Policy::begin`]).
+    pub fn new() -> Self {
+        PerPhaseModel::default()
+    }
+}
+
+impl Policy for PerPhaseModel {
+    fn name(&self) -> &'static str {
+        "per-phase-model"
+    }
+    fn begin(&mut self, run: &RunContext<'_>) {
+        self.stride = run.tasks.len();
+        let stages = run.tasks.len() * run.rounds.max(1);
+        let (plan, _) = plan_stages(&run.predictor, run.candidates, run.start, stages, |t, s| {
+            run.predictor.phase_energy_j(&run.tasks[t % self.stride].kernel, s)
+        });
+        self.plan = plan.into_iter().map(|j| run.candidates[j]).collect();
+    }
+    fn select(&mut self, ctx: &PhaseContext<'_>) -> Setting {
+        // Greedy fallback covers phases past the planned horizon (more
+        // rounds driven than announced) or a run with no `begin`.
+        let t = ctx.round * self.stride.max(1) + ctx.phase_idx;
+        self.plan
+            .get(t)
+            .copied()
+            .unwrap_or_else(|| argmin_setting(ctx, |s| model_score(ctx, 1.0, s)))
+    }
+}
+
+/// [`PerPhaseModel`] plus an online feedback loop: an exponentially
+/// weighted estimate of each phase's measured/predicted energy ratio
+/// scales the model's prediction, correcting phase-specific model bias
+/// from live `powermon` measurements.  Each phase boundary re-plans
+/// the *remaining* horizon ([`plan_stages`] from the currently-latched
+/// point) under the updated biases — receding-horizon control.
+///
+/// Switching is damped two ways so noisy feedback and latch-failure
+/// episodes cannot make it thrash: the bias ratio is clamped (one
+/// corrupted measurement cannot swing the estimate to an extreme), and
+/// once a phase has a chosen point, a re-plan may only move that phase
+/// elsewhere if the whole-horizon saving exceeds the configured
+/// hysteresis fraction of the phase's predicted energy.  The *first*
+/// pick of each phase follows the plan ungated — hysteresis damps
+/// feedback-driven churn, it never vetoes the initial plan.
+#[derive(Debug, Clone)]
+pub struct PerPhaseAdaptive {
+    alpha: f64,
+    hysteresis: f64,
+    bias: Vec<f64>,
+    kernels: Vec<KernelProfile>,
+    rounds: usize,
+    incumbent: Vec<Option<Setting>>,
+}
+
+/// Clamp band for the per-phase bias estimate.
+const BIAS_CLAMP: (f64, f64) = (0.25, 4.0);
+
+impl PerPhaseAdaptive {
+    /// Creates the policy with the given EWMA weight and hysteresis
+    /// margin (see [`crate::GovernorConfig`]).
+    pub fn new(alpha: f64, hysteresis: f64) -> Self {
+        PerPhaseAdaptive {
+            alpha,
+            hysteresis,
+            bias: Vec::new(),
+            kernels: Vec::new(),
+            rounds: 0,
+            incumbent: Vec::new(),
+        }
+    }
+
+    /// Creates the policy from a [`crate::GovernorConfig`].
+    pub fn from_config(cfg: &crate::GovernorConfig) -> Self {
+        Self::new(cfg.alpha, cfg.hysteresis)
+    }
+
+    /// The current bias estimate for phase `phase_idx` (1 = unbiased).
+    pub fn bias(&self, phase_idx: usize) -> f64 {
+        self.bias.get(phase_idx).copied().unwrap_or(1.0)
+    }
+}
+
+impl Policy for PerPhaseAdaptive {
+    fn name(&self) -> &'static str {
+        "per-phase-adaptive"
+    }
+    fn begin(&mut self, run: &RunContext<'_>) {
+        self.bias = vec![1.0; run.tasks.len()];
+        self.kernels = run.tasks.iter().map(|t| t.kernel.clone()).collect();
+        self.rounds = run.rounds.max(1);
+        self.incumbent = vec![None; run.tasks.len()];
+    }
+    fn select(&mut self, ctx: &PhaseContext<'_>) -> Setting {
+        let stride = self.kernels.len();
+        let pi = ctx.phase_idx;
+        let t0 = ctx.round * stride.max(1) + pi;
+        let total = stride * self.rounds;
+        if stride == 0 || t0 >= total {
+            let bias = self.bias.get(pi).copied().unwrap_or(1.0);
+            return argmin_setting(ctx, |s| model_score(ctx, bias, s));
+        }
+        let cost = |dt: usize, s: Setting| {
+            let i = (t0 + dt) % stride;
+            self.bias[i] * ctx.predictor.phase_energy_j(&self.kernels[i], s)
+        };
+        let remaining = total - t0;
+        let (plan, free_cost) =
+            plan_stages(&ctx.predictor, ctx.candidates, ctx.current, remaining, &cost);
+        let pick = ctx.candidates[plan[0]];
+        let chosen = match self.incumbent[pi] {
+            Some(inc) if inc != pick => {
+                // A feedback-driven plan change: keeping the incumbent
+                // for this phase and re-planning after must cost more
+                // than the hysteresis margin, or the incumbent stands.
+                let forced = ctx.predictor.switch_energy_j(ctx.current, inc)
+                    + cost(0, inc)
+                    + plan_stages(&ctx.predictor, ctx.candidates, inc, remaining - 1, |dt, s| {
+                        cost(dt + 1, s)
+                    })
+                    .1;
+                if forced - free_cost > self.hysteresis * cost(0, inc) {
+                    pick
+                } else {
+                    inc
+                }
+            }
+            _ => pick,
+        };
+        self.incumbent[pi] = Some(chosen);
+        chosen
+    }
+    fn observe(&mut self, fb: &PhaseFeedback) {
+        if fb.phase_idx >= self.bias.len() {
+            return;
+        }
+        if !(fb.predicted_j > 0.0) || !fb.measured_j.is_finite() || !(fb.measured_j > 0.0) {
+            return;
+        }
+        let ratio = (fb.measured_j / fb.predicted_j).clamp(BIAS_CLAMP.0, BIAS_CLAMP.1);
+        let b = (1.0 - self.alpha) * self.bias[fb.phase_idx] + self.alpha * ratio;
+        self.bias[fb.phase_idx] = b.clamp(BIAS_CLAMP.0, BIAS_CLAMP.1);
+    }
+}
+
+/// Ground-truth scorer: the per-phase argmin under the simulator's
+/// *hidden* constants instead of the fitted model.
+///
+/// Diagnostics only — it reads [`Device::ground_truth`], which no
+/// real-hardware policy could, so it serves as the idealized lower
+/// bound the practical policies are judged against (noise and
+/// activity-factor deviations keep even this from being exact).
+#[derive(Debug, Clone)]
+pub struct Oracle {
+    truth: TruthConstants,
+    timing: TimingModel,
+    plan: Vec<Setting>,
+    stride: usize,
+}
+
+impl Oracle {
+    /// Snapshots `device`'s hidden constants and timing model.
+    pub fn new(device: &Device) -> Self {
+        Oracle {
+            truth: device.ground_truth().clone(),
+            timing: device.timing_model().clone(),
+            plan: Vec::new(),
+            stride: 0,
+        }
+    }
+
+    fn true_energy_j(&self, kernel: &KernelProfile, s: Setting) -> f64 {
+        let t = self.timing.execution_time(kernel, s).total_s;
+        let mut dynamic_j = 0.0;
+        for (class, count) in kernel.ops.iter() {
+            dynamic_j += count * self.truth.energy_per_op_j(class, s);
+        }
+        let constant_w = self.truth.constant_power_w(s, dynamic_j / t.max(1e-12));
+        dynamic_j + constant_w * t
+    }
+}
+
+impl Policy for Oracle {
+    fn name(&self) -> &'static str {
+        "oracle"
+    }
+    fn begin(&mut self, run: &RunContext<'_>) {
+        self.stride = run.tasks.len();
+        let stages = run.tasks.len() * run.rounds.max(1);
+        let (plan, _) = plan_stages(&run.predictor, run.candidates, run.start, stages, |t, s| {
+            self.true_energy_j(&run.tasks[t % run.tasks.len()].kernel, s)
+        });
+        self.plan = plan.into_iter().map(|j| run.candidates[j]).collect();
+    }
+    fn select(&mut self, ctx: &PhaseContext<'_>) -> Setting {
+        let t = ctx.round * self.stride.max(1) + ctx.phase_idx;
+        self.plan.get(t).copied().unwrap_or_else(|| {
+            argmin_setting(ctx, |s| {
+                self.true_energy_j(ctx.kernel, s) + ctx.predictor.switch_energy_j(ctx.current, s)
+            })
+        })
+    }
+}

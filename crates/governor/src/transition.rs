@@ -1,0 +1,184 @@
+//! The DVFS transition-cost model.
+//!
+//! Changing an operating point is not free: each clock domain that
+//! moves pays a latch latency (the sysfs write, PLL relock and — for
+//! the memory domain — DRAM retraining), and the board keeps burning
+//! its constant power while nothing executes.  The paper's static
+//! autotuner can ignore this (one transition per run); an online
+//! per-phase governor cannot, because a policy that switched at every
+//! boundary "for free" would look better than it is.
+//!
+//! Latencies are fixed device characteristics.  The *power* burned
+//! during a transition is taken from an idle-power table calibrated
+//! once per runtime from the simulated device: the calibration pass
+//! latches every operating point (verify-and-retry, so it survives the
+//! injected latch failures) and reads back what a power meter shows
+//! between kernels.  Transition energy is then the mean of the two
+//! endpoints' idle powers times the latency — the clocks ramp from one
+//! point to the other, so the trapezoid midpoint is the natural model.
+
+use tk1_sim::dvfs::{core_points, mem_points};
+use tk1_sim::{Device, Setting};
+
+/// Latency and energy of one operating-point change.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct TransitionCost {
+    /// Seconds during which no kernel can execute.
+    pub latency_s: f64,
+    /// Joules burned while latching (idle power × latency).
+    pub energy_j: f64,
+}
+
+impl TransitionCost {
+    /// The free transition (same operating point).
+    pub const ZERO: TransitionCost = TransitionCost { latency_s: 0.0, energy_j: 0.0 };
+
+    /// Accumulates another cost (retried latch attempts add up).
+    pub fn accumulate(&mut self, other: TransitionCost) {
+        self.latency_s += other.latency_s;
+        self.energy_j += other.energy_j;
+    }
+}
+
+/// Calibrated transition costs between any two [`Setting`]s.
+#[derive(Debug, Clone)]
+pub struct TransitionModel {
+    /// Latency of a core-clock latch, s.
+    pub core_latch_s: f64,
+    /// Latency of a memory-clock latch, s (longer: DRAM retraining).
+    pub mem_latch_s: f64,
+    /// Idle power per setting, W, indexed `core_idx * n_mem + mem_idx`.
+    idle_w: Vec<f64>,
+    n_mem: usize,
+}
+
+/// Latch attempts before calibration gives up on a point (the injected
+/// stuck probability per attempt is ~4%, so 32 tries fail with
+/// probability ~1e-45 — the bound exists to keep the loop provably
+/// finite, not because it is ever expected to trip).
+const CALIBRATION_LATCH_ATTEMPTS: u32 = 32;
+
+impl TransitionModel {
+    /// Core latch latency: a PLL relock plus the driver round trip.
+    pub const DEFAULT_CORE_LATCH_S: f64 = 100e-6;
+    /// Memory latch latency: EMC frequency switch with DRAM retraining.
+    pub const DEFAULT_MEM_LATCH_S: f64 = 300e-6;
+
+    /// Calibrates the idle-power table from `device` by latching every
+    /// operating point and reading the between-kernels idle power.
+    ///
+    /// Survives latch faults by verify-and-retry: a stuck or
+    /// neighbor-latched write is re-issued until the read-back matches
+    /// (each retry re-rolls its fault draw deterministically).  The
+    /// device's operating point is restored before returning, so
+    /// calibration is invisible to the run that follows.
+    pub fn calibrate(device: &mut Device) -> Self {
+        let n_mem = mem_points().len();
+        let n_core = core_points().len();
+        let restore = device.operating_point();
+        let mut idle_w = vec![0.0; n_core * n_mem];
+        for s in Setting::all() {
+            latch_with_retry(device, s, CALIBRATION_LATCH_ATTEMPTS);
+            // Read at whatever point actually latched: if the retry
+            // bound ever tripped we record a neighbor's idle power,
+            // which is still within a few percent — never garbage.
+            idle_w[device.operating_point().core_idx * n_mem + device.operating_point().mem_idx] =
+                device.idle_power_w();
+        }
+        latch_with_retry(device, restore, CALIBRATION_LATCH_ATTEMPTS);
+        TransitionModel {
+            core_latch_s: Self::DEFAULT_CORE_LATCH_S,
+            mem_latch_s: Self::DEFAULT_MEM_LATCH_S,
+            idle_w,
+            n_mem,
+        }
+    }
+
+    /// Calibrated idle power at `s`, W.
+    pub fn idle_power_w(&self, s: Setting) -> f64 {
+        self.idle_w[s.core_idx * self.n_mem + s.mem_idx]
+    }
+
+    /// Cost of one latch attempt from `from` to `to`.  Only the domains
+    /// whose index changes pay latency; the identity transition is
+    /// [`TransitionCost::ZERO`].
+    pub fn cost(&self, from: Setting, to: Setting) -> TransitionCost {
+        let mut latency_s = 0.0;
+        if from.core_idx != to.core_idx {
+            latency_s += self.core_latch_s;
+        }
+        if from.mem_idx != to.mem_idx {
+            latency_s += self.mem_latch_s;
+        }
+        if latency_s == 0.0 {
+            return TransitionCost::ZERO;
+        }
+        let energy_j = 0.5 * (self.idle_power_w(from) + self.idle_power_w(to)) * latency_s;
+        TransitionCost { latency_s, energy_j }
+    }
+}
+
+/// Latches `target` with bounded verify-and-retry; returns the number
+/// of attempts issued (1 = latched first try, 0 = already there).
+pub fn latch_with_retry(device: &mut Device, target: Setting, max_attempts: u32) -> u32 {
+    let mut attempts = 0;
+    while device.operating_point() != target && attempts < max_attempts {
+        device.set_operating_point(target);
+        attempts += 1;
+    }
+    attempts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tk1_sim::FaultConfig;
+
+    #[test]
+    fn identity_transition_is_free_and_domains_add() {
+        let mut d = Device::new(11);
+        let tm = TransitionModel::calibrate(&mut d);
+        let a = Setting::new(3, 2);
+        assert_eq!(tm.cost(a, a), TransitionCost::ZERO);
+        let core_only = tm.cost(a, Setting::new(9, 2));
+        let mem_only = tm.cost(a, Setting::new(3, 5));
+        let both = tm.cost(a, Setting::new(9, 5));
+        assert!((core_only.latency_s - tm.core_latch_s).abs() < 1e-15);
+        assert!((mem_only.latency_s - tm.mem_latch_s).abs() < 1e-15);
+        assert!((both.latency_s - (tm.core_latch_s + tm.mem_latch_s)).abs() < 1e-15);
+        for c in [core_only, mem_only, both] {
+            assert!(c.energy_j > 0.0);
+        }
+    }
+
+    #[test]
+    fn calibration_survives_latch_faults_and_restores_the_point() {
+        let cfg = FaultConfig::default_campaign();
+        let mut clean = Device::new(23);
+        let clean_tm = TransitionModel::calibrate(&mut clean);
+        let mut faulty = Device::new(23);
+        faulty.set_fault_injector(Some(cfg.injector(0xCAFE)));
+        let start = faulty.operating_point();
+        let faulty_tm = TransitionModel::calibrate(&mut faulty);
+        assert_eq!(faulty.operating_point(), start, "operating point restored");
+        // Idle power is a pure function of the setting, so the faulted
+        // calibration (which retries until latched) matches the clean one.
+        for s in Setting::all() {
+            assert_eq!(
+                clean_tm.idle_power_w(s).to_bits(),
+                faulty_tm.idle_power_w(s).to_bits(),
+                "at {}",
+                s.label()
+            );
+        }
+    }
+
+    #[test]
+    fn higher_settings_idle_hotter() {
+        let mut d = Device::new(7);
+        let tm = TransitionModel::calibrate(&mut d);
+        let lo = tm.idle_power_w(Setting::new(0, 0));
+        let hi = tm.idle_power_w(Setting::max_performance());
+        assert!(hi > lo, "idle power rises with voltage: {lo} vs {hi}");
+    }
+}

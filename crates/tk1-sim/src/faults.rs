@@ -116,8 +116,7 @@ impl FaultConfig {
     /// and malformed values are ignored rather than fatal — a typo in an
     /// env var must not abort a measurement campaign.
     pub fn from_env() -> Option<FaultConfig> {
-        let raw = std::env::var("FMM_ENERGY_FAULTS").ok()?;
-        Self::parse(&raw)
+        Self::parse(&compat::env::raw("FMM_ENERGY_FAULTS")?)
     }
 
     /// Parses a `FMM_ENERGY_FAULTS`-style spec string.

@@ -9,6 +9,12 @@
 #
 # Usage: scripts/bench_snapshot.sh [--out FILE] [--reps K] [--sizes N1,N2]
 #   defaults: --out BENCH_fmm.json --reps 7 --sizes 8192,32768
+#
+# Governor mode: scripts/bench_snapshot.sh --governor BENCH_governor.json
+# instead runs the phase-aware DVFS governor comparison (every policy
+# over the paper's 8 FMM inputs, transition costs included) and writes
+# per-policy energy/time as JSON.  Commit the refreshed
+# `BENCH_governor.json` alongside governor or model changes.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 

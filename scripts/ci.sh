@@ -63,6 +63,16 @@ if [[ -n "$GATE_VIOLATIONS" ]]; then
     exit 1
 fi
 
+echo "==> governor smoke test (repro governor, tiny inputs)"
+# Every policy over the 8 paper inputs at 1/64 scale: once clean, once
+# under the default fault campaign.  The run must complete and report
+# the per-phase-model win count in both regimes.
+cargo run --offline --release -p dvfs-bench --bin repro -- governor --scale-shift 6 \
+    | grep -q "per-phase-model matches or beats"
+FMM_ENERGY_FAULTS=default \
+    cargo run --offline --release -p dvfs-bench --bin repro -- governor --scale-shift 6 \
+    | grep -q "per-phase-model matches or beats"
+
 if [[ "$WITH_BENCHES" == 1 ]]; then
     for bench in numerics model fmm_phases; do
         echo "==> cargo bench --bench $bench -- --quick"
@@ -75,6 +85,9 @@ if [[ "$WITH_SNAPSHOT" == 1 ]]; then
     scripts/bench_snapshot.sh --out target/BENCH_ci.json --reps 3 --sizes 4096
     cargo run --offline --release -p dvfs-bench --bin bench_snapshot -- \
         --check target/BENCH_ci.json
+    scripts/bench_snapshot.sh --governor target/BENCH_governor_ci.json --scale-shift 6
+    cargo run --offline --release -p dvfs-bench --bin bench_snapshot -- \
+        --check-governor target/BENCH_governor_ci.json
 fi
 
 echo "==> OK"

@@ -49,6 +49,10 @@ pub use tk1_sim as platform;
 /// The simulated PowerMon 2 power meter.
 pub use powermon_sim as powermon;
 
+/// The online phase-aware DVFS governor runtime: pluggable policies,
+/// the transition-cost model, and the FMM phase-boundary driver.
+pub use dvfs_governor as governor;
+
 /// The intensity microbenchmark suite and sweep driver.
 pub use dvfs_microbench as microbench;
 
@@ -67,6 +71,10 @@ pub mod prelude {
         autotune_microbenchmarks, fit_model, holdout_validation, leave_one_setting_out,
         prefetch_whatif, BreakdownReport, DiagnosticReport, EnergyModel, EnergyRoofline,
         ErrorStats, PrefetchScenario, TradeoffAnalysis,
+    };
+    pub use dvfs_governor::{
+        governed_evaluate, GovernorConfig, GovernorRuntime, PerPhaseAdaptive, PerPhaseModel,
+        Policy, StaticBest, Workload,
     };
     pub use dvfs_microbench::{
         from_csv, run_sweep, to_csv, Dataset, MicrobenchKind, Sample, SweepConfig,
