@@ -1,0 +1,249 @@
+//! Per-shard fitted-model cache: in-memory LRU with an optional
+//! on-disk JSON tier.
+//!
+//! Each shard owns one `ModelCache` outright — the router sends every
+//! request for a given [`ModelKey`] to the same shard, so cache state
+//! never needs a cross-shard lock, and two shards never read or write
+//! the same cache file (file names embed the key).
+//!
+//! The disk tier stores only the *fitted constants* plus the degraded
+//! flag.  Everything else a rig needs (timing ground truth, transition
+//! calibration, the answer grid) is a pure function of the key and is
+//! rebuilt on load — `compat::json` round-trips `f64`s bitwise, so a
+//! restored rig answers bitwise identically to the rig that persisted
+//! it (pinned by a property test).
+
+use crate::request::ModelKey;
+use crate::rig::Rig;
+use compat::error::PipelineResult;
+use compat::json::Json;
+use dvfs_energy_model::EnergyModel;
+use std::path::{Path, PathBuf};
+use tk1_sim::{FaultConfig, NUM_OP_CLASSES};
+
+/// Cache traffic counters, aggregated into the server's stats.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Requests answered from an in-memory rig.
+    pub hits: usize,
+    /// Requests that needed a cold fit.
+    pub misses: usize,
+    /// Misses intercepted by the on-disk tier (no sweep ran).
+    pub disk_hits: usize,
+    /// Sweep retries absorbed across all cold fits.
+    pub sweep_retries: usize,
+}
+
+/// Where an answer's rig came from, for per-response bookkeeping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// In-memory hit.
+    Hit,
+    /// Restored from the on-disk tier.
+    DiskHit,
+    /// Cold fit (sweep + NNLS ran).
+    ColdFit,
+}
+
+/// One shard's model cache.
+#[derive(Debug)]
+pub struct ModelCache {
+    capacity: usize,
+    dir: Option<PathBuf>,
+    /// LRU order: most recently used at the back.
+    rigs: Vec<Rig>,
+    /// Traffic counters.
+    pub stats: CacheStats,
+}
+
+impl ModelCache {
+    /// Creates a cache holding at most `capacity` rigs in memory, with
+    /// an optional on-disk tier under `dir`.
+    pub fn new(capacity: usize, dir: Option<PathBuf>) -> ModelCache {
+        ModelCache {
+            capacity: capacity.max(1),
+            dir,
+            rigs: Vec::new(),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The rig for `device_seed` under `faults`, fitting it cold on
+    /// first sight.  Returns the rig and where it came from.
+    pub fn rig_for(
+        &mut self,
+        device_seed: u64,
+        faults: Option<FaultConfig>,
+    ) -> PipelineResult<(&Rig, CacheOutcome)> {
+        let key = ModelKey::new(device_seed, faults.as_ref());
+        if let Some(pos) = self.rigs.iter().position(|r| r.key == key) {
+            let rig = self.rigs.remove(pos);
+            self.rigs.push(rig);
+            self.stats.hits += 1;
+            return Ok((self.rigs.last().expect("just pushed"), CacheOutcome::Hit));
+        }
+
+        self.stats.misses += 1;
+        let (rig, outcome) = match self.load_from_disk(&key, device_seed, faults) {
+            Some(rig) => {
+                self.stats.disk_hits += 1;
+                (rig, CacheOutcome::DiskHit)
+            }
+            None => {
+                let rig = Rig::cold_fit(device_seed, faults)?;
+                self.stats.sweep_retries += rig.sweep_retries;
+                if let Some(dir) = &self.dir {
+                    persist(dir, &rig);
+                }
+                (rig, CacheOutcome::ColdFit)
+            }
+        };
+        if self.rigs.len() >= self.capacity {
+            self.rigs.remove(0);
+        }
+        self.rigs.push(rig);
+        Ok((self.rigs.last().expect("just pushed"), outcome))
+    }
+
+    /// Number of rigs currently resident.
+    pub fn len(&self) -> usize {
+        self.rigs.len()
+    }
+
+    /// Whether no rigs are resident.
+    pub fn is_empty(&self) -> bool {
+        self.rigs.is_empty()
+    }
+
+    fn load_from_disk(
+        &self,
+        key: &ModelKey,
+        device_seed: u64,
+        faults: Option<FaultConfig>,
+    ) -> Option<Rig> {
+        let dir = self.dir.as_ref()?;
+        let text = std::fs::read_to_string(cache_path(dir, key)).ok()?;
+        let (stored_key, model, degraded) = decode(&text).ok()?;
+        // The key is in the file name, but verify the payload too — a
+        // corrupted or hand-edited file must fall back to a cold fit,
+        // not serve a wrong model.
+        if stored_key != *key {
+            return None;
+        }
+        Some(Rig::from_cached_model(device_seed, faults, model, degraded))
+    }
+}
+
+fn cache_path(dir: &Path, key: &ModelKey) -> PathBuf {
+    dir.join(format!("model_{:016x}_{:016x}.json", key.device_seed, key.fault_key))
+}
+
+/// Best-effort persistence: a full disk or unwritable directory costs
+/// the disk tier, never the answer.
+fn persist(dir: &Path, rig: &Rig) {
+    if std::fs::create_dir_all(dir).is_err() {
+        return;
+    }
+    let _ = std::fs::write(cache_path(dir, &rig.key), encode(rig));
+}
+
+fn encode(rig: &Rig) -> String {
+    let m = &rig.model;
+    Json::obj([
+        // u64 seeds don't fit f64 exactly; store them as hex strings.
+        ("device_seed", Json::Str(format!("{:016x}", rig.key.device_seed))),
+        ("fault_key", Json::Str(format!("{:016x}", rig.key.fault_key))),
+        ("degraded", Json::Bool(rig.degraded)),
+        ("c0_pj_per_v2", Json::Arr(m.c0_pj_per_v2.iter().map(|&c| Json::Num(c)).collect())),
+        ("c1_proc_w_per_v", Json::Num(m.c1_proc_w_per_v)),
+        ("c1_mem_w_per_v", Json::Num(m.c1_mem_w_per_v)),
+        ("p_misc_w", Json::Num(m.p_misc_w)),
+    ])
+    .to_text()
+}
+
+fn decode(text: &str) -> Result<(ModelKey, EnergyModel, bool), compat::json::JsonError> {
+    let v = Json::parse(text)?;
+    let hex_field = |name: &str| -> Result<u64, compat::json::JsonError> {
+        let s = v.field(name)?.as_str()?.to_string();
+        u64::from_str_radix(&s, 16).map_err(|_| compat::json::JsonError::at(0, 0, "hex u64"))
+    };
+    let key =
+        ModelKey { device_seed: hex_field("device_seed")?, fault_key: hex_field("fault_key")? };
+    let degraded = v.field("degraded")?.as_bool()?;
+    let arr = v.field("c0_pj_per_v2")?.as_array()?;
+    if arr.len() != NUM_OP_CLASSES {
+        return Err(compat::json::JsonError::at(0, 0, "c0 array of NUM_OP_CLASSES"));
+    }
+    let mut c0 = [0.0; NUM_OP_CLASSES];
+    for (slot, j) in c0.iter_mut().zip(arr) {
+        *slot = j.as_f64()?;
+    }
+    let model = EnergyModel {
+        c0_pj_per_v2: c0,
+        c1_proc_w_per_v: v.field("c1_proc_w_per_v")?.as_f64()?,
+        c1_mem_w_per_v: v.field("c1_mem_w_per_v")?.as_f64()?,
+        p_misc_w: v.field("p_misc_w")?.as_f64()?,
+    };
+    Ok((key, model, degraded))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lru_hits_evicts_and_counts() {
+        let mut cache = ModelCache::new(2, None);
+        let (_, o1) = cache.rig_for(1, None).expect("fit 1");
+        assert_eq!(o1, CacheOutcome::ColdFit);
+        let (_, o2) = cache.rig_for(1, None).expect("hit 1");
+        assert_eq!(o2, CacheOutcome::Hit);
+        cache.rig_for(2, None).expect("fit 2");
+        cache.rig_for(3, None).expect("fit 3 evicts 1");
+        assert_eq!(cache.len(), 2);
+        let (_, o) = cache.rig_for(1, None).expect("refit 1");
+        assert_eq!(o, CacheOutcome::ColdFit, "evicted rig must refit");
+        assert_eq!(cache.stats, CacheStats { hits: 1, misses: 4, disk_hits: 0, sweep_retries: 0 });
+    }
+
+    #[test]
+    fn disk_tier_round_trips_bitwise() {
+        let dir = std::env::temp_dir().join(format!("autoserve-cache-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let mut warm = ModelCache::new(4, Some(dir.clone()));
+        let (rig, _) = warm.rig_for(42, None).expect("cold fit persists");
+        let persisted_model = rig.model.clone();
+
+        // A fresh cache (fresh process, conceptually) restores from disk.
+        let mut cold = ModelCache::new(4, Some(dir.clone()));
+        let (restored, outcome) = cold.rig_for(42, None).expect("disk restore");
+        assert_eq!(outcome, CacheOutcome::DiskHit);
+        assert_eq!(restored.model, persisted_model, "f64 round-trip is bitwise");
+        assert_eq!(cold.stats.disk_hits, 1);
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupted_cache_files_fall_back_to_cold_fit() {
+        let dir =
+            std::env::temp_dir().join(format!("autoserve-corrupt-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let key = ModelKey::new(5, None);
+        std::fs::write(cache_path(&dir, &key), "{ not json ").expect("write corrupt file");
+
+        let mut cache = ModelCache::new(4, Some(dir.clone()));
+        let (_, outcome) = cache.rig_for(5, None).expect("survives corruption");
+        assert_eq!(outcome, CacheOutcome::ColdFit);
+
+        // The cold fit rewrote the file; a fresh cache now disk-hits.
+        let mut fresh = ModelCache::new(4, Some(dir.clone()));
+        let (_, outcome) = fresh.rig_for(5, None).expect("restored");
+        assert_eq!(outcome, CacheOutcome::DiskHit);
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

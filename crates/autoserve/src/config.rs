@@ -1,0 +1,84 @@
+//! Server configuration and its `FMM_ENERGY_SERVE_*` environment knobs.
+
+use std::path::PathBuf;
+use tk1_sim::FaultConfig;
+
+/// Configuration of an [`crate::AutoServer`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Shard worker threads.  Each shard owns its model cache and its
+    /// ingress queue outright; requests route to shards by model key.
+    pub shards: usize,
+    /// Per-shard ingress queue capacity; a full queue rejects with
+    /// [`crate::Rejected::Overloaded`] instead of growing.
+    pub queue_capacity: usize,
+    /// Maximum requests drained per worker wakeup (one batch shares one
+    /// cache lookup per model key).
+    pub batch_max: usize,
+    /// Fitted rigs each shard keeps in memory (LRU beyond that).
+    pub cache_capacity: usize,
+    /// Optional on-disk model cache directory, shared by all shards
+    /// (file names embed the model key, and the router sends each key
+    /// to exactly one shard, so there are no write races).
+    pub cache_dir: Option<PathBuf>,
+    /// Fault campaign the server's sweeps and devices run under.
+    /// Explicit so tests can pin it regardless of `FMM_ENERGY_FAULTS`.
+    pub faults: Option<FaultConfig>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            shards: 4,
+            queue_capacity: 256,
+            batch_max: 32,
+            cache_capacity: 32,
+            cache_dir: None,
+            faults: FaultConfig::from_env(),
+        }
+    }
+}
+
+impl ServeConfig {
+    /// The default config with every `FMM_ENERGY_SERVE_*` override
+    /// applied (see README's environment table):
+    ///
+    /// * `FMM_ENERGY_SERVE_SHARDS` — shard worker threads
+    /// * `FMM_ENERGY_SERVE_QUEUE` — per-shard queue capacity
+    /// * `FMM_ENERGY_SERVE_BATCH` — max requests per batch
+    /// * `FMM_ENERGY_SERVE_CACHE` — in-memory rigs per shard
+    /// * `FMM_ENERGY_SERVE_CACHE_DIR` — on-disk model cache directory
+    pub fn from_env() -> Self {
+        let mut cfg = ServeConfig::default();
+        if let Some(v) = compat::env::positive_usize("FMM_ENERGY_SERVE_SHARDS") {
+            cfg.shards = v;
+        }
+        if let Some(v) = compat::env::positive_usize("FMM_ENERGY_SERVE_QUEUE") {
+            cfg.queue_capacity = v;
+        }
+        if let Some(v) = compat::env::positive_usize("FMM_ENERGY_SERVE_BATCH") {
+            cfg.batch_max = v;
+        }
+        if let Some(v) = compat::env::positive_usize("FMM_ENERGY_SERVE_CACHE") {
+            cfg.cache_capacity = v;
+        }
+        if let Some(dir) = compat::env::raw("FMM_ENERGY_SERVE_CACHE_DIR") {
+            cfg.cache_dir = Some(PathBuf::from(dir));
+        }
+        cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let cfg = ServeConfig { faults: None, ..ServeConfig::default() };
+        assert!(cfg.shards >= 1);
+        assert!(cfg.queue_capacity >= cfg.batch_max);
+        assert!(cfg.cache_capacity >= 1);
+        assert!(cfg.cache_dir.is_none());
+    }
+}

@@ -1,0 +1,238 @@
+//! The service's wire types: requests, responses, rejections, and the
+//! deterministic digests the soak tests pin.
+
+use compat::error::PipelineResult;
+use dvfs_energy_model::GridPrediction;
+use dvfs_governor::PhasePlan;
+use tk1_sim::{FaultConfig, OpVector};
+
+/// What a fitted model is cached under: the simulated device identity
+/// plus the fault campaign it was measured under.  Fitted constants do
+/// not transfer across devices (each device seed is a different board),
+/// and a model fitted through a faulted campaign is a different model —
+/// both halves must key the cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ModelKey {
+    /// The device (board) the model was fitted on.
+    pub device_seed: u64,
+    /// [`FaultConfig::cache_key`] of the measurement campaign, 0 when
+    /// fault-free.
+    pub fault_key: u64,
+}
+
+impl ModelKey {
+    /// The key for `device_seed` under `faults`.
+    pub fn new(device_seed: u64, faults: Option<&FaultConfig>) -> ModelKey {
+        ModelKey { device_seed, fault_key: faults.map_or(0, FaultConfig::cache_key) }
+    }
+}
+
+/// The workload half of a tuning request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorkloadSpec {
+    /// Pre-counted per-type operation totals (the paper's `W_k`/`Q_l`
+    /// vector), as produced by a profiler or the counters path.
+    Kernel {
+        /// Operation counts per class.
+        ops: OpVector,
+        /// Fraction of peak issue the kernel sustains, `(0, 1]`; values
+        /// outside are clamped into range at lowering.
+        utilization: f64,
+        /// Kernel launches (fixed per-launch overhead multiplier); 0 is
+        /// clamped to 1 at lowering.
+        launches: u32,
+    },
+    /// A raw FMM problem spec, lowered through the existing
+    /// plan→profile counters path (`kifmm::profile_plan`).  Lowering is
+    /// deterministic in `(n, q, seed)`, so shards cache it.
+    Fmm {
+        /// Number of source/target points (clamped to the service's
+        /// supported range at lowering).
+        n: usize,
+        /// Multipole expansion order (clamped likewise).
+        q: usize,
+        /// Seed of the synthetic point distribution.
+        seed: u64,
+    },
+}
+
+/// One tuning request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TuneRequest {
+    /// Which simulated board to tune for; selects (or cold-fits) the
+    /// cached model.
+    pub device_seed: u64,
+    /// The workload to tune.
+    pub workload: WorkloadSpec,
+    /// Rounds of a phase plan to compute on top of the grid answer;
+    /// 0 skips planning (the common case).
+    pub plan_rounds: usize,
+}
+
+/// A tuning answer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TuneResponse {
+    /// The predicted-optimal grid point.
+    pub best: GridPrediction,
+    /// Time/energy estimates at every grid setting, in grid order.
+    pub grid: Vec<GridPrediction>,
+    /// The governor phase plan, when `plan_rounds > 0`.
+    pub plan: Option<PhasePlan>,
+    /// Whether the answering model was fitted through any degradation
+    /// fallback (`FitDiagnostics::degraded`) — the served equivalent of
+    /// an error bar.
+    pub degraded: bool,
+    /// Whether the answer came from a cached model (`false` on the
+    /// cold fit).  Excluded from [`TuneResponse::digest`]: cache state
+    /// is a property of the run, not of the answer.
+    pub cache_hit: bool,
+}
+
+impl TuneResponse {
+    /// A 64-bit digest of the *answer content*: every grid estimate (by
+    /// f64 bit pattern), the best setting, the plan, and the degraded
+    /// flag.  `cache_hit` is excluded, so a cache-hit answer digests
+    /// identically to the cold-fit answer it must match bitwise.
+    pub fn digest(&self) -> u64 {
+        let mut h = FNV_OFFSET;
+        h = fnv1a_u64(h, self.best.setting.core_idx as u64);
+        h = fnv1a_u64(h, self.best.setting.mem_idx as u64);
+        for p in &self.grid {
+            h = fnv1a_u64(h, p.setting.core_idx as u64);
+            h = fnv1a_u64(h, p.setting.mem_idx as u64);
+            h = fnv1a_u64(h, p.time_s.to_bits());
+            h = fnv1a_u64(h, p.energy_j.to_bits());
+        }
+        if let Some(plan) = &self.plan {
+            for s in &plan.settings {
+                h = fnv1a_u64(h, s.core_idx as u64);
+                h = fnv1a_u64(h, s.mem_idx as u64);
+            }
+            h = fnv1a_u64(h, plan.predicted_total_j.to_bits());
+        }
+        fnv1a_u64(h, self.degraded as u64)
+    }
+}
+
+/// Why a submission was not accepted.  Rejections are immediate (the
+/// send side never blocks) and counted by the server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rejected {
+    /// The target shard's ingress queue is at capacity — explicit
+    /// backpressure instead of unbounded growth.
+    Overloaded {
+        /// The shard that rejected.
+        shard: usize,
+        /// Its queue depth at rejection time.
+        queue_depth: usize,
+    },
+    /// The server is shutting down; the shard no longer reads its queue.
+    ShuttingDown,
+}
+
+/// The reply to one accepted request, redeemable exactly once.
+pub struct Ticket {
+    pub(crate) reply: compat::chan::OnceReceiver<PipelineResult<TuneResponse>>,
+}
+
+impl Ticket {
+    /// Blocks until the answer arrives.  A dropped reply slot (a shard
+    /// worker that died mid-request) surfaces as a structured error,
+    /// never a hang.
+    pub fn wait(self) -> PipelineResult<TuneResponse> {
+        self.reply.recv().unwrap_or_else(|| {
+            Err(compat::error::PipelineError::WorkerPanic {
+                job: "tune request (reply slot dropped by its shard)".to_string(),
+                attempts: 1,
+            })
+        })
+    }
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a over the 8 bytes of `v`.
+fn fnv1a_u64(mut h: u64, v: u64) -> u64 {
+    for b in v.to_le_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// SplitMix64 finalizer — the workspace's standard bit mixer, used here
+/// for shard routing and for folding per-request digests into one
+/// order-insensitive run digest.
+pub(crate) fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Folds one response into an order-insensitive run digest: XOR of
+/// `mix64(request id) ⊕ mix64(response digest)` terms commutes, so the
+/// same request/response pairs produce the same run digest regardless
+/// of completion order — which is what makes the digest identical
+/// across 1/2/4/8 shard threads.
+pub fn fold_digest(acc: u64, request_id: u64, response_digest: u64) -> u64 {
+    acc ^ mix64(mix64(request_id).wrapping_add(response_digest))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tk1_sim::Setting;
+
+    fn response() -> TuneResponse {
+        let p = GridPrediction { setting: Setting::new(2, 3), time_s: 0.5, energy_j: 2.0 };
+        TuneResponse {
+            best: p,
+            grid: vec![
+                p,
+                GridPrediction { setting: Setting::new(4, 1), time_s: 0.25, energy_j: 3.0 },
+            ],
+            plan: None,
+            degraded: false,
+            cache_hit: false,
+        }
+    }
+
+    #[test]
+    fn digest_excludes_cache_hit_but_not_content() {
+        let a = response();
+        let mut hit = a.clone();
+        hit.cache_hit = true;
+        assert_eq!(a.digest(), hit.digest(), "cache state is not answer content");
+
+        let mut degraded = a.clone();
+        degraded.degraded = true;
+        assert_ne!(a.digest(), degraded.digest());
+
+        let mut moved = a.clone();
+        moved.grid[1].energy_j = 3.0000000001;
+        assert_ne!(a.digest(), moved.digest(), "f64 bits are content");
+    }
+
+    #[test]
+    fn fold_digest_is_order_insensitive() {
+        let pairs = [(0u64, 11u64), (1, 22), (2, 33), (3, 44)];
+        let forward = pairs.iter().fold(0u64, |acc, &(id, d)| fold_digest(acc, id, d));
+        let backward = pairs.iter().rev().fold(0u64, |acc, &(id, d)| fold_digest(acc, id, d));
+        assert_eq!(forward, backward);
+        // ...but the pairing matters: swapping digests across ids changes it.
+        let swapped = fold_digest(fold_digest(0, 0, 22), 1, 11);
+        let straight = fold_digest(fold_digest(0, 0, 11), 1, 22);
+        assert_ne!(swapped, straight);
+    }
+
+    #[test]
+    fn model_key_folds_fault_campaign() {
+        let clean = ModelKey::new(7, None);
+        assert_eq!(clean.fault_key, 0);
+        let faulted = ModelKey::new(7, Some(&FaultConfig::default_campaign()));
+        assert_ne!(clean, faulted);
+        assert_eq!(faulted, ModelKey::new(7, Some(&FaultConfig::default_campaign())));
+    }
+}

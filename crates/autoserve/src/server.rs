@@ -1,0 +1,335 @@
+//! The sharded, batching autotune server.
+//!
+//! ```text
+//!           submit() ── shard_for(key) ──┐
+//!                                        ▼
+//!   client ── try_send ──► [bounded queue, shard 0] ──► worker 0 ─► reply
+//!          ╲─ try_send ──► [bounded queue, shard 1] ──► worker 1 ─► reply
+//!                 │
+//!                 └─ Full → Rejected::Overloaded (counted, immediate)
+//! ```
+//!
+//! Each shard worker drains its queue in batches, owns a [`ModelCache`]
+//! and a [`LowerCache`] outright (the router sends each model key to
+//! exactly one shard, so no cache state is ever shared), and answers
+//! every request as a pure function of `(request, fault config)` —
+//! which is why a run's response digest is identical across any shard
+//! count.
+
+use crate::cache::{CacheOutcome, CacheStats, ModelCache};
+use crate::config::ServeConfig;
+use crate::request::{mix64, ModelKey, Rejected, Ticket, TuneRequest, TuneResponse};
+use crate::rig::LowerCache;
+use compat::chan::{bounded, oneshot, OnceSender, Receiver, Sender, TrySendError};
+use compat::error::PipelineResult;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::thread::JoinHandle;
+use tk1_sim::FaultConfig;
+
+/// Lowered FMM workloads each shard keeps around.
+const LOWER_CACHE_CAPACITY: usize = 16;
+
+/// Workers alive across every server in the process; the shutdown
+/// tests assert this returns to its baseline (no leaked threads).
+static LIVE_WORKERS: AtomicUsize = AtomicUsize::new(0);
+
+/// Shard worker threads currently alive in this process.
+pub fn live_workers() -> usize {
+    LIVE_WORKERS.load(Ordering::SeqCst)
+}
+
+/// RAII live-worker accounting: the count drops even if a worker dies
+/// by panic, so a wedged test sees the truth.
+struct LiveGuard;
+
+impl LiveGuard {
+    fn enter() -> LiveGuard {
+        LIVE_WORKERS.fetch_add(1, Ordering::SeqCst);
+        LiveGuard
+    }
+}
+
+impl Drop for LiveGuard {
+    fn drop(&mut self) {
+        LIVE_WORKERS.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// One queued request with its reply slot.
+struct Job {
+    req: TuneRequest,
+    reply: OnceSender<PipelineResult<TuneResponse>>,
+}
+
+/// Whole-run server accounting, returned by [`AutoServer::shutdown`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Requests answered (including error answers).
+    pub served: usize,
+    /// Submissions rejected at the ingress queue.
+    pub rejected: usize,
+    /// Worker wakeups (batches drained).
+    pub batches: usize,
+    /// In-memory model-cache hits.
+    pub cache_hits: usize,
+    /// Model-cache misses (disk hits + cold fits).
+    pub cache_misses: usize,
+    /// Misses intercepted by the on-disk tier.
+    pub disk_hits: usize,
+    /// Highest queue depth any shard reached.
+    pub max_queue_depth: usize,
+    /// Sweep retries absorbed across all cold fits.
+    pub sweep_retries: usize,
+    /// Responses served from a degraded fit.
+    pub degraded_responses: usize,
+}
+
+/// Per-shard accounting a worker returns when it drains out.
+#[derive(Debug, Default)]
+struct ShardReport {
+    served: usize,
+    batches: usize,
+    cache: CacheStats,
+    degraded_responses: usize,
+    max_queue_depth: usize,
+}
+
+/// Which shard owns `key` among `shards` workers.  A pure function of
+/// the key — the property tests pin that it never depends on thread
+/// count, submission order, or anything else.
+pub fn shard_for(key: &ModelKey, shards: usize) -> usize {
+    (mix64(key.device_seed ^ mix64(key.fault_key)) % shards.max(1) as u64) as usize
+}
+
+/// A running autotune server.
+pub struct AutoServer {
+    senders: Vec<Sender<Job>>,
+    workers: Vec<JoinHandle<ShardReport>>,
+    faults: Option<FaultConfig>,
+    rejected: AtomicUsize,
+}
+
+impl AutoServer {
+    /// Starts the shard workers and returns the running server.
+    pub fn start(cfg: ServeConfig) -> AutoServer {
+        let shards = cfg.shards.max(1);
+        let mut senders = Vec::with_capacity(shards);
+        let mut workers = Vec::with_capacity(shards);
+        for shard in 0..shards {
+            let (tx, rx) = bounded::<Job>(cfg.queue_capacity.max(1));
+            senders.push(tx);
+            let faults = cfg.faults;
+            let batch_max = cfg.batch_max.max(1);
+            let cache_capacity = cfg.cache_capacity;
+            let cache_dir = cfg.cache_dir.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("autoserve-shard-{shard}"))
+                .spawn(move || worker_loop(rx, faults, batch_max, cache_capacity, cache_dir))
+                .expect("spawning a shard worker thread");
+            workers.push(handle);
+        }
+        AutoServer { senders, workers, faults: cfg.faults, rejected: AtomicUsize::new(0) }
+    }
+
+    /// Submits a request.  Never blocks: a full shard queue rejects
+    /// immediately with [`Rejected::Overloaded`] (and is counted), so
+    /// overload surfaces as backpressure, not unbounded memory growth.
+    pub fn submit(&self, req: TuneRequest) -> Result<Ticket, Rejected> {
+        let key = ModelKey::new(req.device_seed, self.faults.as_ref());
+        let shard = shard_for(&key, self.senders.len());
+        let (reply, ticket) = oneshot();
+        match self.senders[shard].try_send(Job { req, reply }) {
+            Ok(_) => Ok(Ticket { reply: ticket }),
+            Err(TrySendError::Full(_)) => {
+                self.rejected.fetch_add(1, Ordering::Relaxed);
+                Err(Rejected::Overloaded { shard, queue_depth: self.senders[shard].len() })
+            }
+            Err(TrySendError::Closed(_)) => Err(Rejected::ShuttingDown),
+        }
+    }
+
+    /// Submissions rejected so far.
+    pub fn rejected(&self) -> usize {
+        self.rejected.load(Ordering::Relaxed)
+    }
+
+    /// How many shards this server runs.
+    pub fn shards(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// Drains and stops the server: closes the ingress queues, lets
+    /// every worker finish the requests it already accepted, joins the
+    /// threads, and returns the aggregated accounting.  Accepted
+    /// requests are never lost.
+    pub fn shutdown(self) -> ServerStats {
+        drop(self.senders);
+        let mut stats =
+            ServerStats { rejected: self.rejected.into_inner(), ..ServerStats::default() };
+        for handle in self.workers {
+            // A worker that panicked contributes nothing; its reply
+            // slots were dropped, so waiters got structured errors.
+            let Ok(report) = handle.join() else { continue };
+            stats.served += report.served;
+            stats.batches += report.batches;
+            stats.cache_hits += report.cache.hits;
+            stats.cache_misses += report.cache.misses;
+            stats.disk_hits += report.cache.disk_hits;
+            stats.sweep_retries += report.cache.sweep_retries;
+            stats.degraded_responses += report.degraded_responses;
+            stats.max_queue_depth = stats.max_queue_depth.max(report.max_queue_depth);
+        }
+        stats
+    }
+}
+
+fn worker_loop(
+    rx: Receiver<Job>,
+    faults: Option<FaultConfig>,
+    batch_max: usize,
+    cache_capacity: usize,
+    cache_dir: Option<std::path::PathBuf>,
+) -> ShardReport {
+    let _live = LiveGuard::enter();
+    let mut cache = ModelCache::new(cache_capacity, cache_dir);
+    let mut lowered = LowerCache::new(LOWER_CACHE_CAPACITY);
+    let mut report = ShardReport::default();
+    loop {
+        // One wakeup drains up to `batch_max` queued requests; the
+        // batch then amortizes cache lookups (consecutive requests for
+        // the same model key reuse the rig the first one resolved).
+        let batch = rx.recv_batch(batch_max);
+        if batch.is_empty() {
+            break;
+        }
+        report.batches += 1;
+        for job in batch {
+            match cache.rig_for(job.req.device_seed, faults) {
+                Ok((rig, outcome)) => {
+                    let mut resp = rig.answer(&job.req, &mut lowered);
+                    resp.cache_hit = outcome == CacheOutcome::Hit;
+                    report.served += 1;
+                    if resp.degraded {
+                        report.degraded_responses += 1;
+                    }
+                    job.reply.send(Ok(resp));
+                }
+                Err(e) => {
+                    report.served += 1;
+                    job.reply.send(Err(e));
+                }
+            }
+        }
+    }
+    report.cache = cache.stats;
+    report.max_queue_depth = rx.max_depth();
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::WorkloadSpec;
+    use tk1_sim::{OpClass, OpVector};
+
+    fn request(device_seed: u64, flops: f64) -> TuneRequest {
+        TuneRequest {
+            device_seed,
+            workload: WorkloadSpec::Kernel {
+                ops: OpVector::from_pairs(&[(OpClass::FlopSp, flops), (OpClass::Dram, 1e6)]),
+                utilization: 1.0,
+                launches: 1,
+            },
+            plan_rounds: 0,
+        }
+    }
+
+    fn tiny_config(shards: usize, queue: usize) -> ServeConfig {
+        ServeConfig {
+            shards,
+            queue_capacity: queue,
+            batch_max: 8,
+            cache_capacity: 4,
+            cache_dir: None,
+            faults: None,
+        }
+    }
+
+    #[test]
+    fn serves_and_shuts_down_without_leaking_workers() {
+        let before = live_workers();
+        let server = AutoServer::start(tiny_config(2, 64));
+        let tickets: Vec<Ticket> =
+            (0..16).map(|i| server.submit(request(i % 2, 1e8)).expect("queue has room")).collect();
+        for t in tickets {
+            let resp = t.wait().expect("clean fit answers");
+            assert!(resp.best.energy_j > 0.0);
+        }
+        let stats = server.shutdown();
+        assert_eq!(stats.served, 16);
+        assert_eq!(stats.rejected, 0);
+        assert_eq!(stats.cache_misses, 2, "one cold fit per device");
+        assert_eq!(stats.cache_hits, 14);
+        assert!(stats.max_queue_depth <= 64);
+        // The PR 2 pool-reuse pattern: shutdown drains every worker.
+        assert_eq!(live_workers(), before, "no leaked shard workers");
+    }
+
+    #[test]
+    fn overload_rejections_are_counted_immediate_and_panic_free() {
+        // One shard, capacity 2: the worker blocks on its first cold
+        // fit while we flood the queue, so rejections must occur.
+        let server = AutoServer::start(tiny_config(1, 2));
+        let mut accepted = Vec::new();
+        let mut overloaded = 0usize;
+        for i in 0..64 {
+            match server.submit(request(0, 1e8 + i as f64)) {
+                Ok(t) => accepted.push(t),
+                Err(Rejected::Overloaded { shard, queue_depth }) => {
+                    assert_eq!(shard, 0);
+                    assert!(queue_depth <= 2, "bounded queue never exceeds capacity");
+                    overloaded += 1;
+                }
+                Err(Rejected::ShuttingDown) => panic!("server is running"),
+            }
+        }
+        assert!(overloaded > 0, "flooding a capacity-2 queue must reject");
+        assert_eq!(server.rejected(), overloaded);
+        // Every *accepted* request still gets its answer.
+        let n_accepted = accepted.len();
+        for t in accepted {
+            t.wait().expect("accepted requests are answered");
+        }
+        let stats = server.shutdown();
+        assert_eq!(stats.served, n_accepted);
+        assert_eq!(stats.rejected, overloaded);
+        assert!(stats.max_queue_depth <= 2);
+    }
+
+    #[test]
+    fn shutdown_answers_every_accepted_request_before_exiting() {
+        // Queue requests and shut down immediately, without waiting:
+        // the drain contract says every accepted request still gets
+        // answered (tickets redeemed after shutdown), none are lost.
+        let server = AutoServer::start(tiny_config(2, 32));
+        let tickets: Vec<Ticket> =
+            (0..8).map(|i| server.submit(request(i, 1e8)).expect("queue has room")).collect();
+        let stats = server.shutdown();
+        assert_eq!(stats.served, 8, "drain before exit");
+        for t in tickets {
+            t.wait().expect("answer delivered before the worker exited");
+        }
+    }
+
+    #[test]
+    fn shard_routing_is_a_pure_function_of_the_key() {
+        for shards in [1usize, 2, 4, 8] {
+            for seed in 0..256u64 {
+                let key = ModelKey::new(seed, None);
+                let first = shard_for(&key, shards);
+                assert!(first < shards);
+                assert_eq!(first, shard_for(&key, shards), "same key, same shard, always");
+            }
+        }
+    }
+}

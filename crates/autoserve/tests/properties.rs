@@ -1,0 +1,211 @@
+//! Property-based tests for the service core (ISSUE 6 satellite):
+//!
+//! * batching is order-insensitive — any permutation of a batch yields
+//!   identical per-request answers, at the pure-rig level and through a
+//!   live sharded server;
+//! * cache-hit answers are bitwise identical to the cold-fit answers
+//!   they stand in for, including across the on-disk model tier;
+//! * shard routing is a pure function of the request key, stable across
+//!   1/2/4/8 worker threads.
+//!
+//! Cold fits are expensive (a full training sweep + NNLS fit), so the
+//! fitted rigs and the on-disk model tier are built once in `OnceLock`
+//! fixtures and every proptest case reuses them.
+
+use std::path::PathBuf;
+use std::sync::{Mutex, OnceLock};
+
+use compat::prop::prelude::*;
+use compat::rng::StdRng;
+use dvfs_autoserve::{
+    fold_digest, shard_for, AutoServer, ModelCache, ModelKey, Rig, ServeConfig, TuneRequest,
+    TuneResponse, WorkloadSpec,
+};
+use tk1_sim::{OpClass, OpVector};
+
+/// The two simulated boards every property tunes against.
+const DEV_A: u64 = 0xA11CE;
+const DEV_B: u64 = 0xB0B;
+
+fn cold_rig(device_seed: u64) -> &'static Rig {
+    static COLD_A: OnceLock<Rig> = OnceLock::new();
+    static COLD_B: OnceLock<Rig> = OnceLock::new();
+    let slot = if device_seed == DEV_A { &COLD_A } else { &COLD_B };
+    slot.get_or_init(|| Rig::cold_fit(device_seed, None).expect("clean cold fit"))
+}
+
+/// The reference answer: a pure cold-fit rig, no server, no cache.
+fn expected_answer(req: &TuneRequest) -> TuneResponse {
+    let mut lowered = dvfs_autoserve::LowerCache::new(4);
+    cold_rig(req.device_seed).answer(req, &mut lowered)
+}
+
+/// A model-cache directory pre-populated with both devices, built once.
+/// After initialization every server and cache that points here restores
+/// models from disk (`DiskHit`) and never writes, so concurrent tests
+/// only ever read it.
+fn model_dir() -> &'static PathBuf {
+    static DIR: OnceLock<PathBuf> = OnceLock::new();
+    DIR.get_or_init(|| {
+        let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("autoserve-prop-models");
+        std::fs::create_dir_all(&dir).expect("create model dir");
+        let mut cache = ModelCache::new(2, Some(dir.clone()));
+        cache.rig_for(DEV_A, None).expect("persist A");
+        cache.rig_for(DEV_B, None).expect("persist B");
+        dir
+    })
+}
+
+/// A shard-style cache restored from [`model_dir`], shared by the
+/// cache-identity property so disk decoding happens once, not per case.
+fn restored_cache() -> &'static Mutex<ModelCache> {
+    static CACHE: OnceLock<Mutex<ModelCache>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(ModelCache::new(2, Some(model_dir().clone()))))
+}
+
+fn workload() -> impl Strategy<Value = WorkloadSpec> {
+    (compat::prop::array::uniform7(0.0f64..1e9), 0.05f64..1.5, 0u32..4).prop_map(
+        |(counts, utilization, launches)| WorkloadSpec::Kernel {
+            ops: OpVector::from_pairs(&[
+                (OpClass::FlopSp, counts[0]),
+                (OpClass::FlopDp, counts[1]),
+                (OpClass::Int, counts[2]),
+                (OpClass::Shared, counts[3]),
+                (OpClass::L1, counts[4]),
+                (OpClass::L2, counts[5]),
+                (OpClass::Dram, counts[6]),
+            ]),
+            utilization,
+            launches,
+        },
+    )
+}
+
+fn request() -> impl Strategy<Value = TuneRequest> {
+    (prop_oneof![Just(DEV_A), Just(DEV_B)], workload(), 0usize..3).prop_map(
+        |(device_seed, workload, plan_rounds)| TuneRequest { device_seed, workload, plan_rounds },
+    )
+}
+
+/// Seeded Fisher–Yates: the permutation under test.
+fn permute<T: Clone>(items: &[T], seed: u64) -> Vec<T> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out: Vec<T> = items.to_vec();
+    for i in (1..out.len()).rev() {
+        let j = rng.random_range(0usize..i + 1);
+        out.swap(i, j);
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Batching is order-insensitive at the core: answering a batch in
+    /// any permutation yields bitwise-identical per-request answers,
+    /// even though the permutation reorders lowering-cache traffic.
+    #[test]
+    fn batch_answers_are_order_insensitive(
+        reqs in compat::prop::collection::vec(request(), 1..8),
+        perm_seed in 0u64..1 << 48,
+    ) {
+        let ids: Vec<usize> = (0..reqs.len()).collect();
+        let shuffled = permute(&ids, perm_seed);
+
+        let mut forward = dvfs_autoserve::LowerCache::new(4);
+        let in_order: Vec<u64> =
+            reqs.iter().map(|r| cold_rig(r.device_seed).answer(r, &mut forward).digest()).collect();
+
+        let mut backward = dvfs_autoserve::LowerCache::new(4);
+        for &i in &shuffled {
+            let resp = cold_rig(reqs[i].device_seed).answer(&reqs[i], &mut backward);
+            prop_assert_eq!(
+                resp.digest(), in_order[i],
+                "request {} answered differently after permutation", i
+            );
+        }
+    }
+
+    /// Cache-hit answers are bitwise identical to cold-fit answers,
+    /// through the harshest path: a model persisted to disk, decoded by
+    /// a fresh cache, and reused across every case.
+    #[test]
+    fn cached_answers_match_cold_fit_bitwise(req in request()) {
+        let expected = expected_answer(&req);
+        let mut cache = restored_cache().lock().expect("cache mutex");
+        let (rig, _) = cache.rig_for(req.device_seed, None).expect("restored rig");
+        let mut lowered = dvfs_autoserve::LowerCache::new(4);
+        let got = rig.answer(&req, &mut lowered);
+        prop_assert_eq!(got.digest(), expected.digest());
+        prop_assert_eq!(got.grid.len(), expected.grid.len());
+        for (g, e) in got.grid.iter().zip(&expected.grid) {
+            prop_assert_eq!(g.setting, e.setting);
+            prop_assert_eq!(g.time_s.to_bits(), e.time_s.to_bits());
+            prop_assert_eq!(g.energy_j.to_bits(), e.energy_j.to_bits());
+        }
+        prop_assert_eq!(got.degraded, expected.degraded);
+    }
+
+    /// Shard routing is a pure function of the request key: stable call
+    /// to call, in range, independent of the workload attached to the
+    /// request, and pinned for every supported worker count.
+    #[test]
+    fn shard_routing_is_pure_in_the_key(device_seed in 0u64..u64::MAX) {
+        let key = ModelKey::new(device_seed, None);
+        for shards in [1usize, 2, 4, 8] {
+            let first = shard_for(&key, shards);
+            prop_assert!(first < shards);
+            prop_assert_eq!(shard_for(&key, shards), first, "routing must be stable");
+            // The key — not the workload, not the request id — routes.
+            let same_key = ModelKey::new(device_seed, None);
+            prop_assert_eq!(shard_for(&same_key, shards), first);
+        }
+        prop_assert_eq!(shard_for(&key, 1), 0);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// The live server agrees with the pure rig for every request, for
+    /// every supported shard count and batch size, in any submission
+    /// order — batching, routing, and caching never change an answer.
+    #[test]
+    fn server_answers_match_pure_rig_across_shard_counts(
+        reqs in compat::prop::collection::vec(request(), 4..10),
+        perm_seed in 0u64..1 << 48,
+        shards_pick in 0usize..4,
+        batch_max in 1usize..5,
+    ) {
+        let shards = [1usize, 2, 4, 8][shards_pick];
+        let expected: Vec<u64> = reqs.iter().map(|r| expected_answer(r).digest()).collect();
+        let expected_fold = expected
+            .iter()
+            .enumerate()
+            .fold(0u64, |acc, (id, &d)| fold_digest(acc, id as u64, d));
+
+        let order: Vec<usize> = permute(&(0..reqs.len()).collect::<Vec<_>>(), perm_seed);
+        let server = AutoServer::start(ServeConfig {
+            shards,
+            queue_capacity: 64,
+            batch_max,
+            cache_capacity: 2,
+            cache_dir: Some(model_dir().clone()),
+            faults: None,
+        });
+        let mut fold = 0u64;
+        for &i in &order {
+            let ticket = server.submit(reqs[i].clone()).expect("under capacity");
+            let resp = ticket.wait().expect("clean fit");
+            prop_assert_eq!(resp.digest(), expected[i], "request {} diverged", i);
+            fold = fold_digest(fold, i as u64, resp.digest());
+        }
+        let stats = server.shutdown();
+        prop_assert_eq!(fold, expected_fold);
+        prop_assert_eq!(stats.served, reqs.len());
+        prop_assert_eq!(
+            stats.cache_misses, stats.disk_hits,
+            "every model-cache miss must be satisfied from disk, never a re-fit"
+        );
+    }
+}

@@ -16,6 +16,16 @@
 //! settings, every policy) and writes per-policy energy/time as JSON —
 //! the artifact committed as `BENCH_governor.json`.
 //! `--check-governor FILE` validates that artifact's shape.
+//!
+//! `bench_snapshot --service FILE [--requests N] [--seed S]` drives the
+//! autotune server with `bench::service_load` (a ≥1M-request seeded
+//! closed-loop run plus a cross-shard digest sweep and an overload
+//! probe) and writes latency/throughput/cache/rejection results as
+//! JSON — the artifact committed as `BENCH_service.json`.
+//! `--check-service FILE` validates that artifact's shape *and* its
+//! service-level invariants: a ≥1M-request run, cache-hit p99 at least
+//! 10× below cold-fit p99, some-but-not-all overload rejections, and
+//! identical digests across the 1/2/4/8-shard sweep.
 
 use compat::json::Json;
 use compat::rng::StdRng;
@@ -223,11 +233,165 @@ fn check_governor(path: &str) {
     println!("bench_snapshot --check-governor: {path} OK ({} cases)", cases.len());
 }
 
+/// Runs the service load generator and writes the JSON artifact.
+fn service_snapshot(out_path: &str, requests: usize, shard_requests: usize, seed: u64) {
+    use dvfs_bench::service_load::{service_load, LoadConfig};
+    let cfg = LoadConfig { requests, seed, ..LoadConfig::default() };
+    eprintln!(
+        "bench_snapshot: driving {requests} requests ({} clients, {} shards) ...",
+        cfg.clients, cfg.shards
+    );
+    let main = service_load(&cfg);
+    eprintln!(
+        "bench_snapshot: main segment {:.1}s, {:.0} req/s, hit rate {:.4}",
+        main.elapsed_s, main.throughput_rps, main.cache_hit_rate
+    );
+    let mut shard_docs = Vec::new();
+    for shards in [1usize, 2, 4, 8] {
+        let sweep = LoadConfig {
+            requests: shard_requests,
+            shards,
+            overload_probes: 0,
+            seed,
+            ..LoadConfig::default()
+        };
+        eprintln!("bench_snapshot: digest sweep at {shards} shard(s) ...");
+        let run = service_load(&sweep);
+        shard_docs.push(Json::obj([
+            ("shards", Json::Num(shards as f64)),
+            ("requests", Json::Num(run.requests as f64)),
+            ("served", Json::Num(run.served as f64)),
+            ("digest", Json::Str(format!("{:016x}", run.digest))),
+        ]));
+    }
+    let doc = Json::obj([
+        ("benchmark", Json::Str("autoserve_load".to_string())),
+        ("seed", Json::Str(format!("{seed:016x}"))),
+        ("requests", Json::Num(main.requests as f64)),
+        ("served", Json::Num(main.served as f64)),
+        ("fit_errors", Json::Num(main.fit_errors as f64)),
+        ("clients", Json::Num(main.clients as f64)),
+        ("shards", Json::Num(main.shards as f64)),
+        ("queue_capacity", Json::Num(cfg.queue_capacity as f64)),
+        ("batch_max", Json::Num(cfg.batch_max as f64)),
+        ("distinct_devices", Json::Num(cfg.distinct_devices as f64)),
+        ("elapsed_s", Json::Num(main.elapsed_s)),
+        ("throughput_rps", Json::Num(main.throughput_rps)),
+        (
+            "latency_us",
+            Json::obj([
+                ("hit_count", Json::Num(main.hit.count as f64)),
+                ("hit_p50", Json::Num(main.hit.p50_us)),
+                ("hit_p99", Json::Num(main.hit.p99_us)),
+                ("hit_max", Json::Num(main.hit.max_us)),
+                ("cold_count", Json::Num(main.cold.count as f64)),
+                ("cold_p50", Json::Num(main.cold.p50_us)),
+                ("cold_p99", Json::Num(main.cold.p99_us)),
+                ("cold_max", Json::Num(main.cold.max_us)),
+            ]),
+        ),
+        ("cache_hit_rate", Json::Num(main.cache_hit_rate)),
+        ("rejection_rate", Json::Num(main.overload.rejection_rate)),
+        ("overload_attempts", Json::Num(main.overload.attempts as f64)),
+        ("overload_served", Json::Num(main.overload.served as f64)),
+        ("max_queue_depth", Json::Num(main.max_queue_depth as f64)),
+        ("degraded_responses", Json::Num(main.degraded_responses as f64)),
+        ("digest", Json::Str(format!("{:016x}", main.digest))),
+        ("shard_digests", Json::Arr(shard_docs)),
+        ("threads", Json::Num(compat::par::num_threads() as f64)),
+    ]);
+    let text = doc.to_text();
+    std::fs::write(out_path, format!("{text}\n")).expect("write service snapshot");
+    println!("{text}");
+    eprintln!("bench_snapshot: wrote {out_path}");
+}
+
+/// Validates a `--service` artifact's shape and service-level
+/// invariants; exits non-zero on any mismatch.
+fn check_service(path: &str) {
+    let fail = |msg: String| -> ! {
+        eprintln!("bench_snapshot --check-service: {msg}");
+        std::process::exit(1);
+    };
+    let text =
+        std::fs::read_to_string(path).unwrap_or_else(|e| fail(format!("cannot read {path}: {e}")));
+    let doc =
+        Json::parse(&text).unwrap_or_else(|e| fail(format!("{path} is not valid JSON: {e:?}")));
+    let Json::Obj(fields) = &doc else { fail("top level must be an object".to_string()) };
+    let get = |key: &str| fields.iter().find(|(k, _)| k == key).map(|(_, v)| v);
+    let num = |key: &str| match get(key) {
+        Some(Json::Num(v)) => *v,
+        other => fail(format!("missing or non-numeric field {key}: {other:?}")),
+    };
+    match get("benchmark") {
+        Some(Json::Str(s)) if s == "autoserve_load" => {}
+        other => fail(format!("bad benchmark field: {other:?}")),
+    }
+    if num("requests") < 1_000_000.0 {
+        fail(format!("committed artifact must cover >= 1M requests, got {}", num("requests")));
+    }
+    if num("served") != num("requests") || num("fit_errors") != 0.0 {
+        fail("every request must be served without fit errors".to_string());
+    }
+    let hit_rate = num("cache_hit_rate");
+    if !(0.5..=1.0).contains(&hit_rate) {
+        fail(format!("cache_hit_rate {hit_rate} out of range (expected mostly hits)"));
+    }
+    let rejection_rate = num("rejection_rate");
+    if !(rejection_rate > 0.0 && rejection_rate < 1.0) {
+        fail(format!("rejection_rate {rejection_rate} must exercise backpressure partially"));
+    }
+    let Some(Json::Obj(lat)) = get("latency_us") else {
+        fail("missing latency_us object".to_string())
+    };
+    let lat_num = |key: &str| match lat.iter().find(|(k, _)| k == key).map(|(_, v)| v) {
+        Some(Json::Num(v)) => *v,
+        other => fail(format!("latency_us missing {key}: {other:?}")),
+    };
+    let (hit_p99, cold_p99) = (lat_num("hit_p99"), lat_num("cold_p99"));
+    for key in ["hit_p50", "cold_p50", "hit_max", "cold_max"] {
+        let _ = lat_num(key);
+    }
+    if !(hit_p99 > 0.0 && cold_p99 >= 10.0 * hit_p99) {
+        fail(format!("cache-hit p99 ({hit_p99}us) must be >=10x below cold p99 ({cold_p99}us)"));
+    }
+    if num("throughput_rps") <= 0.0 || num("elapsed_s") <= 0.0 {
+        fail("throughput and elapsed time must be positive".to_string());
+    }
+    let Some(Json::Arr(sweep)) = get("shard_digests") else {
+        fail("missing shard_digests array".to_string())
+    };
+    if sweep.len() < 2 {
+        fail(format!("shard_digests needs >=2 entries, got {}", sweep.len()));
+    }
+    let mut digests = Vec::new();
+    for entry in sweep {
+        let Json::Obj(ef) = entry else { fail("shard_digests entry is not an object".to_string()) };
+        let eget = |key: &str| ef.iter().find(|(k, _)| k == key).map(|(_, v)| v);
+        let (Some(Json::Num(shards)), Some(Json::Str(digest))) = (eget("shards"), eget("digest"))
+        else {
+            fail("shard_digests entry missing shards/digest".to_string())
+        };
+        digests.push((*shards as usize, digest.clone()));
+    }
+    if digests.windows(2).any(|w| w[0].1 != w[1].1) {
+        fail(format!("digests differ across shard counts: {digests:?}"));
+    }
+    println!(
+        "bench_snapshot --check-service: {path} OK ({} requests, identical digests at {:?} shards)",
+        num("requests"),
+        digests.iter().map(|(s, _)| *s).collect::<Vec<_>>()
+    );
+}
+
 fn main() {
     let mut out_path = "BENCH_fmm.json".to_string();
     let mut reps = 7usize;
     let mut sizes = vec![8192usize, 32768];
     let mut governor_out: Option<String> = None;
+    let mut service_out: Option<String> = None;
+    let mut requests = 1_000_000usize;
+    let mut shard_requests = 65_536usize;
     let mut scale_shift = 6u32;
     let mut seed = 0xC0FFEEu64;
     let mut args = std::env::args().skip(1);
@@ -243,8 +407,26 @@ fn main() {
                 check_governor(&path);
                 return;
             }
+            "--check-service" => {
+                let path = args.next().expect("--check-service needs a path");
+                check_service(&path);
+                return;
+            }
             "--governor" => {
                 governor_out = Some(args.next().expect("--governor needs a path"));
+            }
+            "--service" => {
+                service_out = Some(args.next().expect("--service needs a path"));
+            }
+            "--requests" => {
+                requests =
+                    args.next().and_then(|v| v.parse().ok()).expect("--requests needs a number")
+            }
+            "--shard-requests" => {
+                shard_requests = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--shard-requests needs a number")
             }
             "--scale-shift" => {
                 scale_shift =
@@ -272,6 +454,10 @@ fn main() {
     }
     if let Some(out) = governor_out {
         governor_snapshot(&out, scale_shift, seed);
+        return;
+    }
+    if let Some(out) = service_out {
+        service_snapshot(&out, requests, shard_requests, seed);
         return;
     }
     let cases: Vec<Json> = sizes

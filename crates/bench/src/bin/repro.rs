@@ -22,7 +22,8 @@
 //!   governor      phase-aware governor policies vs the best static setting
 //!   bootstrap     confidence intervals for the fitted constants
 //!   csv-export    write the measurement dataset to dataset.csv
-//!   all           everything above, in order
+//!   service       closed-loop load run against the autotune server
+//!   all           everything above (except csv-export and service), in order
 //! ```
 //!
 //! `--scale-shift K` divides every FMM problem size by `2^K` (profiles
@@ -59,7 +60,9 @@ artifacts:
   governor      phase-aware governor policies vs the best static setting
   bootstrap     confidence intervals for the fitted constants
   csv-export    write the measurement dataset to dataset.csv
-  all           everything above (except csv-export), in order
+  service       closed-loop load run against the autotune server
+                (--requests N, default 50000)
+  all           everything above (except csv-export and service), in order
 
 --scale-shift K divides every FMM problem size by 2^K (default 0 =
 paper scale); --seed S reseeds the whole pipeline (default 0xC0FFEE).";
@@ -151,6 +154,11 @@ fn main() {
     }
     if artifact == "csv-export" {
         csv_export(&mut ctx);
+        ran = true;
+    }
+    if artifact == "service" {
+        let requests = flag_value(&args, "--requests").unwrap_or(50_000) as usize;
+        service(seed, requests);
         ran = true;
     }
 
@@ -659,6 +667,51 @@ fn bootstrap(ctx: &mut Context) {
     print!("{}", report.summary());
     let pi0 = report.constant_power_at(tk1_sim::Setting::max_performance());
     println!("π0(852/924) = {:.2} W [{:.2}, {:.2}]\n", pi0.estimate, pi0.lo, pi0.hi);
+}
+
+fn service(seed: u64, requests: usize) {
+    use dvfs_bench::service_load::{service_load, LoadConfig};
+    let cfg = LoadConfig { requests, seed, ..LoadConfig::default() };
+    eprintln!(
+        "[repro] driving {requests} requests through the autotune server ({} clients, {} shards) ...",
+        cfg.clients, cfg.shards
+    );
+    let r = service_load(&cfg);
+    println!("== Service: closed-loop load against the autotune server ==");
+    let body = vec![
+        vec!["requests served".to_string(), format!("{}/{}", r.served, r.requests)],
+        vec!["throughput".to_string(), format!("{:.0} req/s", r.throughput_rps)],
+        vec!["elapsed".to_string(), format!("{:.2} s", r.elapsed_s)],
+        vec![
+            "cache-hit latency".to_string(),
+            format!(
+                "p50 {:.0} µs, p99 {:.0} µs ({} responses)",
+                r.hit.p50_us, r.hit.p99_us, r.hit.count
+            ),
+        ],
+        vec![
+            "cold-path latency".to_string(),
+            format!(
+                "p50 {:.0} µs, p99 {:.0} µs ({} responses)",
+                r.cold.p50_us, r.cold.p99_us, r.cold.count
+            ),
+        ],
+        vec!["cache hit rate".to_string(), format!("{:.4}", r.cache_hit_rate)],
+        vec!["max queue depth".to_string(), format!("{}", r.max_queue_depth)],
+        vec!["degraded responses".to_string(), format!("{}", r.degraded_responses)],
+        vec![
+            "overload probe".to_string(),
+            format!(
+                "{}/{} rejected ({:.2}%), {} accepted all answered",
+                r.overload.rejections,
+                r.overload.attempts,
+                r.overload.rejection_rate * 100.0,
+                r.overload.served
+            ),
+        ],
+        vec!["run digest".to_string(), format!("{:016x}", r.digest)],
+    ];
+    println!("{}", table(&["Metric", "Value"], &body));
 }
 
 fn csv_export(ctx: &mut Context) {

@@ -10,6 +10,7 @@ pub mod governor;
 pub mod paper;
 pub mod pipeline;
 pub mod report;
+pub mod service_load;
 
 pub use governor::{governor_comparison, GovernorCase, PolicyOutcome};
 pub use pipeline::{
@@ -17,4 +18,7 @@ pub use pipeline::{
     fmm_profiles, observations, prefetch_scan, table1_rows, table2_outcomes, try_fitted_model,
     utilization_ablation, CaseResult, Fig7Row, MicrobenchAblationPoint, ObservationSummary,
     PipelineFit, Table1Row,
+};
+pub use service_load::{
+    service_load, synth_request, LatencyStats, LoadConfig, LoadReport, OverloadReport,
 };

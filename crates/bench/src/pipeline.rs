@@ -9,10 +9,10 @@ use compat::error::PipelineResult;
 use compat::rng::StdRng;
 use dvfs_energy_model::experiments::{FmmInput, FMM_INPUTS, SYSTEM_SETTINGS};
 use dvfs_energy_model::{
-    autotune_microbenchmarks, try_fit_model_with, AutotuneOutcome, BreakdownReport, EnergyModel,
-    ErrorStats, FitDiagnostics, FitOptions,
+    autotune_microbenchmarks, AutotuneOutcome, BreakdownReport, EnergyModel, ErrorStats,
+    FitDiagnostics,
 };
-use dvfs_microbench::{try_run_sweep, Dataset, MicrobenchKind, SweepConfig, SweepStats};
+use dvfs_microbench::{Dataset, MicrobenchKind, SweepConfig, SweepStats};
 use kifmm::evaluator::{FmmPlan, M2lMethod};
 use kifmm::{profile_plan, CostModel, FmmProfile};
 use powermon_sim::PowerMon;
@@ -51,15 +51,12 @@ pub fn fitted_model(seed: u64) -> (EnergyModel, Dataset) {
 /// sweep's sanity gates are still down-weighted instead of biasing the
 /// model constants.
 pub fn try_fitted_model(config: &SweepConfig) -> PipelineResult<PipelineFit> {
-    let run = try_run_sweep(config)?;
-    let options =
-        FitOptions { reject_row_outliers: config.faults.is_some(), ..FitOptions::default() };
-    let report = try_fit_model_with(run.dataset.training(), &options)?;
+    let fit = dvfs_energy_model::try_fit_from_sweep(config)?;
     Ok(PipelineFit {
-        model: report.model,
-        dataset: run.dataset,
-        sweep_stats: run.stats,
-        fit_diagnostics: report.diagnostics,
+        model: fit.model,
+        dataset: fit.dataset,
+        sweep_stats: fit.sweep_stats,
+        fit_diagnostics: fit.diagnostics,
     })
 }
 

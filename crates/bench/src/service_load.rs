@@ -1,0 +1,454 @@
+//! `service_load` — a seeded closed-loop load generator for the
+//! autotune service (`crates/autoserve`).
+//!
+//! Spawns `clients` closed-loop client threads against one
+//! [`AutoServer`] and drives `requests` synthetic tuning requests
+//! through it in seeded bursts of mixed sizes: pre-counted kernel
+//! workloads across three op-count size classes, a sprinkle of raw FMM
+//! problem specs (lowered through the counters path), and occasional
+//! governor phase plans.  Request *content* is a pure function of
+//! `(seed, request id)` — never of the client or shard that carries it —
+//! so the order-insensitive run digest ([`fold_digest`]) is identical
+//! across any shard/client count, which is what `BENCH_service.json`'s
+//! cross-shard digest table pins.
+//!
+//! A separate overload probe floods a deliberately tiny server (one
+//! shard, slow lowering-heavy requests, short queue) to measure the
+//! backpressure path; its rejections are real and timing-dependent, so
+//! the probe is excluded from the digest.
+
+use std::time::Instant;
+
+use compat::rng::{splitmix64, StdRng};
+use dvfs_autoserve::{fold_digest, AutoServer, Rejected, ServeConfig, TuneRequest, WorkloadSpec};
+use tk1_sim::{FaultConfig, OpClass, OpVector};
+
+/// Load-generator configuration.  The defaults are sized for the
+/// integration tests; `bench_snapshot --service` scales `requests` up
+/// to the committed ≥1M-request artifact.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Requests in the main (digest-bearing) segment.
+    pub requests: usize,
+    /// Closed-loop client threads.
+    pub clients: usize,
+    /// Maximum tickets a client keeps in flight; actual burst sizes are
+    /// drawn per round from `1..=burst`.
+    pub burst: usize,
+    /// Shard worker threads of the server under test.
+    pub shards: usize,
+    /// Per-shard ingress queue capacity.
+    pub queue_capacity: usize,
+    /// Max requests drained per worker wakeup.
+    pub batch_max: usize,
+    /// In-memory model-cache rigs per shard.
+    pub cache_capacity: usize,
+    /// Distinct simulated boards the request stream tunes for (device
+    /// seeds `0..distinct_devices`); each costs one cold fit.
+    pub distinct_devices: u64,
+    /// Per-mille of requests that are raw FMM problem specs.
+    pub fmm_per_mille: u32,
+    /// Problem sizes the FMM specs draw from.  Lowering a spec costs a
+    /// real plan+profile, so tests shrink this list; the committed
+    /// artifact uses the full default.
+    pub fmm_sizes: Vec<usize>,
+    /// Per-mille of requests that also ask for a governor phase plan.
+    pub plan_per_mille: u32,
+    /// Seed of the whole request stream.
+    pub seed: u64,
+    /// Fault campaign the server runs under (`None` = clean).
+    pub faults: Option<FaultConfig>,
+    /// Submissions in the overload probe segment (0 skips the probe).
+    pub overload_probes: usize,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        LoadConfig {
+            requests: 10_000,
+            clients: 4,
+            burst: 32,
+            shards: 4,
+            queue_capacity: 256,
+            batch_max: 32,
+            cache_capacity: 32,
+            distinct_devices: 24,
+            fmm_per_mille: 2,
+            fmm_sizes: vec![1024, 2048, 4096],
+            plan_per_mille: 5,
+            seed: 0x5EED_5E4B,
+            faults: None,
+            overload_probes: 512,
+        }
+    }
+}
+
+/// Latency percentiles over one class of responses, in microseconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencyStats {
+    /// Number of responses in the class.
+    pub count: usize,
+    /// Median latency.
+    pub p50_us: f64,
+    /// 99th-percentile latency (nearest rank).
+    pub p99_us: f64,
+    /// Worst observed latency.
+    pub max_us: f64,
+}
+
+impl LatencyStats {
+    fn from_samples(mut us: Vec<f64>) -> LatencyStats {
+        us.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        let pick = |p: f64| {
+            if us.is_empty() {
+                return 0.0;
+            }
+            let rank = ((p / 100.0) * us.len() as f64).ceil() as usize;
+            us[rank.saturating_sub(1).min(us.len() - 1)]
+        };
+        LatencyStats {
+            count: us.len(),
+            p50_us: pick(50.0),
+            p99_us: pick(99.0),
+            max_us: us.last().copied().unwrap_or(0.0),
+        }
+    }
+}
+
+/// What the overload probe measured.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OverloadReport {
+    /// Submissions attempted against the tiny server.
+    pub attempts: usize,
+    /// Immediate [`Rejected::Overloaded`] rejections.
+    pub rejections: usize,
+    /// Accepted requests that were still answered.
+    pub served: usize,
+    /// `rejections / attempts`.
+    pub rejection_rate: f64,
+}
+
+/// The full load-generator result.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Requests driven in the main segment.
+    pub requests: usize,
+    /// Responses received (equals `requests` minus `fit_errors`).
+    pub served: usize,
+    /// Requests whose model fit failed outright (0 on clean runs;
+    /// faulted campaigns degrade instead of erroring).
+    pub fit_errors: usize,
+    /// Client threads used.
+    pub clients: usize,
+    /// Shard worker threads used.
+    pub shards: usize,
+    /// Wall-clock of the main segment, seconds.
+    pub elapsed_s: f64,
+    /// `served / elapsed_s`.
+    pub throughput_rps: f64,
+    /// Latency of cache-hit responses.
+    pub hit: LatencyStats,
+    /// Latency of cold-path responses (cold fits and disk restores).
+    pub cold: LatencyStats,
+    /// Server-side model-cache hit rate over the main segment.
+    pub cache_hit_rate: f64,
+    /// Responses answered by a degradation-ladder model.
+    pub degraded_responses: usize,
+    /// Sweep retries absorbed by the measurement pipeline.
+    pub sweep_retries: usize,
+    /// Deepest any shard queue got during the main segment.
+    pub max_queue_depth: usize,
+    /// Rejections during the main segment (0 when sized correctly; the
+    /// client retries after draining its burst, so nothing is lost).
+    pub main_rejections: usize,
+    /// Order-insensitive digest over all `(request id, response)` pairs.
+    pub digest: u64,
+    /// The overload probe segment.
+    pub overload: OverloadReport,
+}
+
+/// The synthetic request for `id` under `cfg` — a pure function of
+/// `(cfg.seed, id)` and the mix knobs, independent of clients/shards.
+pub fn synth_request(cfg: &LoadConfig, id: u64) -> TuneRequest {
+    let mut state = cfg.seed ^ id.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    let mut rng = StdRng::seed_from_u64(splitmix64(&mut state));
+    let device_seed = rng.next_u64() % cfg.distinct_devices.max(1);
+    let plan_rounds =
+        if rng.next_u64() % 1000 < cfg.plan_per_mille as u64 { 4usize } else { 0usize };
+    let fmm = !cfg.fmm_sizes.is_empty() && rng.next_u64() % 1000 < cfg.fmm_per_mille as u64;
+    let workload = if fmm {
+        // A few distinct FMM specs, so shards answer them from their
+        // lowering caches after first sight.
+        WorkloadSpec::Fmm {
+            n: cfg.fmm_sizes[(rng.next_u64() % cfg.fmm_sizes.len() as u64) as usize],
+            q: 4,
+            seed: rng.next_u64() % 4,
+        }
+    } else {
+        // Three op-count size classes with per-class jitter.
+        let base = [1e6, 1e9, 1e11][rng.random_range(0usize..3)];
+        let mut count = |class_scale: f64| base * class_scale * rng.random_range(0.5f64..2.0);
+        WorkloadSpec::Kernel {
+            ops: OpVector::from_pairs(&[
+                (OpClass::FlopSp, count(1.0)),
+                (OpClass::FlopDp, count(0.25)),
+                (OpClass::Int, count(1.5)),
+                (OpClass::Shared, count(0.5)),
+                (OpClass::L1, count(0.75)),
+                (OpClass::L2, count(0.2)),
+                (OpClass::Dram, count(0.05)),
+            ]),
+            utilization: rng.random_range(0.2f64..1.0),
+            launches: 1 + (rng.next_u64() % 4) as u32,
+        }
+    };
+    TuneRequest { device_seed, workload, plan_rounds }
+}
+
+/// One client's record of one answered request.
+struct Outcome {
+    id: u64,
+    digest: u64,
+    latency_us: f64,
+    cache_hit: bool,
+    error: bool,
+}
+
+/// Runs the closed-loop load: the main seeded segment against a
+/// production-shaped server, then the overload probe against a tiny one.
+pub fn service_load(cfg: &LoadConfig) -> LoadReport {
+    let server = AutoServer::start(ServeConfig {
+        shards: cfg.shards,
+        queue_capacity: cfg.queue_capacity,
+        batch_max: cfg.batch_max,
+        cache_capacity: cfg.cache_capacity,
+        cache_dir: None,
+        faults: cfg.faults.clone(),
+    });
+
+    let clients = cfg.clients.max(1);
+    let started = Instant::now();
+    let mut outcomes: Vec<Outcome> = Vec::with_capacity(cfg.requests);
+    std::thread::scope(|scope| {
+        let server = &server;
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                scope.spawn(move || client_loop(server, cfg, (c..cfg.requests).step_by(clients)))
+            })
+            .collect();
+        for h in handles {
+            outcomes.extend(h.join().expect("client threads do not panic"));
+        }
+    });
+    let elapsed_s = started.elapsed().as_secs_f64();
+    let main_rejections = server.rejected();
+    let stats = server.shutdown();
+
+    let mut digest = 0u64;
+    let mut hit_us = Vec::new();
+    let mut cold_us = Vec::new();
+    let mut fit_errors = 0usize;
+    for o in &outcomes {
+        if o.error {
+            fit_errors += 1;
+            continue;
+        }
+        digest = fold_digest(digest, o.id, o.digest);
+        if o.cache_hit {
+            hit_us.push(o.latency_us);
+        } else {
+            cold_us.push(o.latency_us);
+        }
+    }
+    let served = outcomes.len() - fit_errors;
+
+    LoadReport {
+        requests: cfg.requests,
+        served,
+        fit_errors,
+        clients,
+        shards: cfg.shards,
+        elapsed_s,
+        throughput_rps: if elapsed_s > 0.0 { served as f64 / elapsed_s } else { 0.0 },
+        hit: LatencyStats::from_samples(hit_us),
+        cold: LatencyStats::from_samples(cold_us),
+        cache_hit_rate: if served > 0 { stats.cache_hits as f64 / served as f64 } else { 0.0 },
+        degraded_responses: stats.degraded_responses,
+        sweep_retries: stats.sweep_retries,
+        max_queue_depth: stats.max_queue_depth,
+        main_rejections,
+        digest,
+        overload: overload_probe(cfg),
+    }
+}
+
+/// One closed-loop client: submit a seeded burst, then drain it.  On a
+/// rejection (possible only when the config undersizes the queues) the
+/// client drains its in-flight burst and retries, so no request is ever
+/// lost from the digest.
+fn client_loop(
+    server: &AutoServer,
+    cfg: &LoadConfig,
+    ids: impl Iterator<Item = usize>,
+) -> Vec<Outcome> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xC11E_17);
+    let mut outcomes = Vec::new();
+    let mut pending: Vec<(u64, Instant, dvfs_autoserve::Ticket)> = Vec::new();
+    let mut burst = 1 + rng.next_u64() as usize % cfg.burst.max(1);
+    for id in ids {
+        let req = synth_request(cfg, id as u64);
+        loop {
+            match server.submit(req.clone()) {
+                Ok(ticket) => {
+                    pending.push((id as u64, Instant::now(), ticket));
+                    break;
+                }
+                Err(Rejected::Overloaded { .. }) => {
+                    drain(&mut pending, &mut outcomes);
+                    std::thread::yield_now();
+                }
+                Err(Rejected::ShuttingDown) => {
+                    panic!("server shut down while clients were still submitting")
+                }
+            }
+        }
+        if pending.len() >= burst {
+            drain(&mut pending, &mut outcomes);
+            burst = 1 + rng.next_u64() as usize % cfg.burst.max(1);
+        }
+    }
+    drain(&mut pending, &mut outcomes);
+    outcomes
+}
+
+fn drain(pending: &mut Vec<(u64, Instant, dvfs_autoserve::Ticket)>, out: &mut Vec<Outcome>) {
+    for (id, submitted, ticket) in pending.drain(..) {
+        let result = ticket.wait();
+        let latency_us = submitted.elapsed().as_secs_f64() * 1e6;
+        match result {
+            Ok(resp) => out.push(Outcome {
+                id,
+                digest: resp.digest(),
+                latency_us,
+                cache_hit: resp.cache_hit,
+                error: false,
+            }),
+            Err(_) => {
+                out.push(Outcome { id, digest: 0, latency_us, cache_hit: false, error: true })
+            }
+        }
+    }
+}
+
+/// Floods a deliberately tiny server (one shard, short queue) with
+/// lowering-heavy requests from a tight loop, so the worker falls behind
+/// and the bounded queue must reject.  Every accepted request is still
+/// answered; rejections are immediate and counted, never panics.
+fn overload_probe(cfg: &LoadConfig) -> OverloadReport {
+    if cfg.overload_probes == 0 {
+        return OverloadReport { attempts: 0, rejections: 0, served: 0, rejection_rate: 0.0 };
+    }
+    let server = AutoServer::start(ServeConfig {
+        shards: 1,
+        queue_capacity: 8,
+        batch_max: cfg.batch_max,
+        cache_capacity: 4,
+        cache_dir: None,
+        faults: cfg.faults.clone(),
+    });
+    let mut tickets = Vec::new();
+    let mut rejections = 0usize;
+    for i in 0..cfg.overload_probes {
+        // Every request names a fresh board, so each one the worker
+        // accepts costs a full cold fit while the tight submission loop
+        // keeps hammering the 8-slot queue.
+        let req = TuneRequest {
+            device_seed: 0xDEAD_0000 + i as u64,
+            workload: WorkloadSpec::Kernel {
+                ops: OpVector::from_pairs(&[(OpClass::FlopDp, 1e9), (OpClass::Dram, 1e7)]),
+                utilization: 0.8,
+                launches: 1,
+            },
+            plan_rounds: 0,
+        };
+        match server.submit(req) {
+            Ok(t) => tickets.push(t),
+            Err(Rejected::Overloaded { .. }) => rejections += 1,
+            Err(Rejected::ShuttingDown) => unreachable!("server is alive"),
+        }
+    }
+    let served = tickets.into_iter().filter_map(|t| t.wait().ok()).count();
+    let stats = server.shutdown();
+    debug_assert_eq!(stats.rejected, rejections);
+    OverloadReport {
+        attempts: cfg.overload_probes,
+        rejections,
+        served,
+        rejection_rate: rejections as f64 / cfg.overload_probes as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> LoadConfig {
+        LoadConfig {
+            requests: 600,
+            clients: 3,
+            burst: 16,
+            shards: 2,
+            queue_capacity: 64,
+            batch_max: 8,
+            cache_capacity: 8,
+            distinct_devices: 4,
+            fmm_per_mille: 0,
+            fmm_sizes: Vec::new(),
+            plan_per_mille: 10,
+            seed: 0x10AD,
+            faults: None,
+            overload_probes: 96,
+        }
+    }
+
+    #[test]
+    fn request_stream_is_pure_in_seed_and_id() {
+        let cfg = tiny();
+        for id in [0u64, 1, 17, 599] {
+            assert_eq!(synth_request(&cfg, id), synth_request(&cfg, id));
+        }
+        let mut other = tiny();
+        other.seed ^= 1;
+        assert_ne!(synth_request(&cfg, 0), synth_request(&other, 0));
+    }
+
+    #[test]
+    fn load_digest_is_invariant_across_shard_and_client_counts() {
+        let base = tiny();
+        let reference = service_load(&base);
+        assert_eq!(reference.served, base.requests);
+        assert_eq!(reference.fit_errors, 0);
+        assert!(reference.cache_hit_rate > 0.9, "few devices must mean mostly hits");
+        for (shards, clients) in [(1usize, 1usize), (4, 2)] {
+            let mut cfg = base.clone();
+            cfg.shards = shards;
+            cfg.clients = clients;
+            cfg.overload_probes = 0;
+            let run = service_load(&cfg);
+            assert_eq!(run.digest, reference.digest, "{shards} shards / {clients} clients");
+            assert_eq!(run.served, base.requests);
+        }
+    }
+
+    #[test]
+    fn overload_probe_rejects_and_never_loses_accepted_requests() {
+        let mut cfg = tiny();
+        cfg.requests = 0;
+        let report = service_load(&cfg);
+        let probe = report.overload;
+        assert_eq!(probe.attempts, cfg.overload_probes);
+        assert_eq!(probe.served + probe.rejections, probe.attempts, "no request vanishes");
+        assert!(probe.rejections > 0, "the tiny queue must exercise backpressure");
+        assert!(probe.rejection_rate > 0.0 && probe.rejection_rate < 1.0);
+    }
+}

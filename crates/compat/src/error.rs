@@ -93,6 +93,15 @@ impl From<JsonError> for PipelineError {
     }
 }
 
+impl From<crate::par::JobError> for PipelineError {
+    fn from(e: crate::par::JobError) -> Self {
+        PipelineError::WorkerPanic {
+            job: format!("chunk {}: {}", e.chunk, e.detail),
+            attempts: e.attempts,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -119,5 +128,67 @@ mod tests {
     fn json_errors_convert() {
         let e: PipelineError = JsonError::at(3, 7, "`,` or `]`").into();
         assert!(e.to_string().contains("line 3, column 7"));
+    }
+
+    #[test]
+    fn job_errors_convert_to_worker_panic() {
+        let job = crate::par::JobError { chunk: 3, attempts: 2, detail: "boom".into() };
+        let e: PipelineError = job.into();
+        match &e {
+            PipelineError::WorkerPanic { job, attempts } => {
+                assert_eq!(*attempts, 2);
+                assert!(job.contains("chunk 3"));
+                assert!(job.contains("boom"));
+            }
+            other => panic!("expected WorkerPanic, got {other:?}"),
+        }
+        assert!(e.to_string().contains("panicked on all 2 attempts"));
+    }
+
+    // Satellite regression for the panicking-chunk retry path: a chunk
+    // that panics once recovers transparently, and a chunk that panics
+    // twice surfaces a structured `PipelineError` through the `From`
+    // conversion above — with the pool still usable afterwards (the
+    // "hung pool" failure mode this test exists to rule out).
+    #[test]
+    fn once_panicking_chunk_recovers_through_pipeline_error_path() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        crate::par::set_thread_count(Some(4));
+        let attempts = AtomicUsize::new(0);
+        let out: Result<Vec<usize>, PipelineError> =
+            crate::par::try_par_map_vec((0..64usize).collect(), &|i| {
+                if i == 9 && attempts.fetch_add(1, Ordering::SeqCst) == 0 {
+                    panic!("transient failure at {i}");
+                }
+                i + 100
+            })
+            .map_err(PipelineError::from);
+        assert_eq!(out.expect("retry absorbs one panic"), (100..164).collect::<Vec<usize>>());
+        assert_eq!(attempts.load(Ordering::SeqCst), 2, "exactly one resubmission");
+        crate::par::set_thread_count(None);
+    }
+
+    #[test]
+    fn twice_panicking_chunk_surfaces_pipeline_error_not_a_hang() {
+        crate::par::set_thread_count(Some(4));
+        let out: Result<Vec<usize>, PipelineError> =
+            crate::par::try_par_map_vec((0..64usize).collect(), &|i| {
+                if i == 21 {
+                    panic!("persistent failure at {i}");
+                }
+                i
+            })
+            .map_err(PipelineError::from);
+        match out {
+            Err(PipelineError::WorkerPanic { job, attempts }) => {
+                assert_eq!(attempts, 2);
+                assert!(job.contains("persistent failure at 21"), "{job}");
+            }
+            other => panic!("expected WorkerPanic, got {other:?}"),
+        }
+        // The pool drains and keeps serving — no wedged workers.
+        let ok: Vec<usize> = crate::par::par_map_vec((0..32usize).collect(), &|i| i * 2);
+        assert_eq!(ok, (0..32).map(|i| i * 2).collect::<Vec<usize>>());
+        crate::par::set_thread_count(None);
     }
 }

@@ -24,6 +24,9 @@
 //!   criterion-compatible macro surface and a `--quick` smoke mode
 //!   (replaces `criterion`).
 
+//! * [`chan`] — bounded MPSC queues with a non-blocking, rejecting send
+//!   side plus one-shot reply slots; the serving layer's backpressure
+//!   and batching primitives (replaces `crossbeam-channel`).
 //! * [`error`] — the workspace-wide [`error::PipelineError`] enum used by
 //!   the hardened measurement-to-fit pipeline (not a shim; it lives here
 //!   because `compat` is the one crate every layer can name).
@@ -32,6 +35,7 @@
 //!   [`error`] — every layer that reads a knob can name `compat`).
 
 pub mod bench;
+pub mod chan;
 pub mod env;
 pub mod error;
 pub mod json;

@@ -30,6 +30,8 @@
 //!   (Figures 6 and 7).
 //! * [`whatif`] — the prefetch what-if analysis sketched in the paper's
 //!   conclusion.
+//! * [`service`] — request-shaped fit/predict entry points consumed by
+//!   the autotune server (`crates/autoserve`).
 //! * [`stats`] — relative-error statistics shared by all reports.
 //! * [`experiments`] — the S1–S8 / F1–F8 experiment matrix of Table IV.
 
@@ -44,6 +46,7 @@ pub mod fit;
 pub mod model;
 pub mod pareto;
 pub mod roofline;
+pub mod service;
 pub mod stats;
 pub mod whatif;
 
@@ -59,5 +62,8 @@ pub use fit::{
 pub use model::{EnergyModel, ModelBreakdown};
 pub use pareto::{OperatingPointMeasure, TradeoffAnalysis};
 pub use roofline::EnergyRoofline;
+pub use service::{
+    best_index, predict_grid, service_grid, try_fit_from_sweep, GridPrediction, ModelFit,
+};
 pub use stats::ErrorStats;
 pub use whatif::{prefetch_whatif, PrefetchScenario, PrefetchVerdict};

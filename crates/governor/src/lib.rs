@@ -42,8 +42,8 @@ pub mod transition;
 
 pub use hook::{governed_evaluate, PhasedDriver};
 pub use policy::{
-    FixedSetting, Oracle, PerPhaseAdaptive, PerPhaseModel, PhaseContext, PhaseFeedback, Policy,
-    Predictor, RaceToHalt, RunContext, StaticBest,
+    plan_phase_settings, FixedSetting, Oracle, PerPhaseAdaptive, PerPhaseModel, PhaseContext,
+    PhaseFeedback, PhasePlan, Policy, Predictor, RaceToHalt, RunContext, StaticBest,
 };
 pub use runtime::{GovernorReport, GovernorRuntime, PhaseRecord, PhaseTask, Workload};
 pub use transition::{TransitionCost, TransitionModel};

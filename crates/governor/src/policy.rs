@@ -255,6 +255,42 @@ fn plan_stages(
     (plan, total)
 }
 
+/// A computed phase plan: one setting per stage (phase × round, in
+/// execution order) plus the plan's predicted total energy, including
+/// every transition it pays.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhasePlan {
+    /// The setting to latch for each stage, `kernels.len() × rounds`
+    /// entries in execution order.
+    pub settings: Vec<Setting>,
+    /// Predicted total energy of the planned run, J.
+    pub predicted_total_j: f64,
+}
+
+/// Request-shaped planning entry point: the minimum-predicted-energy
+/// DVFS schedule for `kernels` executed back to back for `rounds`
+/// rounds, starting from `start`.
+///
+/// This is the same Viterbi pass [`PerPhaseModel`] runs inside the
+/// governor loop ([`plan_stages`]), exposed as a pure function so the
+/// serving layer can answer plan requests without standing up a
+/// [`crate::GovernorRuntime`].  Deterministic: ties resolve to the
+/// lowest candidate index.  Empty `kernels` or `candidates` yield an
+/// empty plan with zero energy.
+pub fn plan_phase_settings(
+    predictor: &Predictor<'_>,
+    candidates: &[Setting],
+    start: Setting,
+    kernels: &[KernelProfile],
+    rounds: usize,
+) -> PhasePlan {
+    let stages = kernels.len() * rounds;
+    let (indices, predicted_total_j) = plan_stages(predictor, candidates, start, stages, |t, s| {
+        predictor.phase_energy_j(&kernels[t % kernels.len()], s)
+    });
+    PhasePlan { settings: indices.into_iter().map(|i| candidates[i]).collect(), predicted_total_j }
+}
+
 /// Picks the argmin of `score` over `current ∪ candidates`, first-wins.
 fn argmin_setting(ctx: &PhaseContext<'_>, mut score: impl FnMut(Setting) -> f64) -> Setting {
     let mut best = ctx.current;
@@ -479,5 +515,69 @@ impl Policy for Oracle {
                 self.true_energy_j(ctx.kernel, s) + ctx.predictor.switch_energy_j(ctx.current, s)
             })
         })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tk1_sim::{Device, OpClass, OpVector, NUM_OP_CLASSES};
+
+    fn toy_model() -> EnergyModel {
+        EnergyModel {
+            c0_pj_per_v2: [120.0; NUM_OP_CLASSES],
+            c1_proc_w_per_v: 1.1,
+            c1_mem_w_per_v: 0.35,
+            p_misc_w: 0.6,
+        }
+    }
+
+    #[test]
+    fn plan_phase_settings_is_deterministic_and_never_beats_itself() {
+        let model = toy_model();
+        let mut device = Device::new(42);
+        let transitions = TransitionModel::calibrate(&mut device);
+        let predictor =
+            Predictor { model: &model, timing: device.timing_model(), transitions: &transitions };
+        let kernels = vec![
+            KernelProfile::new("compute", OpVector::from_pairs(&[(OpClass::FlopSp, 4e8)])),
+            KernelProfile::new("memory", OpVector::from_pairs(&[(OpClass::Dram, 3e7)])),
+        ];
+        let candidates: Vec<Setting> = dvfs_energy_model::service_grid();
+        let start = Setting::max_performance();
+
+        let plan = plan_phase_settings(&predictor, &candidates, start, &kernels, 3);
+        assert_eq!(plan.settings.len(), kernels.len() * 3);
+        assert!(plan.predicted_total_j.is_finite() && plan.predicted_total_j > 0.0);
+        let again = plan_phase_settings(&predictor, &candidates, start, &kernels, 3);
+        assert_eq!(plan, again, "pure function of its inputs");
+
+        // A constant path at any candidate is feasible, so the plan's
+        // total can never exceed the best static schedule.
+        for &s in &candidates {
+            let mut static_total = predictor.switch_energy_j(start, s);
+            for t in 0..plan.settings.len() {
+                static_total += predictor.phase_energy_j(&kernels[t % kernels.len()], s);
+            }
+            assert!(plan.predicted_total_j <= static_total + 1e-9, "beaten by {}", s.label());
+        }
+    }
+
+    #[test]
+    fn empty_plan_requests_yield_empty_plans() {
+        let model = toy_model();
+        let mut device = Device::new(42);
+        let transitions = TransitionModel::calibrate(&mut device);
+        let predictor =
+            Predictor { model: &model, timing: device.timing_model(), transitions: &transitions };
+        let plan = plan_phase_settings(
+            &predictor,
+            &[Setting::max_performance()],
+            Setting::max_performance(),
+            &[],
+            4,
+        );
+        assert!(plan.settings.is_empty());
+        assert_eq!(plan.predicted_total_j, 0.0);
     }
 }

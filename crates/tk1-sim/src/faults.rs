@@ -167,6 +167,29 @@ impl FaultConfig {
     pub fn injector(&self, stream: u64) -> FaultInjector {
         FaultInjector { key: mix64(self.seed ^ mix64(stream ^ 0x171E_C704)), rates: self.rates }
     }
+
+    /// A deterministic 64-bit digest of the whole campaign (seed and
+    /// every rate, by bit pattern).  Two configs hash equal iff they
+    /// corrupt the chain identically, which is what makes this usable
+    /// as the fault-profile half of a fitted-model cache key.
+    pub fn cache_key(&self) -> u64 {
+        let r = &self.rates;
+        let mut h = mix64(self.seed ^ 0xCAC4_EBE7);
+        for bits in [
+            r.sample_dropout.to_bits(),
+            r.sample_clip.to_bits(),
+            r.spike.to_bits(),
+            r.spike_mag.to_bits(),
+            r.timestamp_jitter_rel.to_bits(),
+            r.throttle.to_bits(),
+            r.throttle_stretch.to_bits(),
+            r.latch_fail.to_bits(),
+            r.latch_neighbor.to_bits(),
+        ] {
+            h = mix64(h ^ bits);
+        }
+        h
+    }
 }
 
 // Salt constants: one hash channel per fault mechanism.
@@ -422,6 +445,16 @@ mod tests {
         let cfg = FaultConfig::parse("sample_dropout=0.1,bogus=1,alsobad").unwrap();
         assert_eq!(cfg.rates.sample_dropout, 0.1);
         assert_eq!(cfg.rates.throttle, 0.0);
+    }
+
+    #[test]
+    fn cache_key_separates_campaigns_and_is_stable() {
+        let a = FaultConfig::default_campaign();
+        assert_eq!(a.cache_key(), FaultConfig::default_campaign().cache_key());
+        let reseeded = FaultConfig { seed: 1, ..a };
+        assert_ne!(a.cache_key(), reseeded.cache_key(), "seed is part of the key");
+        let retuned = FaultConfig { rates: FaultRates { latch_fail: 0.5, ..a.rates }, ..a };
+        assert_ne!(a.cache_key(), retuned.cache_key(), "rates are part of the key");
     }
 
     #[test]

@@ -15,6 +15,13 @@
 # over the paper's 8 FMM inputs, transition costs included) and writes
 # per-policy energy/time as JSON.  Commit the refreshed
 # `BENCH_governor.json` alongside governor or model changes.
+#
+# Service mode: scripts/bench_snapshot.sh --service BENCH_service.json
+# instead drives the autotune server with the closed-loop load
+# generator (>=1M seeded requests, a 1/2/4/8-shard digest sweep, and an
+# overload probe) and writes latency/throughput/cache/rejection results
+# as JSON.  Commit the refreshed `BENCH_service.json` alongside serving
+# or model changes; `--check-service` validates it in CI.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 

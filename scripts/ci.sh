@@ -8,8 +8,9 @@
 # Usage: scripts/ci.sh [--with-benches] [--with-snapshot]
 #   --with-benches    also smoke-run every bench target via --quick
 #   --with-snapshot   also run scripts/bench_snapshot.sh (3 reps, small
-#                     sizes) and validate the JSON with the in-tree
-#                     compat::json parser
+#                     sizes), regenerate the governor and service
+#                     artifacts, and validate every JSON with the
+#                     in-tree compat::json parser
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -40,12 +41,13 @@ echo "==> cargo test -q --offline (FMM_ENERGY_FAULTS=default)"
 # `faults: None` explicitly and are unaffected.
 FMM_ENERGY_FAULTS=default cargo test -q --offline --workspace
 
-echo "==> panic-free gate (non-test code in crates/{core,powermon,microbench})"
-# The measurement-to-fit pipeline reports failures via PipelineError;
-# a new `.unwrap()` or `panic!(` in its non-test code is a regression.
-# The `#[cfg(test)]` tail of each module (the repo-wide idiom) and
-# comment lines are exempt.
-GATE_VIOLATIONS=$(find crates/core/src crates/powermon/src crates/microbench/src -name '*.rs' \
+echo "==> panic-free gate (non-test code in crates/{core,powermon,microbench,autoserve})"
+# The measurement-to-fit pipeline and the serving layer report failures
+# via PipelineError; a new `.unwrap()` or `panic!(` in their non-test
+# code is a regression.  The `#[cfg(test)]` tail of each module (the
+# repo-wide idiom) and comment lines are exempt.
+GATE_VIOLATIONS=$(find crates/core/src crates/powermon/src crates/microbench/src \
+    crates/autoserve/src -name '*.rs' \
     | while read -r f; do
         awk -v file="$f" '
             /#\[cfg\(test\)\]/ { exit }
@@ -73,6 +75,20 @@ FMM_ENERGY_FAULTS=default \
     cargo run --offline --release -p dvfs-bench --bin repro -- governor --scale-shift 6 \
     | grep -q "per-phase-model matches or beats"
 
+echo "==> service: committed BENCH_service.json (schema + invariants)"
+# The committed serving artifact must be a >=1M-request run with
+# cache-hit p99 at least 10x below cold-fit p99, partial overload
+# rejections, and identical digests across the 1/2/4/8-shard sweep.
+cargo run --offline --release -p dvfs-bench --bin bench_snapshot -- \
+    --check-service BENCH_service.json
+
+echo "==> service: soak, clean + faulted (tests/service.rs, release)"
+# The 10k-request soak: lossless, bounded queues, golden digest across
+# shard counts; under the default fault campaign it must degrade
+# through FitDiagnostics fallbacks instead of erroring.
+cargo test -q --offline --release --test service
+FMM_ENERGY_FAULTS=default cargo test -q --offline --release --test service
+
 if [[ "$WITH_BENCHES" == 1 ]]; then
     for bench in numerics model fmm_phases; do
         echo "==> cargo bench --bench $bench -- --quick"
@@ -88,6 +104,9 @@ if [[ "$WITH_SNAPSHOT" == 1 ]]; then
     scripts/bench_snapshot.sh --governor target/BENCH_governor_ci.json --scale-shift 6
     cargo run --offline --release -p dvfs-bench --bin bench_snapshot -- \
         --check-governor target/BENCH_governor_ci.json
+    scripts/bench_snapshot.sh --service target/BENCH_service_ci.json
+    cargo run --offline --release -p dvfs-bench --bin bench_snapshot -- \
+        --check-service target/BENCH_service_ci.json
 fi
 
 echo "==> OK"

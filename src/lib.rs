@@ -56,6 +56,10 @@ pub use dvfs_governor as governor;
 /// The intensity microbenchmark suite and sweep driver.
 pub use dvfs_microbench as microbench;
 
+/// Energy-tuning-as-a-service: the sharded, batching autotune server
+/// with per-device model caching and explicit backpressure.
+pub use dvfs_autoserve as autoserve;
+
 /// nvprof-style counters and the cache-hierarchy simulator.
 pub use gpu_counters as counters;
 
@@ -67,6 +71,9 @@ pub use dvfs_fft as fft;
 
 /// The most common imports in one place.
 pub mod prelude {
+    pub use dvfs_autoserve::{
+        AutoServer, Rejected, ServeConfig, TuneRequest, TuneResponse, WorkloadSpec,
+    };
     pub use dvfs_energy_model::{
         autotune_microbenchmarks, fit_model, holdout_validation, leave_one_setting_out,
         prefetch_whatif, BreakdownReport, DiagnosticReport, EnergyModel, EnergyRoofline,

@@ -1,0 +1,121 @@
+//! Soak tests for the autotune service (ISSUE 6 satellite).
+//!
+//! A seeded 10k-request mixed-burst run through `bench::service_load`
+//! must be lossless (every request answered), bounded (queue depth
+//! never exceeds the configured capacity), and golden (the
+//! order-insensitive run digest matches a committed constant and is
+//! identical across 1/2/4/8 shard threads).  A faulted variant of the
+//! same soak must *degrade* — `FitDiagnostics` fallbacks and sweep
+//! retries — instead of erroring.
+//!
+//! Every config pins `faults` explicitly, so these digests hold whether
+//! or not CI exports `FMM_ENERGY_FAULTS`.
+
+use dvfs_bench::service_load::{service_load, LoadConfig};
+use tk1_sim::FaultConfig;
+
+/// The soak workload: 10k seeded mixed-burst requests, kernel-heavy
+/// with occasional governor plans, against a production-shaped server.
+fn soak_config() -> LoadConfig {
+    LoadConfig {
+        requests: 10_000,
+        clients: 4,
+        burst: 32,
+        shards: 4,
+        queue_capacity: 256,
+        batch_max: 32,
+        cache_capacity: 32,
+        distinct_devices: 12,
+        fmm_per_mille: 0,
+        fmm_sizes: Vec::new(),
+        plan_per_mille: 5,
+        seed: 0x50AC_2016,
+        faults: None,
+        overload_probes: 0,
+    }
+}
+
+/// The committed digest of [`soak_config`]'s run.  A change here means
+/// the service's answers changed — model fit, grid prediction, phase
+/// planning, or request synthesis — and must be deliberate.
+const SOAK_DIGEST: u64 = 0xe1d1_f6a5_54bc_d391;
+
+#[test]
+fn soak_10k_requests_is_lossless_bounded_and_golden() {
+    let cfg = soak_config();
+    let run = service_load(&cfg);
+    assert_eq!(run.served, cfg.requests, "zero lost requests");
+    assert_eq!(run.fit_errors, 0, "clean campaign never errors");
+    assert_eq!(run.main_rejections, 0, "sized queues never reject the soak");
+    assert!(
+        run.max_queue_depth <= cfg.queue_capacity,
+        "queue depth {} exceeded capacity {}",
+        run.max_queue_depth,
+        cfg.queue_capacity
+    );
+    assert!(run.cache_hit_rate > 0.99, "12 devices over 10k requests must be mostly hits");
+    assert_eq!(run.degraded_responses, 0, "clean fits never take the degradation ladder");
+    assert_eq!(run.digest, SOAK_DIGEST, "service answers changed: new digest {:#018x}", run.digest);
+}
+
+#[test]
+fn soak_digest_is_identical_across_1_2_4_8_shards() {
+    for shards in [1usize, 2, 8] {
+        let cfg = LoadConfig { shards, ..soak_config() };
+        let run = service_load(&cfg);
+        assert_eq!(run.served, cfg.requests, "{shards} shards lost requests");
+        assert_eq!(
+            run.digest, SOAK_DIGEST,
+            "digest diverged at {shards} shard(s): {:#018x}",
+            run.digest
+        );
+    }
+    // (4 shards is covered by the golden soak above.)
+}
+
+#[test]
+fn fmm_specs_flow_through_the_lowering_path_identically_across_shards() {
+    let base = LoadConfig {
+        requests: 400,
+        clients: 2,
+        shards: 1,
+        distinct_devices: 3,
+        fmm_per_mille: 30,
+        fmm_sizes: vec![1024],
+        plan_per_mille: 0,
+        seed: 0xF3A_2016,
+        faults: None,
+        overload_probes: 0,
+        ..soak_config()
+    };
+    let one = service_load(&base);
+    assert_eq!(one.served, base.requests);
+    let two = service_load(&LoadConfig { shards: 2, ..base.clone() });
+    assert_eq!(two.served, base.requests);
+    assert_eq!(one.digest, two.digest, "lowering must not depend on which shard runs it");
+}
+
+#[test]
+fn faulted_soak_degrades_instead_of_erroring() {
+    let cfg = LoadConfig {
+        requests: 4_000,
+        distinct_devices: 8,
+        faults: Some(FaultConfig::default_campaign()),
+        ..soak_config()
+    };
+    let run = service_load(&cfg);
+    assert_eq!(run.served, cfg.requests, "faults must never lose a request");
+    assert_eq!(run.fit_errors, 0, "faults degrade through FitDiagnostics, not errors");
+    assert!(
+        run.degraded_responses > 0 || run.sweep_retries > 0,
+        "the default campaign must visibly exercise the degradation ladder \
+         (degraded {} / retries {})",
+        run.degraded_responses,
+        run.sweep_retries
+    );
+    // The faulted pipeline is still seeded end to end: same campaign,
+    // same answers.
+    let again = service_load(&cfg);
+    assert_eq!(run.digest, again.digest, "faulted runs must be deterministic");
+    assert_eq!(run.degraded_responses, again.degraded_responses);
+}
