@@ -4,7 +4,8 @@
 //! list construction, P2P, FFT M2L, full evaluation) — the pieces whose
 //! balance the paper's `Q` parameter tunes.  The dense-vs-FFT M2L pair
 //! is the A2 ablation from DESIGN.md: it shows the arithmetic-intensity
-//! trade the V list makes.
+//! trade the V list makes.  The `scaling` group sweeps the pool width
+//! over the 1/2/4/8-thread grid of the committed `BENCH_fmm.json`.
 
 use compat::bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use compat::rng::StdRng;
@@ -96,6 +97,41 @@ fn bench_phase_timings(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_thread_scaling(c: &mut Criterion) {
+    // The {threads} × {n} grid of the committed BENCH_fmm.json, in
+    // criterion form: evaluate under every pool width, plus the
+    // sequential and parallel tree builders head to head.  The full
+    // grid (n up to 2^20) lives in `bench_snapshot`/`repro
+    // fmm-scaling`; this group keeps the small sizes under criterion's
+    // statistics.
+    let mut group = c.benchmark_group("scaling");
+    group.sample_size(10);
+    for &n in &[8192usize, 32768] {
+        let (pts, den) = cloud(n, 3);
+        let plan = FmmPlan::new(&pts, &den, 64, 4, M2lMethod::Fft);
+        for &threads in &dvfs_bench::scaling::DEFAULT_THREAD_GRID {
+            compat::par::set_thread_count(Some(threads));
+            let eval = FmmEvaluator::new();
+            let _ = eval.evaluate(&plan); // warm pool, arenas, schedule
+            group.bench_with_input(
+                BenchmarkId::new(format!("evaluate/n{n}"), threads),
+                &threads,
+                |b, _| b.iter(|| eval.evaluate(black_box(&plan))),
+            );
+        }
+        compat::par::set_thread_count(None);
+    }
+    let (pts, den) = cloud(65536, 1);
+    for (label, threads) in [("seq", 1usize), ("par", 8)] {
+        compat::par::set_thread_count(Some(threads));
+        group.bench_function(format!("tree_build/65536/{label}"), |b| {
+            b.iter(|| Octree::build(black_box(&pts), black_box(&den), 64))
+        });
+    }
+    compat::par::set_thread_count(None);
+    group.finish();
+}
+
 fn bench_profiling(c: &mut Criterion) {
     // The nvprof-style instrumentation pass at a paper-scale input.
     let (pts, den) = cloud(65536, 4);
@@ -112,6 +148,7 @@ criterion_group!(
     bench_m2l_methods,
     bench_full_evaluation,
     bench_phase_timings,
+    bench_thread_scaling,
     bench_profiling
 );
 criterion_main!(benches);

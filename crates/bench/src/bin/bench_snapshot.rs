@@ -1,15 +1,28 @@
 //! Phase-timing snapshot for the FMM evaluation engine.
 //!
-//! Runs the standard uniform-cube problem (q = 64, p = 4, FFT M2L) at a
-//! couple of sizes, measures per-phase and total wall time with
-//! [`FmmEvaluator::evaluate_timed`], and writes the medians as JSON —
-//! the artifact `scripts/bench_snapshot.sh` commits as `BENCH_fmm.json`.
+//! Runs the standard uniform-cube problem (q = 64, p = 4, FFT M2L) over
+//! a `sizes × threads` grid (see [`dvfs_bench::scaling`]), measures
+//! per-phase and total wall time with `FmmEvaluator::evaluate_timed`,
+//! and writes the medians — plus a potential-bits digest per case — as
+//! JSON, the artifact `scripts/bench_snapshot.sh` commits as
+//! `BENCH_fmm.json`.  Each case records the *resolved* worker count it
+//! ran with (honoring `FMM_ENERGY_THREADS` and the machine cap), and
+//! the repetition count falls back to `FMM_ENERGY_BENCH_REPS` when no
+//! `--reps` flag is given.
 //!
-//! Usage: `bench_snapshot [--out FILE] [--reps K] [--sizes N1,N2,...]`
+//! Usage: `bench_snapshot [--out FILE] [--reps K] [--sizes N1,N2,...]
+//! [--threads T1,T2,...]`
 //!
 //! `bench_snapshot --check FILE` instead validates that `FILE` parses
 //! with the in-tree JSON reader and has the expected shape — the CI
 //! mode used by `scripts/ci.sh --with-snapshot`.
+//!
+//! `bench_snapshot --check-fmm FILE [--baseline-fmm BASE]` goes
+//! further: shape, positive timings, per-size digest agreement (the
+//! bitwise thread-invariance claim), grid coverage (threads ⊇
+//! {1,2,4,8}, max n ≥ 2^20 — skipped when comparing against a
+//! baseline), and, with `--baseline-fmm`, a >10% regression gate on
+//! `evaluate_median_s` at every `(n, threads)` point both files share.
 //!
 //! `bench_snapshot --governor FILE [--scale-shift K] [--seed S]` runs
 //! the phase-aware governor comparison (fitted model, 8 inputs × 8
@@ -28,60 +41,164 @@
 //! identical digests across the 1/2/4/8-shard sweep.
 
 use compat::json::Json;
-use compat::rng::StdRng;
-use kifmm::evaluator::{FmmPlan, M2lMethod};
-use kifmm::{FmmEvaluator, PhaseTimings};
+use dvfs_bench::scaling::{self, ScalingCase};
 
-fn cloud(n: usize, seed: u64) -> (Vec<[f64; 3]>, Vec<f64>) {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let pts = (0..n).map(|_| [rng.random(), rng.random(), rng.random()]).collect();
-    let den = (0..n).map(|_| 2.0 * rng.random::<f64>() - 1.0).collect();
-    (pts, den)
-}
-
-fn median(xs: &mut [f64]) -> f64 {
-    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
-    let n = xs.len();
-    if n % 2 == 1 {
-        xs[n / 2]
-    } else {
-        0.5 * (xs[n / 2 - 1] + xs[n / 2])
-    }
-}
-
-fn snapshot_size(n: usize, reps: usize) -> Json {
-    let (pts, den) = cloud(n, 3);
-    let plan = FmmPlan::new(&pts, &den, 64, 4, M2lMethod::Fft);
-    let eval = FmmEvaluator::new();
-    // Warm-up: populates the thread pool and touches the arenas once.
-    let _ = eval.evaluate(&plan);
-    let mut runs: Vec<PhaseTimings> = Vec::with_capacity(reps);
-    for _ in 0..reps {
-        let (_, t) = eval.evaluate_timed(&plan);
-        runs.push(t);
-    }
-    let med = |f: fn(&PhaseTimings) -> f64| {
-        let mut xs: Vec<f64> = runs.iter().map(f).collect();
-        median(&mut xs)
-    };
+fn case_to_json(c: &ScalingCase) -> Json {
+    let [up, v, x, down, near] = c.phase_medians_s;
     Json::obj([
-        ("n", Json::Num(n as f64)),
+        ("n", Json::Num(c.n as f64)),
         ("q", Json::Num(64.0)),
         ("p", Json::Num(4.0)),
         ("m2l", Json::Str("fft".to_string())),
-        ("reps", Json::Num(reps as f64)),
+        ("threads", Json::Num(c.threads as f64)),
+        ("reps", Json::Num(c.reps as f64)),
         (
             "phase_medians_s",
             Json::obj([
-                ("up", Json::Num(med(|t| t.up_s))),
-                ("v", Json::Num(med(|t| t.v_s))),
-                ("x", Json::Num(med(|t| t.x_s))),
-                ("down", Json::Num(med(|t| t.down_s))),
-                ("near", Json::Num(med(|t| t.near_s))),
+                ("up", Json::Num(up)),
+                ("v", Json::Num(v)),
+                ("x", Json::Num(x)),
+                ("down", Json::Num(down)),
+                ("near", Json::Num(near)),
             ]),
         ),
-        ("evaluate_median_s", Json::Num(med(|t| t.total_s))),
+        ("evaluate_median_s", Json::Num(c.evaluate_median_s)),
+        ("digest", Json::Str(format!("{:016x}", c.digest))),
     ])
+}
+
+/// Minimal parsed form of one snapshot case, for `--check-fmm`.
+struct ParsedCase {
+    n: usize,
+    threads: usize,
+    evaluate_median_s: f64,
+    digest: String,
+}
+
+fn parse_fmm_cases(path: &str, tag: &str) -> Vec<ParsedCase> {
+    let fail = |msg: String| -> ! {
+        eprintln!("bench_snapshot {tag}: {msg}");
+        std::process::exit(1);
+    };
+    let text =
+        std::fs::read_to_string(path).unwrap_or_else(|e| fail(format!("cannot read {path}: {e}")));
+    let doc =
+        Json::parse(&text).unwrap_or_else(|e| fail(format!("{path} is not valid JSON: {e:?}")));
+    let Json::Obj(fields) = &doc else { fail("top level must be an object".to_string()) };
+    let get = |key: &str| fields.iter().find(|(k, _)| k == key).map(|(_, v)| v);
+    match get("benchmark") {
+        Some(Json::Str(s)) if s == "fmm_evaluate_phases" => {}
+        other => fail(format!("bad benchmark field: {other:?}")),
+    }
+    let Some(Json::Arr(cases)) = get("cases") else { fail("missing cases array".to_string()) };
+    let mut parsed = Vec::with_capacity(cases.len());
+    for case in cases {
+        let Json::Obj(cf) = case else { fail("case is not an object".to_string()) };
+        let cget = |key: &str| cf.iter().find(|(k, _)| k == key).map(|(_, v)| v);
+        let num = |key: &str| match cget(key) {
+            Some(Json::Num(v)) => *v,
+            other => fail(format!("case missing numeric {key}: {other:?}")),
+        };
+        let Some(Json::Obj(pm)) = cget("phase_medians_s") else {
+            fail("case missing phase_medians_s".to_string())
+        };
+        for key in ["up", "v", "x", "down", "near"] {
+            match pm.iter().find(|(k, _)| k == key).map(|(_, v)| v) {
+                Some(Json::Num(v)) if *v >= 0.0 => {}
+                other => fail(format!("phase_medians_s.{key} bad: {other:?}")),
+            }
+        }
+        let Some(Json::Str(digest)) = cget("digest") else {
+            fail("case missing digest".to_string())
+        };
+        let total = num("evaluate_median_s");
+        if total <= 0.0 {
+            fail(format!("evaluate_median_s must be positive, got {total}"));
+        }
+        if num("reps") < 1.0 {
+            fail("reps must be at least 1".to_string());
+        }
+        parsed.push(ParsedCase {
+            n: num("n") as usize,
+            threads: num("threads") as usize,
+            evaluate_median_s: total,
+            digest: digest.clone(),
+        });
+    }
+    parsed
+}
+
+/// Validates an FMM scaling snapshot: shape, per-size digest agreement,
+/// grid coverage (committed-artifact mode), and an optional >10%
+/// regression gate against a baseline file.  Exits non-zero on any
+/// failure.
+fn check_fmm(path: &str, baseline: Option<&str>) {
+    let fail = |msg: String| -> ! {
+        eprintln!("bench_snapshot --check-fmm: {msg}");
+        std::process::exit(1);
+    };
+    let cases = parse_fmm_cases(path, "--check-fmm");
+    if cases.is_empty() {
+        fail("no cases".to_string());
+    }
+    // The engine's reproducibility claim: every thread count produced
+    // bit-identical potentials for each size.
+    let mut sizes: Vec<usize> = cases.iter().map(|c| c.n).collect();
+    sizes.sort_unstable();
+    sizes.dedup();
+    for &n in &sizes {
+        let digests: Vec<&str> =
+            cases.iter().filter(|c| c.n == n).map(|c| c.digest.as_str()).collect();
+        if digests.windows(2).any(|w| w[0] != w[1]) {
+            fail(format!("digest mismatch across thread counts at n={n}: {digests:?}"));
+        }
+    }
+    match baseline {
+        None => {
+            // Committed-artifact coverage: the full thread grid and the
+            // 2^20-point size must be present.
+            let mut threads: Vec<usize> = cases.iter().map(|c| c.threads).collect();
+            threads.sort_unstable();
+            threads.dedup();
+            for want in scaling::DEFAULT_THREAD_GRID {
+                if !threads.contains(&want) {
+                    fail(format!("thread grid {threads:?} missing width {want}"));
+                }
+            }
+            let max_n = *sizes.last().expect("nonempty");
+            if max_n < 1_048_576 {
+                fail(format!("largest size {max_n} is below 1048576"));
+            }
+            println!(
+                "bench_snapshot --check-fmm: {path} OK ({} cases, sizes {:?}, threads {:?})",
+                cases.len(),
+                sizes,
+                threads
+            );
+        }
+        Some(base_path) => {
+            let base = parse_fmm_cases(base_path, "--baseline-fmm");
+            let mut compared = 0usize;
+            for c in &cases {
+                let Some(b) = base.iter().find(|b| b.n == c.n && b.threads == c.threads) else {
+                    continue;
+                };
+                compared += 1;
+                if c.evaluate_median_s > 1.10 * b.evaluate_median_s {
+                    fail(format!(
+                        "evaluate regression at n={} threads={}: {:.6}s vs baseline {:.6}s (>10%)",
+                        c.n, c.threads, c.evaluate_median_s, b.evaluate_median_s
+                    ));
+                }
+            }
+            if compared == 0 {
+                fail(format!("no (n, threads) points shared with baseline {base_path}"));
+            }
+            println!(
+                "bench_snapshot --check-fmm: {path} OK ({compared} points within 10% of {base_path})"
+            );
+        }
+    }
 }
 
 /// Parses a snapshot file with the in-tree JSON reader and checks its
@@ -386,8 +503,11 @@ fn check_service(path: &str) {
 
 fn main() {
     let mut out_path = "BENCH_fmm.json".to_string();
-    let mut reps = 7usize;
+    let mut reps = scaling::reps_from_env(7);
     let mut sizes = vec![8192usize, 32768];
+    let mut threads: Vec<usize> = scaling::DEFAULT_THREAD_GRID.to_vec();
+    let mut check_fmm_path: Option<String> = None;
+    let mut baseline_fmm: Option<String> = None;
     let mut governor_out: Option<String> = None;
     let mut service_out: Option<String> = None;
     let mut requests = 1_000_000usize;
@@ -401,6 +521,12 @@ fn main() {
                 let path = args.next().expect("--check needs a path");
                 check(&path);
                 return;
+            }
+            "--check-fmm" => {
+                check_fmm_path = Some(args.next().expect("--check-fmm needs a path"));
+            }
+            "--baseline-fmm" => {
+                baseline_fmm = Some(args.next().expect("--baseline-fmm needs a path"));
             }
             "--check-governor" => {
                 let path = args.next().expect("--check-governor needs a path");
@@ -446,11 +572,22 @@ fn main() {
                     .map(|s| s.trim().parse().expect("size must be an integer"))
                     .collect();
             }
+            "--threads" => {
+                let list = args.next().expect("--threads needs a list");
+                threads = list
+                    .split(',')
+                    .map(|s| s.trim().parse().expect("thread count must be an integer"))
+                    .collect();
+            }
             other => {
                 eprintln!("unknown argument: {other}");
                 std::process::exit(2);
             }
         }
+    }
+    if let Some(path) = check_fmm_path {
+        check_fmm(&path, baseline_fmm.as_deref());
+        return;
     }
     if let Some(out) = governor_out {
         governor_snapshot(&out, scale_shift, seed);
@@ -460,16 +597,11 @@ fn main() {
         service_snapshot(&out, requests, shard_requests, seed);
         return;
     }
-    let cases: Vec<Json> = sizes
-        .iter()
-        .map(|&n| {
-            eprintln!("bench_snapshot: n = {n} ({reps} reps)...");
-            snapshot_size(n, reps)
-        })
-        .collect();
+    eprintln!("bench_snapshot: sizes {sizes:?} x threads {threads:?}, {reps} reps per point ...");
+    let grid = scaling::scaling_grid(&sizes, &threads, reps, 3);
+    let cases: Vec<Json> = grid.iter().map(case_to_json).collect();
     let doc = Json::obj([
         ("benchmark", Json::Str("fmm_evaluate_phases".to_string())),
-        ("threads", Json::Num(compat::par::num_threads() as f64)),
         ("cases", Json::Arr(cases)),
     ]);
     let text = doc.to_text();

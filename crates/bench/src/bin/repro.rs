@@ -23,7 +23,9 @@
 //!   bootstrap     confidence intervals for the fitted constants
 //!   csv-export    write the measurement dataset to dataset.csv
 //!   service       closed-loop load run against the autotune server
-//!   all           everything above (except csv-export and service), in order
+//!   fmm-scaling   FMM evaluate over the 1/2/4/8-thread grid
+//!   all           everything above (except csv-export, service and
+//!                 fmm-scaling), in order
 //! ```
 //!
 //! `--scale-shift K` divides every FMM problem size by `2^K` (profiles
@@ -62,7 +64,10 @@ artifacts:
   csv-export    write the measurement dataset to dataset.csv
   service       closed-loop load run against the autotune server
                 (--requests N, default 50000)
-  all           everything above (except csv-export and service), in order
+  fmm-scaling   FMM evaluate over the 1/2/4/8-thread grid
+                (--reps K, --max-n N; also FMM_ENERGY_BENCH_REPS)
+  all           everything above (except csv-export, service and
+                fmm-scaling), in order
 
 --scale-shift K divides every FMM problem size by 2^K (default 0 =
 paper scale); --seed S reseeds the whole pipeline (default 0xC0FFEE).";
@@ -159,6 +164,14 @@ fn main() {
     if artifact == "service" {
         let requests = flag_value(&args, "--requests").unwrap_or(50_000) as usize;
         service(seed, requests);
+        ran = true;
+    }
+    if artifact == "fmm-scaling" {
+        let reps = flag_value(&args, "--reps")
+            .map(|r| r as usize)
+            .unwrap_or_else(|| dvfs_bench::scaling::reps_from_env(3));
+        let max_n = flag_value(&args, "--max-n").unwrap_or(32_768) as usize;
+        fmm_scaling(reps, max_n);
         ran = true;
     }
 
@@ -712,6 +725,59 @@ fn service(seed: u64, requests: usize) {
         vec!["run digest".to_string(), format!("{:016x}", r.digest)],
     ];
     println!("{}", table(&["Metric", "Value"], &body));
+}
+
+fn fmm_scaling(reps: usize, max_n: usize) {
+    use dvfs_bench::scaling::{scaling_grid, DEFAULT_SIZES, DEFAULT_THREAD_GRID};
+    let sizes: Vec<usize> = DEFAULT_SIZES.iter().copied().filter(|&n| n <= max_n).collect();
+    eprintln!(
+        "[repro] FMM thread-scaling grid: sizes {sizes:?} x threads {DEFAULT_THREAD_GRID:?}, \
+         {reps} reps ..."
+    );
+    let cases = scaling_grid(&sizes, &DEFAULT_THREAD_GRID, reps, 3);
+    println!("== FMM evaluate: thread scaling (q=64, p=4, FFT M2L) ==");
+    let body: Vec<Vec<String>> = cases
+        .iter()
+        .map(|c| {
+            let base = cases
+                .iter()
+                .find(|b| b.n == c.n && b.threads == 1)
+                .map_or(1.0, |b| b.evaluate_median_s);
+            let [up, v, x, down, near] = c.phase_medians_s;
+            vec![
+                format!("{}", c.n),
+                format!("{}", c.threads),
+                format!("{:.4}", c.evaluate_median_s),
+                format!("{:.2}x", base / c.evaluate_median_s),
+                format!("{up:.4}"),
+                format!("{v:.4}"),
+                format!("{x:.4}"),
+                format!("{down:.4}"),
+                format!("{near:.4}"),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        table(&["n", "threads", "eval s", "speedup", "up", "v", "x", "down", "near"], &body)
+    );
+    let mut consistent = true;
+    for &n in &sizes {
+        let digests: Vec<u64> = cases.iter().filter(|c| c.n == n).map(|c| c.digest).collect();
+        if digests.windows(2).any(|w| w[0] != w[1]) {
+            consistent = false;
+            println!("n={n}: POTENTIAL DIGESTS DIFFER ACROSS THREAD COUNTS: {digests:016x?}");
+        }
+    }
+    if consistent {
+        println!(
+            "potentials bitwise-identical across all thread counts at every size \
+             (digest check over {} grid points)\n",
+            cases.len()
+        );
+    } else {
+        std::process::exit(1);
+    }
 }
 
 fn csv_export(ctx: &mut Context) {

@@ -10,6 +10,7 @@ pub mod governor;
 pub mod paper;
 pub mod pipeline;
 pub mod report;
+pub mod scaling;
 pub mod service_load;
 
 pub use governor::{governor_comparison, GovernorCase, PolicyOutcome};
@@ -19,6 +20,7 @@ pub use pipeline::{
     utilization_ablation, CaseResult, Fig7Row, MicrobenchAblationPoint, ObservationSummary,
     PipelineFit, Table1Row,
 };
+pub use scaling::{potential_digest, scaling_grid, ScalingCase};
 pub use service_load::{
     service_load, synth_request, LatencyStats, LoadConfig, LoadReport, OverloadReport,
 };

@@ -468,6 +468,60 @@ where
     run_scope(tasks);
 }
 
+/// Like [`par_for_each_init`], but with *caller-provided* chunk
+/// boundaries: each inner slice becomes exactly one pool task (empty
+/// chunks are skipped), and tasks are enqueued in chunk order.
+///
+/// This is the chunk-affinity primitive the FMM evaluator's phase
+/// scheduler builds on.  [`par_for_each_init`] re-splits by item count
+/// on every call, so the box→chunk assignment drifts between phases;
+/// here the caller hands every phase the same persistent partition of
+/// its targets, so chunk `k` covers the same boxes — the same arena and
+/// point ranges — in every phase of every evaluation, and the worker
+/// that picks it up re-touches memory it already has cache-resident.
+///
+/// The chunks are borrowed (items are `Copy` indices at the call
+/// sites), so a cached schedule can be replayed without cloning.
+/// Determinism requirements match [`par_for_each_init`]: `f` must write
+/// only locations its item owns and must not depend on residual scratch
+/// contents, making results independent of the partition.
+pub fn par_for_each_chunked_init<I, S, G, F>(chunks: &[Vec<I>], init: G, f: F)
+where
+    I: Send + Sync + Copy,
+    G: Fn() -> S + Sync,
+    F: Fn(&mut S, I) + Sync,
+{
+    let live = chunks.iter().filter(|c| !c.is_empty()).count();
+    if live == 0 {
+        return;
+    }
+    if num_threads() <= 1 || live == 1 {
+        for chunk in chunks.iter().filter(|c| !c.is_empty()) {
+            let mut scratch = init();
+            for &item in chunk {
+                f(&mut scratch, item);
+            }
+        }
+        return;
+    }
+    let init = &init;
+    let f = &f;
+    let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = chunks
+        .iter()
+        .filter(|c| !c.is_empty())
+        .map(|chunk| {
+            let task: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+                let mut scratch = init();
+                for &item in chunk {
+                    f(&mut scratch, item);
+                }
+            });
+            task
+        })
+        .collect();
+    run_scope(tasks);
+}
+
 /// A raw pointer that asserts `Send + Sync`, for parallel tasks writing
 /// *disjoint* regions of one allocation (arena phases of the FMM
 /// evaluator).
@@ -749,6 +803,30 @@ mod tests {
             },
         );
         assert_eq!(out, (0..100).map(|i| i * 7).collect::<Vec<u64>>());
+        set_thread_count(None);
+    }
+
+    #[test]
+    fn chunked_for_each_covers_every_item_once() {
+        // Caller-provided partitions — uneven sizes, empty chunks in the
+        // middle — must execute every item exactly once, with results
+        // identical across thread counts.
+        let chunks: Vec<Vec<usize>> =
+            vec![(0..7).collect(), vec![], (7..8).collect(), (8..40).collect(), vec![]];
+        for threads in [1usize, 2, 4, 8] {
+            set_thread_count(Some(threads));
+            let mut out = vec![0u64; 40];
+            let base = SendPtr::new(out.as_mut_ptr());
+            par_for_each_chunked_init(
+                &chunks,
+                || 0usize,
+                |seen, i| {
+                    *seen += 1;
+                    unsafe { base.slice_mut(i, 1)[0] += (i as u64) * 3 };
+                },
+            );
+            assert_eq!(out, (0..40).map(|i| i * 3).collect::<Vec<u64>>(), "at {threads} threads");
+        }
         set_thread_count(None);
     }
 

@@ -34,6 +34,20 @@ pub struct FftPlan {
     stage_offsets: Vec<usize>,
 }
 
+/// One radix-2 butterfly through raw indices:
+/// `(data[ia], data[ib]) ← (a + w·b, a − w·b)`.
+///
+/// # Safety
+/// `ia` and `ib` must be in bounds for the allocation behind `ptr` and
+/// distinct from each other.
+#[inline(always)]
+unsafe fn bfly(ptr: *mut Complex, ia: usize, ib: usize, w: Complex) {
+    let a = *ptr.add(ia);
+    let b = *ptr.add(ib) * w;
+    *ptr.add(ia) = a + b;
+    *ptr.add(ib) = a - b;
+}
+
 impl FftPlan {
     /// Builds a plan for length `n` (must be a power of two; `n >= 1`).
     pub fn new(n: usize) -> Result<Self> {
@@ -138,8 +152,10 @@ impl FftPlan {
     ///
     /// Performs the same operations in the same order as
     /// [`FftPlan::forward`]/[`FftPlan::inverse`] (the size-8 fast path is
-    /// a pure unrolling using the plan's own twiddle values), so results
-    /// are bitwise identical to the buffered form.
+    /// a pure unrolling using the plan's own twiddle values, and the
+    /// generic stages unroll two independent butterflies — four f64
+    /// lanes — per iteration with a scalar tail), so results are bitwise
+    /// identical to the buffered form.
     #[inline]
     pub(crate) fn line_strided(
         &self,
@@ -162,22 +178,54 @@ impl FftPlan {
             }
         }
         let twiddles = if inverse { &self.inv_twiddles } else { &self.twiddles };
+        // SAFETY for every `bfly` below: both indices are
+        // `base + k*stride` with `k < n`, within bounds by the assert
+        // above; the two butterflies of an unrolled pair touch four
+        // distinct elements, so the pair is order-independent and the
+        // result stays bitwise identical to the rolled loop.
+        let ptr = data.as_mut_ptr();
         let mut len = 2;
         let mut stage = 0;
         while len <= n {
             let half = len / 2;
             let tw = &twiddles[self.stage_offsets[stage]..self.stage_offsets[stage] + half];
-            for start in (0..n).step_by(len) {
-                for (j, &w) in tw.iter().enumerate() {
-                    let ia = base + (start + j) * stride;
-                    let ib = base + (start + j + half) * stride;
-                    // SAFETY: ia, ib < base + n*stride <= data.len(),
-                    // checked by the assert above.
+            if half == 1 {
+                // First stage: each length-2 block is one unit-twiddle
+                // butterfly.  Unroll across two blocks — four f64 lanes
+                // of independent add/sub — with a scalar tail block.
+                let w = tw[0];
+                let body = n - n % 4;
+                let mut start = 0;
+                while start < body {
                     unsafe {
-                        let a = *data.get_unchecked(ia);
-                        let b = *data.get_unchecked(ib) * w;
-                        *data.get_unchecked_mut(ia) = a + b;
-                        *data.get_unchecked_mut(ib) = a - b;
+                        bfly(ptr, base + start * stride, base + (start + 1) * stride, w);
+                        bfly(ptr, base + (start + 2) * stride, base + (start + 3) * stride, w);
+                    }
+                    start += 4;
+                }
+                while start < n {
+                    unsafe { bfly(ptr, base + start * stride, base + (start + 1) * stride, w) };
+                    start += 2;
+                }
+            } else {
+                // Later stages: unroll the twiddle loop two butterflies
+                // (four complex lanes) at a time, scalar tail after.
+                let body = half - half % 2;
+                for start in (0..n).step_by(len) {
+                    let mut j = 0;
+                    while j < body {
+                        let ia = base + (start + j) * stride;
+                        let ib = base + (start + j + half) * stride;
+                        unsafe {
+                            bfly(ptr, ia, ib, tw[j]);
+                            bfly(ptr, ia + stride, ib + stride, tw[j + 1]);
+                        }
+                        j += 2;
+                    }
+                    while j < half {
+                        let ia = base + (start + j) * stride;
+                        unsafe { bfly(ptr, ia, ia + half * stride, tw[j]) };
+                        j += 1;
                     }
                 }
             }
@@ -186,9 +234,18 @@ impl FftPlan {
         }
         if inverse {
             let scale = 1.0 / n as f64;
-            for k in 0..n {
+            let body = n - n % 2;
+            let mut k = 0;
+            while k < body {
                 let i = base + k * stride;
                 data[i] = data[i].scale(scale);
+                data[i + stride] = data[i + stride].scale(scale);
+                k += 2;
+            }
+            while k < n {
+                let i = base + k * stride;
+                data[i] = data[i].scale(scale);
+                k += 1;
             }
         }
     }

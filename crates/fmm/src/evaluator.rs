@@ -15,9 +15,15 @@
 //!   Phases write straight into their disjoint arena slices through
 //!   [`SendPtr`] — no collect-then-scatter round trips.
 //! * **Per-chunk scratch.** Each parallel worker chunk carries reusable
-//!   scratch buffers ([`compat::par::par_for_each_init`]): scaled
-//!   surface points, check potentials, FFT grids and SoA staging are
-//!   allocated once per chunk, not once per node.
+//!   scratch buffers ([`compat::par::par_for_each_chunked_init`]):
+//!   scaled surface points, check potentials, FFT grids and SoA staging
+//!   are allocated once per chunk, not once per node.
+//! * **Chunk affinity.** Every phase fans out over a persistent
+//!   [`PhaseSchedule`] partition (cached in the plan, keyed by thread
+//!   count) instead of re-splitting per call: chunk `k` of each phase
+//!   covers the same slab of the permuted point/arena space, so the
+//!   worker that warmed a subtree's multipoles in UP tends to run that
+//!   subtree's V, DOWN and NEAR work too (see [`crate::schedule`]).
 //! * **Surface templates.** The unit surface lattice is computed once
 //!   per `(p, radius)` ([`SurfaceTemplate`]) and scaled per box with a
 //!   streaming multiply-add.
@@ -48,10 +54,13 @@ use crate::kernel::{Kernel, LaplaceKernel};
 use crate::lists::InteractionLists;
 use crate::operators::OperatorCache;
 use crate::p2p_opt::SoaSources;
+use crate::schedule::PhaseSchedule;
 use crate::surface::{surface_point_count, SurfaceTemplate, RADIUS_INNER, RADIUS_OUTER};
 use crate::tree::Octree;
-use compat::par::{par_for_each_init, SendPtr};
+use compat::par::{self, par_for_each_chunked_init, SendPtr};
+use compat::sync::RwLock;
 use dvfs_fft::Complex;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// A coarse engine phase, as seen by a [`PhaseObserver`].
@@ -196,6 +205,9 @@ pub struct FmmPlan<K: Kernel = LaplaceKernel> {
     pub tpl_inner: SurfaceTemplate,
     /// Unit surface template at [`RADIUS_OUTER`].
     pub tpl_outer: SurfaceTemplate,
+    /// Cached chunk-affinity [`PhaseSchedule`], keyed by the thread
+    /// count it was partitioned for (see [`FmmPlan::schedule`]).
+    schedule: RwLock<Option<Arc<PhaseSchedule>>>,
 }
 
 impl FmmPlan<LaplaceKernel> {
@@ -235,12 +247,42 @@ impl<K: Kernel> FmmPlan<K> {
         let soa = SoaSources::from_points(&tree.points, &tree.densities);
         let tpl_inner = SurfaceTemplate::new(p, RADIUS_INNER);
         let tpl_outer = SurfaceTemplate::new(p, RADIUS_OUTER);
-        FmmPlan { kernel, tree, lists, ops, fft, p, method, soa, tpl_inner, tpl_outer }
+        FmmPlan {
+            kernel,
+            tree,
+            lists,
+            ops,
+            fft,
+            p,
+            method,
+            soa,
+            tpl_inner,
+            tpl_outer,
+            schedule: RwLock::new(None),
+        }
     }
 
     /// Surface points per box.
     pub fn ns(&self) -> usize {
         surface_point_count(self.p)
+    }
+
+    /// The chunk-affinity schedule for the current thread count.
+    ///
+    /// Built lazily on first use and cached in the plan; a thread-count
+    /// change (via [`par::set_thread_count`] or `FMM_ENERGY_THREADS`)
+    /// transparently rebuilds it.  The partition never affects results
+    /// (see [`crate::schedule`]), only which worker touches which slab.
+    pub fn schedule(&self) -> Arc<PhaseSchedule> {
+        let threads = par::num_threads();
+        if let Some(cached) = self.schedule.read().as_ref() {
+            if cached.threads == threads {
+                return Arc::clone(cached);
+            }
+        }
+        let built = Arc::new(PhaseSchedule::build(&self.tree, &self.lists, threads));
+        *self.schedule.write() = Some(Arc::clone(&built));
+        built
     }
 }
 
@@ -319,6 +361,11 @@ impl FmmEvaluator {
         let tree = &plan.tree;
         let ns = plan.ns();
         let n_nodes = tree.nodes.len();
+        // One fixed target→chunk partition shared by every phase: chunk
+        // `k` covers the same slab of the permuted point/arena space in
+        // UP, V, X, DOWN and NEAR, so a worker re-touches memory it
+        // warmed in the previous phase (see [`crate::schedule`]).
+        let sched = plan.schedule();
         let mut timings = PhaseTimings::default();
         let t_total = Instant::now();
 
@@ -329,8 +376,8 @@ impl FmmEvaluator {
         {
             let base = SendPtr::new(up_equiv.as_mut_ptr());
             for level in (0..tree.levels.len()).rev() {
-                par_for_each_init(
-                    tree.levels[level].clone(),
+                par_for_each_chunked_init(
+                    &sched.level_chunks[level],
                     || UpScratch { surf: Vec::new(), check: vec![0.0; ns] },
                     |scr, ni| {
                         let node = &tree.nodes[ni];
@@ -371,31 +418,23 @@ impl FmmEvaluator {
                 let glen = fft.grid_len();
                 let hlen = fft.half_len();
                 // Dense slot assignment for every box appearing as a V
-                // source, in node-index order.
-                let mut spec_slot = vec![usize::MAX; n_nodes];
-                for vl in &plan.lists.v {
-                    for &s in vl {
-                        spec_slot[s] = 0;
-                    }
-                }
-                let sources: Vec<usize> =
-                    (0..n_nodes).filter(|&ni| spec_slot[ni] != usize::MAX).collect();
-                for (slot, &s) in sources.iter().enumerate() {
-                    spec_slot[s] = slot;
-                }
+                // source, in node-index order — precomputed once in the
+                // schedule rather than per evaluation.
+                let spec_slot = &sched.spec_slot;
+                let sources = &sched.v_sources;
                 // Forward transforms, two source boxes per complex FFT,
                 // stored as split re/im Hermitian half-grids for the
                 // multiply-add hot loop.  Pairing is by fixed slot index
-                // (2i, 2i+1), so the spectra — and hence all downstream
-                // bits — do not depend on the thread count.
+                // (2i, 2i+1) — chunks partition the *pair list* — so the
+                // spectra, and hence all downstream bits, do not depend
+                // on the thread count or the chunk boundaries.
                 let mut spec_re = vec![0.0f64; sources.len() * hlen];
                 let mut spec_im = vec![0.0f64; sources.len() * hlen];
                 {
                     let base_re = SendPtr::new(spec_re.as_mut_ptr());
                     let base_im = SendPtr::new(spec_im.as_mut_ptr());
-                    let pairs: Vec<usize> = (0..sources.len().div_ceil(2)).collect();
-                    par_for_each_init(
-                        pairs,
+                    par_for_each_chunked_init(
+                        &sched.v_source_pair_chunks,
                         || vec![Complex::ZERO; glen],
                         |grid, pi| {
                             let a = 2 * pi;
@@ -430,8 +469,7 @@ impl FmmEvaluator {
                 // accumulators share one packed inverse transform —
                 // pairing by slot keeps the (rounding-level) cross-talk
                 // of the packed inverse independent of the thread count.
-                let targets: Vec<usize> =
-                    (0..n_nodes).filter(|&ni| !plan.lists.v[ni].is_empty()).collect();
+                let targets = &sched.v_targets;
                 let base = SendPtr::new(down_check.as_mut_ptr());
                 let accumulate_target = |ni: usize, acc_re: &mut [f64], acc_im: &mut [f64]| {
                     let tid = tree.nodes[ni].id;
@@ -456,9 +494,8 @@ impl FmmEvaluator {
                         debug_assert!(ok, "spectrum for every realized offset");
                     }
                 };
-                let tpairs: Vec<usize> = (0..targets.len().div_ceil(2)).collect();
-                par_for_each_init(
-                    tpairs,
+                par_for_each_chunked_init(
+                    &sched.v_target_pair_chunks,
                     || {
                         (
                             vec![0.0f64; hlen],
@@ -487,11 +524,9 @@ impl FmmEvaluator {
                 );
             }
             M2lMethod::Dense => {
-                let targets: Vec<usize> =
-                    (0..n_nodes).filter(|&ni| !plan.lists.v[ni].is_empty()).collect();
                 let base = SendPtr::new(down_check.as_mut_ptr());
-                par_for_each_init(
-                    targets,
+                par_for_each_chunked_init(
+                    &sched.v_target_chunks,
                     || (),
                     |_, ni| {
                         let tid = tree.nodes[ni].id;
@@ -518,10 +553,8 @@ impl FmmEvaluator {
         phase_start(&mut obs, EnginePhase::X);
         let t = Instant::now();
         {
-            let targets: Vec<usize> =
-                (0..n_nodes).filter(|&ni| !plan.lists.x[ni].is_empty()).collect();
             let base = SendPtr::new(down_check.as_mut_ptr());
-            par_for_each_init(targets, Vec::new, |surf: &mut Vec<[f64; 3]>, ni| {
+            par_for_each_chunked_init(&sched.x_chunks, Vec::new, |surf: &mut Vec<[f64; 3]>, ni| {
                 let node = &tree.nodes[ni];
                 plan.tpl_inner.scale_into(node.center, node.half_width, surf);
                 // SAFETY: each X target owns its node's slice.
@@ -542,8 +575,8 @@ impl FmmEvaluator {
         {
             let base = SendPtr::new(down_equiv.as_mut_ptr());
             for level in 0..tree.levels.len() {
-                par_for_each_init(
-                    tree.levels[level].clone(),
+                par_for_each_chunked_init(
+                    &sched.level_chunks[level],
                     || (),
                     |_, ni| {
                         let node = &tree.nodes[ni];
@@ -574,8 +607,8 @@ impl FmmEvaluator {
         {
             let out_base = SendPtr::new(out.as_mut_ptr());
             let grad_base = out_grad.as_mut().map(|g| SendPtr::new(g.as_mut_ptr()));
-            par_for_each_init(
-                tree.leaves(),
+            par_for_each_chunked_init(
+                &sched.leaf_chunks,
                 || LeafScratch {
                     surf: Vec::new(),
                     soa: SoaSources::with_capacity(ns),

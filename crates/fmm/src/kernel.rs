@@ -83,7 +83,10 @@ pub trait Kernel: Sync {
     /// The default walks `eval` in the same order as `p2p`, so a kernel
     /// that overrides neither gets bit-identical results from both entry
     /// points; kernels with a tuned SoA inner loop (Laplace) override
-    /// this with the vectorized form.
+    /// this with the lane-unrolled form ([`crate::p2p_opt`]): a
+    /// `[f64; LANES]` accumulator per target fed by whole lane groups
+    /// plus a scalar tail, reduced in a fixed order so the override is
+    /// deterministic for any caller blocking.
     fn p2p_soa(&self, targets: &[[f64; 3]], sources: SoaView<'_>, out: &mut [f64]) {
         debug_assert_eq!(targets.len(), out.len());
         for (i, &t) in targets.iter().enumerate() {

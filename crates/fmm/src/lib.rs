@@ -43,6 +43,7 @@ pub mod lists;
 pub mod morton;
 pub mod operators;
 pub mod p2p_opt;
+pub mod schedule;
 pub mod stats;
 pub mod surface;
 pub mod tree;
@@ -53,6 +54,7 @@ pub use instrument::{profile_plan, CostModel, FmmProfile, PhaseProfile};
 pub use kernel::{Kernel, LaplaceKernel, YukawaKernel};
 pub use lists::InteractionLists;
 pub use p2p_opt::{p2p_soa, p2p_soa_grad, SoaSources, SoaView};
+pub use schedule::PhaseSchedule;
 pub use stats::TreeStats;
 pub use surface::SurfaceTemplate;
 pub use tree::{BoxId, Node, Octree};

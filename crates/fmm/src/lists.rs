@@ -14,6 +14,7 @@
 //!   points are evaluated onto `B`'s downward-check surface.
 
 use crate::tree::Octree;
+use compat::par;
 
 /// The four interaction lists for every node of a tree.
 #[derive(Debug, Clone)]
@@ -31,21 +32,28 @@ pub struct InteractionLists {
 
 impl InteractionLists {
     /// Builds all four lists for `tree`.
+    ///
+    /// The per-node U/V/W lists are independent read-only functions of
+    /// the tree, so they are computed in parallel with
+    /// [`par::par_map_vec`], which preserves node order — the result is
+    /// identical to the sequential loop.  The X list is the dual of W
+    /// and is filled by a cheap sequential pass afterwards (its entries
+    /// must appear in ascending leaf order, which the serial scan
+    /// guarantees).
     pub fn build(tree: &Octree) -> Self {
         let n = tree.nodes.len();
-        let mut u = vec![Vec::new(); n];
-        let mut v = vec![Vec::new(); n];
-        let mut w = vec![Vec::new(); n];
-        let mut x = vec![Vec::new(); n];
 
-        for ni in 0..n {
+        let per_node = |ni: usize| -> (Vec<usize>, Vec<usize>, Vec<usize>) {
             let node = &tree.nodes[ni];
+            let mut u = Vec::new();
+            let mut v = Vec::new();
+            let mut w = Vec::new();
             // --- V list: children of parent's colleagues, not adjacent.
             if let Some(pi) = node.parent {
                 for ci in tree.colleagues(pi) {
                     for child in tree.nodes[ci].children.iter().flatten() {
                         if !tree.nodes[*child].id.adjacent(&node.id) {
-                            v[ni].push(*child);
+                            v.push(*child);
                         }
                     }
                 }
@@ -53,20 +61,32 @@ impl InteractionLists {
 
             if node.is_leaf() {
                 // --- U list: all adjacent leaves (any level), plus self.
-                u[ni] = adjacent_leaves(tree, ni);
-                u[ni].push(ni);
-                u[ni].sort_unstable();
-                u[ni].dedup();
+                u = adjacent_leaves(tree, ni);
+                u.push(ni);
+                u.sort_unstable();
+                u.dedup();
 
                 // --- W list: colleague descendants whose parent touches B
                 // but which do not themselves.
                 for ci in tree.colleagues(ni) {
-                    collect_w(tree, ni, ci, &mut w[ni]);
+                    collect_w(tree, ni, ci, &mut w);
                 }
             }
+            (u, v, w)
+        };
+
+        let triples = par::par_map_vec((0..n).collect(), &per_node);
+        let mut u = Vec::with_capacity(n);
+        let mut v = Vec::with_capacity(n);
+        let mut w = Vec::with_capacity(n);
+        for (ul, vl, wl) in triples {
+            u.push(ul);
+            v.push(vl);
+            w.push(wl);
         }
 
         // --- X list: dual of W.
+        let mut x = vec![Vec::new(); n];
         for (leaf, wlist) in w.iter().enumerate() {
             for &c in wlist {
                 x[c].push(leaf);
@@ -301,6 +321,35 @@ mod tests {
         let w_total: usize = lists.w.iter().map(|l| l.len()).sum();
         assert!(w_total > 0, "adaptive tree must produce W entries");
         assert_eq!(w_total, lists.x.iter().map(|l| l.len()).sum::<usize>());
+    }
+
+    #[test]
+    fn lists_are_identical_across_thread_counts_and_tree_builders() {
+        // The parallel list builder must reproduce the sequential result
+        // exactly — same entries, same order — for any worker count, and
+        // for trees built by either the sequential or the parallel
+        // builder (which are themselves bitwise-identical).
+        let mut rng = StdRng::seed_from_u64(23);
+        let n = 3000;
+        let pts: Vec<[f64; 3]> =
+            (0..n).map(|_| [rng.random(), rng.random(), rng.random()]).collect();
+        let dens = vec![1.0; n];
+
+        compat::par::set_thread_count(Some(1));
+        let t_seq = Octree::build_sequential(&pts, &dens, 32);
+        let reference = InteractionLists::build(&t_seq);
+        for threads in [1usize, 2, 4, 8] {
+            compat::par::set_thread_count(Some(threads));
+            for tree in [Octree::build_sequential(&pts, &dens, 32), Octree::build(&pts, &dens, 32)]
+            {
+                let got = InteractionLists::build(&tree);
+                assert_eq!(got.u, reference.u, "U lists differ at {threads} threads");
+                assert_eq!(got.v, reference.v, "V lists differ at {threads} threads");
+                assert_eq!(got.w, reference.w, "W lists differ at {threads} threads");
+                assert_eq!(got.x, reference.x, "X lists differ at {threads} threads");
+            }
+        }
+        compat::par::set_thread_count(None);
     }
 
     #[test]

@@ -55,6 +55,20 @@ pub fn octant(x: u32, y: u32, z: u32) -> usize {
     ((x & 1) | ((y & 1) << 1) | ((z & 1) << 2)) as usize
 }
 
+/// The octant of point `p` relative to a box `center` — the Morton
+/// digit the point contributes at the next refinement level (bit `d`
+/// set iff `p[d] >= center[d]`).
+///
+/// The sequential and parallel tree builders share this single
+/// classification function, so a point's bucket is a pure function of
+/// `(p, center)` and the two builders can never disagree on it.
+#[inline]
+pub fn point_octant(p: [f64; 3], center: [f64; 3]) -> usize {
+    usize::from(p[0] >= center[0])
+        | (usize::from(p[1] >= center[1]) << 1)
+        | (usize::from(p[2] >= center[2]) << 2)
+}
+
 /// Child anchor for `parent` anchor and `octant`.
 #[inline]
 pub fn child_anchor(x: u32, y: u32, z: u32, octant: usize) -> (u32, u32, u32) {
@@ -104,6 +118,22 @@ mod tests {
             assert_eq!(octant(x, y, z), o);
             assert_eq!((x / 2, y / 2, z / 2), (5, 3, 7));
         }
+    }
+
+    #[test]
+    fn point_octant_covers_all_octants_and_boundaries() {
+        let c = [0.5, 0.5, 0.5];
+        for o in 0..8 {
+            let p = [
+                if o & 1 != 0 { 0.75 } else { 0.25 },
+                if o & 2 != 0 { 0.75 } else { 0.25 },
+                if o & 4 != 0 { 0.75 } else { 0.25 },
+            ];
+            assert_eq!(point_octant(p, c), o);
+        }
+        // A point exactly on a splitting plane belongs to the upper side.
+        assert_eq!(point_octant([0.5, 0.25, 0.25], c), 1);
+        assert_eq!(point_octant([0.25, 0.5, 0.5], c), 6);
     }
 
     #[test]

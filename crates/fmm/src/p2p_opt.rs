@@ -10,8 +10,17 @@
 //! * a fused inner loop with no branches — the self-interaction guard is
 //!   folded into the arithmetic by clamping `r²` away from zero and
 //!   multiplying by a 0/1 mask;
-//! * 4-way manual unrolling of the target loop to expose independent
-//!   accumulator chains.
+//! * explicit array-of-[`LANES`] lane unrolling of the *source* loop:
+//!   each target keeps a `[f64; LANES]` accumulator, source `j` lands in
+//!   lane `j % LANES`, the vector body walks whole lane groups and a
+//!   scalar tail finishes the last `len % LANES` sources in the same
+//!   lanes.  Every arithmetic chain is a straight per-lane recurrence,
+//!   so the autovectorizer emits packed `sqrt`/`div` instead of scalar
+//!   chains.  The final reduction is the fixed pairwise tree of
+//!   [`lane_sum`], which makes the result a pure function of the source
+//!   order — bitwise reproducible for any target blocking, thread
+//!   count, or call-site split (the property tests pin this against a
+//!   scalar lane-order reference).
 //!
 //! [`SoaSources`] holds one SoA copy of an entire (permuted) point set;
 //! [`SoaView`] borrows the contiguous range a tree box owns, so the
@@ -129,26 +138,63 @@ impl SoaView<'_> {
 
 const INV_4PI: f64 = 1.0 / (4.0 * std::f64::consts::PI);
 
-/// Laplace potential of `sources` at one target, vectorizable form.
+/// SIMD lane width of the unrolled kernels: four f64 lanes (one AVX
+/// register, two SSE registers).  Source `j` always accumulates into
+/// lane `j % LANES`, in the vector body *and* in the scalar tail.
+/// (Eight lanes measured *slower* here: the gradient kernel's 3×8
+/// accumulators spill, and the divider/sqrt units are the bottleneck
+/// anyway.)
+pub const LANES: usize = 4;
+
+/// One Laplace potential term, shared verbatim by the vector body and
+/// the scalar tail so both produce identical bits for the same source.
+#[inline(always)]
+fn potential_term(tx: f64, ty: f64, tz: f64, sx: f64, sy: f64, sz: f64, qj: f64) -> f64 {
+    let dx = tx - sx;
+    let dy = ty - sy;
+    let dz = tz - sz;
+    let r2 = dx * dx + dy * dy + dz * dz;
+    // Branch-free self-interaction guard: mask is 0.0 when r² == 0.
+    let mask = if r2 > 0.0 { 1.0 } else { 0.0 };
+    let safe = r2 + (1.0 - mask); // 1.0 where r² == 0: no NaN from rsqrt
+    mask * qj / safe.sqrt()
+}
+
+/// Fixed-order pairwise lane reduction: `(a0 + a1) + (a2 + a3)`.
+#[inline(always)]
+fn lane_sum(acc: [f64; LANES]) -> f64 {
+    (acc[0] + acc[1]) + (acc[2] + acc[3])
+}
+
+/// Laplace potential of `sources` at one target: explicit
+/// array-of-[`LANES`] lane-unrolled source loop with a scalar tail.
 #[inline]
 fn potential_at(tx: f64, ty: f64, tz: f64, s: SoaView<'_>) -> f64 {
-    let mut acc = 0.0;
-    for j in 0..s.len() {
-        let dx = tx - s.x[j];
-        let dy = ty - s.y[j];
-        let dz = tz - s.z[j];
-        let r2 = dx * dx + dy * dy + dz * dz;
-        // Branch-free self-interaction guard: mask is 0.0 when r² == 0.
-        let mask = if r2 > 0.0 { 1.0 } else { 0.0 };
-        let safe = r2 + (1.0 - mask); // 1.0 where r² == 0: no NaN from rsqrt
-        acc += mask * s.q[j] / safe.sqrt();
+    let n = s.len();
+    let body = n - n % LANES;
+    let mut acc = [0.0f64; LANES];
+    // `chunks_exact` gives the optimizer length-LANES slices with no
+    // per-group bounds checks inside the lane loop.
+    let xs = s.x[..body].chunks_exact(LANES);
+    let ys = s.y[..body].chunks_exact(LANES);
+    let zs = s.z[..body].chunks_exact(LANES);
+    let qs = s.q[..body].chunks_exact(LANES);
+    for (((sx, sy), sz), sq) in xs.zip(ys).zip(zs).zip(qs) {
+        for l in 0..LANES {
+            acc[l] += potential_term(tx, ty, tz, sx[l], sy[l], sz[l], sq[l]);
+        }
     }
-    acc * INV_4PI
+    for j in body..n {
+        // Tail sources stay in their home lane `j % LANES == j - body`.
+        acc[j - body] += potential_term(tx, ty, tz, s.x[j], s.y[j], s.z[j], s.q[j]);
+    }
+    lane_sum(acc) * INV_4PI
 }
 
 /// Optimized Laplace P2P: `out[i] += Σ_j K(targets[i], sources_j) q_j`.
 ///
-/// Targets are processed in blocks of four with independent accumulators.
+/// Each target owns a `[f64; LANES]` accumulator over the lane-unrolled
+/// source loop; the per-target result is independent of target blocking.
 pub fn p2p_soa(targets: &[[f64; 3]], sources: &SoaSources, out: &mut [f64]) {
     p2p_soa_view(targets, sources.view(), out);
 }
@@ -156,68 +202,64 @@ pub fn p2p_soa(targets: &[[f64; 3]], sources: &SoaSources, out: &mut [f64]) {
 /// [`p2p_soa`] over a borrowed source range.
 pub fn p2p_soa_view(targets: &[[f64; 3]], sources: SoaView<'_>, out: &mut [f64]) {
     assert_eq!(targets.len(), out.len());
-    let chunks = targets.len() / 4 * 4;
-    let mut i = 0;
-    while i < chunks {
-        let t0 = targets[i];
-        let t1 = targets[i + 1];
-        let t2 = targets[i + 2];
-        let t3 = targets[i + 3];
-        let mut a0 = 0.0;
-        let mut a1 = 0.0;
-        let mut a2 = 0.0;
-        let mut a3 = 0.0;
-        for j in 0..sources.len() {
-            let sx = sources.x[j];
-            let sy = sources.y[j];
-            let sz = sources.z[j];
-            let qj = sources.q[j];
-            let contrib = |tx: f64, ty: f64, tz: f64| -> f64 {
-                let dx = tx - sx;
-                let dy = ty - sy;
-                let dz = tz - sz;
-                let r2 = dx * dx + dy * dy + dz * dz;
-                let mask = if r2 > 0.0 { 1.0 } else { 0.0 };
-                let safe = r2 + (1.0 - mask);
-                mask * qj / safe.sqrt()
-            };
-            a0 += contrib(t0[0], t0[1], t0[2]);
-            a1 += contrib(t1[0], t1[1], t1[2]);
-            a2 += contrib(t2[0], t2[1], t2[2]);
-            a3 += contrib(t3[0], t3[1], t3[2]);
-        }
-        out[i] += a0 * INV_4PI;
-        out[i + 1] += a1 * INV_4PI;
-        out[i + 2] += a2 * INV_4PI;
-        out[i + 3] += a3 * INV_4PI;
-        i += 4;
-    }
-    for (k, t) in targets.iter().enumerate().skip(chunks) {
+    for (k, t) in targets.iter().enumerate() {
         out[k] += potential_at(t[0], t[1], t[2], sources);
     }
 }
 
-/// Laplace gradient of `sources` at one target, vectorizable form:
-/// `∇ₓ 1/(4π|x−y|) = −(x−y)/(4π|x−y|³)`, zero at `r = 0`.
+/// One Laplace gradient weight `w = −q·mask/r³` (see [`gradient_at`]),
+/// shared verbatim by the vector body and the scalar tail.
+#[inline(always)]
+fn gradient_term(
+    tx: f64,
+    ty: f64,
+    tz: f64,
+    sx: f64,
+    sy: f64,
+    sz: f64,
+    qj: f64,
+) -> (f64, f64, f64, f64) {
+    let dx = tx - sx;
+    let dy = ty - sy;
+    let dz = tz - sz;
+    let r2 = dx * dx + dy * dy + dz * dz;
+    let mask = if r2 > 0.0 { 1.0 } else { 0.0 };
+    let safe = r2 + (1.0 - mask);
+    // −q/r³ = −q / (r² · r); the mask zeroes the whole contribution.
+    let w = -mask * qj / (safe * safe.sqrt());
+    (dx, dy, dz, w)
+}
+
+/// Laplace gradient of `sources` at one target, lane-unrolled form:
+/// `∇ₓ 1/(4π|x−y|) = −(x−y)/(4π|x−y|³)`, zero at `r = 0`.  Keeps one
+/// `[f64; LANES]` accumulator per component.
 #[inline]
 fn gradient_at(tx: f64, ty: f64, tz: f64, s: SoaView<'_>) -> [f64; 3] {
-    let mut gx = 0.0;
-    let mut gy = 0.0;
-    let mut gz = 0.0;
-    for j in 0..s.len() {
-        let dx = tx - s.x[j];
-        let dy = ty - s.y[j];
-        let dz = tz - s.z[j];
-        let r2 = dx * dx + dy * dy + dz * dz;
-        let mask = if r2 > 0.0 { 1.0 } else { 0.0 };
-        let safe = r2 + (1.0 - mask);
-        // −q/r³ = −q / (r² · r); the mask zeroes the whole contribution.
-        let w = -mask * s.q[j] / (safe * safe.sqrt());
-        gx += dx * w;
-        gy += dy * w;
-        gz += dz * w;
+    let n = s.len();
+    let body = n - n % LANES;
+    let mut gx = [0.0f64; LANES];
+    let mut gy = [0.0f64; LANES];
+    let mut gz = [0.0f64; LANES];
+    let xs = s.x[..body].chunks_exact(LANES);
+    let ys = s.y[..body].chunks_exact(LANES);
+    let zs = s.z[..body].chunks_exact(LANES);
+    let qs = s.q[..body].chunks_exact(LANES);
+    for (((sx, sy), sz), sq) in xs.zip(ys).zip(zs).zip(qs) {
+        for l in 0..LANES {
+            let (dx, dy, dz, w) = gradient_term(tx, ty, tz, sx[l], sy[l], sz[l], sq[l]);
+            gx[l] += dx * w;
+            gy[l] += dy * w;
+            gz[l] += dz * w;
+        }
     }
-    [gx * INV_4PI, gy * INV_4PI, gz * INV_4PI]
+    for j in body..n {
+        let l = j - body; // == j % LANES: tail sources keep their lane
+        let (dx, dy, dz, w) = gradient_term(tx, ty, tz, s.x[j], s.y[j], s.z[j], s.q[j]);
+        gx[l] += dx * w;
+        gy[l] += dy * w;
+        gz[l] += dz * w;
+    }
+    [lane_sum(gx) * INV_4PI, lane_sum(gy) * INV_4PI, lane_sum(gz) * INV_4PI]
 }
 
 /// Optimized Laplace gradient P2P:
@@ -232,42 +274,7 @@ pub fn p2p_soa_grad(targets: &[[f64; 3]], sources: &SoaSources, out: &mut [[f64;
 /// [`p2p_soa_grad`] over a borrowed source range.
 pub fn p2p_soa_grad_view(targets: &[[f64; 3]], sources: SoaView<'_>, out: &mut [[f64; 3]]) {
     assert_eq!(targets.len(), out.len());
-    let pairs = targets.len() / 2 * 2;
-    let mut i = 0;
-    // 2-way unroll: the gradient keeps three accumulators per target, so
-    // two targets already fill the independent-chain budget.
-    while i < pairs {
-        let t0 = targets[i];
-        let t1 = targets[i + 1];
-        let mut g0 = [0.0f64; 3];
-        let mut g1 = [0.0f64; 3];
-        for j in 0..sources.len() {
-            let sx = sources.x[j];
-            let sy = sources.y[j];
-            let sz = sources.z[j];
-            let qj = sources.q[j];
-            let contrib = |t: [f64; 3], g: &mut [f64; 3]| {
-                let dx = t[0] - sx;
-                let dy = t[1] - sy;
-                let dz = t[2] - sz;
-                let r2 = dx * dx + dy * dy + dz * dz;
-                let mask = if r2 > 0.0 { 1.0 } else { 0.0 };
-                let safe = r2 + (1.0 - mask);
-                let w = -mask * qj / (safe * safe.sqrt());
-                g[0] += dx * w;
-                g[1] += dy * w;
-                g[2] += dz * w;
-            };
-            contrib(t0, &mut g0);
-            contrib(t1, &mut g1);
-        }
-        for d in 0..3 {
-            out[i][d] += g0[d] * INV_4PI;
-            out[i + 1][d] += g1[d] * INV_4PI;
-        }
-        i += 2;
-    }
-    for (k, t) in targets.iter().enumerate().skip(pairs) {
+    for (k, t) in targets.iter().enumerate() {
         let g = gradient_at(t[0], t[1], t[2], sources);
         out[k][0] += g[0];
         out[k][1] += g[1];
@@ -393,6 +400,115 @@ mod tests {
         let mut grad = vec![[1.0; 3]];
         p2p_soa_grad(&t, &soa, &mut grad);
         assert_eq!(grad[0], [1.0; 3]);
+    }
+
+    use compat::prop::prelude::*;
+
+    /// Scalar emulation of the lane-unrolled potential: walks sources
+    /// one at a time, accumulating source `j` into lane `j % LANES`,
+    /// then reduces with the same fixed tree.  The kernel must match
+    /// this bit for bit regardless of how its vector body and scalar
+    /// tail split the source range.
+    fn scalar_lane_potential(t: [f64; 3], s: &SoaSources) -> f64 {
+        let mut acc = [0.0f64; LANES];
+        for j in 0..s.len() {
+            acc[j % LANES] += potential_term(t[0], t[1], t[2], s.x[j], s.y[j], s.z[j], s.q[j]);
+        }
+        lane_sum(acc) * INV_4PI
+    }
+
+    /// Scalar emulation of the lane-unrolled gradient (see
+    /// [`scalar_lane_potential`]).
+    fn scalar_lane_gradient(t: [f64; 3], s: &SoaSources) -> [f64; 3] {
+        let mut gx = [0.0f64; LANES];
+        let mut gy = [0.0f64; LANES];
+        let mut gz = [0.0f64; LANES];
+        for j in 0..s.len() {
+            let l = j % LANES;
+            let (dx, dy, dz, w) = gradient_term(t[0], t[1], t[2], s.x[j], s.y[j], s.z[j], s.q[j]);
+            gx[l] += dx * w;
+            gy[l] += dy * w;
+            gz[l] += dz * w;
+        }
+        [lane_sum(gx) * INV_4PI, lane_sum(gy) * INV_4PI, lane_sum(gz) * INV_4PI]
+    }
+
+    #[test]
+    fn tail_lengths_match_scalar_lane_reference_bitwise() {
+        // Every source count around the lane width, including every
+        // tail residue and the empty set.
+        for ns in 0usize..=33 {
+            let (t, s, q) = problem(5, ns, 1000 + ns as u64);
+            let soa = SoaSources::from_points(&s, &q);
+            let mut fast = vec![0.0; t.len()];
+            p2p_soa(&t, &soa, &mut fast);
+            let mut fast_g = vec![[0.0; 3]; t.len()];
+            p2p_soa_grad(&t, &soa, &mut fast_g);
+            for (k, tk) in t.iter().enumerate() {
+                let want = scalar_lane_potential(*tk, &soa);
+                assert_eq!(fast[k].to_bits(), want.to_bits(), "ns={ns} target {k}");
+                let want_g = scalar_lane_gradient(*tk, &soa);
+                for d in 0..3 {
+                    assert_eq!(
+                        fast_g[k][d].to_bits(),
+                        want_g[d].to_bits(),
+                        "ns={ns} target {k} component {d}"
+                    );
+                }
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn lane_unrolled_kernels_match_scalar_reference_across_threads(
+            ns in 1usize..48,
+            nt in 1usize..7,
+            seed in 0u64..1_000_000,
+        ) {
+            let (t, s, q) = problem(nt, ns, seed);
+            let soa = SoaSources::from_points(&s, &q);
+            let mut want = vec![0.0; nt];
+            let mut want_g = vec![[0.0; 3]; nt];
+            for (k, tk) in t.iter().enumerate() {
+                want[k] = scalar_lane_potential(*tk, &soa);
+                want_g[k] = scalar_lane_gradient(*tk, &soa);
+            }
+            // The kernels are single-threaded inner loops; pinning them
+            // under every pool size documents that the pool (and any
+            // parallel caller chunking) cannot perturb the bits.
+            for threads in [1usize, 2, 4, 8] {
+                compat::par::set_thread_count(Some(threads));
+                let mut fast = vec![0.0; nt];
+                p2p_soa(&t, &soa, &mut fast);
+                let mut fast_g = vec![[0.0; 3]; nt];
+                p2p_soa_grad(&t, &soa, &mut fast_g);
+                for k in 0..nt {
+                    prop_assert_eq!(
+                        fast[k].to_bits(),
+                        want[k].to_bits(),
+                        "threads={} ns={} target {}",
+                        threads,
+                        ns,
+                        k
+                    );
+                    for d in 0..3 {
+                        prop_assert_eq!(
+                            fast_g[k][d].to_bits(),
+                            want_g[k][d].to_bits(),
+                            "threads={} ns={} target {} component {}",
+                            threads,
+                            ns,
+                            k,
+                            d
+                        );
+                    }
+                }
+            }
+            compat::par::set_thread_count(None);
+        }
     }
 
     #[test]

@@ -1,0 +1,248 @@
+//! Chunk-affinity phase scheduling.
+//!
+//! Every engine phase fans its targets out over the persistent pool.
+//! Left to [`compat::par::par_for_each_init`], each phase re-splits its
+//! own target list by *item count*, so the box→chunk assignment drifts
+//! between phases: the worker that computed a subtree's multipoles in UP
+//! has no particular claim on that subtree's V accumulation or leaf
+//! pass, and the arena lines it warmed are re-fetched by someone else.
+//!
+//! A [`PhaseSchedule`] fixes one partition per phase *up front*, keyed
+//! by the targets' permuted-point ranges: every target list is in node
+//! order (which is DFS order, so `point_range.0` is non-decreasing), and
+//! chunk boundaries are placed at cumulative-work quantiles.  Chunk `k`
+//! of every phase therefore covers the same contiguous slab of the
+//! permuted point/arena space, and [`par_for_each_chunked_init`]
+//! enqueues chunks in order, so the worker that picks up slab `k` in one
+//! phase tends to pick it up in the next — UP, V, X, DOWN and NEAR
+//! re-touch the memory they warmed instead of a stranger's.
+//!
+//! The schedule also hoists the V-phase's dense spectrum-slot
+//! assignment (previously recomputed per evaluation) into plan state.
+//!
+//! # Determinism
+//!
+//! A partition only decides *which worker* runs an item, never what the
+//! item computes or where it writes, so results are bitwise identical
+//! for any chunking — the schedule can be rebuilt for a different
+//! thread count (see [`FmmPlan::schedule`](crate::evaluator::FmmPlan))
+//! without perturbing a single bit.  The one ordering that carries
+//! rounding weight, the V-phase two-for-one FFT pairing, is by fixed
+//! pair index: chunks partition the *pair list*, so pairing never moves
+//! with a chunk boundary.
+//!
+//! [`par_for_each_chunked_init`]: compat::par::par_for_each_chunked_init
+
+use crate::lists::InteractionLists;
+use crate::tree::Octree;
+
+/// Splits `items` into at most `parts` contiguous chunks with
+/// near-equal total `weight`, by closing chunk `k` once the cumulative
+/// weight passes the `(k + 1)/parts` quantile.
+fn balanced_chunks<W: Fn(usize) -> usize>(
+    items: &[usize],
+    parts: usize,
+    weight: W,
+) -> Vec<Vec<usize>> {
+    let parts = parts.max(1);
+    if items.is_empty() {
+        return Vec::new();
+    }
+    let total: usize = items.iter().map(|&i| weight(i).max(1)).sum();
+    let mut chunks: Vec<Vec<usize>> = Vec::with_capacity(parts);
+    let mut current = Vec::new();
+    let mut consumed = 0usize;
+    for &item in items {
+        current.push(item);
+        consumed += weight(item).max(1);
+        if chunks.len() + 1 < parts && consumed * parts >= total * (chunks.len() + 1) {
+            chunks.push(std::mem::take(&mut current));
+        }
+    }
+    if !current.is_empty() {
+        chunks.push(current);
+    }
+    chunks
+}
+
+/// A fixed target→chunk partition for every engine phase, plus the
+/// V-phase spectrum-slot assignment, built once per `(plan, threads)`.
+#[derive(Debug)]
+pub struct PhaseSchedule {
+    /// The parallelism width this schedule was partitioned for.
+    pub threads: usize,
+    /// Per tree level, the partition of that level's nodes.  UP
+    /// (deepest-first) and DOWN (shallowest-first) share these chunks,
+    /// so both passes hand slab `k` of a level to the same task slot.
+    pub level_chunks: Vec<Vec<Vec<usize>>>,
+    /// Partition of the leaves for the fused NEAR pass, weighted by
+    /// target count times the number of source boxes streamed per
+    /// target (self + U + W).
+    pub leaf_chunks: Vec<Vec<usize>>,
+    /// Partition of the X-list target nodes, weighted by total source
+    /// points evaluated onto each target's check surface.
+    pub x_chunks: Vec<Vec<usize>>,
+    /// Node indices appearing in some V list, in node order — the dense
+    /// spectrum arena is indexed by position in this list.
+    pub v_sources: Vec<usize>,
+    /// `spec_slot[node]` = that node's slot in the spectrum arena, or
+    /// `usize::MAX` if the node is not a V source.
+    pub spec_slot: Vec<usize>,
+    /// Partition of forward-transform pair indices (`pi` covers
+    /// spectrum slots `2pi` and `2pi + 1`); uniform weight, since every
+    /// pair is one packed FFT.
+    pub v_source_pair_chunks: Vec<Vec<usize>>,
+    /// Nodes with a non-empty V list, in node order.
+    pub v_targets: Vec<usize>,
+    /// Partition of V-target pair indices for the FFT path, weighted by
+    /// the two targets' translation counts.
+    pub v_target_pair_chunks: Vec<Vec<usize>>,
+    /// Partition of `v_targets` itself for the dense path.
+    pub v_target_chunks: Vec<Vec<usize>>,
+}
+
+impl PhaseSchedule {
+    /// Builds the schedule for `threads`-way execution.
+    pub fn build(tree: &Octree, lists: &InteractionLists, threads: usize) -> Self {
+        let parts = threads.max(1);
+        let n_nodes = tree.nodes.len();
+        let span = |ni: usize| {
+            let (s, e) = tree.nodes[ni].point_range;
+            e - s
+        };
+
+        let level_chunks =
+            tree.levels.iter().map(|level| balanced_chunks(level, parts, |ni| span(ni))).collect();
+
+        let leaves = tree.leaves();
+        let leaf_chunks = balanced_chunks(&leaves, parts, |li| {
+            span(li) * (1 + lists.u[li].len() + lists.w[li].len())
+        });
+
+        let x_targets: Vec<usize> = (0..n_nodes).filter(|&ni| !lists.x[ni].is_empty()).collect();
+        let x_chunks =
+            balanced_chunks(&x_targets, parts, |ni| lists.x[ni].iter().map(|&ci| span(ci)).sum());
+
+        // Dense slot assignment for every box appearing as a V source,
+        // in node-index order (the evaluator's spectrum arena layout).
+        let mut spec_slot = vec![usize::MAX; n_nodes];
+        for vl in &lists.v {
+            for &s in vl {
+                spec_slot[s] = 0;
+            }
+        }
+        let v_sources: Vec<usize> =
+            (0..n_nodes).filter(|&ni| spec_slot[ni] != usize::MAX).collect();
+        for (slot, &s) in v_sources.iter().enumerate() {
+            spec_slot[s] = slot;
+        }
+        let source_pairs: Vec<usize> = (0..v_sources.len().div_ceil(2)).collect();
+        let v_source_pair_chunks = balanced_chunks(&source_pairs, parts, |_| 1);
+
+        let v_targets: Vec<usize> = (0..n_nodes).filter(|&ni| !lists.v[ni].is_empty()).collect();
+        let target_pairs: Vec<usize> = (0..v_targets.len().div_ceil(2)).collect();
+        let v_target_pair_chunks = balanced_chunks(&target_pairs, parts, |pi| {
+            let a = lists.v[v_targets[2 * pi]].len();
+            let b = v_targets.get(2 * pi + 1).map_or(0, |&ni| lists.v[ni].len());
+            a + b
+        });
+        let v_target_chunks = balanced_chunks(&v_targets, parts, |ni| lists.v[ni].len());
+
+        PhaseSchedule {
+            threads,
+            level_chunks,
+            leaf_chunks,
+            x_chunks,
+            v_sources,
+            spec_slot,
+            v_source_pair_chunks,
+            v_targets,
+            v_target_pair_chunks,
+            v_target_chunks,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use compat::rng::StdRng;
+
+    fn sample_tree(n: usize, seed: u64) -> Octree {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut pts: Vec<[f64; 3]> =
+            (0..n / 2).map(|_| [rng.random(), rng.random(), rng.random()]).collect();
+        for _ in 0..n - n / 2 {
+            pts.push([
+                0.3 + rng.random::<f64>() * 0.02,
+                0.6 + rng.random::<f64>() * 0.02,
+                0.1 + rng.random::<f64>() * 0.02,
+            ]);
+        }
+        Octree::build(&pts, &vec![1.0; n], 24)
+    }
+
+    fn flatten(chunks: &[Vec<usize>]) -> Vec<usize> {
+        chunks.iter().flatten().copied().collect()
+    }
+
+    #[test]
+    fn chunks_partition_their_target_lists_exactly() {
+        let tree = sample_tree(3000, 3);
+        let lists = InteractionLists::build(&tree);
+        for threads in [1usize, 2, 4, 8] {
+            let s = PhaseSchedule::build(&tree, &lists, threads);
+            assert_eq!(s.threads, threads);
+            for (level, nodes) in tree.levels.iter().enumerate() {
+                assert_eq!(&flatten(&s.level_chunks[level]), nodes, "level {level}");
+                assert!(s.level_chunks[level].len() <= threads.max(1));
+            }
+            assert_eq!(flatten(&s.leaf_chunks), tree.leaves());
+            let x_targets: Vec<usize> =
+                (0..tree.nodes.len()).filter(|&ni| !lists.x[ni].is_empty()).collect();
+            assert_eq!(flatten(&s.x_chunks), x_targets);
+            assert_eq!(
+                flatten(&s.v_target_chunks),
+                s.v_targets,
+                "dense chunks cover v_targets in order"
+            );
+            assert_eq!(
+                flatten(&s.v_target_pair_chunks),
+                (0..s.v_targets.len().div_ceil(2)).collect::<Vec<_>>()
+            );
+            assert_eq!(
+                flatten(&s.v_source_pair_chunks),
+                (0..s.v_sources.len().div_ceil(2)).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn spec_slots_are_dense_and_in_node_order() {
+        let tree = sample_tree(2000, 5);
+        let lists = InteractionLists::build(&tree);
+        let s = PhaseSchedule::build(&tree, &lists, 4);
+        for (slot, &src) in s.v_sources.iter().enumerate() {
+            assert_eq!(s.spec_slot[src], slot);
+        }
+        let mut sorted = s.v_sources.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, s.v_sources, "sources listed in node order");
+        for ni in 0..tree.nodes.len() {
+            let is_source = lists.v.iter().any(|vl| vl.contains(&ni));
+            assert_eq!(s.spec_slot[ni] != usize::MAX, is_source, "node {ni}");
+        }
+    }
+
+    #[test]
+    fn balanced_chunks_respect_weight_quantiles() {
+        // 100 items of weight 1 plus one of weight 100: the heavy item
+        // must not drag half the light ones into its chunk.
+        let items: Vec<usize> = (0..101).collect();
+        let weight = |i: usize| if i == 0 { 100 } else { 1 };
+        let chunks = balanced_chunks(&items, 4, weight);
+        assert!(chunks.len() <= 4);
+        assert_eq!(flatten(&chunks), items);
+        assert_eq!(chunks[0], vec![0], "heavy head closes the first chunk alone");
+    }
+}

@@ -75,6 +75,14 @@ FMM_ENERGY_FAULTS=default \
     cargo run --offline --release -p dvfs-bench --bin repro -- governor --scale-shift 6 \
     | grep -q "per-phase-model matches or beats"
 
+echo "==> fmm: committed BENCH_fmm.json (schema + grid coverage + digests)"
+# The committed scaling snapshot must cover the full 1/2/4/8-thread
+# grid up to n = 2^20 and carry one potential digest per (n, threads)
+# point, identical across thread counts at each size — the engine's
+# bitwise thread-invariance claim, checkable from the artifact alone.
+cargo run --offline --release -p dvfs-bench --bin bench_snapshot -- \
+    --check-fmm BENCH_fmm.json
+
 echo "==> service: committed BENCH_service.json (schema + invariants)"
 # The committed serving artifact must be a >=1M-request run with
 # cache-hit p99 at least 10x below cold-fit p99, partial overload
@@ -101,6 +109,12 @@ if [[ "$WITH_SNAPSHOT" == 1 ]]; then
     scripts/bench_snapshot.sh --out target/BENCH_ci.json --reps 3 --sizes 4096
     cargo run --offline --release -p dvfs-bench --bin bench_snapshot -- \
         --check target/BENCH_ci.json
+    echo "==> fmm: fresh grid vs committed baseline (>10% regression gate)"
+    # Re-measure the smallest committed size over the full thread grid
+    # and fail if evaluate regressed >10% at any (n, threads) point.
+    scripts/bench_snapshot.sh --out target/BENCH_ci_fmm.json --reps 3 --sizes 8192
+    cargo run --offline --release -p dvfs-bench --bin bench_snapshot -- \
+        --check-fmm target/BENCH_ci_fmm.json --baseline-fmm BENCH_fmm.json
     scripts/bench_snapshot.sh --governor target/BENCH_governor_ci.json --scale-shift 6
     cargo run --offline --release -p dvfs-bench --bin bench_snapshot -- \
         --check-governor target/BENCH_governor_ci.json

@@ -100,14 +100,18 @@ fn fmm_evaluation_and_counters_are_identical_across_thread_counts() {
     // This test owns the global thread-count override for its whole
     // body; it is the only test in this binary that touches it.
     //
-    // Two contracts are pinned per thread count: bitwise identity with
-    // the single-thread baseline, and bitwise repeatability of back-to-
-    // back evaluations on the *same* evaluator — i.e. on the warm
-    // persistent pool, with all arenas re-derived from the plan.
+    // Three contracts are pinned per thread count: bitwise identity
+    // with the single-thread baseline, bitwise repeatability of back-
+    // to-back evaluations on the *same* evaluator (the warm persistent
+    // pool, with all arenas re-derived from the plan), and op-counter
+    // invariance for a plan *rebuilt* at that thread count — the
+    // baseline plan goes through the sequential tree-build path
+    // (threads = 1) while the rebuilt plans use the parallel builder,
+    // so this also pins sequential-vs-parallel construction.
     let (pts, den) = seeded_cloud(2500, 7);
-    let plan = FmmPlan::new(&pts, &den, 32, 4, M2lMethod::Fft);
 
     compat::par::set_thread_count(Some(1));
+    let plan = FmmPlan::new(&pts, &den, 32, 4, M2lMethod::Fft);
     let serial_eval = FmmEvaluator::new();
     let base_potentials = serial_eval.evaluate(&plan);
     let serial_again = serial_eval.evaluate(&plan);
@@ -136,6 +140,27 @@ fn fmm_evaluation_and_counters_are_identical_across_thread_counts() {
         let profile = profile_plan(&plan, &CostModel::default());
         for (pa, pb) in profile.phases.iter().zip(&base_profile.phases) {
             assert_eq!(pa.counters.snapshot(), pb.counters.snapshot(), "{:?}", pa.phase);
+        }
+        // A plan rebuilt at this thread count exercises the parallel
+        // tree and list builders; its op counts (and potentials) must
+        // match the sequentially built baseline exactly.
+        let rebuilt = FmmPlan::new(&pts, &den, 32, 4, M2lMethod::Fft);
+        let rebuilt_profile = profile_plan(&rebuilt, &CostModel::default());
+        for (pa, pb) in rebuilt_profile.phases.iter().zip(&base_profile.phases) {
+            assert_eq!(
+                pa.counters.snapshot(),
+                pb.counters.snapshot(),
+                "rebuilt-plan counters differ at {threads} threads in {:?}",
+                pa.phase
+            );
+        }
+        let rebuilt_potentials = eval.evaluate(&rebuilt);
+        for (i, (x, y)) in rebuilt_potentials.iter().zip(&base_potentials).enumerate() {
+            assert_eq!(
+                x.to_bits(),
+                y.to_bits(),
+                "rebuilt-plan potential {i} differs at {threads} threads"
+            );
         }
     }
     compat::par::set_thread_count(None);
